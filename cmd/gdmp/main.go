@@ -1,0 +1,300 @@
+// Command gdmp is the GDMP client: the command-line face of the four
+// services of Section 4.1 plus catalog queries.
+//
+// Usage:
+//
+//	gdmp -cred user.pem -ca ca.pem <subcommand> [args]
+//
+//	ping        <site-ctl-addr>                  check a site is alive
+//	status      <site-ctl-addr>                  transfer counters of a site
+//	catalog     <site-ctl-addr>                  dump a site's file catalog
+//	subscribe   <producer-ctl> <myname> <myctl>  subscribe a site to a producer
+//	unsubscribe <producer-ctl> <myname>
+//	stage       <site-ctl-addr> <lfn>            stage a file onto disk
+//	locations   -rc <addr> <lfn>                 all replicas of a file
+//	query       -rc <addr> <filter>              LDAP-style catalog search
+//	register    -rc <addr> <lfn> <pfn>           record a replica in the catalog
+//	fetch       <pfn> <local-path> [-p N]        reliable GridFTP download
+//	fetch-lfn   -rc <addr> <lfn> <local-path>    resolve via catalog, then fetch
+//
+// fetch takes a gridftp://host:port/path physical name and performs the
+// Data Mover's restartable, CRC-verified retrieval; fetch-lfn resolves a
+// logical name through the replica catalog first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/gridftp"
+	"gdmp/internal/gsi"
+	"gdmp/internal/replica"
+	"gdmp/internal/rpc"
+)
+
+func main() {
+	credPath := flag.String("cred", "", "client credential file (required)")
+	caPath := flag.String("ca", "", "trust anchor certificate (required)")
+	rcAddr := flag.String("rc", "", "replica catalog address (for locations/query)")
+	parallel := flag.Int("p", 2, "parallel streams (for fetch)")
+	flag.Parse()
+
+	if err := run(*credPath, *caPath, *rcAddr, *parallel, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "gdmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(credPath, caPath, rcAddr string, parallel int, args []string) error {
+	if credPath == "" || caPath == "" {
+		return fmt.Errorf("-cred and -ca are required")
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("missing subcommand")
+	}
+	cred, err := gsi.LoadCredential(credPath)
+	if err != nil {
+		return err
+	}
+	anchor, err := gsi.LoadCertificate(caPath)
+	if err != nil {
+		return err
+	}
+	roots := []*gsi.Certificate{anchor}
+
+	call := func(addr, method string, enc *rpc.Encoder) (*rpc.Decoder, error) {
+		cl, err := rpc.Dial(addr, cred, roots, rpc.WithTimeout(30*time.Second))
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		return cl.Call(method, enc)
+	}
+
+	switch args[0] {
+	case "ping":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ping <site-ctl-addr>")
+		}
+		d, err := call(args[1], core.MethodPing, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s is alive (site %q)\n", args[1], d.String())
+		return d.Finish()
+
+	case "catalog":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: catalog <site-ctl-addr>")
+		}
+		d, err := call(args[1], core.MethodCatalog, nil)
+		if err != nil {
+			return err
+		}
+		n := d.Uint32()
+		fmt.Printf("%d files:\n", n)
+		for i := uint32(0); i < n; i++ {
+			lfn := d.String()
+			path := d.String()
+			size := d.Int64()
+			crc := d.String()
+			ftype := d.String()
+			state := d.String()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			fmt.Printf("  %s  path=%s size=%d crc=%s type=%s state=%s\n",
+				lfn, path, size, crc, ftype, state)
+		}
+		return d.Finish()
+
+	case "subscribe":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: subscribe <producer-ctl> <myname> <myctl>")
+		}
+		var e rpc.Encoder
+		e.String(args[2])
+		e.String(args[3])
+		if _, err := call(args[1], core.MethodSubscribe, &e); err != nil {
+			return err
+		}
+		fmt.Printf("%s subscribed to %s\n", args[2], args[1])
+		return nil
+
+	case "unsubscribe":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: unsubscribe <producer-ctl> <myname>")
+		}
+		var e rpc.Encoder
+		e.String(args[2])
+		if _, err := call(args[1], core.MethodUnsubscribe, &e); err != nil {
+			return err
+		}
+		fmt.Printf("%s unsubscribed from %s\n", args[2], args[1])
+		return nil
+
+	case "stage":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: stage <site-ctl-addr> <lfn>")
+		}
+		var e rpc.Encoder
+		e.String(args[2])
+		if _, err := call(args[1], core.MethodStage, &e); err != nil {
+			return err
+		}
+		fmt.Printf("%s staged at %s\n", args[2], args[1])
+		return nil
+
+	case "status":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: status <site-ctl-addr>")
+		}
+		d, err := call(args[1], core.MethodStatus, nil)
+		if err != nil {
+			return err
+		}
+		name := d.String()
+		files := d.Uint64()
+		subs := d.Uint64()
+		ok := d.Uint64()
+		failed := d.Uint64()
+		bytes := d.Int64()
+		pending := d.Uint64()
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		fmt.Printf("site %s: %d local files, %d subscribers\n", name, files, subs)
+		fmt.Printf("transfers: %d ok, %d failed, %d bytes replicated, %d pending\n",
+			ok, failed, bytes, pending)
+		return nil
+
+	case "locations":
+		if rcAddr == "" || len(args) != 2 {
+			return fmt.Errorf("usage: -rc <addr> locations <lfn>")
+		}
+		rc, err := replica.Dial(rcAddr, cred, roots)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		locs, err := rc.Locations(args[1])
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			fmt.Println(l)
+		}
+		return nil
+
+	case "query":
+		if rcAddr == "" || len(args) != 2 {
+			return fmt.Errorf("usage: -rc <addr> query <filter>")
+		}
+		rc, err := replica.Dial(rcAddr, cred, roots)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		files, err := rc.Query(args[1])
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			var attrs []string
+			for k, v := range f.Attrs {
+				attrs = append(attrs, k+"="+v)
+			}
+			fmt.Printf("%s  %s\n", f.Name, strings.Join(attrs, " "))
+		}
+		return nil
+
+	case "register":
+		// register <lfn> <pfn>: record an existing physical file in the
+		// replica catalog (operator-driven publication).
+		if rcAddr == "" || len(args) != 3 {
+			return fmt.Errorf("usage: -rc <addr> register <lfn> <pfn>")
+		}
+		if _, err := core.ParsePFN(args[2]); err != nil {
+			return err
+		}
+		rc, err := replica.Dial(rcAddr, cred, roots)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		if err := rc.Register(args[1], map[string]string{
+			replica.AttrOwner: cred.Identity().String(),
+		}); err != nil {
+			return err
+		}
+		if err := rc.AddReplica(args[1], args[2]); err != nil {
+			return err
+		}
+		fmt.Printf("registered %s -> %s\n", args[1], args[2])
+		return nil
+
+	case "fetch-lfn":
+		// fetch-lfn <lfn> <local-path>: resolve the logical name through
+		// the catalog, pick a replica, and run the Data Mover retrieval.
+		if rcAddr == "" || len(args) != 3 {
+			return fmt.Errorf("usage: -rc <addr> fetch-lfn <lfn> <local-path>")
+		}
+		rc, err := replica.Dial(rcAddr, cred, roots)
+		if err != nil {
+			return err
+		}
+		locs, err := rc.Locations(args[1])
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		var pfn core.PFN
+		found := false
+		for _, l := range locs {
+			if p, err := core.ParsePFN(l); err == nil {
+				pfn, found = p, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no usable replica of %s (locations: %v)", args[1], locs)
+		}
+		connect := func() (*gridftp.Client, error) {
+			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
+		}
+		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fetched %s from %s: %d bytes (%.2f Mbps)\n",
+			args[1], pfn.Addr, stats.Bytes, stats.RateMbps())
+		return nil
+
+	case "fetch":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: fetch <pfn> <local-path>")
+		}
+		pfn, err := core.ParsePFN(args[1])
+		if err != nil {
+			return err
+		}
+		connect := func() (*gridftp.Client, error) {
+			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
+		}
+		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fetched %d bytes in %v (%.2f Mbps, %d streams, %d attempts)\n",
+			stats.Bytes, stats.Elapsed.Round(time.Millisecond),
+			stats.RateMbps(), stats.Streams, stats.Attempts)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

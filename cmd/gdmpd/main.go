@@ -1,0 +1,149 @@
+// Command gdmpd runs a complete GDMP site daemon (Section 4): the GDMP
+// server with its subscription, notification, catalog, and staging
+// services, plus the site's GridFTP server over the local disk pool,
+// registered against the Grid's central replica catalog.
+//
+// Usage:
+//
+//	gdmpd -name cern.ch -data /pool -rc replicad.host:39000 \
+//	      -cred certs/cern.pem -ca certs/ca.pem \
+//	      [-listen :38000] [-ftp-listen :2811] \
+//	      [-tape /tape -pool-capacity 1073741824] [-federation] \
+//	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap]
+//
+// With -tape, the site runs a Mass Storage System: the pool acts as a cache
+// and files are staged from the tape directory on demand. With
+// -federation, the site maintains an object database federation and can
+// replicate "objectivity" files (arrivals are attached automatically).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gdmp/internal/core"
+	"gdmp/internal/gsi"
+	"gdmp/internal/mss"
+	"gdmp/internal/objectstore"
+	"gdmp/internal/objrep"
+)
+
+func main() {
+	name := flag.String("name", "", "site name, e.g. cern.ch (required)")
+	data := flag.String("data", "", "disk pool directory (required)")
+	rcAddr := flag.String("rc", "", "replica catalog address (required)")
+	credPath := flag.String("cred", "", "site credential file (required)")
+	caPath := flag.String("ca", "", "trust anchor certificate (required)")
+	listen := flag.String("listen", ":38000", "GDMP control address")
+	ftpListen := flag.String("ftp-listen", ":2811", "GridFTP data address")
+	tape := flag.String("tape", "", "tape directory (enables the MSS)")
+	poolCap := flag.Int64("pool-capacity", 1<<30, "disk pool capacity in bytes (with -tape)")
+	federation := flag.Bool("federation", false, "run an object database federation")
+	auto := flag.Bool("auto", false, "auto-replicate files on notification")
+	parallel := flag.Int("parallel", 2, "parallel TCP streams for transfers")
+	tcpBuffer := flag.Int("tcp-buffer", 0, "TCP socket buffer size (0 = OS default)")
+	autoTune := flag.Bool("auto-tune", false, "negotiate TCP buffers per source (RTT x bandwidth)")
+	gridmap := flag.String("gridmap", "", "authorization gridmap (default: allow all)")
+	flag.Parse()
+
+	if err := run(params{
+		name: *name, data: *data, rcAddr: *rcAddr, credPath: *credPath,
+		caPath: *caPath, listen: *listen, ftpListen: *ftpListen,
+		tape: *tape, poolCap: *poolCap, federation: *federation,
+		auto: *auto, parallel: *parallel, tcpBuffer: *tcpBuffer,
+		autoTune: *autoTune, gridmap: *gridmap,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gdmpd:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	name, data, rcAddr, credPath, caPath string
+	listen, ftpListen, tape, gridmap     string
+	poolCap                              int64
+	federation, auto, autoTune           bool
+	parallel, tcpBuffer                  int
+}
+
+func run(p params) error {
+	if p.name == "" || p.data == "" || p.rcAddr == "" || p.credPath == "" || p.caPath == "" {
+		return fmt.Errorf("-name, -data, -rc, -cred and -ca are required")
+	}
+	cred, err := gsi.LoadCredential(p.credPath)
+	if err != nil {
+		return err
+	}
+	anchor, err := gsi.LoadCertificate(p.caPath)
+	if err != nil {
+		return err
+	}
+	var acl *gsi.ACL
+	if p.gridmap != "" {
+		f, err := os.Open(p.gridmap)
+		if err != nil {
+			return err
+		}
+		acl, err = gsi.ParseGridmap(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		acl = gsi.NewACL()
+		core.AllowSiteUseAll(acl)
+		objrep.AllowServiceUseAll(acl)
+	}
+
+	cfg := core.Config{
+		Name:            p.name,
+		DataDir:         p.data,
+		Cred:            cred,
+		TrustRoots:      []*gsi.Certificate{anchor},
+		ACL:             acl,
+		ReplicaCatalog:  p.rcAddr,
+		AutoReplicate:   p.auto,
+		Parallelism:     p.parallel,
+		BufferBytes:     p.tcpBuffer,
+		AutoTuneBuffers: p.autoTune,
+		GDMPListen:      p.listen,
+		FTPListen:       p.ftpListen,
+		Logger:          log.Default(),
+	}
+	if p.tape != "" {
+		m, err := mss.New(mss.Config{
+			TapeDir:      p.tape,
+			PoolDir:      p.data,
+			PoolCapacity: p.poolCap,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.MSS = m
+	}
+	if p.federation {
+		cfg.Federation = objectstore.NewFederation()
+	}
+
+	site, err := core.NewSite(cfg)
+	if err != nil {
+		return err
+	}
+	if p.federation {
+		if err := objrep.EnableService(site); err != nil {
+			return err
+		}
+	}
+	log.Printf("GDMP site %s up: control %s, data %s, catalog %s",
+		site.Name(), site.Addr(), site.DataAddr(), p.rcAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
+	return site.Close()
+}

@@ -1,0 +1,12 @@
+// Package gdmp is a from-scratch reproduction of "File and Object
+// Replication in Data Grids" (Stockinger, Samar, Allcock, Foster, Holtman,
+// Tierney; HPDC 2001): the GDMP replication system, its Globus substrates
+// (security, RPC, replica catalog, GridFTP), the Objectivity-style object
+// persistency layer, the Mass Storage System environment, and the object
+// replication service, plus the models that regenerate the paper's
+// evaluation (Figures 5 and 6 and the Section 5 and 6 analyses).
+//
+// The root package holds only documentation and the benchmark harness; the
+// implementation lives under internal/ (see DESIGN.md for the inventory)
+// and the runnable entry points under cmd/ and examples/.
+package gdmp

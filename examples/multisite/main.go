@@ -1,0 +1,155 @@
+// multisite runs the three-site Data Grid of the paper's Figure 3, with the
+// Mass Storage System environment of Section 4.4 behind the producer site:
+// fan-out replication to subscribers, staging of a tape-resident file on
+// demand, and failure recovery of a site that missed all notifications.
+//
+//	go run ./examples/multisite
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "gdmp-multisite-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	grid, err := testbed.NewGrid(dir)
+	if err != nil {
+		return err
+	}
+	defer grid.Close()
+
+	// CERN produces data and runs the MSS (disk pool backed by tape).
+	cern, err := grid.AddSite("cern.ch", testbed.SiteOptions{
+		WithMSS:      true,
+		MSSCapacity:  64 << 20,
+		MountLatency: 30 * time.Millisecond, // scaled-down tape mount
+		TapeRateMBps: 100,
+	})
+	if err != nil {
+		return err
+	}
+	// Two regional centers consume automatically.
+	caltech, err := grid.AddSite("caltech.edu", testbed.SiteOptions{AutoReplicate: true})
+	if err != nil {
+		return err
+	}
+	slac, err := grid.AddSite("slac.stanford.edu", testbed.SiteOptions{AutoReplicate: true})
+	if err != nil {
+		return err
+	}
+	// Section 4.4 first, while cern.ch is the only replica holder: publish
+	// a file, archive it to tape, drop the disk-pool copy, and watch a
+	// remote request trigger an explicit stage before the transfer.
+	fmt.Println("\n== mass storage: archive, evict, stage on demand ==")
+	if _, err := grid.WriteSiteFile("cern.ch", "runs/run-000.db", testbed.MakeData(1<<20, 99)); err != nil {
+		return err
+	}
+	cold, err := cern.Publish("runs/run-000.db", core.PublishOptions{Collection: "production-2001"})
+	if err != nil {
+		return err
+	}
+	if err := cern.ArchiveLocal(cold.LFN); err != nil {
+		return err
+	}
+	poolCopy := filepath.Join(cern.DataDir(), "runs", "run-000.db")
+	if err := os.Remove(poolCopy); err != nil {
+		return err
+	}
+	fmt.Println("run-000.db archived to tape, disk-pool copy dropped")
+
+	late, err := grid.AddSite("lyon.fr", testbed.SiteOptions{})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := late.Get(cold.LFN); err != nil {
+		return err
+	}
+	fmt.Printf("lyon.fr fetched run-000.db (stage + transfer) in %v\n",
+		time.Since(start).Round(time.Millisecond))
+	if _, err := os.Stat(poolCopy); err != nil {
+		return fmt.Errorf("stage did not restore the pool copy")
+	}
+	fmt.Println("the stage request restored cern.ch's disk-pool copy as a side effect")
+
+	for _, s := range []*core.Site{caltech, slac} {
+		if err := s.SubscribeTo(cern.Addr()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nproducer %s has subscribers: %v\n", cern.Name(), cern.Subscribers())
+
+	// Production: three files published into a collection, fanned out to
+	// both regional centers.
+	fmt.Println("\n== production run: publish 3 files ==")
+	var lfns []string
+	for i := 1; i <= 3; i++ {
+		rel := fmt.Sprintf("runs/run-%03d.db", i)
+		if _, err := grid.WriteSiteFile("cern.ch", rel, testbed.MakeData(1<<20, int64(i))); err != nil {
+			return err
+		}
+		pf, err := cern.Publish(rel, core.PublishOptions{Collection: "production-2001"})
+		if err != nil {
+			return err
+		}
+		lfns = append(lfns, pf.LFN)
+		fmt.Printf("  published %s\n", pf.LFN)
+	}
+	for _, lfn := range lfns {
+		if err := caltech.WaitForFile(lfn, 30*time.Second); err != nil {
+			return err
+		}
+		if err := slac.WaitForFile(lfn, 30*time.Second); err != nil {
+			return err
+		}
+	}
+	fmt.Println("all files replicated at caltech.edu and slac.stanford.edu")
+	members, _ := grid.Catalog.ListCollection("production-2001")
+	fmt.Printf("collection production-2001 holds %d files\n", len(members))
+
+	// Failure recovery: lyon.fr never subscribed, so it missed the
+	// production notifications; it reconciles against the producer's
+	// catalog.
+	fmt.Println("\n== failure recovery via the remote catalog ==")
+	n, err := late.Recover(cern.Addr())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lyon.fr recovered %d additional files\n", n)
+
+	// The whole Grid's view: four replicas of each file.
+	fmt.Println("\nreplica locations of run-002.db:")
+	locs, err := grid.Catalog.Locations(lfns[1])
+	if err != nil {
+		return err
+	}
+	for _, l := range locs {
+		fmt.Println("  ", l)
+	}
+
+	// A catalog query across everything, as an analysis tool would issue.
+	big, err := cern.Query("(&(site=cern.ch)(size>=1000000))")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncatalog query (&(site=cern.ch)(size>=1000000)) -> %d files\n", len(big))
+	return nil
+}

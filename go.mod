@@ -1,0 +1,3 @@
+module gdmp
+
+go 1.22

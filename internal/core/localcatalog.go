@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FileState describes where a local file currently is.
+type FileState string
+
+const (
+	// StateDisk means the file is in the disk pool, ready to serve.
+	StateDisk FileState = "disk"
+
+	// StateTape means the file was evicted to (or only exists in) the
+	// Mass Storage System and needs staging before a transfer.
+	StateTape FileState = "tape"
+)
+
+// FileInfo is one entry of a site's local file catalog.
+type FileInfo struct {
+	// LFN is the logical file name registered in the replica catalog.
+	LFN string
+
+	// Path is the site-relative path under the data directory; it is also
+	// the path component of the site's PFN for this file.
+	Path string
+
+	// Size in bytes.
+	Size int64
+
+	// CRC32 is the IEEE CRC of the content, hex-encoded.
+	CRC32 string
+
+	// FileType names the replication plug-in ("flat", "objectivity", ...).
+	FileType string
+
+	// State records disk/tape residency.
+	State FileState
+}
+
+// localCatalog is the site's own file table — the per-site catalog whose
+// transfer to other sites provides GDMP's failure recovery ("obtaining a
+// remote site's file catalog for failure recovery").
+type localCatalog struct {
+	mu    sync.RWMutex
+	byLFN map[string]FileInfo
+}
+
+func newLocalCatalog() *localCatalog {
+	return &localCatalog{byLFN: make(map[string]FileInfo)}
+}
+
+func (c *localCatalog) put(info FileInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byLFN[info.LFN] = info
+}
+
+func (c *localCatalog) get(lfn string) (FileInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	info, ok := c.byLFN[lfn]
+	return info, ok
+}
+
+func (c *localCatalog) remove(lfn string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.byLFN, lfn)
+}
+
+func (c *localCatalog) setState(lfn string, st FileState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.byLFN[lfn]
+	if !ok {
+		return fmt.Errorf("core: %q not in local catalog", lfn)
+	}
+	info.State = st
+	c.byLFN[lfn] = info
+	return nil
+}
+
+func (c *localCatalog) list() []FileInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]FileInfo, 0, len(c.byLFN))
+	for _, info := range c.byLFN {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LFN < out[j].LFN })
+	return out
+}
+
+func (c *localCatalog) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byLFN)
+}

@@ -1,0 +1,57 @@
+// Package core implements GDMP, the Grid Data Management Pilot of
+// Section 4: the file replication system whose producer-consumer model,
+// catalogs, data mover, and storage management the paper describes. A Site
+// bundles the paper's architecture of Figure 4 — Request Manager, Security
+// layer, Replica Catalog service, Data Mover service, and Storage Manager
+// service — behind the four client services of Section 4.1:
+//
+//   - subscribing to a remote site to be informed when new files appear;
+//   - publishing new files, making them visible to the Grid;
+//   - obtaining a remote site's file catalog for failure recovery;
+//   - transferring files from a remote location to the local site.
+//
+// Replication of a file runs the four-step pipeline of Section 4.1:
+// pre-processing (file-type specific), the actual transfer (GridFTP with
+// restart and CRC), post-processing (e.g. attaching an Objectivity database
+// to the local federation), and insertion into the replica catalog, which
+// makes the replica visible to the Grid.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PFN is a physical file name: where one replica physically lives and how
+// to reach it. The string form stored in the replica catalog is
+// "gridftp://host:port/path".
+type PFN struct {
+	// Addr is the GridFTP endpoint ("host:port").
+	Addr string
+
+	// Path is the server-relative file path.
+	Path string
+}
+
+const pfnScheme = "gridftp://"
+
+// String renders the catalog form.
+func (p PFN) String() string {
+	return pfnScheme + p.Addr + "/" + strings.TrimPrefix(p.Path, "/")
+}
+
+// ParsePFN parses "gridftp://host:port/path".
+func ParsePFN(s string) (PFN, error) {
+	if !strings.HasPrefix(s, pfnScheme) {
+		return PFN{}, fmt.Errorf("core: PFN %q does not start with %s", s, pfnScheme)
+	}
+	rest := s[len(pfnScheme):]
+	addr, path, ok := strings.Cut(rest, "/")
+	if !ok || addr == "" || path == "" {
+		return PFN{}, fmt.Errorf("core: malformed PFN %q", s)
+	}
+	if !strings.Contains(addr, ":") {
+		return PFN{}, fmt.Errorf("core: PFN %q lacks a port", s)
+	}
+	return PFN{Addr: addr, Path: path}, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gdmp/internal/replica"
+	"gdmp/internal/rpc"
+)
+
+// rcService is GDMP's Replica Catalog service: the paper's "higher-level
+// object-oriented wrapper to the underlying Globus Replica Catalog library"
+// adding search filters, sanity checks on input parameters, and automatic
+// creation of required entries (Section 4.2).
+type rcService struct {
+	client *replica.Client
+}
+
+// sanity checks applied to every name that enters the catalog.
+func checkCatalogName(kind, name string) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("core: empty %s name", kind)
+	}
+	if strings.ContainsAny(name, " \t\r\n") {
+		return fmt.Errorf("core: %s name %q contains whitespace", kind, name)
+	}
+	return nil
+}
+
+// isExists reports whether a remote error is the catalog's already-exists.
+func isExists(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "already exists")
+}
+
+// isNotFound reports whether a remote error is the catalog's not-found.
+func isNotFound(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "not found")
+}
+
+// publishFile registers a logical file (verifying global uniqueness) with
+// its metadata and first physical location, creating the collection if
+// needed — one GDMP publish step (Section 4.2: files and their
+// meta-information are added to the replica catalog).
+func (rc *rcService) publishFile(lfn string, attrs map[string]string, pfn PFN, collection string) error {
+	if err := checkCatalogName("logical file", lfn); err != nil {
+		return err
+	}
+	if err := rc.client.Register(lfn, attrs); err != nil {
+		if isExists(err) {
+			return fmt.Errorf("core: logical file name %q already taken (the catalog enforces a global namespace): %w", lfn, err)
+		}
+		return err
+	}
+	if err := rc.client.AddReplica(lfn, pfn.String()); err != nil {
+		return err
+	}
+	if collection != "" {
+		if err := rc.ensureCollection(collection); err != nil {
+			return err
+		}
+		if err := rc.client.AddToCollection(collection, lfn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addReplica records an additional physical location for an existing file.
+func (rc *rcService) addReplica(lfn string, pfn PFN) error {
+	err := rc.client.AddReplica(lfn, pfn.String())
+	if err != nil && isExists(err) {
+		return nil // idempotent: replica already recorded
+	}
+	return err
+}
+
+// removeReplica drops one physical location.
+func (rc *rcService) removeReplica(lfn string, pfn PFN) error {
+	return rc.client.RemoveReplica(lfn, pfn.String())
+}
+
+// ensureCollection creates the collection if it does not exist yet —
+// "automatic creation of required entries if they do not already exist".
+func (rc *rcService) ensureCollection(name string) error {
+	if err := checkCatalogName("collection", name); err != nil {
+		return err
+	}
+	err := rc.client.CreateCollection(name)
+	if err != nil && isExists(err) {
+		return nil
+	}
+	return err
+}
+
+// locations returns the parsed physical locations of a logical file.
+func (rc *rcService) locations(lfn string) ([]PFN, error) {
+	raw, err := rc.client.Locations(lfn)
+	if err != nil {
+		return nil, err
+	}
+	pfns := make([]PFN, 0, len(raw))
+	for _, s := range raw {
+		p, err := ParsePFN(s)
+		if err != nil {
+			// Tolerate foreign PFN schemes in a shared catalog; skip them.
+			continue
+		}
+		pfns = append(pfns, p)
+	}
+	return pfns, nil
+}
+
+// lookup fetches a file entry's attributes.
+func (rc *rcService) lookup(lfn string) (*replica.LogicalFile, error) {
+	return rc.client.Lookup(lfn)
+}
+
+// setAttrs merges attributes into an entry.
+func (rc *rcService) setAttrs(lfn string, attrs map[string]string) error {
+	return rc.client.SetAttrs(lfn, attrs)
+}
+
+// query runs a filter search, "to obtain the exact information that they
+// require" (Section 4.2).
+func (rc *rcService) query(filter string) ([]*replica.LogicalFile, error) {
+	return rc.client.Query(filter)
+}
+
+func (rc *rcService) close() error { return rc.client.Close() }

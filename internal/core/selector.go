@@ -1,0 +1,59 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// LowestLatencySelector returns a ReplicaSelector that probes each
+// candidate's GridFTP endpoint with a TCP connect and picks the fastest —
+// a first concrete cost function in the spirit of the replica-selection
+// future work the paper cites [VTF01]. dial defaults to net.Dial; probes
+// run concurrently and an unreachable candidate is ranked last.
+func LowestLatencySelector(dial func(network, addr string) (net.Conn, error)) ReplicaSelector {
+	if dial == nil {
+		dial = net.Dial
+	}
+	return func(lfn string, candidates []PFN) PFN {
+		if len(candidates) == 1 {
+			return candidates[0]
+		}
+		type probe struct {
+			idx int
+			rtt time.Duration
+			ok  bool
+		}
+		results := make([]probe, len(candidates))
+		var wg sync.WaitGroup
+		for i, c := range candidates {
+			wg.Add(1)
+			go func(i int, addr string) {
+				defer wg.Done()
+				start := time.Now()
+				conn, err := dial("tcp", addr)
+				rtt := time.Since(start)
+				if err != nil {
+					results[i] = probe{idx: i}
+					return
+				}
+				conn.Close()
+				results[i] = probe{idx: i, rtt: rtt, ok: true}
+			}(i, c.Addr)
+		}
+		wg.Wait()
+		best := -1
+		for _, p := range results {
+			if !p.ok {
+				continue
+			}
+			if best == -1 || p.rtt < results[best].rtt {
+				best = p.idx
+			}
+		}
+		if best == -1 {
+			return candidates[0] // all probes failed; let the transfer report
+		}
+		return candidates[best]
+	}
+}

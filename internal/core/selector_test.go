@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// slowDialer simulates per-address connect latency without real sockets.
+type slowDialer struct {
+	delays map[string]time.Duration // addr -> latency; missing = unreachable
+}
+
+func (d *slowDialer) dial(network, addr string) (net.Conn, error) {
+	delay, ok := d.delays[addr]
+	if !ok {
+		return nil, errors.New("unreachable")
+	}
+	time.Sleep(delay)
+	c, s := net.Pipe()
+	go func() { s.Close() }()
+	return c, nil
+}
+
+func TestLowestLatencySelectorPicksFastest(t *testing.T) {
+	d := &slowDialer{delays: map[string]time.Duration{
+		"slow.example:2811": 60 * time.Millisecond,
+		"fast.example:2811": 2 * time.Millisecond,
+		"mid.example:2811":  25 * time.Millisecond,
+	}}
+	sel := LowestLatencySelector(d.dial)
+	candidates := []PFN{
+		{Addr: "slow.example:2811", Path: "f"},
+		{Addr: "fast.example:2811", Path: "f"},
+		{Addr: "mid.example:2811", Path: "f"},
+	}
+	got := sel("lfn://x", candidates)
+	if got.Addr != "fast.example:2811" {
+		t.Fatalf("selected %s", got.Addr)
+	}
+}
+
+func TestLowestLatencySelectorSkipsDead(t *testing.T) {
+	d := &slowDialer{delays: map[string]time.Duration{
+		"alive.example:2811": 10 * time.Millisecond,
+	}}
+	sel := LowestLatencySelector(d.dial)
+	candidates := []PFN{
+		{Addr: "dead.example:2811", Path: "f"},
+		{Addr: "alive.example:2811", Path: "f"},
+	}
+	got := sel("lfn://x", candidates)
+	if got.Addr != "alive.example:2811" {
+		t.Fatalf("selected %s", got.Addr)
+	}
+}
+
+func TestLowestLatencySelectorAllDeadFallsBack(t *testing.T) {
+	d := &slowDialer{delays: map[string]time.Duration{}}
+	sel := LowestLatencySelector(d.dial)
+	candidates := []PFN{
+		{Addr: "a.example:1", Path: "f"},
+		{Addr: "b.example:1", Path: "f"},
+	}
+	got := sel("lfn://x", candidates)
+	if got != candidates[0] {
+		t.Fatalf("fallback = %+v", got)
+	}
+}
+
+func TestLowestLatencySelectorSingleCandidate(t *testing.T) {
+	probed := false
+	dial := func(network, addr string) (net.Conn, error) {
+		probed = true
+		return nil, errors.New("should not be called")
+	}
+	sel := LowestLatencySelector(dial)
+	only := []PFN{{Addr: "solo.example:1", Path: "f"}}
+	if got := sel("lfn://x", only); got != only[0] {
+		t.Fatalf("got %+v", got)
+	}
+	if probed {
+		t.Fatal("single candidate should not be probed")
+	}
+}

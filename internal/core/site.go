@@ -1,0 +1,1015 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gdmp/internal/gridftp"
+	"gdmp/internal/gsi"
+	"gdmp/internal/mss"
+	"gdmp/internal/objectstore"
+	"gdmp/internal/replica"
+	"gdmp/internal/rpc"
+)
+
+// Attribute names GDMP stores per logical file, beyond the generic ones in
+// package replica.
+const (
+	// attrPath is the site-relative path of the file (shared by every
+	// replica, so a destination recreates the same layout).
+	attrPath = "path"
+
+	// attrSite is the producing site's name.
+	attrSite = "site"
+
+	// ctlAttrPrefix maps a replica's GridFTP endpoint to the GDMP control
+	// endpoint of the site holding it, so consumers can issue staging
+	// requests before the disk-to-disk transfer (Section 4.4).
+	ctlAttrPrefix = "ctl."
+
+	// AttrDBID is the object-database id of an "objectivity" file,
+	// recorded at publish time (see ObjectivityType.PublishAttrs).
+	AttrDBID = "dbid"
+
+	// AttrAssocDBs is the comma-separated list of foreign database ids an
+	// "objectivity" file's objects reference: the Section 2.1 associated
+	// files that must travel together to preserve navigation.
+	AttrAssocDBs = "assocdbs"
+
+	// attrObjects is the object count of an "objectivity" file.
+	attrObjects = "objects"
+)
+
+// GDMP RPC methods (doubling as ACL operations).
+const (
+	MethodPing        = "gdmp.ping"
+	MethodSubscribe   = "gdmp.subscribe"
+	MethodUnsubscribe = "gdmp.unsubscribe"
+	MethodNotify      = "gdmp.notify"
+	MethodCatalog     = "gdmp.catalog"
+	MethodStage       = "gdmp.stage"
+)
+
+// Methods lists the GDMP server's RPC surface.
+var Methods = []string{
+	MethodPing, MethodSubscribe, MethodUnsubscribe,
+	MethodNotify, MethodCatalog, MethodStage, MethodStatus,
+}
+
+// AllowSiteUseAll grants every authenticated identity the full GDMP and
+// GridFTP surface on an ACL (collaboration-internal default).
+func AllowSiteUseAll(acl *gsi.ACL) {
+	for _, m := range Methods {
+		acl.AllowAll(gsi.Operation(m))
+	}
+	acl.AllowAll(gridftp.OpRead, gridftp.OpWrite)
+}
+
+// ReplicaSelector picks which physical replica to fetch. The paper leaves
+// "replica selection based on cost functions" as future work [VTF01]; the
+// hook is here, with FirstReplica as the default policy.
+type ReplicaSelector func(lfn string, candidates []PFN) PFN
+
+// FirstReplica picks the first candidate (catalog order).
+func FirstReplica(_ string, candidates []PFN) PFN { return candidates[0] }
+
+// Config assembles one GDMP site.
+type Config struct {
+	// Name identifies the site (e.g. "cern.ch").
+	Name string
+
+	// DataDir is the disk pool served by the site's GridFTP server. When
+	// MSS is set this should be the MSS pool directory.
+	DataDir string
+
+	// Cred is the site service credential; TrustRoots anchor peer chains.
+	Cred       *gsi.Credential
+	TrustRoots []*gsi.Certificate
+
+	// ACL authorizes GDMP and GridFTP operations. Required.
+	ACL *gsi.ACL
+
+	// ReplicaCatalog is the address of the central replica catalog server.
+	ReplicaCatalog string
+
+	// MSS optionally provides tape staging behind the disk pool.
+	MSS *mss.MSS
+
+	// Federation optionally provides the local object database catalog,
+	// required to replicate "objectivity" files.
+	Federation *objectstore.Federation
+
+	// AutoReplicate pulls files automatically upon notification (the
+	// consumer side of the producer-consumer model).
+	AutoReplicate bool
+
+	// Parallelism and BufferBytes tune the data mover's GridFTP sessions.
+	Parallelism int
+	BufferBytes int
+
+	// AutoTuneBuffers, when set and BufferBytes is zero, makes the data
+	// mover negotiate socket buffers per source using the paper's
+	// ping+bandwidth-probe+formula method (Section 6, [Tier00]); the
+	// learned value is cached per source endpoint.
+	AutoTuneBuffers bool
+
+	// TransferAttempts bounds restart attempts per file (default 3).
+	TransferAttempts int
+
+	// Select chooses among replicas (default FirstReplica).
+	Select ReplicaSelector
+
+	// DialFunc substitutes the transport dialer (WAN emulation).
+	DialFunc func(network, addr string) (net.Conn, error)
+
+	// ListenHost is the host to bind servers on (default 127.0.0.1).
+	ListenHost string
+
+	// GDMPListen and FTPListen optionally pin the two servers to fixed
+	// "host:port" addresses (daemons); empty picks ephemeral ports under
+	// ListenHost (tests and in-process grids).
+	GDMPListen string
+	FTPListen  string
+
+	// Logger receives diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// PublishedFile reports one file made visible to the Grid.
+type PublishedFile struct {
+	LFN  string
+	PFN  PFN
+	Size int64
+	CRC  string
+}
+
+// Site is a running GDMP node: GDMP server, GridFTP server, local catalog,
+// data mover, and storage manager, per Figure 4.
+type Site struct {
+	cfg    Config
+	logger *log.Logger
+
+	gdmpSrv *rpc.Server
+	ftpSrv  *gridftp.Server
+
+	gdmpLn net.Listener
+	ftpLn  net.Listener
+
+	rc    *rcService
+	local *localCatalog
+
+	federation *objectstore.Federation
+	storage    *mss.MSS
+
+	types *typeRegistry
+
+	subMu       sync.Mutex
+	subscribers map[string]string // site name -> gdmp addr
+
+	pendMu  sync.Mutex
+	pending []FileInfo // notified but not yet replicated
+
+	replMu    sync.Mutex
+	inFlight  map[string]chan struct{} // lfn -> done
+	closeOnce sync.Once
+
+	xferLog *transferLog
+
+	tuneMu   sync.Mutex
+	tunedBuf map[string]int // source data addr -> negotiated buffer
+}
+
+// NewSite builds and starts a site: both servers listen on ephemeral ports.
+func NewSite(cfg Config) (*Site, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: site Name must be set")
+	}
+	if cfg.DataDir == "" {
+		return nil, errors.New("core: site DataDir must be set")
+	}
+	if cfg.Cred == nil {
+		return nil, errors.New("core: site Cred must be set")
+	}
+	if cfg.ACL == nil {
+		return nil, errors.New("core: site ACL must be set")
+	}
+	if cfg.ReplicaCatalog == "" {
+		return nil, errors.New("core: site ReplicaCatalog address must be set")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 2
+	}
+	if cfg.TransferAttempts <= 0 {
+		cfg.TransferAttempts = 3
+	}
+	if cfg.Select == nil {
+		cfg.Select = FirstReplica
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+
+	dialOpts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
+	if cfg.DialFunc != nil {
+		dialOpts = append(dialOpts, rpc.WithDialer(cfg.DialFunc))
+	}
+	rcClient, err := replica.Dial(cfg.ReplicaCatalog, cfg.Cred, cfg.TrustRoots, dialOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: connect replica catalog: %w", err)
+	}
+
+	s := &Site{
+		cfg:         cfg,
+		logger:      cfg.Logger,
+		rc:          &rcService{client: rcClient},
+		local:       newLocalCatalog(),
+		federation:  cfg.Federation,
+		storage:     cfg.MSS,
+		types:       newTypeRegistry(),
+		subscribers: make(map[string]string),
+		inFlight:    make(map[string]chan struct{}),
+		xferLog:     newTransferLog(0),
+		tunedBuf:    make(map[string]int),
+	}
+	if s.federation != nil {
+		if err := s.types.register(ObjectivityType{}); err != nil {
+			rcClient.Close()
+			return nil, err
+		}
+	}
+
+	ftpSrv, err := gridftp.NewServer(gridftp.ServerConfig{
+		Root:       cfg.DataDir,
+		Cred:       cfg.Cred,
+		TrustRoots: cfg.TrustRoots,
+		ACL:        cfg.ACL,
+		Logger:     cfg.Logger,
+	})
+	if err != nil {
+		rcClient.Close()
+		return nil, err
+	}
+	ftpListen := cfg.FTPListen
+	if ftpListen == "" {
+		ftpListen = net.JoinHostPort(cfg.ListenHost, "0")
+	}
+	s.ftpSrv = ftpSrv
+	s.ftpLn, err = net.Listen("tcp", ftpListen)
+	if err != nil {
+		rcClient.Close()
+		return nil, err
+	}
+	go ftpSrv.Serve(s.ftpLn)
+
+	gdmpListen := cfg.GDMPListen
+	if gdmpListen == "" {
+		gdmpListen = net.JoinHostPort(cfg.ListenHost, "0")
+	}
+	s.gdmpSrv = rpc.NewServer(cfg.Cred, cfg.TrustRoots, cfg.ACL)
+	s.registerHandlers()
+	s.gdmpLn, err = net.Listen("tcp", gdmpListen)
+	if err != nil {
+		s.ftpSrv.Close()
+		rcClient.Close()
+		return nil, err
+	}
+	go s.gdmpSrv.Serve(s.gdmpLn)
+
+	return s, nil
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Addr returns the GDMP control endpoint.
+func (s *Site) Addr() string { return s.gdmpLn.Addr().String() }
+
+// DataAddr returns the GridFTP endpoint.
+func (s *Site) DataAddr() string { return s.ftpLn.Addr().String() }
+
+// DataDir returns the disk-pool directory.
+func (s *Site) DataDir() string { return s.cfg.DataDir }
+
+// Federation returns the site's object federation (may be nil).
+func (s *Site) Federation() *objectstore.Federation { return s.federation }
+
+// RegisterFileType adds a custom replication plug-in.
+func (s *Site) RegisterFileType(ft FileType) error { return s.types.register(ft) }
+
+// LocalFiles lists the site's local file catalog.
+func (s *Site) LocalFiles() []FileInfo { return s.local.list() }
+
+// HasFile reports whether the LFN is replicated locally.
+func (s *Site) HasFile(lfn string) bool {
+	_, ok := s.local.get(lfn)
+	return ok
+}
+
+// Query searches the central replica catalog with an LDAP-style filter.
+func (s *Site) Query(filter string) ([]*replica.LogicalFile, error) {
+	return s.rc.query(filter)
+}
+
+// Close shuts the site down.
+func (s *Site) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		e1 := s.gdmpSrv.Close()
+		e2 := s.ftpSrv.Close()
+		e3 := s.rc.close()
+		if s.federation != nil {
+			s.federation.Close()
+		}
+		for _, e := range []error{e1, e2, e3} {
+			if e != nil && err == nil {
+				err = e
+			}
+		}
+	})
+	return err
+}
+
+// resolveLocal maps a site-relative path into the data directory.
+func (s *Site) resolveLocal(rel string) (string, error) {
+	clean := path.Clean("/" + strings.ReplaceAll(rel, "\\", "/"))
+	if clean == "/" {
+		return "", errors.New("core: empty path")
+	}
+	return filepath.Join(s.cfg.DataDir, filepath.FromSlash(clean)), nil
+}
+
+// pfnFor builds this site's PFN for a site-relative path.
+func (s *Site) pfnFor(rel string) PFN {
+	return PFN{Addr: s.DataAddr(), Path: strings.TrimPrefix(path.Clean("/"+rel), "/")}
+}
+
+// --- publish ----------------------------------------------------------------
+
+// PublishOptions tunes Publish.
+type PublishOptions struct {
+	// LFN overrides the generated logical file name.
+	LFN string
+
+	// FileType selects the replication plug-in (default "flat").
+	FileType string
+
+	// Collection, when set, groups the file in the replica catalog.
+	Collection string
+}
+
+// Publish makes a locally produced file visible to the Grid (Section 4.2):
+// it is added to the replica catalog with its meta-information, and all
+// subscribers are notified of its existence.
+func (s *Site) Publish(relPath string, opts PublishOptions) (PublishedFile, error) {
+	return s.publishCore(relPath, opts, true)
+}
+
+// publishCore registers a file and optionally notifies subscribers.
+func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (PublishedFile, error) {
+	localPath, err := s.resolveLocal(relPath)
+	if err != nil {
+		return PublishedFile{}, err
+	}
+	info, err := os.Stat(localPath)
+	if err != nil {
+		return PublishedFile{}, fmt.Errorf("core: publish %s: %w", relPath, err)
+	}
+	if info.IsDir() {
+		return PublishedFile{}, fmt.Errorf("core: publish %s: is a directory", relPath)
+	}
+	crc, err := gridftp.CRC32File(localPath)
+	if err != nil {
+		return PublishedFile{}, err
+	}
+	crcHex := fmt.Sprintf("%08x", crc)
+
+	ftName := opts.FileType
+	if ftName == "" {
+		ftName = FlatType{}.Name()
+	}
+	ft, err := s.types.lookup(ftName)
+	if err != nil {
+		return PublishedFile{}, err
+	}
+	var typeAttrs map[string]string
+	if ap, ok := ft.(AttrProvider); ok {
+		typeAttrs, err = ap.PublishAttrs(localPath)
+		if err != nil {
+			return PublishedFile{}, err
+		}
+	}
+
+	lfn := opts.LFN
+	if lfn == "" {
+		lfn = "lfn://" + s.cfg.Name + "/" + strings.TrimPrefix(path.Clean("/"+relPath), "/")
+	}
+	pfn := s.pfnFor(relPath)
+	attrs := map[string]string{
+		replica.AttrSize:         strconv.FormatInt(info.Size(), 10),
+		replica.AttrModified:     replica.Timestamp(info.ModTime()),
+		replica.AttrCRC:          crcHex,
+		replica.AttrFileType:     ftName,
+		replica.AttrOwner:        s.cfg.Cred.Identity().String(),
+		attrPath:                 pfn.Path,
+		attrSite:                 s.cfg.Name,
+		ctlAttrPrefix + pfn.Addr: s.Addr(),
+	}
+	for k, v := range typeAttrs {
+		attrs[k] = v
+	}
+	if err := s.rc.publishFile(lfn, attrs, pfn, opts.Collection); err != nil {
+		return PublishedFile{}, err
+	}
+
+	fi := FileInfo{
+		LFN: lfn, Path: pfn.Path, Size: info.Size(),
+		CRC32: crcHex, FileType: ftName, State: StateDisk,
+	}
+	s.local.put(fi)
+	if s.storage != nil {
+		if err := s.storage.AddToPool(pfn.Path); err != nil {
+			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, pfn.Path, err)
+		}
+	}
+
+	if notify {
+		s.notifySubscribers([]FileInfo{fi})
+	}
+	return PublishedFile{LFN: lfn, PFN: pfn, Size: info.Size(), CRC: crcHex}, nil
+}
+
+// notifySubscribers sends the publication notice to every subscriber,
+// best-effort (a dead subscriber recovers later via the catalog transfer).
+func (s *Site) notifySubscribers(files []FileInfo) {
+	s.subMu.Lock()
+	subs := make(map[string]string, len(s.subscribers))
+	for k, v := range s.subscribers {
+		subs[k] = v
+	}
+	s.subMu.Unlock()
+	for name, addr := range subs {
+		if err := s.sendNotify(addr, files); err != nil {
+			s.logger.Printf("gdmp[%s]: notify %s (%s): %v", s.cfg.Name, name, addr, err)
+		}
+	}
+}
+
+// --- subscribe ----------------------------------------------------------------
+
+// SubscribeTo registers this site as a consumer of another site's
+// publications (Section 4.1's first client service).
+func (s *Site) SubscribeTo(remoteAddr string) error {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var e rpc.Encoder
+	e.String(s.cfg.Name)
+	e.String(s.Addr())
+	_, err = cl.Call(MethodSubscribe, &e)
+	return err
+}
+
+// UnsubscribeFrom removes this site from a producer's subscriber list.
+func (s *Site) UnsubscribeFrom(remoteAddr string) error {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var e rpc.Encoder
+	e.String(s.cfg.Name)
+	_, err = cl.Call(MethodUnsubscribe, &e)
+	return err
+}
+
+// Subscribers lists the currently subscribed consumer sites.
+func (s *Site) Subscribers() []string {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	out := make([]string, 0, len(s.subscribers))
+	for name := range s.subscribers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// --- remote catalog / ping -----------------------------------------------------
+
+// RemoteCatalog fetches another site's local file catalog — GDMP's failure
+// recovery path: a site that missed notifications reconciles against the
+// producer's catalog.
+func (s *Site) RemoteCatalog(remoteAddr string) ([]FileInfo, error) {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	d, err := cl.Call(MethodCatalog, nil)
+	if err != nil {
+		return nil, err
+	}
+	files := decodeFileInfos(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// Ping checks liveness and returns the remote site's name.
+func (s *Site) Ping(remoteAddr string) (string, error) {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return "", err
+	}
+	defer cl.Close()
+	d, err := cl.Call(MethodPing, nil)
+	if err != nil {
+		return "", err
+	}
+	name := d.String()
+	return name, d.Finish()
+}
+
+// Recover pulls every file the remote site has that we lack, using its
+// catalog instead of notifications (failure recovery after downtime).
+func (s *Site) Recover(remoteAddr string) (fetched int, err error) {
+	files, err := s.RemoteCatalog(remoteAddr)
+	if err != nil {
+		return 0, err
+	}
+	for _, fi := range files {
+		if s.HasFile(fi.LFN) {
+			continue
+		}
+		if err := s.Get(fi.LFN); err != nil {
+			return fetched, fmt.Errorf("core: recover %s: %w", fi.LFN, err)
+		}
+		fetched++
+	}
+	return fetched, nil
+}
+
+func (s *Site) dialGDMP(addr string) (*rpc.Client, error) {
+	opts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
+	if s.cfg.DialFunc != nil {
+		opts = append(opts, rpc.WithDialer(s.cfg.DialFunc))
+	}
+	return rpc.Dial(addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
+}
+
+// --- get (replication) ----------------------------------------------------------
+
+// Get replicates a logical file to this site, running the full pipeline of
+// Section 4.1: pre-processing, secure restartable transfer with CRC
+// verification, post-processing, and insertion into the replica catalog.
+// Concurrent Gets of the same LFN coalesce.
+func (s *Site) Get(lfn string) error {
+	if s.HasFile(lfn) {
+		return nil
+	}
+	s.replMu.Lock()
+	if ch, busy := s.inFlight[lfn]; busy {
+		s.replMu.Unlock()
+		<-ch
+		if s.HasFile(lfn) {
+			return nil
+		}
+		return fmt.Errorf("core: concurrent replication of %s failed", lfn)
+	}
+	ch := make(chan struct{})
+	s.inFlight[lfn] = ch
+	s.replMu.Unlock()
+	defer func() {
+		s.replMu.Lock()
+		delete(s.inFlight, lfn)
+		close(ch)
+		s.replMu.Unlock()
+	}()
+	return s.replicate(lfn)
+}
+
+func (s *Site) replicate(lfn string) error {
+	entry, err := s.rc.lookup(lfn)
+	if err != nil {
+		return fmt.Errorf("core: lookup %s: %w", lfn, err)
+	}
+	candidates, err := s.rc.locations(lfn)
+	if err != nil {
+		return err
+	}
+	// Never fetch from ourselves.
+	usable := candidates[:0:0]
+	for _, p := range candidates {
+		if p.Addr != s.DataAddr() {
+			usable = append(usable, p)
+		}
+	}
+	if len(usable) == 0 {
+		return fmt.Errorf("core: no remote replica of %s", lfn)
+	}
+	src := s.cfg.Select(lfn, usable)
+
+	ftName := entry.Attrs[replica.AttrFileType]
+	if ftName == "" {
+		ftName = FlatType{}.Name()
+	}
+	ft, err := s.types.lookup(ftName)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: pre-processing.
+	if err := ft.PreProcess(s, lfn); err != nil {
+		return fmt.Errorf("core: pre-process %s: %w", lfn, err)
+	}
+
+	// Step 2: the actual file transfer (staged at the source if needed).
+	rel := entry.Attrs[attrPath]
+	if rel == "" {
+		rel = src.Path
+	}
+	localPath, err := s.resolveLocal(rel)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(localPath), 0o755); err != nil {
+		return err
+	}
+	size, _ := entry.Size()
+	if s.storage != nil {
+		if release, err := s.storage.Reserve(size); err != nil {
+			return fmt.Errorf("core: reserve %d bytes for %s: %w", size, lfn, err)
+		} else {
+			defer release()
+		}
+	}
+	if ctl := entry.Attrs[ctlAttrPrefix+src.Addr]; ctl != "" {
+		if err := s.requestStage(ctl, lfn); err != nil {
+			err = fmt.Errorf("core: stage %s at source: %w", lfn, err)
+			s.xferLog.add(TransferRecord{
+				LFN: lfn, Source: src.Addr, When: time.Now(),
+				Failed: true, Error: err.Error(),
+			})
+			return err
+		}
+	}
+	stats, err := s.fetch(src, localPath)
+	record := TransferRecord{
+		LFN: lfn, Source: src.Addr, Bytes: stats.Bytes,
+		Elapsed: stats.Elapsed, Attempts: stats.Attempts,
+		RateMbps: stats.RateMbps(), When: time.Now(),
+	}
+	if err != nil {
+		record.Failed = true
+		record.Error = err.Error()
+		s.xferLog.add(record)
+		return fmt.Errorf("core: transfer %s: %w", lfn, err)
+	}
+	s.xferLog.add(record)
+	s.logger.Printf("gdmp[%s]: replicated %s (%d bytes, %d attempts, %.2f Mbps)",
+		s.cfg.Name, lfn, stats.Bytes, stats.Attempts, stats.RateMbps())
+
+	// Verify against the catalog's published CRC, not only the source's
+	// current content (guards against catalog/file drift).
+	if want := entry.Attrs[replica.AttrCRC]; want != "" {
+		got, err := gridftp.CRC32File(localPath)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprintf("%08x", got) != want {
+			os.Remove(localPath)
+			return fmt.Errorf("%w: %s catalog=%s local=%08x", gridftp.ErrChecksum, lfn, want, got)
+		}
+	}
+
+	// Step 3: post-processing (e.g. attach to the federation).
+	if err := ft.PostProcess(s, lfn, localPath); err != nil {
+		return fmt.Errorf("core: post-process %s: %w", lfn, err)
+	}
+
+	// Step 4: insert the new replica into the replica catalog, making it
+	// visible to the Grid.
+	myPFN := s.pfnFor(rel)
+	if err := s.rc.addReplica(lfn, myPFN); err != nil {
+		return err
+	}
+	if err := s.rc.setAttrs(lfn, map[string]string{ctlAttrPrefix + myPFN.Addr: s.Addr()}); err != nil {
+		return err
+	}
+
+	info, err := os.Stat(localPath)
+	if err != nil {
+		return err
+	}
+	s.local.put(FileInfo{
+		LFN: lfn, Path: myPFN.Path, Size: info.Size(),
+		CRC32: entry.Attrs[replica.AttrCRC], FileType: ftName, State: StateDisk,
+	})
+	if s.storage != nil {
+		if err := s.storage.AddToPool(myPFN.Path); err != nil {
+			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
+		}
+	}
+	return nil
+}
+
+// fetch is the Data Mover service: a secure, restartable, CRC-verified
+// GridFTP retrieval (Section 4.3), with optional per-source buffer
+// auto-tuning.
+func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
+	connect := func() (*gridftp.Client, error) {
+		opts := []gridftp.ClientOption{
+			gridftp.WithParallelism(s.cfg.Parallelism),
+			gridftp.WithTimeout(30 * time.Second),
+		}
+		if buf := s.bufferFor(src.Addr); buf > 0 {
+			opts = append(opts, gridftp.WithBufferSize(buf))
+		}
+		if s.cfg.DialFunc != nil {
+			opts = append(opts, gridftp.WithDialFunc(s.cfg.DialFunc))
+		}
+		cl, err := gridftp.Dial(src.Addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.AutoTuneBuffers && s.cfg.BufferBytes == 0 && s.bufferFor(src.Addr) == 0 {
+			// First contact with this source: run the negotiation once
+			// and remember the outcome (the paper computes the optimum
+			// per link, not per transfer).
+			if buf, err := cl.AutoTune(src.Path, 512*1024); err == nil {
+				s.tuneMu.Lock()
+				s.tunedBuf[src.Addr] = buf
+				s.tuneMu.Unlock()
+				s.logger.Printf("gdmp[%s]: auto-tuned buffer for %s: %d bytes",
+					s.cfg.Name, src.Addr, buf)
+			} else {
+				s.logger.Printf("gdmp[%s]: auto-tune against %s failed: %v",
+					s.cfg.Name, src.Addr, err)
+			}
+		}
+		return cl, nil
+	}
+	return gridftp.ReliableGetFile(connect, src.Path, localPath, s.cfg.TransferAttempts)
+}
+
+// bufferFor returns the socket buffer to use against a source: the static
+// configuration wins; otherwise a previously negotiated value, if any.
+func (s *Site) bufferFor(addr string) int {
+	if s.cfg.BufferBytes > 0 {
+		return s.cfg.BufferBytes
+	}
+	s.tuneMu.Lock()
+	defer s.tuneMu.Unlock()
+	return s.tunedBuf[addr]
+}
+
+// requestStage asks the source site's GDMP server to bring the file onto
+// disk before the disk-to-disk transfer (Section 4.4).
+func (s *Site) requestStage(ctlAddr, lfn string) error {
+	cl, err := s.dialGDMP(ctlAddr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var e rpc.Encoder
+	e.String(lfn)
+	_, err = cl.Call(MethodStage, &e)
+	return err
+}
+
+// --- notifications (consumer side) ---------------------------------------------
+
+// Pending lists notifications received but not yet replicated.
+func (s *Site) Pending() []FileInfo {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	return append([]FileInfo(nil), s.pending...)
+}
+
+// ProcessPending replicates every pending notification synchronously and
+// returns how many files were fetched.
+func (s *Site) ProcessPending() (int, error) {
+	s.pendMu.Lock()
+	work := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	n := 0
+	for _, fi := range work {
+		if s.HasFile(fi.LFN) {
+			continue
+		}
+		if err := s.Get(fi.LFN); err != nil {
+			// Put the remainder back for a later retry.
+			s.pendMu.Lock()
+			s.pending = append(s.pending, fi)
+			s.pendMu.Unlock()
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// WaitForFile blocks until the LFN is replicated locally or the timeout
+// expires (used with AutoReplicate).
+func (s *Site) WaitForFile(lfn string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.HasFile(lfn) {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("core: %s did not arrive within %v", lfn, timeout)
+}
+
+// sendNotify delivers a notification to one subscriber.
+func (s *Site) sendNotify(addr string, files []FileInfo) error {
+	cl, err := s.dialGDMP(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var e rpc.Encoder
+	e.String(s.cfg.Name)
+	encodeFileInfos(&e, files)
+	_, err = cl.Call(MethodNotify, &e)
+	return err
+}
+
+// --- server handlers -------------------------------------------------------------
+
+func encodeFileInfos(e *rpc.Encoder, files []FileInfo) {
+	e.Uint32(uint32(len(files)))
+	for _, f := range files {
+		e.String(f.LFN)
+		e.String(f.Path)
+		e.Int64(f.Size)
+		e.String(f.CRC32)
+		e.String(f.FileType)
+		e.String(string(f.State))
+	}
+}
+
+func decodeFileInfos(d *rpc.Decoder) []FileInfo {
+	n := d.Uint32()
+	out := make([]FileInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		fi := FileInfo{
+			LFN:      d.String(),
+			Path:     d.String(),
+			Size:     d.Int64(),
+			CRC32:    d.String(),
+			FileType: d.String(),
+			State:    FileState(d.String()),
+		}
+		if d.Err() != nil {
+			return nil
+		}
+		out = append(out, fi)
+	}
+	return out
+}
+
+func (s *Site) registerHandlers() {
+	s.gdmpSrv.Handle(MethodPing, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		resp.String(s.cfg.Name)
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodSubscribe, func(peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		addr := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		if name == "" || addr == "" {
+			return errors.New("subscribe wants site name and address")
+		}
+		s.subMu.Lock()
+		s.subscribers[name] = addr
+		s.subMu.Unlock()
+		s.logger.Printf("gdmp[%s]: %s subscribed as %s (%s)", s.cfg.Name, peer.Base, name, addr)
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodUnsubscribe, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		s.subMu.Lock()
+		delete(s.subscribers, name)
+		s.subMu.Unlock()
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodNotify, func(peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		from := args.String()
+		files := decodeFileInfos(args)
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		s.logger.Printf("gdmp[%s]: notified by %s of %d files", s.cfg.Name, from, len(files))
+		fresh := files[:0:0]
+		for _, fi := range files {
+			if !s.HasFile(fi.LFN) {
+				fresh = append(fresh, fi)
+			}
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		if s.cfg.AutoReplicate {
+			for _, fi := range fresh {
+				go func(lfn string) {
+					if err := s.Get(lfn); err != nil {
+						s.logger.Printf("gdmp[%s]: auto-replicate %s: %v", s.cfg.Name, lfn, err)
+						s.pendMu.Lock()
+						s.pending = append(s.pending, FileInfo{LFN: lfn})
+						s.pendMu.Unlock()
+					}
+				}(fi.LFN)
+			}
+			return nil
+		}
+		s.pendMu.Lock()
+		s.pending = append(s.pending, fresh...)
+		s.pendMu.Unlock()
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodCatalog, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		encodeFileInfos(resp, s.local.list())
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodStage, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.stageLocal(lfn)
+	})
+	s.registerStatusHandler()
+}
+
+// stageLocal ensures a published file is present in the disk pool, staging
+// from the MSS when necessary.
+func (s *Site) stageLocal(lfn string) error {
+	fi, ok := s.local.get(lfn)
+	if !ok {
+		return fmt.Errorf("core: %q not published at %s", lfn, s.cfg.Name)
+	}
+	localPath, err := s.resolveLocal(fi.Path)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(localPath); err == nil {
+		return s.local.setState(lfn, StateDisk)
+	}
+	if s.storage == nil {
+		return fmt.Errorf("core: %q missing on disk and no MSS configured", lfn)
+	}
+	if _, err := s.storage.Stage(fi.Path); err != nil {
+		return err
+	}
+	// The transfer itself re-reads from disk; unpin right away and rely on
+	// the pool's recency to keep the file until the transfer completes.
+	s.storage.Release(fi.Path)
+	return s.local.setState(lfn, StateDisk)
+}
+
+// ArchiveLocal pushes a published file's bytes to tape and (optionally)
+// lets the pool evict the disk copy later; the catalog still lists the disk
+// location, and a stage request restores it on demand (Section 4.4's
+// default-disk-location convention).
+func (s *Site) ArchiveLocal(lfn string) error {
+	fi, ok := s.local.get(lfn)
+	if !ok {
+		return fmt.Errorf("core: %q not published at %s", lfn, s.cfg.Name)
+	}
+	if s.storage == nil {
+		return errors.New("core: no MSS configured")
+	}
+	return s.storage.Archive(fi.Path)
+}

@@ -1,0 +1,510 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/gsi"
+	"gdmp/internal/objectstore"
+	"gdmp/internal/testbed"
+)
+
+func TestMain(m *testing.M) {
+	gsi.KeyBits = 1024
+	m.Run()
+}
+
+// newGrid builds a grid with cleanup registered.
+func newGrid(t *testing.T) *testbed.Grid {
+	t.Helper()
+	g, err := testbed.NewGrid(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func addSite(t *testing.T, g *testbed.Grid, name string, opts testbed.SiteOptions) *core.Site {
+	t.Helper()
+	s, err := g.AddSite(name, opts)
+	if err != nil {
+		t.Fatalf("AddSite(%s): %v", name, err)
+	}
+	return s
+}
+
+func publish(t *testing.T, g *testbed.Grid, site *core.Site, rel string, data []byte, opts core.PublishOptions) core.PublishedFile {
+	t.Helper()
+	if _, err := g.WriteSiteFile(site.Name(), rel, data); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := site.Publish(rel, opts)
+	if err != nil {
+		t.Fatalf("Publish(%s): %v", rel, err)
+	}
+	return pf
+}
+
+func TestPublishRegistersEverything(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	data := testbed.MakeData(50_000, 1)
+	pf := publish(t, g, cern, "runs/run42.db", data, core.PublishOptions{Collection: "run-2001"})
+
+	if pf.LFN != "lfn://cern.ch/runs/run42.db" {
+		t.Fatalf("LFN = %q", pf.LFN)
+	}
+	if pf.Size != 50_000 {
+		t.Fatalf("Size = %d", pf.Size)
+	}
+	// Central catalog has the entry, attrs, replica, and collection.
+	entry, err := g.Catalog.Lookup(pf.LFN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Attrs["size"] != "50000" || entry.Attrs["filetype"] != "flat" || entry.Attrs["site"] != "cern.ch" {
+		t.Fatalf("attrs = %v", entry.Attrs)
+	}
+	locs, err := g.Catalog.Locations(pf.LFN)
+	if err != nil || len(locs) != 1 {
+		t.Fatalf("Locations = %v, %v", locs, err)
+	}
+	members, err := g.Catalog.ListCollection("run-2001")
+	if err != nil || len(members) != 1 {
+		t.Fatalf("collection members = %v, %v", members, err)
+	}
+	// Local catalog sees it on disk.
+	if !cern.HasFile(pf.LFN) {
+		t.Fatal("publisher's local catalog missing the file")
+	}
+}
+
+func TestPublishEnforcesGlobalNamespace(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	data := testbed.MakeData(100, 2)
+	publish(t, g, cern, "a.db", data, core.PublishOptions{LFN: "lfn://x/dup"})
+	if _, err := g.WriteSiteFile("cern.ch", "b.db", data); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cern.Publish("b.db", core.PublishOptions{LFN: "lfn://x/dup"})
+	if err == nil || !strings.Contains(err.Error(), "already taken") {
+		t.Fatalf("duplicate LFN: %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	if _, err := cern.Publish("missing.db", core.PublishOptions{}); err == nil {
+		t.Error("publishing a missing file accepted")
+	}
+	if _, err := g.WriteSiteFile("cern.ch", "f.db", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cern.Publish("f.db", core.PublishOptions{FileType: "no-such-type"}); !errors.Is(err, core.ErrUnknownFileType) {
+		t.Errorf("unknown file type: %v", err)
+	}
+	if _, err := cern.Publish("", core.PublishOptions{}); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestPullReplication(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{Parallelism: 3})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{Parallelism: 3})
+	data := testbed.MakeData(800_000, 3)
+	pf := publish(t, g, cern, "runs/big.db", data, core.PublishOptions{})
+
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(anl.DataDir(), "runs", "big.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("replicated content mismatch")
+	}
+	// The new replica is visible to the Grid.
+	locs, err := g.Catalog.Locations(pf.LFN)
+	if err != nil || len(locs) != 2 {
+		t.Fatalf("Locations after replication = %v, %v", locs, err)
+	}
+	// Idempotent: a second Get is a no-op.
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("second Get: %v", err)
+	}
+	// Unknown LFN fails.
+	if err := anl.Get("lfn://nowhere/ghost"); err == nil {
+		t.Fatal("Get of unknown LFN accepted")
+	}
+}
+
+func TestSubscribeNotifyProcessPending(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+
+	if err := anl.SubscribeTo(cern.Addr()); err != nil {
+		t.Fatalf("SubscribeTo: %v", err)
+	}
+	subs := cern.Subscribers()
+	if len(subs) != 1 || subs[0] != "anl.gov" {
+		t.Fatalf("Subscribers = %v", subs)
+	}
+
+	data := testbed.MakeData(200_000, 4)
+	pf := publish(t, g, cern, "new.db", data, core.PublishOptions{})
+
+	// The consumer was notified (AutoReplicate off -> pending).
+	waitFor(t, func() bool { return len(anl.Pending()) == 1 }, "notification to arrive")
+	if anl.HasFile(pf.LFN) {
+		t.Fatal("file replicated before ProcessPending")
+	}
+	n, err := anl.ProcessPending()
+	if err != nil {
+		t.Fatalf("ProcessPending: %v", err)
+	}
+	if n != 1 || !anl.HasFile(pf.LFN) {
+		t.Fatalf("ProcessPending fetched %d", n)
+	}
+	// Unsubscribe stops notifications.
+	if err := anl.UnsubscribeFrom(cern.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	publish(t, g, cern, "after-unsub.db", testbed.MakeData(100, 5), core.PublishOptions{})
+	time.Sleep(50 * time.Millisecond)
+	if len(anl.Pending()) != 0 {
+		t.Fatalf("pending after unsubscribe = %v", anl.Pending())
+	}
+}
+
+func TestAutoReplicate(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{AutoReplicate: true})
+	if err := anl.SubscribeTo(cern.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	data := testbed.MakeData(300_000, 6)
+	pf := publish(t, g, cern, "auto.db", data, core.PublishOptions{})
+	if err := anl.WaitForFile(pf.LFN, 5*time.Second); err != nil {
+		t.Fatalf("auto replication: %v", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(anl.DataDir(), "auto.db"))
+	if !bytes.Equal(got, data) {
+		t.Fatal("auto-replicated content mismatch")
+	}
+}
+
+func TestFanOutToMultipleSubscribers(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	consumers := make([]*core.Site, 3)
+	for i := range consumers {
+		consumers[i] = addSite(t, g, fmt.Sprintf("site%d.edu", i), testbed.SiteOptions{AutoReplicate: true})
+		if err := consumers[i].SubscribeTo(cern.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf := publish(t, g, cern, "fanout.db", testbed.MakeData(150_000, 7), core.PublishOptions{})
+	for _, c := range consumers {
+		if err := c.WaitForFile(pf.LFN, 5*time.Second); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+	locs, _ := g.Catalog.Locations(pf.LFN)
+	if len(locs) != 4 {
+		t.Fatalf("Locations = %v", locs)
+	}
+}
+
+func TestFailureRecoveryViaRemoteCatalog(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	// Files published while the consumer site did not exist.
+	var lfns []string
+	for i := 0; i < 3; i++ {
+		pf := publish(t, g, cern, fmt.Sprintf("batch/f%d.db", i), testbed.MakeData(10_000+i, int64(10+i)), core.PublishOptions{})
+		lfns = append(lfns, pf.LFN)
+	}
+	late := addSite(t, g, "late.org", testbed.SiteOptions{})
+	catalog, err := late.RemoteCatalog(cern.Addr())
+	if err != nil {
+		t.Fatalf("RemoteCatalog: %v", err)
+	}
+	if len(catalog) != 3 {
+		t.Fatalf("remote catalog = %v", catalog)
+	}
+	n, err := late.Recover(cern.Addr())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("Recover fetched %d", n)
+	}
+	for _, lfn := range lfns {
+		if !late.HasFile(lfn) {
+			t.Fatalf("%s missing after recovery", lfn)
+		}
+	}
+	// Recover is idempotent.
+	if n, err := late.Recover(cern.Addr()); err != nil || n != 0 {
+		t.Fatalf("second Recover = %d, %v", n, err)
+	}
+}
+
+func TestPing(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+	name, err := anl.Ping(cern.Addr())
+	if err != nil || name != "cern.ch" {
+		t.Fatalf("Ping = %q, %v", name, err)
+	}
+}
+
+func TestObjectivityReplicationAttachesFederation(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{WithFederation: true})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{WithFederation: true})
+
+	// Build a database file at the producer and attach it locally.
+	dbPath := filepath.Join(cern.DataDir(), "events1.odb")
+	w, err := objectstore.Create(dbPath, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 10; i++ {
+		if err := w.Add(&objectstore.Object{
+			OID: objectstore.OID{Slot: i}, Type: "raw", Event: uint64(i),
+			Data: testbed.MakeData(500, int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cern.Federation().Attach(dbPath); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err := cern.Publish("events1.odb", core.PublishOptions{FileType: "objectivity"})
+	if err != nil {
+		t.Fatalf("Publish(objectivity): %v", err)
+	}
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("Get(objectivity): %v", err)
+	}
+	// Post-processing attached the database to the consumer's federation.
+	if !anl.Federation().Attached(101) {
+		t.Fatal("database not attached at destination")
+	}
+	obj, err := anl.Federation().Lookup(objectstore.OID{DB: 101, Slot: 3})
+	if err != nil {
+		t.Fatalf("Lookup through destination federation: %v", err)
+	}
+	if obj.Event != 3 {
+		t.Fatalf("object = %+v", obj)
+	}
+}
+
+func TestObjectivityRequiresFederation(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{WithFederation: true})
+	plain := addSite(t, g, "plain.org", testbed.SiteOptions{})
+
+	dbPath := filepath.Join(cern.DataDir(), "ev.odb")
+	w, _ := objectstore.Create(dbPath, 7)
+	w.Add(&objectstore.Object{OID: objectstore.OID{Slot: 1}, Type: "raw", Data: []byte("x")})
+	w.Close()
+	cern.Federation().Attach(dbPath)
+	pf, err := cern.Publish("ev.odb", core.PublishOptions{FileType: "objectivity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A site without a federation cannot even pre-process the type.
+	if err := plain.Get(pf.LFN); err == nil {
+		t.Fatal("objectivity replication without federation accepted")
+	}
+}
+
+func TestMSSStagingOnDemand(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{WithMSS: true, MountLatency: 10 * time.Millisecond})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+
+	data := testbed.MakeData(120_000, 20)
+	pf := publish(t, g, cern, "cold.db", data, core.PublishOptions{})
+
+	// Archive to tape and drop the disk copy: the file is now tape-only,
+	// but the catalog still records its disk location.
+	if err := cern.ArchiveLocal(pf.LFN); err != nil {
+		t.Fatalf("ArchiveLocal: %v", err)
+	}
+	poolPath := filepath.Join(cern.DataDir(), "cold.db")
+	if err := os.Remove(poolPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// The consumer's Get triggers a stage request at the source before the
+	// disk-to-disk transfer.
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("Get with staging: %v", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(anl.DataDir(), "cold.db"))
+	if !bytes.Equal(got, data) {
+		t.Fatal("staged content mismatch")
+	}
+	// The source's pool copy is back (stage side effect).
+	if _, err := os.Stat(poolPath); err != nil {
+		t.Fatal("source pool copy not restored by staging")
+	}
+}
+
+func TestReplicaSelectorFallsBackFromDeadReplica(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	// The selector probes candidates; the dead one loses.
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{
+		Select: core.LowestLatencySelector(nil),
+	})
+	data := testbed.MakeData(60_000, 21)
+	pf := publish(t, g, cern, "pick.db", data, core.PublishOptions{})
+
+	// Register a bogus replica that sorts before the real one.
+	if err := g.Catalog.AddReplica(pf.LFN, "gridftp://127.0.0.1:1/pick.db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("Get with latency selector: %v", err)
+	}
+}
+
+func TestConcurrentGetsCoalesce(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+	pf := publish(t, g, cern, "hot.db", testbed.MakeData(500_000, 22), core.PublishOptions{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := anl.Get(pf.LFN); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Only one extra replica was registered despite 8 concurrent Gets.
+	locs, _ := g.Catalog.Locations(pf.LFN)
+	if len(locs) != 2 {
+		t.Fatalf("Locations = %v", locs)
+	}
+}
+
+func TestCustomFileTypeHooksRun(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+
+	hooks := &recordingType{}
+	if err := anl.RegisterFileType(hooks); err != nil {
+		t.Fatal(err)
+	}
+	if err := cern.RegisterFileType(&recordingType{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cern.RegisterFileType(&recordingType{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+
+	data := testbed.MakeData(10_000, 23)
+	pf := publish(t, g, cern, "oracle1.dbf", data, core.PublishOptions{FileType: "oracle"})
+	if err := anl.Get(pf.LFN); err != nil {
+		t.Fatalf("Get(custom type): %v", err)
+	}
+	if hooks.pre != 1 || hooks.post != 1 {
+		t.Fatalf("hooks ran pre=%d post=%d", hooks.pre, hooks.post)
+	}
+}
+
+// recordingType counts pipeline hook invocations (an "oracle"-style plug-in).
+type recordingType struct {
+	mu        sync.Mutex
+	pre, post int
+}
+
+func (r *recordingType) Name() string { return "oracle" }
+
+func (r *recordingType) PreProcess(*core.Site, string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pre++
+	return nil
+}
+
+func (r *recordingType) PostProcess(*core.Site, string, string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.post++
+	return nil
+}
+
+func TestQueryThroughSite(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	publish(t, g, cern, "big.db", testbed.MakeData(500_000, 24), core.PublishOptions{})
+	publish(t, g, cern, "small.db", testbed.MakeData(100, 25), core.PublishOptions{})
+	got, err := cern.Query("(size>=100000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Name, "big.db") {
+		t.Fatalf("Query = %v", got)
+	}
+}
+
+func TestSiteConfigValidation(t *testing.T) {
+	bad := []core.Config{
+		{},
+		{Name: "x"},
+		{Name: "x", DataDir: "y"},
+	}
+	for i, cfg := range bad {
+		if _, err := core.NewSite(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

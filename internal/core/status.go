@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"gdmp/internal/gsi"
+	"gdmp/internal/rpc"
+)
+
+// MethodStatus reports a site's transfer history and counters; registered
+// alongside the other GDMP methods.
+const MethodStatus = "gdmp.status"
+
+// TransferRecord is one completed (or failed) replication, the site-level
+// analogue of GridFTP's integrated instrumentation: the paper's production
+// deployment lived and died by being able to see what moved where, how
+// fast, and with how many restarts.
+type TransferRecord struct {
+	LFN      string
+	Source   string // GridFTP endpoint the replica came from
+	Bytes    int64
+	Elapsed  time.Duration
+	Attempts int
+	RateMbps float64
+	When     time.Time
+	Failed   bool
+	Error    string
+}
+
+// transferLog keeps a bounded history of replication activity.
+type transferLog struct {
+	mu      sync.Mutex
+	records []TransferRecord
+	limit   int
+
+	ok     int
+	failed int
+	bytes  int64
+}
+
+func newTransferLog(limit int) *transferLog {
+	if limit <= 0 {
+		limit = 256
+	}
+	return &transferLog{limit: limit}
+}
+
+func (l *transferLog) add(r TransferRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.Failed {
+		l.failed++
+	} else {
+		l.ok++
+		l.bytes += r.Bytes
+	}
+	l.records = append(l.records, r)
+	if len(l.records) > l.limit {
+		l.records = l.records[len(l.records)-l.limit:]
+	}
+}
+
+func (l *transferLog) list() []TransferRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TransferRecord(nil), l.records...)
+}
+
+// SiteStatus summarizes a site's replication activity.
+type SiteStatus struct {
+	Name             string
+	LocalFiles       int
+	Subscribers      int
+	TransfersOK      int
+	TransfersFailed  int
+	BytesReplicated  int64
+	PendingTransfers int
+}
+
+// TransferHistory returns the site's recent replication records.
+func (s *Site) TransferHistory() []TransferRecord {
+	return s.xferLog.list()
+}
+
+// Status returns the site's counters.
+func (s *Site) Status() SiteStatus {
+	s.xferLog.mu.Lock()
+	ok, failed, bytes := s.xferLog.ok, s.xferLog.failed, s.xferLog.bytes
+	s.xferLog.mu.Unlock()
+	s.subMu.Lock()
+	subs := len(s.subscribers)
+	s.subMu.Unlock()
+	s.pendMu.Lock()
+	pending := len(s.pending)
+	s.pendMu.Unlock()
+	return SiteStatus{
+		Name:             s.cfg.Name,
+		LocalFiles:       s.local.len(),
+		Subscribers:      subs,
+		TransfersOK:      ok,
+		TransfersFailed:  failed,
+		BytesReplicated:  bytes,
+		PendingTransfers: pending,
+	}
+}
+
+// RemoteStatus fetches another site's status over the Request Manager.
+func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return SiteStatus{}, err
+	}
+	defer cl.Close()
+	d, err := cl.Call(MethodStatus, nil)
+	if err != nil {
+		return SiteStatus{}, err
+	}
+	st := SiteStatus{
+		Name:             d.String(),
+		LocalFiles:       int(d.Uint64()),
+		Subscribers:      int(d.Uint64()),
+		TransfersOK:      int(d.Uint64()),
+		TransfersFailed:  int(d.Uint64()),
+		BytesReplicated:  d.Int64(),
+		PendingTransfers: int(d.Uint64()),
+	}
+	return st, d.Finish()
+}
+
+// registerStatusHandler wires MethodStatus into the Request Manager.
+func (s *Site) registerStatusHandler() {
+	s.gdmpSrv.Handle(MethodStatus, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		st := s.Status()
+		resp.String(st.Name)
+		resp.Uint64(uint64(st.LocalFiles))
+		resp.Uint64(uint64(st.Subscribers))
+		resp.Uint64(uint64(st.TransfersOK))
+		resp.Uint64(uint64(st.TransfersFailed))
+		resp.Int64(st.BytesReplicated)
+		resp.Uint64(uint64(st.PendingTransfers))
+		return nil
+	})
+}

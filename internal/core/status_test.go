@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/testbed"
+)
+
+func TestTransferHistoryAndStatus(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+
+	pf1 := publish(t, g, cern, "h1.db", testbed.MakeData(100_000, 90), core.PublishOptions{})
+	pf2 := publish(t, g, cern, "h2.db", testbed.MakeData(50_000, 91), core.PublishOptions{})
+	if err := anl.Get(pf1.LFN); err != nil {
+		t.Fatal(err)
+	}
+	if err := anl.Get(pf2.LFN); err != nil {
+		t.Fatal(err)
+	}
+	// A failed transfer is recorded too.
+	if err := anl.Get("lfn://nowhere/ghost"); err == nil {
+		t.Fatal("ghost get should fail")
+	}
+
+	hist := anl.TransferHistory()
+	if len(hist) != 2 {
+		t.Fatalf("history = %d records (catalog-level failures are not transfers)", len(hist))
+	}
+	var bytes int64
+	for _, r := range hist {
+		if r.Failed {
+			t.Fatalf("unexpected failed record %+v", r)
+		}
+		if r.RateMbps <= 0 || r.Elapsed <= 0 || r.Attempts < 1 || r.Source == "" {
+			t.Fatalf("implausible record %+v", r)
+		}
+		bytes += r.Bytes
+	}
+	if bytes != 150_000 {
+		t.Fatalf("history bytes = %d", bytes)
+	}
+
+	st := anl.Status()
+	if st.Name != "anl.gov" || st.LocalFiles != 2 || st.TransfersOK != 2 ||
+		st.TransfersFailed != 0 || st.BytesReplicated != 150_000 {
+		t.Fatalf("Status = %+v", st)
+	}
+
+	// Status is reachable over the Request Manager.
+	remote, err := cern.RemoteStatus(anl.Addr())
+	if err != nil {
+		t.Fatalf("RemoteStatus: %v", err)
+	}
+	if remote != st {
+		t.Fatalf("remote status %+v != local %+v", remote, st)
+	}
+}
+
+func TestFailedTransferRecorded(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+	pf := publish(t, g, cern, "doomed.db", testbed.MakeData(10_000, 92), core.PublishOptions{})
+	// The bytes vanish at the source (no MSS to restore them), so the
+	// transfer itself fails after the catalog lookup succeeded.
+	if err := os.Remove(filepath.Join(cern.DataDir(), "doomed.db")); err != nil {
+		t.Fatal(err)
+	}
+	if err := anl.Get(pf.LFN); err == nil {
+		t.Fatal("transfer of vanished file should fail")
+	}
+	hist := anl.TransferHistory()
+	if len(hist) != 1 || !hist[0].Failed || hist[0].Error == "" {
+		t.Fatalf("history = %+v", hist)
+	}
+	if hist[0].Attempts != 0 && hist[0].Attempts < 1 {
+		t.Fatalf("record = %+v", hist[0])
+	}
+	st := anl.Status()
+	if st.TransfersFailed != 1 || st.TransfersOK != 0 {
+		t.Fatalf("Status = %+v", st)
+	}
+}
+
+func TestAutoTunedDataMover(t *testing.T) {
+	g := newGrid(t)
+	cern := addSite(t, g, "cern.ch", testbed.SiteOptions{})
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{AutoTuneBuffers: true})
+	pf1 := publish(t, g, cern, "t1.db", testbed.MakeData(700_000, 110), core.PublishOptions{})
+	pf2 := publish(t, g, cern, "t2.db", testbed.MakeData(700_000, 111), core.PublishOptions{})
+	// First fetch triggers the negotiation; the second uses the cached
+	// buffer. Both must land intact.
+	if err := anl.Get(pf1.LFN); err != nil {
+		t.Fatalf("first auto-tuned get: %v", err)
+	}
+	if err := anl.Get(pf2.LFN); err != nil {
+		t.Fatalf("second auto-tuned get: %v", err)
+	}
+	if st := anl.Status(); st.TransfersOK != 2 {
+		t.Fatalf("Status = %+v", st)
+	}
+}
+
+func TestWaitForFileTimesOut(t *testing.T) {
+	g := newGrid(t)
+	anl := addSite(t, g, "anl.gov", testbed.SiteOptions{})
+	start := time.Now()
+	err := anl.WaitForFile("lfn://never/arrives", 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitForFile returned without the file")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}

@@ -1,0 +1,1064 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdmp/internal/gsi"
+	"gdmp/internal/netprobe"
+)
+
+// Marker is one 112 performance marker received during a transfer, the
+// paper's "integrated instrumentation, for monitoring ongoing transfer
+// performance".
+type Marker struct {
+	Bytes int64 // bytes moved so far
+	Total int64 // expected total
+}
+
+// TransferStats aggregates instrumentation for one transfer.
+type TransferStats struct {
+	Bytes     int64
+	Elapsed   time.Duration
+	Streams   int
+	PerStream []int64 // bytes moved by each stream
+	Markers   []Marker
+	Attempts  int // >1 when a reliable transfer had to restart
+}
+
+// RateMbps returns the achieved rate in megabits per second.
+func (s TransferStats) RateMbps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / s.Elapsed.Seconds() / 1e6
+}
+
+func (s *TransferStats) merge(o TransferStats) {
+	s.Bytes += o.Bytes
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+	s.Streams += o.Streams
+	s.PerStream = append(s.PerStream, o.PerStream...)
+	s.Markers = append(s.Markers, o.Markers...)
+}
+
+// ClientOption customizes Dial.
+type ClientOption func(*Client)
+
+// WithParallelism sets the number of parallel TCP streams per transfer.
+func WithParallelism(n int) ClientOption {
+	return func(c *Client) { c.parallelism = n }
+}
+
+// WithBufferSize sets the TCP socket buffer size negotiated with SBUF.
+func WithBufferSize(n int) ClientOption {
+	return func(c *Client) { c.bufferSize = n }
+}
+
+// WithBlockSize sets the extended-block payload size used for puts.
+func WithBlockSize(n int) ClientOption {
+	return func(c *Client) { c.blockSize = n }
+}
+
+// WithDialFunc substitutes the transport dialer for control and data
+// connections; the WAN emulation package uses this.
+func WithDialFunc(d func(network, addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dial = d }
+}
+
+// WithTimeout bounds dial and control-channel operations.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// Client is a GridFTP control-channel session, the programmatic equivalent
+// of globus_ftp_client / globus_url_copy.
+type Client struct {
+	conn net.Conn
+	ctl  *controlConn
+	addr string
+
+	parallelism int
+	bufferSize  int
+	blockSize   int
+	timeout     time.Duration
+	dial        func(network, addr string) (net.Conn, error)
+
+	mu     sync.Mutex // serializes commands
+	closed bool
+}
+
+// Dial connects, authenticates with a GSI handshake, and reads the banner.
+func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		parallelism: DefaultParallelism,
+		blockSize:   DefaultBlockSize,
+		timeout:     30 * time.Second,
+		dial:        net.Dial,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.parallelism < 1 || c.parallelism > MaxParallelism {
+		return nil, fmt.Errorf("gridftp: parallelism %d out of range", c.parallelism)
+	}
+	c.addr = addr
+	conn, err := c.dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := gsi.Handshake(conn, cred, roots, true); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	c.conn = conn
+	c.ctl = newControlConn(conn)
+	code, text, err := c.ctl.readReply()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if code != 220 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: banner %d %s", ErrProtocol, code, text)
+	}
+	// Negotiate session parameters up front.
+	if c.bufferSize > 0 {
+		if err := c.simpleCmd(codeOK, "SBUF %d", c.bufferSize); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if err := c.simpleCmd(codeOK, "OPTS PARALLEL %d", c.parallelism); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close sends QUIT and closes the control connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.ctl.sendLine("QUIT")
+	c.ctl.readReply() // best-effort 221
+	return c.conn.Close()
+}
+
+// simpleCmd sends a command and expects a specific reply code.
+func (c *Client) simpleCmd(want int, format string, args ...interface{}) error {
+	code, text, err := c.roundTrip(format, args...)
+	if err != nil {
+		return err
+	}
+	if code != want {
+		return fmt.Errorf("%w: %d %s", ErrProtocol, code, text)
+	}
+	return nil
+}
+
+func (c *Client) roundTrip(format string, args ...interface{}) (int, string, error) {
+	if err := c.ctl.sendLine(format, args...); err != nil {
+		return 0, "", err
+	}
+	return c.ctl.readReply()
+}
+
+// SetParallelism renegotiates the stream count for subsequent transfers.
+func (c *Client) SetParallelism(n int) error {
+	if n < 1 || n > MaxParallelism {
+		return fmt.Errorf("gridftp: parallelism %d out of range", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.simpleCmd(codeOK, "OPTS PARALLEL %d", n); err != nil {
+		return err
+	}
+	c.parallelism = n
+	return nil
+}
+
+// SetBufferSize renegotiates the TCP buffer size (SBUF).
+func (c *Client) SetBufferSize(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.simpleCmd(codeOK, "SBUF %d", n); err != nil {
+		return err
+	}
+	c.bufferSize = n
+	return nil
+}
+
+// Size returns the size of a remote file.
+func (c *Client) Size(path string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sizeLocked(path)
+}
+
+func (c *Client) sizeLocked(path string) (int64, error) {
+	code, text, err := c.roundTrip("SIZE %s", path)
+	if err != nil {
+		return 0, err
+	}
+	if code != codeStat {
+		return 0, fmt.Errorf("%w: SIZE: %d %s", ErrProtocol, code, text)
+	}
+	return strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+}
+
+// Checksum returns the server-side CRC-32 of a whole remote file.
+func (c *Client) Checksum(path string) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checksumCmd("CKSM %s", path)
+}
+
+// ChecksumRange returns the CRC-32 of a byte range of a remote file.
+func (c *Client) ChecksumRange(path string, off, length int64) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checksumCmd("CKSM %d %d %s", off, length, path)
+}
+
+func (c *Client) checksumCmd(format string, args ...interface{}) (uint32, error) {
+	code, text, err := c.roundTrip(format, args...)
+	if err != nil {
+		return 0, err
+	}
+	if code != codeStat {
+		return 0, fmt.Errorf("%w: CKSM: %d %s", ErrProtocol, code, text)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(text), 16, 32)
+	return uint32(v), err
+}
+
+// ListEntry is one remote file in a listing.
+type ListEntry struct {
+	Name string
+	Size int64
+}
+
+// List returns the files under an optional prefix directory.
+func (c *Client) List(prefix string) ([]ListEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	code, text, err := c.roundTrip("NLST %s", prefix)
+	if err != nil {
+		return nil, err
+	}
+	if code != codeOpening {
+		return nil, fmt.Errorf("%w: NLST: %d %s", ErrProtocol, code, text)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(text))
+	if err != nil {
+		return nil, fmt.Errorf("%w: NLST count %q", ErrProtocol, text)
+	}
+	entries := make([]ListEntry, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.ctl.readLine()
+		if err != nil {
+			return nil, err
+		}
+		name, sizeStr, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("%w: NLST line %q", ErrProtocol, line)
+		}
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: NLST size %q", ErrProtocol, sizeStr)
+		}
+		entries = append(entries, ListEntry{Name: name, Size: size})
+	}
+	code, text, err = c.ctl.readReply()
+	if err != nil {
+		return nil, err
+	}
+	if code != codeComplete {
+		return nil, fmt.Errorf("%w: NLST end: %d %s", ErrProtocol, code, text)
+	}
+	return entries, nil
+}
+
+// Delete removes a remote file.
+func (c *Client) Delete(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simpleCmd(codeFileOK, "DELE %s", path)
+}
+
+// Mkdir creates a remote directory tree.
+func (c *Client) Mkdir(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simpleCmd(257, "MKD %s", path)
+}
+
+// Noop pings the server.
+func (c *Client) Noop() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simpleCmd(codeOK, "NOOP")
+}
+
+// --- data transfer ---------------------------------------------------------
+
+// passiveInfo is the parsed 229 reply.
+type passiveInfo struct {
+	token string
+	addr  string
+}
+
+func (c *Client) enterPassive() (passiveInfo, error) {
+	code, text, err := c.roundTrip("PASV")
+	if err != nil {
+		return passiveInfo{}, err
+	}
+	if code != codePassive {
+		return passiveInfo{}, fmt.Errorf("%w: PASV: %d %s", ErrProtocol, code, text)
+	}
+	fields := strings.Fields(text)
+	if len(fields) != 2 {
+		return passiveInfo{}, fmt.Errorf("%w: PASV reply %q", ErrProtocol, text)
+	}
+	return passiveInfo{token: fields[0], addr: fields[1]}, nil
+}
+
+// openDataConns dials n data connections to a passive endpoint and pairs
+// them with the session token.
+func (c *Client) openDataConns(pi passiveInfo, n int) ([]net.Conn, error) {
+	conns := make([]net.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		dc, err := c.dial("tcp", pi.addr)
+		if err != nil {
+			for _, dc2 := range conns {
+				dc2.Close()
+			}
+			return nil, fmt.Errorf("gridftp: dial data %s: %w", pi.addr, err)
+		}
+		if _, err := io.WriteString(dc, pi.token+"\n"); err != nil {
+			dc.Close()
+			for _, dc2 := range conns {
+				dc2.Close()
+			}
+			return nil, fmt.Errorf("gridftp: pair data conn: %w", err)
+		}
+		if tc, ok := dc.(*net.TCPConn); ok && c.bufferSize > 0 {
+			tc.SetReadBuffer(c.bufferSize)
+			tc.SetWriteBuffer(c.bufferSize)
+		}
+		conns = append(conns, dc)
+	}
+	return conns, nil
+}
+
+// parse150 extracts the stream count and size from a 150 reply of the form
+// "opening N streams size=M".
+func parse150(text string) (streams int, size int64, err error) {
+	fields := strings.Fields(text)
+	for i, f := range fields {
+		if f == "opening" && i+1 < len(fields) {
+			streams, _ = strconv.Atoi(fields[i+1])
+		}
+		if strings.HasPrefix(f, "size=") {
+			size, err = strconv.ParseInt(f[len("size="):], 10, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: 150 size %q", ErrProtocol, f)
+			}
+		}
+	}
+	if streams < 1 {
+		return 0, 0, fmt.Errorf("%w: 150 reply %q", ErrProtocol, text)
+	}
+	return streams, size, nil
+}
+
+// Get retrieves a whole remote file, writing payload at absolute file
+// offsets into dst.
+func (c *Client) Get(path string, dst io.WriterAt) (TransferStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size, err := c.sizeLocked(path)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	return c.getRangeLocked(path, Range{0, size}, dst, nil)
+}
+
+// GetRange retrieves [r.Start, r.End) of a remote file (partial file
+// transfer). Payload is written at absolute file offsets into dst.
+func (c *Client) GetRange(path string, r Range, dst io.WriterAt) (TransferStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getRangeLocked(path, r, dst, nil)
+}
+
+// getRangeLocked performs one ERET transfer. Received ranges are recorded
+// into track (when non-nil) as blocks land, so an interrupted transfer
+// leaves an accurate restart map behind.
+func (c *Client) getRangeLocked(path string, r Range, dst io.WriterAt, track *RangeSet) (TransferStats, error) {
+	if r.Len() < 0 {
+		return TransferStats{}, fmt.Errorf("gridftp: negative range %+v", r)
+	}
+	start := time.Now()
+	pi, err := c.enterPassive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	code, text, err := c.roundTrip("ERET %d %d %s", r.Start, r.Len(), path)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if code != codeOpening {
+		return TransferStats{}, fmt.Errorf("%w: ERET: %d %s", ErrTransferFailed, code, text)
+	}
+	streams, _, err := parse150(text)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	conns, err := c.openDataConns(pi, streams)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	defer func() {
+		for _, dc := range conns {
+			dc.Close()
+		}
+	}()
+
+	stats := TransferStats{Streams: streams, PerStream: make([]int64, streams), Attempts: 1}
+	var trackMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i, dc := range conns {
+		wg.Add(1)
+		go func(i int, dc net.Conn) {
+			defer wg.Done()
+			var buf []byte
+			for {
+				flags, offset, payload, err := readBlock(dc, buf)
+				if err != nil {
+					errs <- fmt.Errorf("stream %d: %w", i, err)
+					return
+				}
+				buf = payload[:cap(payload)]
+				if len(payload) > 0 {
+					if _, err := dst.WriteAt(payload, offset); err != nil {
+						errs <- fmt.Errorf("stream %d write: %w", i, err)
+						return
+					}
+					atomic.AddInt64(&stats.PerStream[i], int64(len(payload)))
+					atomic.AddInt64(&stats.Bytes, int64(len(payload)))
+					if track != nil {
+						trackMu.Lock()
+						track.Add(offset, offset+int64(len(payload)))
+						trackMu.Unlock()
+					}
+				}
+				if flags&flagEOD != 0 {
+					return
+				}
+			}
+		}(i, dc)
+	}
+	wg.Wait()
+	close(errs)
+	dataErr := <-errs
+
+	// Drain control replies: 112 markers, then the final verdict.
+	finalCode, finalText, err := c.drainTransferReplies(&stats)
+	if err != nil {
+		return stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	if dataErr != nil {
+		return stats, fmt.Errorf("%w: %v", ErrTransferFailed, dataErr)
+	}
+	if finalCode != codeComplete {
+		return stats, fmt.Errorf("%w: %d %s", ErrTransferFailed, finalCode, finalText)
+	}
+	if stats.Bytes != r.Len() {
+		return stats, fmt.Errorf("%w: received %d of %d bytes", ErrTransferFailed, stats.Bytes, r.Len())
+	}
+	return stats, nil
+}
+
+// drainTransferReplies reads control lines until a non-marker reply.
+func (c *Client) drainTransferReplies(stats *TransferStats) (int, string, error) {
+	for {
+		code, text, err := c.ctl.readReply()
+		if err != nil {
+			return 0, "", err
+		}
+		if code == codeMarker {
+			var m Marker
+			fmt.Sscanf(text, "%d %d", &m.Bytes, &m.Total)
+			stats.Markers = append(stats.Markers, m)
+			continue
+		}
+		return code, text, nil
+	}
+}
+
+// Put stores size bytes read from src (at absolute offsets) as the remote
+// file at path, using the negotiated parallelism.
+func (c *Client) Put(path string, src io.ReaderAt, size int64) (TransferStats, error) {
+	return c.put("STOR", path, src, size)
+}
+
+// PutRegion writes bytes into an existing remote file without truncating it
+// (the ESTO partial-store extension). src must cover the given ranges at
+// absolute offsets; total is the number of bytes that will be sent.
+func (c *Client) PutRegion(path string, src io.ReaderAt, ranges []Range) (TransferStats, error) {
+	var total int64
+	for _, r := range ranges {
+		total += r.Len()
+	}
+	return c.putRanges("ESTO", path, src, ranges, total)
+}
+
+func (c *Client) put(verb, path string, src io.ReaderAt, size int64) (TransferStats, error) {
+	// Split the file into one contiguous sub-range per stream.
+	n := c.parallelism
+	per := size / int64(n)
+	ranges := make([]Range, 0, n)
+	for i := 0; i < n; i++ {
+		start := int64(i) * per
+		end := start + per
+		if i == n-1 {
+			end = size
+		}
+		ranges = append(ranges, Range{start, end})
+	}
+	return c.putRanges(verb, path, src, ranges, size)
+}
+
+func (c *Client) putRanges(verb, path string, src io.ReaderAt, ranges []Range, total int64) (TransferStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	pi, err := c.enterPassive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	code, text, err := c.roundTrip("%s %d %s", verb, total, path)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if code != codeOpening {
+		return TransferStats{}, fmt.Errorf("%w: %s: %d %s", ErrTransferFailed, verb, code, text)
+	}
+	streams, _, err := parse150(text)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	conns, err := c.openDataConns(pi, streams)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	defer func() {
+		for _, dc := range conns {
+			dc.Close()
+		}
+	}()
+
+	// Assign ranges to connections round-robin.
+	assign := make([][]Range, streams)
+	for i, r := range ranges {
+		assign[i%streams] = append(assign[i%streams], r)
+	}
+
+	stats := TransferStats{Streams: streams, PerStream: make([]int64, streams), Attempts: 1}
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i, dc := range conns {
+		wg.Add(1)
+		go func(i int, dc net.Conn, work []Range) {
+			defer wg.Done()
+			buf := make([]byte, c.blockSize)
+			for _, r := range work {
+				pos := r.Start
+				for pos < r.End {
+					chunk := int64(len(buf))
+					if pos+chunk > r.End {
+						chunk = r.End - pos
+					}
+					if _, err := src.ReadAt(buf[:chunk], pos); err != nil {
+						errs <- fmt.Errorf("stream %d read at %d: %w", i, pos, err)
+						return
+					}
+					if err := writeBlock(dc, 0, pos, buf[:chunk]); err != nil {
+						errs <- fmt.Errorf("stream %d send at %d: %w", i, pos, err)
+						return
+					}
+					atomic.AddInt64(&stats.PerStream[i], chunk)
+					atomic.AddInt64(&stats.Bytes, chunk)
+					pos += chunk
+				}
+			}
+			// Every stream terminates with a bare end-of-data block.
+			if err := writeBlock(dc, flagEOD, 0, nil); err != nil {
+				errs <- err
+			}
+		}(i, dc, assign[i])
+	}
+	wg.Wait()
+	close(errs)
+	dataErr := <-errs
+
+	finalCode, finalText, err := c.drainTransferReplies(&stats)
+	if err != nil {
+		return stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	if dataErr != nil {
+		return stats, fmt.Errorf("%w: %v", ErrTransferFailed, dataErr)
+	}
+	if finalCode != codeComplete {
+		return stats, fmt.Errorf("%w: %d %s", ErrTransferFailed, finalCode, finalText)
+	}
+	return stats, nil
+}
+
+// PutFile uploads a local file.
+func (c *Client) PutFile(localPath, remotePath string) (TransferStats, error) {
+	f, err := os.Open(localPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	return c.Put(remotePath, f, info.Size())
+}
+
+// GetFile downloads a remote file to a local path, verifying the CRC-32
+// end to end (Section 4.3's integrity check beyond TCP checksums).
+func (c *Client) GetFile(remotePath, localPath string) (TransferStats, error) {
+	f, err := os.Create(localPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	stats, err := c.Get(remotePath, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return stats, err
+	}
+	if err := c.verifyLocal(remotePath, localPath); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// verifyLocal compares the server CRC with a locally computed one.
+func (c *Client) verifyLocal(remotePath, localPath string) error {
+	want, err := c.Checksum(remotePath)
+	if err != nil {
+		return err
+	}
+	got, err := CRC32File(localPath)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
+	}
+	return nil
+}
+
+// CRC32File computes the IEEE CRC-32 of a local file.
+func CRC32File(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}
+
+// --- reliable restartable transfer ------------------------------------------
+
+// ReliableGet retrieves a file with restart-on-failure semantics: after an
+// interrupted attempt, only the missing byte ranges are re-requested from a
+// fresh session. connect must return a new authenticated client; path and
+// dst are as in Get. The returned stats aggregate all attempts.
+func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, maxAttempts int) (TransferStats, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var agg TransferStats
+	var rs RangeSet
+	var size int64 = -1
+	var lastErr error
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		agg.Attempts = attempt
+		cl, err := connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = func() error {
+			defer cl.Close()
+			if size < 0 {
+				sz, err := cl.Size(path)
+				if err != nil {
+					return err
+				}
+				size = sz
+			}
+			for _, missing := range rs.Missing(size) {
+				cl.mu.Lock()
+				st, err := cl.getRangeLocked(path, missing, dst, &rs)
+				cl.mu.Unlock()
+				agg.merge(st)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rs.Complete(size) {
+			return agg, nil
+		}
+		lastErr = fmt.Errorf("%w: incomplete after attempt %d (%s)", ErrTransferFailed, attempt, rs.String())
+	}
+	return agg, fmt.Errorf("gridftp: reliable get of %s failed after %d attempts: %w", path, maxAttempts, lastErr)
+}
+
+// ReliableGetFile is ReliableGet into a local file plus end-to-end CRC
+// verification, the full Data Mover contract of Section 4.3.
+func ReliableGetFile(connect func() (*Client, error), remotePath, localPath string, maxAttempts int) (TransferStats, error) {
+	f, err := os.Create(localPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	stats, err := ReliableGet(connect, remotePath, f, maxAttempts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return stats, err
+	}
+	cl, err := connect()
+	if err != nil {
+		return stats, err
+	}
+	defer cl.Close()
+	if err := cl.verifyLocal(remotePath, localPath); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// AutoTune performs the paper's "automatic negotiation of TCP buffer/window
+// sizes": it measures the application-level round trip with NOOP probes,
+// estimates the path bandwidth by timing a partial retrieval of probePath
+// (which must exist on the server and be at least probeBytes long), applies
+// the RTT x bandwidth formula, and negotiates the result with SBUF. The
+// chosen buffer size is returned.
+func (c *Client) AutoTune(probePath string, probeBytes int64) (int, error) {
+	// Two RTT estimates, take the larger: fresh TCP connects capture
+	// path latency charged at connection setup (the ping analogue), NOOP
+	// round trips capture per-message latency on the live session.
+	rtt, err := netprobe.MeasureRTTFunc(c.Noop, 3)
+	if err != nil {
+		return 0, err
+	}
+	if dialRTT, err := netprobe.MeasureRTT(c.dial, c.addr, 2); err == nil && dialRTT > rtt {
+		rtt = dialRTT
+	}
+	size, err := c.Size(probePath)
+	if err != nil {
+		return 0, err
+	}
+	if probeBytes > size {
+		probeBytes = size
+	}
+	if probeBytes <= 0 {
+		return 0, fmt.Errorf("gridftp: probe file %s is empty", probePath)
+	}
+	bw, err := netprobe.EstimateBandwidth(func(n int64) (time.Duration, error) {
+		dst := discardWriterAt{}
+		stats, err := c.GetRange(probePath, Range{0, n}, dst)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Elapsed, nil
+	}, probeBytes)
+	if err != nil {
+		return 0, err
+	}
+	buf := netprobe.OptimalBuffer(rtt, bw)
+	if err := c.SetBufferSize(buf); err != nil {
+		return 0, err
+	}
+	return buf, nil
+}
+
+// discardWriterAt throws away probe payload.
+type discardWriterAt struct{}
+
+func (discardWriterAt) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+
+// ReliablePut stores a file with restart-on-failure semantics, the upload
+// mirror of ReliableGet: after an interrupted attempt, only the byte ranges
+// the server has not confirmed are re-sent with ESTO from a fresh session.
+// Because the receiving server only acknowledges a transfer once every
+// expected byte arrived, confirmation is tracked per successful command.
+func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, remotePath string, maxAttempts int) (TransferStats, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var agg TransferStats
+	var lastErr error
+	var created bool
+	var done RangeSet
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		agg.Attempts = attempt
+		cl, err := connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = func() error {
+			defer cl.Close()
+			if !created {
+				// First pass: a plain STOR of the whole file.
+				st, err := cl.Put(remotePath, src, size)
+				agg.merge(st)
+				if err != nil {
+					return err
+				}
+				created = true
+				done.Add(0, size)
+				return nil
+			}
+			// Retry passes: probe what landed, resend the remainder.
+			// The server only reports full-file success, so compare sizes
+			// and checksums; a short or mismatched file is resent in
+			// halves via ESTO to exercise partial restore.
+			remoteSize, err := cl.Size(remotePath)
+			if err != nil || remoteSize != size {
+				st, err2 := cl.Put(remotePath, src, size)
+				agg.merge(st)
+				if err2 != nil {
+					return err2
+				}
+				done.Add(0, size)
+				return err
+			}
+			for _, missing := range done.Missing(size) {
+				st, err := cl.PutRegion(remotePath, src, []Range{missing})
+				agg.merge(st)
+				if err != nil {
+					return err
+				}
+				done.Add(missing.Start, missing.End)
+			}
+			return nil
+		}()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Verify end to end before declaring success.
+		cl2, err := connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		want, err := cl2.Checksum(remotePath)
+		cl2.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		got, err := crcOfReader(src, size)
+		if err != nil {
+			return agg, err
+		}
+		if got != want {
+			lastErr = fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
+			created = false // resend everything
+			done = RangeSet{}
+			continue
+		}
+		return agg, nil
+	}
+	return agg, fmt.Errorf("gridftp: reliable put of %s failed after %d attempts: %w", remotePath, maxAttempts, lastErr)
+}
+
+// crcOfReader computes the CRC-32 of size bytes from an io.ReaderAt.
+func crcOfReader(src io.ReaderAt, size int64) (uint32, error) {
+	h := crc32.NewIEEE()
+	buf := make([]byte, 256*1024)
+	for pos := int64(0); pos < size; {
+		chunk := int64(len(buf))
+		if pos+chunk > size {
+			chunk = size - pos
+		}
+		if _, err := src.ReadAt(buf[:chunk], pos); err != nil {
+			return 0, err
+		}
+		h.Write(buf[:chunk])
+		pos += chunk
+	}
+	return h.Sum32(), nil
+}
+
+// --- striped transfer --------------------------------------------------------
+
+// StripedGet fetches one file from several servers that each hold a replica,
+// assigning a disjoint byte range to each server (m-hosts-to-one striping).
+// clients must all be connected and remain owned by the caller.
+func StripedGet(clients []*Client, path string, dst io.WriterAt) (TransferStats, error) {
+	if len(clients) == 0 {
+		return TransferStats{}, errors.New("gridftp: striped get needs at least one client")
+	}
+	size, err := clients[0].Size(path)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	m := len(clients)
+	per := size / int64(m)
+	start := time.Now()
+	var mu sync.Mutex
+	var agg TransferStats
+	var wg sync.WaitGroup
+	errs := make(chan error, m)
+	for i, cl := range clients {
+		lo := int64(i) * per
+		hi := lo + per
+		if i == m-1 {
+			hi = size
+		}
+		wg.Add(1)
+		go func(cl *Client, r Range) {
+			defer wg.Done()
+			st, err := cl.GetRange(path, r, dst)
+			mu.Lock()
+			agg.merge(st)
+			mu.Unlock()
+			if err != nil {
+				errs <- err
+			}
+		}(cl, Range{lo, hi})
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return agg, err
+	}
+	agg.Elapsed = time.Since(start)
+	agg.Attempts = 1
+	return agg, nil
+}
+
+// --- third-party transfer ----------------------------------------------------
+
+// ThirdParty moves a file directly between two servers: the client owns both
+// control channels but the data flows server-to-server, the paper's
+// "third-party control of data transfer". Both clients must share the same
+// parallelism setting.
+func ThirdParty(src, dst *Client, srcPath, dstPath string) (TransferStats, error) {
+	if src.parallelism != dst.parallelism {
+		return TransferStats{}, fmt.Errorf("gridftp: parallelism mismatch %d vs %d", src.parallelism, dst.parallelism)
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+
+	start := time.Now()
+	size, err := src.sizeLocked(srcPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	// Source listens; destination will dial it.
+	pi, err := src.enterPassive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if err := dst.simpleCmd(codeOK, "PORT %s %s", pi.token, pi.addr); err != nil {
+		return TransferStats{}, err
+	}
+	// Start the retrieve: the source now waits for data connections.
+	code, text, err := src.roundTrip("RETR %s", srcPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if code != codeOpening {
+		return TransferStats{}, fmt.Errorf("%w: RETR: %d %s", ErrTransferFailed, code, text)
+	}
+	// Kick off the store: the destination dials the source and receives.
+	code, text, err = dst.roundTrip("STOR %d %s", size, dstPath)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if code != codeOpening {
+		return TransferStats{}, fmt.Errorf("%w: ESTO: %d %s", ErrTransferFailed, code, text)
+	}
+
+	stats := TransferStats{Attempts: 1}
+	srcCode, srcText, err := src.drainTransferReplies(&stats)
+	if err != nil {
+		return stats, err
+	}
+	dstCode, dstText, err := dst.drainTransferReplies(&stats)
+	if err != nil {
+		return stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	stats.Bytes = size
+	stats.Streams = src.parallelism
+	if srcCode != codeComplete {
+		return stats, fmt.Errorf("%w: source: %d %s", ErrTransferFailed, srcCode, srcText)
+	}
+	if dstCode != codeComplete {
+		return stats, fmt.Errorf("%w: destination: %d %s", ErrTransferFailed, dstCode, dstText)
+	}
+	// End-to-end integrity: both sides must agree on the CRC.
+	srcCRC, err := src.checksumCmd("CKSM %s", srcPath)
+	if err != nil {
+		return stats, err
+	}
+	dstCRC, err := dst.checksumCmd("CKSM %s", dstPath)
+	if err != nil {
+		return stats, err
+	}
+	if srcCRC != dstCRC {
+		return stats, fmt.Errorf("%w: source %08x, destination %08x", ErrChecksum, srcCRC, dstCRC)
+	}
+	return stats, nil
+}

@@ -1,0 +1,194 @@
+// Package gridftp implements the data transfer protocol of Section 3.2: an
+// FTP-derived control channel plus extended-block-mode data channels, with
+// the feature list the paper enumerates:
+//
+//   - GSI public-key security on the control channel (every session is
+//     mutually authenticated before any command runs);
+//   - parallel data transfer: one host pair, multiple TCP streams;
+//   - striped data transfer: the client fetches disjoint ranges of a
+//     replicated file from several servers at once (see Client.StripedGet);
+//   - third-party control of data transfer (server-to-server moves driven
+//     by a client that owns both control channels);
+//   - partial file transfer (ERET/ESTO commands over byte ranges);
+//   - automatic negotiation of TCP buffer/window sizes (SBUF);
+//   - reliable and restartable transfers: extended-block offsets double as
+//     restart markers, so an interrupted transfer resumes with exactly the
+//     missing byte ranges (see Client.ReliableGet and RangeSet);
+//   - integrated instrumentation: the server emits 112 performance markers
+//     on the control channel during transfers, and the client aggregates
+//     per-stream statistics.
+//
+// Data integrity follows Section 4.3: TCP's 16-bit checksum is considered
+// insufficient for very large transfers, so the Data Mover layers a CRC-32
+// end-to-end verification (CKSM command) over every file moved.
+//
+// The wire protocol is self-contained rather than wuftpd-compatible: the
+// control channel is CRLF-delimited "VERB args" lines with "NNN text"
+// replies, and data channels carry 13-byte block headers (flags, 64-bit
+// offset, 32-bit length) so every block is self-describing, exactly the
+// property extended block mode provides in GridFTP.
+package gridftp
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Default transfer parameters.
+const (
+	// DefaultBlockSize is the payload carried per extended block.
+	DefaultBlockSize = 64 * 1024
+
+	// DefaultParallelism is the number of TCP streams when unspecified.
+	DefaultParallelism = 1
+
+	// MaxParallelism bounds the stream count a client may request.
+	MaxParallelism = 64
+
+	// tokenLen is the size of the random data-channel pairing token.
+	tokenLen = 16
+)
+
+// Reply codes (FTP-flavored).
+const (
+	codeMarker    = 112 // in-transfer performance marker
+	codeOpening   = 150 // about to open data connections
+	codeOK        = 200
+	codeStat      = 213 // SIZE / CKSM style single-value replies
+	codeClosing   = 221
+	codeComplete  = 226
+	codePassive   = 229 // extended passive reply with endpoints
+	codeFileOK    = 250
+	codeBadCmd    = 500
+	codeBadArgs   = 501
+	codeDenied    = 530
+	codeNoFile    = 550
+	codeProtoErr  = 425 // cannot open data connection
+	codeLocalErr  = 451 // local processing error
+	codeInterrupt = 426 // transfer aborted
+)
+
+// Errors surfaced by the client.
+var (
+	ErrTransferFailed = errors.New("gridftp: transfer failed")
+	ErrChecksum       = errors.New("gridftp: checksum mismatch")
+	ErrProtocol       = errors.New("gridftp: protocol error")
+)
+
+// block header layout: 1 flag byte, 8 byte offset, 4 byte length.
+const blockHeaderLen = 13
+
+// Block flags.
+const (
+	flagEOD = 0x01 // no more blocks on this data connection
+)
+
+// writeBlock sends one extended block (possibly empty, e.g. a bare EOD).
+func writeBlock(w io.Writer, flags byte, offset int64, payload []byte) error {
+	var hdr [blockHeaderLen]byte
+	hdr[0] = flags
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(offset))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBlock reads one extended block into buf (grown as needed) and returns
+// the flags, offset, and payload.
+func readBlock(r io.Reader, buf []byte) (flags byte, offset int64, payload []byte, err error) {
+	var hdr [blockHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	flags = hdr[0]
+	offset = int64(binary.BigEndian.Uint64(hdr[1:9]))
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > 16*1024*1024 {
+		return 0, 0, nil, fmt.Errorf("%w: oversized block (%d bytes)", ErrProtocol, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return flags, offset, payload, nil
+}
+
+// newToken mints a random pairing token binding data connections to their
+// control session.
+func newToken() (string, error) {
+	b := make([]byte, tokenLen)
+	if _, err := rand.Read(b); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b), nil
+}
+
+// control-channel line helpers ---------------------------------------------
+
+type controlConn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newControlConn(rw io.ReadWriter) *controlConn {
+	return &controlConn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// sendLine writes one CRLF-terminated line and flushes.
+func (c *controlConn) sendLine(format string, args ...interface{}) error {
+	if _, err := fmt.Fprintf(c.w, format, args...); err != nil {
+		return err
+	}
+	if _, err := c.w.WriteString("\r\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// reply writes a "NNN text" response line.
+func (c *controlConn) reply(code int, format string, args ...interface{}) error {
+	return c.sendLine("%03d %s", code, fmt.Sprintf(format, args...))
+}
+
+// readLine reads one line, stripping the terminator.
+func (c *controlConn) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readReply parses a "NNN text" response.
+func (c *controlConn) readReply() (code int, text string, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return 0, "", err
+	}
+	if len(line) < 4 || line[3] != ' ' {
+		return 0, "", fmt.Errorf("%w: malformed reply %q", ErrProtocol, line)
+	}
+	for i := 0; i < 3; i++ {
+		if line[i] < '0' || line[i] > '9' {
+			return 0, "", fmt.Errorf("%w: malformed reply %q", ErrProtocol, line)
+		}
+		code = code*10 + int(line[i]-'0')
+	}
+	return code, line[4:], nil
+}

@@ -1,0 +1,117 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestReliablePutCleanPath(t *testing.T) {
+	addr, root := startServer(t, nil)
+	data := make([]byte, 600_000)
+	rand.New(rand.NewSource(30)).Read(data)
+
+	connect := func() (*Client, error) {
+		return Dial(addr, cred(t, "user/"+t.Name()), roots(t), WithParallelism(3))
+	}
+	stats, err := ReliablePut(connect, bytes.NewReader(data), int64(len(data)), "up/clean.db", 3)
+	if err != nil {
+		t.Fatalf("ReliablePut: %v", err)
+	}
+	if stats.Attempts != 1 || stats.Bytes != int64(len(data)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "up", "clean.db"))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("uploaded content mismatch: %v", err)
+	}
+}
+
+// writeLimitedConn cuts the connection after writing a byte budget,
+// simulating a WAN failure mid-upload. The budget only applies to data
+// connections; the small control-channel traffic stays under it.
+type writeLimitedConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+}
+
+func (w *writeLimitedConn) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	if w.budget <= 0 {
+		w.mu.Unlock()
+		w.Conn.Close()
+		return 0, errors.New("connection torn down (injected write fault)")
+	}
+	if int64(len(p)) > w.budget {
+		p = p[:w.budget]
+	}
+	w.mu.Unlock()
+	n, err := w.Conn.Write(p)
+	w.mu.Lock()
+	w.budget -= int64(n)
+	w.mu.Unlock()
+	return n, err
+}
+
+type writeLimitedDialer struct {
+	mu       sync.Mutex
+	failures int
+	budget   int64
+	attempts int
+}
+
+func (d *writeLimitedDialer) connect(t *testing.T, addr string) func() (*Client, error) {
+	return func() (*Client, error) {
+		d.mu.Lock()
+		d.attempts++
+		inject := d.attempts <= d.failures
+		d.mu.Unlock()
+		dial := func(network, a string) (net.Conn, error) {
+			c, err := net.Dial(network, a)
+			if err != nil {
+				return nil, err
+			}
+			if inject {
+				return &writeLimitedConn{Conn: c, budget: d.budget}, nil
+			}
+			return c, nil
+		}
+		return Dial(addr, cred(t, "user/TestReliablePut"), roots(t),
+			WithParallelism(2), WithDialFunc(dial))
+	}
+}
+
+func TestReliablePutRestartsAfterFailure(t *testing.T) {
+	addr, root := startServer(t, nil)
+	data := make([]byte, 1_500_000)
+	rand.New(rand.NewSource(31)).Read(data)
+
+	d := &writeLimitedDialer{failures: 1, budget: 300_000}
+	stats, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/retry.db", 4)
+	if err != nil {
+		t.Fatalf("ReliablePut with injected failure: %v", err)
+	}
+	if stats.Attempts < 2 {
+		t.Fatalf("expected a restart, attempts = %d", stats.Attempts)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "up", "retry.db"))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("content after restart mismatch: %v", err)
+	}
+}
+
+func TestReliablePutExhaustsAttempts(t *testing.T) {
+	addr, _ := startServer(t, nil)
+	data := make([]byte, 1_000_000)
+	d := &writeLimitedDialer{failures: 1 << 30, budget: 100_000}
+	_, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/never.db", 2)
+	if err == nil {
+		t.Fatal("expected failure after exhausting attempts")
+	}
+}

@@ -1,0 +1,224 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+// rawSession opens an authenticated control connection and returns reader/
+// writer for speaking the protocol by hand.
+func rawSession(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if _, err := gsi.Handshake(conn, cred(t, "raw/"+t.Name()), roots(t), true); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "220") {
+		t.Fatalf("banner = %q, %v", line, err)
+	}
+	return conn, r
+}
+
+func sendLine(t *testing.T, conn net.Conn, line string) {
+	t.Helper()
+	if _, err := io.WriteString(conn, line+"\r\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectCode(t *testing.T, r *bufio.Reader, code string) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if !strings.HasPrefix(line, code) {
+		t.Fatalf("reply = %q, want %s...", strings.TrimSpace(line), code)
+	}
+	return line
+}
+
+func TestServerRejectsGarbageCommands(t *testing.T) {
+	addr, _ := startServer(t, nil)
+	conn, r := rawSession(t, addr)
+	cases := []struct {
+		send string
+		code string
+	}{
+		{"FROBNICATE now", "500"},
+		{"SBUF notanumber", "501"},
+		{"SBUF 1", "501"},
+		{"OPTS PARALLEL 0", "501"},
+		{"OPTS PARALLEL 9999", "501"},
+		{"OPTS NOSUCH 1", "501"},
+		{"ERET x y z", "501"},
+		{"ERET 0 10", "501"},
+		{"STOR 10", "501"},
+		{"STOR -5 path", "501"},
+		{"PORT onlyone", "501"},
+		{"PORT tok not-an-addr", "501"},
+		{"SIZE", "530"}, // empty path fails authorization... or read denied
+		{"NOOP", "200"}, // the session survives all of the above
+	}
+	for _, tc := range cases {
+		sendLine(t, conn, tc.send)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("after %q: %v", tc.send, err)
+		}
+		if !strings.HasPrefix(line, tc.code[:1]) {
+			t.Errorf("%q -> %q, want %sxx", tc.send, strings.TrimSpace(line), tc.code[:1])
+		}
+	}
+	sendLine(t, conn, "QUIT")
+	expectCode(t, r, "221")
+}
+
+// TestDataChannelTokenRequired: a data connection without the right pairing
+// token never receives file data.
+func TestDataChannelTokenRequired(t *testing.T) {
+	addr, root := startServer(t, func(cfg *ServerConfig) { cfg.DataTimeout = time.Second })
+	makeFile(t, root, "secret.db", 10_000, 50)
+	conn, r := rawSession(t, addr)
+
+	sendLine(t, conn, "PASV")
+	reply := expectCode(t, r, "229")
+	fields := strings.Fields(strings.TrimSpace(reply))
+	if len(fields) != 3 {
+		t.Fatalf("PASV reply %q", reply)
+	}
+	dataAddr := fields[2]
+
+	sendLine(t, conn, "RETR secret.db")
+	expectCode(t, r, "150")
+
+	// Attacker connects with a wrong token: no data must arrive, and the
+	// transfer must abort (the real client never shows up).
+	thief, err := net.Dial("tcp", dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thief.Close()
+	fmt.Fprintf(thief, "%s\n", strings.Repeat("f", 32))
+	thief.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	if n, err := thief.Read(buf); err == nil && n > 0 {
+		t.Fatalf("server leaked %d bytes to an unpaired data connection", n)
+	}
+	// The control channel reports the aborted transfer (425/426).
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read abort reply: %v", err)
+	}
+	if !strings.HasPrefix(line, "42") {
+		t.Fatalf("transfer verdict = %q, want 42x abort", strings.TrimSpace(line))
+	}
+}
+
+// TestAutoTune exercises the paper's ping+pipechar+formula negotiation over
+// a WAN-shaped link: the measured RTT and bandwidth must reflect the link,
+// and the negotiated buffer must be their product.
+func TestAutoTune(t *testing.T) {
+	addr, root := startServer(t, nil)
+	makeFile(t, root, "probe.db", 2_000_000, 60)
+
+	link := wanLikeDialer(40*time.Millisecond, 80) // 40 ms RTT, 80 Mbps
+	cl, err := Dial(addr, cred(t, "tuner"), roots(t), WithDialFunc(link))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	buf, err := cl.AutoTune("probe.db", 1_000_000)
+	if err != nil {
+		t.Fatalf("AutoTune: %v", err)
+	}
+	// RTT >= 40ms (app-level NOOP costs a round trip through the shaped
+	// conn), bandwidth <= 80 Mbps, so the buffer should land between
+	// roughly rtt*bw/2 and a loose upper bound.
+	if buf < 64*1024 || buf > 4*1024*1024 {
+		t.Fatalf("negotiated buffer %d outside plausible range", buf)
+	}
+	// The negotiation stuck: a subsequent SBUF probe shows the setting.
+	if err := cl.SetBufferSize(buf); err != nil {
+		t.Fatalf("negotiated buffer rejected by server: %v", err)
+	}
+	// Errors: missing probe file.
+	if _, err := cl.AutoTune("no-such-file", 1000); err == nil {
+		t.Fatal("AutoTune with missing probe accepted")
+	}
+}
+
+// wanLikeDialer returns a dial function adding latency per round trip and
+// pacing reads to the given rate (a tiny, self-contained shaper so this
+// package does not import internal/wan).
+func wanLikeDialer(rtt time.Duration, mbps float64) func(network, addr string) (net.Conn, error) {
+	bytesPerSec := mbps * 1e6 / 8
+	return func(network, addr string) (net.Conn, error) {
+		c, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &shapedConn{Conn: c, rtt: rtt, rate: bytesPerSec}, nil
+	}
+}
+
+type shapedConn struct {
+	net.Conn
+	rtt  time.Duration
+	rate float64
+}
+
+func (s *shapedConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	if n > 0 {
+		if n < 1024 {
+			// Small control messages pay propagation delay.
+			time.Sleep(s.rtt / 2)
+		} else {
+			// Bulk payload pays the rate limit.
+			time.Sleep(time.Duration(float64(n) / s.rate * float64(time.Second)))
+		}
+	}
+	return n, err
+}
+
+func (s *shapedConn) Write(p []byte) (int, error) {
+	if len(p) < 1024 {
+		time.Sleep(s.rtt / 2)
+	}
+	return s.Conn.Write(p)
+}
+
+// TestUnauthenticatedControlRejected: a client that skips the GSI handshake
+// gets nothing.
+func TestUnauthenticatedControlRejected(t *testing.T) {
+	addr, _ := startServer(t, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Speak FTP straight away; the server is still expecting a handshake
+	// and must drop the connection rather than serve commands.
+	io.WriteString(conn, "NOOP\r\n")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err == nil && strings.HasPrefix(line, "2") {
+		t.Fatalf("unauthenticated client got %q", strings.TrimSpace(line))
+	}
+}

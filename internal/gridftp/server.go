@@ -1,0 +1,737 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+// ACL operations checked by the server. Read covers RETR/ERET/SIZE/CKSM/
+// NLST; write covers STOR/ESTO/DELE/MKD.
+const (
+	OpRead  gsi.Operation = "gridftp.read"
+	OpWrite gsi.Operation = "gridftp.write"
+)
+
+// ServerConfig configures a GridFTP server.
+type ServerConfig struct {
+	// Root is the directory served; all paths are resolved inside it.
+	Root string
+
+	// Cred authenticates the server to clients.
+	Cred *gsi.Credential
+
+	// TrustRoots verify client certificate chains.
+	TrustRoots []*gsi.Certificate
+
+	// ACL authorizes OpRead/OpWrite per identity; nil denies everything.
+	ACL *gsi.ACL
+
+	// BlockSize is the extended-block payload size (DefaultBlockSize if 0).
+	BlockSize int
+
+	// MarkerBytes emits a 112 performance marker on the control channel
+	// after every MarkerBytes transferred (0 disables markers).
+	MarkerBytes int64
+
+	// DataTimeout bounds how long the server waits for data connections to
+	// arrive after announcing a transfer (default 10s).
+	DataTimeout time.Duration
+
+	// Logger receives diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is a GridFTP server instance.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer validates the configuration and creates a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Root == "" {
+		return nil, errors.New("gridftp: Root must be set")
+	}
+	info, err := os.Stat(cfg.Root)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: root: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("gridftp: root %q is not a directory", cfg.Root)
+	}
+	if cfg.Cred == nil {
+		return nil, errors.New("gridftp: Cred must be set")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.DataTimeout <= 0 {
+		cfg.DataTimeout = 10 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts control connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("gridftp: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveControl(conn)
+		}()
+	}
+}
+
+// Close stops the server and terminates open sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session holds per-control-connection state.
+type session struct {
+	srv  *Server
+	ctl  *controlConn
+	conn net.Conn
+	peer *gsi.Peer
+
+	parallelism int
+	bufferSize  int
+
+	// passive rendezvous for the next transfer
+	passive *passiveListener
+
+	// active (PORT) target for the next transfer
+	portToken string
+	portAddr  string
+
+	ctlMu sync.Mutex // serializes control-channel writes (markers vs replies)
+}
+
+// passiveListener is a data-connection rendezvous created by PASV.
+type passiveListener struct {
+	token string
+	ln    net.Listener
+}
+
+func (p *passiveListener) close() {
+	if p != nil && p.ln != nil {
+		p.ln.Close()
+	}
+}
+
+func (s *Server) serveControl(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	peer, err := gsi.Handshake(conn, s.cfg.Cred, s.cfg.TrustRoots, false)
+	if err != nil {
+		s.cfg.Logger.Printf("gridftp: handshake from %v failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	sess := &session{
+		srv:         s,
+		ctl:         newControlConn(conn),
+		conn:        conn,
+		peer:        peer,
+		parallelism: DefaultParallelism,
+	}
+	defer func() { sess.passive.close() }()
+
+	if err := sess.reply(220, "gdmp-gridftp ready, authenticated as %s", peer.Identity); err != nil {
+		return
+	}
+	for {
+		line, err := sess.ctl.readLine()
+		if err != nil {
+			return
+		}
+		verb, args, _ := strings.Cut(line, " ")
+		verb = strings.ToUpper(strings.TrimSpace(verb))
+		if verb == "QUIT" {
+			sess.reply(codeClosing, "goodbye")
+			return
+		}
+		if err := sess.dispatch(verb, strings.TrimSpace(args)); err != nil {
+			s.cfg.Logger.Printf("gridftp: session %s: %v", peer.Base, err)
+			return
+		}
+	}
+}
+
+// reply sends a response line, serialized against marker emission.
+func (se *session) reply(code int, format string, args ...interface{}) error {
+	se.ctlMu.Lock()
+	defer se.ctlMu.Unlock()
+	return se.ctl.reply(code, format, args...)
+}
+
+// authorize checks the session's identity for an operation.
+func (se *session) authorize(op gsi.Operation) bool {
+	return se.srv.cfg.ACL != nil && se.srv.cfg.ACL.Authorized(se.peer.Base, op)
+}
+
+// resolve maps a client path into the served root, rejecting escapes.
+func (se *session) resolve(p string) (string, error) {
+	clean := path.Clean("/" + strings.TrimSpace(p))
+	if clean == "/" {
+		return "", errors.New("empty path")
+	}
+	return filepath.Join(se.srv.cfg.Root, filepath.FromSlash(clean)), nil
+}
+
+func (se *session) dispatch(verb, args string) error {
+	switch verb {
+	case "NOOP":
+		return se.reply(codeOK, "ok")
+	case "SBUF":
+		return se.cmdSBUF(args)
+	case "OPTS":
+		return se.cmdOPTS(args)
+	case "PASV":
+		return se.cmdPASV()
+	case "PORT":
+		return se.cmdPORT(args)
+	case "SIZE":
+		return se.cmdSIZE(args)
+	case "CKSM":
+		return se.cmdCKSM(args)
+	case "NLST":
+		return se.cmdNLST(args)
+	case "RETR":
+		return se.cmdRETR(args)
+	case "ERET":
+		return se.cmdERET(args)
+	case "STOR":
+		return se.cmdSTOR(args, false)
+	case "ESTO":
+		return se.cmdSTOR(args, true)
+	case "DELE":
+		return se.cmdDELE(args)
+	case "MKD":
+		return se.cmdMKD(args)
+	default:
+		return se.reply(codeBadCmd, "unknown command %q", verb)
+	}
+}
+
+func (se *session) cmdSBUF(args string) error {
+	n, err := strconv.Atoi(args)
+	if err != nil || n < 1024 || n > 64<<20 {
+		return se.reply(codeBadArgs, "SBUF wants a size in [1024, 64MiB]")
+	}
+	se.bufferSize = n
+	return se.reply(codeOK, "buffer size %d", n)
+}
+
+func (se *session) cmdOPTS(args string) error {
+	name, val, _ := strings.Cut(args, " ")
+	if !strings.EqualFold(name, "PARALLEL") {
+		return se.reply(codeBadArgs, "unknown option %q", name)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil || n < 1 || n > MaxParallelism {
+		return se.reply(codeBadArgs, "parallelism must be in [1, %d]", MaxParallelism)
+	}
+	se.parallelism = n
+	return se.reply(codeOK, "parallelism %d", n)
+}
+
+func (se *session) cmdPASV() error {
+	se.passive.close()
+	se.passive = nil
+	host, _, err := net.SplitHostPort(se.conn.LocalAddr().String())
+	if err != nil {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return se.reply(codeProtoErr, "cannot open data listener: %v", err)
+	}
+	token, err := newToken()
+	if err != nil {
+		ln.Close()
+		return se.reply(codeLocalErr, "token: %v", err)
+	}
+	se.passive = &passiveListener{token: token, ln: ln}
+	se.portToken, se.portAddr = "", ""
+	return se.reply(codePassive, "%s %s", token, ln.Addr().String())
+}
+
+func (se *session) cmdPORT(args string) error {
+	fields := strings.Fields(args)
+	if len(fields) != 2 {
+		return se.reply(codeBadArgs, "PORT wants <token> <host:port>")
+	}
+	if _, _, err := net.SplitHostPort(fields[1]); err != nil {
+		return se.reply(codeBadArgs, "bad address %q", fields[1])
+	}
+	se.portToken, se.portAddr = fields[0], fields[1]
+	se.passive.close()
+	se.passive = nil
+	return se.reply(codeOK, "active mode to %s", fields[1])
+}
+
+func (se *session) cmdSIZE(args string) error {
+	if !se.authorize(OpRead) {
+		return se.reply(codeDenied, "not authorized for read")
+	}
+	p, err := se.resolve(args)
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	info, err := os.Stat(p)
+	if err != nil || info.IsDir() {
+		return se.reply(codeNoFile, "no such file")
+	}
+	return se.reply(codeStat, "%d", info.Size())
+}
+
+func (se *session) cmdCKSM(args string) error {
+	if !se.authorize(OpRead) {
+		return se.reply(codeDenied, "not authorized for read")
+	}
+	fields := strings.Fields(args)
+	if len(fields) != 1 && len(fields) != 3 {
+		return se.reply(codeBadArgs, "CKSM wants <path> or <off> <len> <path>")
+	}
+	var off, length int64 = 0, -1
+	pathArg := fields[0]
+	if len(fields) == 3 {
+		var err1, err2 error
+		off, err1 = strconv.ParseInt(fields[0], 10, 64)
+		length, err2 = strconv.ParseInt(fields[1], 10, 64)
+		pathArg = fields[2]
+		if err1 != nil || err2 != nil || off < 0 || length < 0 {
+			return se.reply(codeBadArgs, "bad range")
+		}
+	}
+	p, err := se.resolve(pathArg)
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return se.reply(codeNoFile, "no such file")
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if length >= 0 {
+		r = io.NewSectionReader(f, off, length)
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, r); err != nil {
+		return se.reply(codeLocalErr, "read: %v", err)
+	}
+	return se.reply(codeStat, "%08x", h.Sum32())
+}
+
+func (se *session) cmdNLST(args string) error {
+	if !se.authorize(OpRead) {
+		return se.reply(codeDenied, "not authorized for read")
+	}
+	dir := se.srv.cfg.Root
+	if strings.TrimSpace(args) != "" {
+		p, err := se.resolve(args)
+		if err != nil {
+			return se.reply(codeBadArgs, "bad path: %v", err)
+		}
+		dir = p
+	}
+	var entries []string
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(se.srv.cfg.Root, p)
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, fmt.Sprintf("%s\t%d", filepath.ToSlash(rel), info.Size()))
+		return nil
+	})
+	if err != nil {
+		return se.reply(codeLocalErr, "list: %v", err)
+	}
+	sort.Strings(entries)
+	se.ctlMu.Lock()
+	defer se.ctlMu.Unlock()
+	if err := se.ctl.reply(codeOpening, "%d", len(entries)); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := se.ctl.sendLine("%s", e); err != nil {
+			return err
+		}
+	}
+	return se.ctl.reply(codeComplete, "listing complete")
+}
+
+func (se *session) cmdDELE(args string) error {
+	if !se.authorize(OpWrite) {
+		return se.reply(codeDenied, "not authorized for write")
+	}
+	p, err := se.resolve(args)
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	if err := os.Remove(p); err != nil {
+		return se.reply(codeNoFile, "delete: %v", err)
+	}
+	return se.reply(codeFileOK, "deleted")
+}
+
+func (se *session) cmdMKD(args string) error {
+	if !se.authorize(OpWrite) {
+		return se.reply(codeDenied, "not authorized for write")
+	}
+	p, err := se.resolve(args)
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	if err := os.MkdirAll(p, 0o755); err != nil {
+		return se.reply(codeLocalErr, "mkdir: %v", err)
+	}
+	return se.reply(257, "created")
+}
+
+// --- data transfers --------------------------------------------------------
+
+func (se *session) cmdRETR(args string) error {
+	p, err := se.resolve(args)
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	info, err := os.Stat(p)
+	if err != nil || info.IsDir() {
+		return se.reply(codeNoFile, "no such file")
+	}
+	return se.sendFile(p, 0, info.Size())
+}
+
+func (se *session) cmdERET(args string) error {
+	fields := strings.Fields(args)
+	if len(fields) != 3 {
+		return se.reply(codeBadArgs, "ERET wants <off> <len> <path>")
+	}
+	off, err1 := strconv.ParseInt(fields[0], 10, 64)
+	length, err2 := strconv.ParseInt(fields[1], 10, 64)
+	if err1 != nil || err2 != nil || off < 0 || length < 0 {
+		return se.reply(codeBadArgs, "bad range")
+	}
+	p, err := se.resolve(fields[2])
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	info, err := os.Stat(p)
+	if err != nil || info.IsDir() {
+		return se.reply(codeNoFile, "no such file")
+	}
+	if off+length > info.Size() {
+		return se.reply(codeBadArgs, "range [%d,%d) beyond EOF %d", off, off+length, info.Size())
+	}
+	return se.sendFile(p, off, length)
+}
+
+// openDataConns establishes the session's data connections for one
+// transfer: accepting on the passive listener or dialing the PORT target.
+func (se *session) openDataConns(n int) ([]net.Conn, error) {
+	deadline := time.Now().Add(se.srv.cfg.DataTimeout)
+	conns := make([]net.Conn, 0, n)
+	fail := func(err error) ([]net.Conn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+
+	if se.passive != nil {
+		if tl, ok := se.passive.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		for len(conns) < n {
+			c, err := se.passive.ln.Accept()
+			if err != nil {
+				return fail(fmt.Errorf("accept data conn: %w", err))
+			}
+			c.SetDeadline(deadline)
+			// The dialer authenticates the pairing with the token line.
+			tok := make([]byte, len(se.passive.token)+1)
+			if _, err := io.ReadFull(c, tok); err != nil {
+				c.Close()
+				continue
+			}
+			if string(tok) != se.passive.token+"\n" {
+				c.Close()
+				continue
+			}
+			c.SetDeadline(time.Time{})
+			se.tuneConn(c)
+			conns = append(conns, c)
+		}
+		return conns, nil
+	}
+
+	if se.portAddr != "" {
+		for len(conns) < n {
+			c, err := net.DialTimeout("tcp", se.portAddr, se.srv.cfg.DataTimeout)
+			if err != nil {
+				return fail(fmt.Errorf("dial data conn: %w", err))
+			}
+			if _, err := io.WriteString(c, se.portToken+"\n"); err != nil {
+				c.Close()
+				return fail(fmt.Errorf("send token: %w", err))
+			}
+			se.tuneConn(c)
+			conns = append(conns, c)
+		}
+		return conns, nil
+	}
+	return nil, errors.New("no data channel arranged (use PASV or PORT)")
+}
+
+// tuneConn applies the negotiated socket buffer size (SBUF).
+func (se *session) tuneConn(c net.Conn) {
+	if se.bufferSize <= 0 {
+		return
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetReadBuffer(se.bufferSize)
+		tc.SetWriteBuffer(se.bufferSize)
+	}
+}
+
+// sendFile streams [off, off+length) of the file over the arranged data
+// connections: the range is split into one contiguous sub-range per stream,
+// sent as self-describing extended blocks.
+func (se *session) sendFile(p string, off, length int64) error {
+	if !se.authorize(OpRead) {
+		return se.reply(codeDenied, "not authorized for read")
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return se.reply(codeNoFile, "open: %v", err)
+	}
+	defer f.Close()
+
+	n := se.parallelism
+	if err := se.reply(codeOpening, "opening %d streams size=%d", n, length); err != nil {
+		return err
+	}
+	conns, err := se.openDataConns(n)
+	if err != nil {
+		return se.reply(codeProtoErr, "%v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var sent int64
+	var lastMark int64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	per := length / int64(n)
+	for i := 0; i < n; i++ {
+		start := off + int64(i)*per
+		end := start + per
+		if i == n-1 {
+			end = off + length
+		}
+		wg.Add(1)
+		go func(c net.Conn, start, end int64) {
+			defer wg.Done()
+			buf := make([]byte, se.srv.cfg.BlockSize)
+			pos := start
+			for pos < end {
+				chunk := int64(len(buf))
+				if pos+chunk > end {
+					chunk = end - pos
+				}
+				if _, err := f.ReadAt(buf[:chunk], pos); err != nil {
+					errs <- fmt.Errorf("read at %d: %w", pos, err)
+					return
+				}
+				if err := writeBlock(c, 0, pos, buf[:chunk]); err != nil {
+					errs <- fmt.Errorf("send block at %d: %w", pos, err)
+					return
+				}
+				pos += chunk
+				total := atomic.AddInt64(&sent, chunk)
+				if mb := se.srv.cfg.MarkerBytes; mb > 0 {
+					if last := atomic.LoadInt64(&lastMark); total-last >= mb &&
+						atomic.CompareAndSwapInt64(&lastMark, last, total) {
+						se.reply(codeMarker, "%d %d", total, length)
+					}
+				}
+			}
+			// Every stream terminates with a bare end-of-data block.
+			if err := writeBlock(c, flagEOD, end, nil); err != nil {
+				errs <- err
+			}
+		}(conns[i], start, end)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return se.reply(codeInterrupt, "transfer aborted: %v", err)
+	}
+	return se.reply(codeComplete, "transfer complete %d bytes", length)
+}
+
+// cmdSTOR receives a file. STOR truncates/creates; ESTO writes into an
+// existing (or new) file at the block offsets, enabling partial restores
+// and restartable puts.
+func (se *session) cmdSTOR(args string, extended bool) error {
+	if !se.authorize(OpWrite) {
+		return se.reply(codeDenied, "not authorized for write")
+	}
+	fields := strings.Fields(args)
+	if len(fields) != 2 {
+		return se.reply(codeBadArgs, "wants <len> <path>")
+	}
+	length, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || length < 0 {
+		return se.reply(codeBadArgs, "bad length")
+	}
+	p, err := se.resolve(fields[1])
+	if err != nil {
+		return se.reply(codeBadArgs, "bad path: %v", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return se.reply(codeLocalErr, "mkdir: %v", err)
+	}
+	flags := os.O_WRONLY | os.O_CREATE
+	if !extended {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(p, flags, 0o644)
+	if err != nil {
+		return se.reply(codeLocalErr, "open: %v", err)
+	}
+	defer f.Close()
+
+	n := se.parallelism
+	if err := se.reply(codeOpening, "opening %d streams size=%d", n, length); err != nil {
+		return err
+	}
+	conns, err := se.openDataConns(n)
+	if err != nil {
+		return se.reply(codeProtoErr, "%v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var received int64
+	var lastMark int64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			var buf []byte
+			for {
+				flags, offset, payload, err := readBlock(c, buf)
+				if err != nil {
+					errs <- fmt.Errorf("read block: %w", err)
+					return
+				}
+				buf = payload[:cap(payload)]
+				if len(payload) > 0 {
+					if _, err := f.WriteAt(payload, offset); err != nil {
+						errs <- fmt.Errorf("write at %d: %w", offset, err)
+						return
+					}
+					total := atomic.AddInt64(&received, int64(len(payload)))
+					if mb := se.srv.cfg.MarkerBytes; mb > 0 {
+						if last := atomic.LoadInt64(&lastMark); total-last >= mb &&
+							atomic.CompareAndSwapInt64(&lastMark, last, total) {
+							se.reply(codeMarker, "%d %d", total, length)
+						}
+					}
+				}
+				if flags&flagEOD != 0 {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return se.reply(codeInterrupt, "transfer aborted: %v", err)
+	}
+	if got := atomic.LoadInt64(&received); got != length {
+		return se.reply(codeInterrupt, "expected %d bytes, received %d", length, got)
+	}
+	if err := f.Sync(); err != nil {
+		return se.reply(codeLocalErr, "sync: %v", err)
+	}
+	return se.reply(codeComplete, "stored %d bytes", length)
+}

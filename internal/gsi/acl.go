@@ -1,0 +1,159 @@
+package gsi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Operation names an action a client may request from a Grid service. The
+// GDMP services define their own operation vocabulary (publish, subscribe,
+// get-catalog, transfer, ...); the ACL treats them as opaque strings.
+type Operation string
+
+// Wildcards accepted in ACL rules.
+const (
+	AnyOperation Operation = "*"
+	anySubject             = "*"
+)
+
+// ACL is a grid-mapfile-style authorization table: it maps distinguished
+// names to the set of operations they may perform. Proxy identities are
+// normalized to their base identity before lookup, matching GSI semantics.
+// ACL is safe for concurrent use.
+type ACL struct {
+	mu    sync.RWMutex
+	rules map[string]map[Operation]bool
+}
+
+// NewACL returns an empty ACL; an empty ACL denies everything.
+func NewACL() *ACL {
+	return &ACL{rules: make(map[string]map[Operation]bool)}
+}
+
+// Allow grants an identity permission for the given operations.
+// AnyOperation grants everything. Passing the literal subject "*" (via
+// AllowAll) grants the operations to every authenticated identity.
+func (a *ACL) Allow(id Identity, ops ...Operation) {
+	a.allowSubject(id.Base().String(), ops...)
+}
+
+// AllowAll grants the operations to every authenticated identity.
+func (a *ACL) AllowAll(ops ...Operation) {
+	a.allowSubject(anySubject, ops...)
+}
+
+func (a *ACL) allowSubject(subject string, ops ...Operation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.rules[subject]
+	if set == nil {
+		set = make(map[Operation]bool)
+		a.rules[subject] = set
+	}
+	for _, op := range ops {
+		set[op] = true
+	}
+}
+
+// Revoke removes an identity's permission for the given operations.
+func (a *ACL) Revoke(id Identity, ops ...Operation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.rules[id.Base().String()]
+	for _, op := range ops {
+		delete(set, op)
+	}
+}
+
+// Authorized reports whether the identity may perform the operation. Proxy
+// identities are resolved to their base identity first.
+func (a *ACL) Authorized(id Identity, op Operation) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, subject := range []string{id.Base().String(), anySubject} {
+		if set, ok := a.rules[subject]; ok {
+			if set[op] || set[AnyOperation] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Check returns a descriptive error when the identity is not authorized.
+func (a *ACL) Check(id Identity, op Operation) error {
+	if !a.Authorized(id, op) {
+		return fmt.Errorf("gsi: %s is not authorized for %q", id.Base(), op)
+	}
+	return nil
+}
+
+// ParseGridmap reads grid-mapfile-style lines (the format Entries emits):
+// a quoted distinguished name (or "*") followed by a comma-separated list
+// of operations. Blank lines and #-comments are skipped.
+func ParseGridmap(r io.Reader) (*ACL, error) {
+	acl := NewACL()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `"`) {
+			return nil, fmt.Errorf("gsi: gridmap line %d: subject must be quoted", lineNo)
+		}
+		end := strings.Index(line[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("gsi: gridmap line %d: unterminated subject", lineNo)
+		}
+		subject := line[1 : 1+end]
+		rest := strings.TrimSpace(line[2+end:])
+		if rest == "" {
+			return nil, fmt.Errorf("gsi: gridmap line %d: no operations", lineNo)
+		}
+		var ops []Operation
+		for _, op := range strings.Split(rest, ",") {
+			op = strings.TrimSpace(op)
+			if op != "" {
+				ops = append(ops, Operation(op))
+			}
+		}
+		if subject == anySubject {
+			acl.AllowAll(ops...)
+			continue
+		}
+		id, err := ParseIdentity(subject)
+		if err != nil {
+			return nil, fmt.Errorf("gsi: gridmap line %d: %w", lineNo, err)
+		}
+		acl.Allow(id, ops...)
+	}
+	return acl, sc.Err()
+}
+
+// Entries renders the ACL as sorted grid-mapfile-style lines, one per
+// subject: `"/O=Org/CN=name" op1,op2`.
+func (a *ACL) Entries() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	lines := make([]string, 0, len(a.rules))
+	for subject, set := range a.rules {
+		if len(set) == 0 {
+			continue
+		}
+		ops := make([]string, 0, len(set))
+		for op := range set {
+			ops = append(ops, string(op))
+		}
+		sort.Strings(ops)
+		lines = append(lines, fmt.Sprintf("%q %s", subject, strings.Join(ops, ",")))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,300 @@
+package gsi
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors returned by certificate verification.
+var (
+	ErrExpired       = errors.New("gsi: certificate expired or not yet valid")
+	ErrBadSignature  = errors.New("gsi: bad certificate signature")
+	ErrUntrusted     = errors.New("gsi: chain does not end at a trusted root")
+	ErrNotCA         = errors.New("gsi: issuer is not a certificate authority")
+	ErrBadProxyName  = errors.New("gsi: proxy subject must extend issuer subject with /proxy")
+	ErrEmptyChain    = errors.New("gsi: empty certificate chain")
+	ErrChainTooLong  = errors.New("gsi: certificate chain too long")
+	ErrChainMismatch = errors.New("gsi: chain issuer/subject mismatch")
+)
+
+// maxChainLen bounds chain verification work (root + user + proxies).
+const maxChainLen = 8
+
+// Certificate binds an identity to an RSA public key, signed by an issuer.
+// The encoding is a fixed, deterministic binary layout (see marshalTBS) so
+// that signatures are stable across processes.
+type Certificate struct {
+	Serial    uint64
+	Subject   Identity
+	Issuer    Identity
+	NotBefore time.Time
+	NotAfter  time.Time
+	IsCA      bool
+	IsProxy   bool
+
+	// PublicKey is the subject's RSA public key.
+	PublicKey *rsa.PublicKey
+
+	// Signature is an RSASSA-PKCS1v15/SHA-256 signature over marshalTBS,
+	// made with the issuer's private key.
+	Signature []byte
+}
+
+// marshalTBS serializes the to-be-signed portion deterministically.
+func (c *Certificate) marshalTBS() ([]byte, error) {
+	pub, err := x509.MarshalPKIXPublicKey(c.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: marshal public key: %w", err)
+	}
+	var buf bytes.Buffer
+	put := func(v interface{}) {
+		switch x := v.(type) {
+		case uint64:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], x)
+			buf.Write(b[:])
+		case string:
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(len(x)))
+			buf.Write(b[:])
+			buf.WriteString(x)
+		case []byte:
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(len(x)))
+			buf.Write(b[:])
+			buf.Write(x)
+		case bool:
+			if x {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+		}
+	}
+	put(c.Serial)
+	put(c.Subject.Organization)
+	put(c.Subject.CommonName)
+	put(c.Issuer.Organization)
+	put(c.Issuer.CommonName)
+	put(uint64(c.NotBefore.Unix()))
+	put(uint64(c.NotAfter.Unix()))
+	put(c.IsCA)
+	put(c.IsProxy)
+	put(pub)
+	return buf.Bytes(), nil
+}
+
+// digest hashes the to-be-signed bytes.
+func (c *Certificate) digest() ([]byte, error) {
+	tbs, err := c.marshalTBS()
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.Sum256(tbs)
+	return h[:], nil
+}
+
+// sign attaches a signature made by the issuer key.
+func (c *Certificate) sign(issuerKey *rsa.PrivateKey) error {
+	d, err := c.digest()
+	if err != nil {
+		return err
+	}
+	sig, err := rsa.SignPKCS1v15(rand.Reader, issuerKey, crypto.SHA256, d)
+	if err != nil {
+		return fmt.Errorf("gsi: sign certificate: %w", err)
+	}
+	c.Signature = sig
+	return nil
+}
+
+// checkSignature verifies the certificate against the issuer's public key.
+func (c *Certificate) checkSignature(issuerPub *rsa.PublicKey) error {
+	d, err := c.digest()
+	if err != nil {
+		return err
+	}
+	if err := rsa.VerifyPKCS1v15(issuerPub, crypto.SHA256, d, c.Signature); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// ValidAt reports whether the validity window covers the given instant.
+func (c *Certificate) ValidAt(t time.Time) bool {
+	return !t.Before(c.NotBefore) && !t.After(c.NotAfter)
+}
+
+// CA is a certificate authority: a self-signed root that can issue identity
+// certificates for users and services in its trust domain. CA is safe for
+// concurrent use.
+type CA struct {
+	cert *Certificate
+	key  *rsa.PrivateKey
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// KeyBits is the RSA modulus size for generated keys. It is a variable so
+// the test suite can shrink it for speed; production code leaves it alone.
+var KeyBits = 2048
+
+// NewCA creates a certificate authority for the given organization.
+func NewCA(organization string, validity time.Duration) (*CA, error) {
+	if organization == "" {
+		return nil, errors.New("gsi: CA organization must be non-empty")
+	}
+	key, err := rsa.GenerateKey(rand.Reader, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate CA key: %w", err)
+	}
+	now := time.Now()
+	id := Identity{Organization: organization, CommonName: "CA"}
+	cert := &Certificate{
+		Serial:    1,
+		Subject:   id,
+		Issuer:    id,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  now.Add(validity),
+		IsCA:      true,
+		PublicKey: &key.PublicKey,
+	}
+	if err := cert.sign(key); err != nil {
+		return nil, err
+	}
+	return &CA{cert: cert, key: key, next: 2}, nil
+}
+
+// Certificate returns the CA's self-signed root certificate; distribute it
+// to every site as the trust anchor.
+func (ca *CA) Certificate() *Certificate { return ca.cert }
+
+// Credential returns the CA's own certificate and key, for persisting the
+// authority with SaveCredential.
+func (ca *CA) Credential() *Credential {
+	return &Credential{Cert: ca.cert, Key: ca.key}
+}
+
+// NewCAFromCredential reconstructs a certificate authority from a stored CA
+// credential. Issued serial numbers restart from the current time, keeping
+// them unique across restarts.
+func NewCAFromCredential(cred *Credential) (*CA, error) {
+	if cred == nil || cred.Cert == nil || cred.Key == nil {
+		return nil, errors.New("gsi: incomplete CA credential")
+	}
+	if !cred.Cert.IsCA {
+		return nil, errors.New("gsi: credential is not a CA certificate")
+	}
+	return &CA{
+		cert: cred.Cert,
+		key:  cred.Key,
+		next: uint64(time.Now().UnixNano()),
+	}, nil
+}
+
+// Issue creates a long-lived identity credential for a user or service in
+// the CA's organization.
+func (ca *CA) Issue(commonName string, validity time.Duration) (*Credential, error) {
+	if commonName == "" {
+		return nil, errors.New("gsi: common name must be non-empty")
+	}
+	key, err := rsa.GenerateKey(rand.Reader, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate subject key: %w", err)
+	}
+	ca.mu.Lock()
+	serial := ca.next
+	ca.next++
+	ca.mu.Unlock()
+	now := time.Now()
+	cert := &Certificate{
+		Serial:    serial,
+		Subject:   Identity{Organization: ca.cert.Subject.Organization, CommonName: commonName},
+		Issuer:    ca.cert.Subject,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  now.Add(validity),
+		PublicKey: &key.PublicKey,
+	}
+	if err := cert.sign(ca.key); err != nil {
+		return nil, err
+	}
+	return &Credential{
+		Cert:  cert,
+		Key:   key,
+		Chain: []*Certificate{ca.cert},
+	}, nil
+}
+
+// VerifyChain validates a certificate chain, leaf first, against a set of
+// trusted roots. It returns the leaf's identity on success. Proxy
+// certificates must be signed by the preceding entity certificate and their
+// subject must extend the issuer's subject with a "/proxy" segment, exactly
+// the GSI delegation rule.
+func VerifyChain(chain []*Certificate, roots []*Certificate, now time.Time) (Identity, error) {
+	if len(chain) == 0 {
+		return Identity{}, ErrEmptyChain
+	}
+	if len(chain) > maxChainLen {
+		return Identity{}, ErrChainTooLong
+	}
+	for i := 0; i < len(chain); i++ {
+		cert := chain[i]
+		if !cert.ValidAt(now) {
+			return Identity{}, fmt.Errorf("%w: %s", ErrExpired, cert.Subject)
+		}
+		if i == len(chain)-1 {
+			// Topmost presented certificate must be anchored in the roots:
+			// it is either a root itself or signed by one.
+			if err := anchor(cert, roots); err != nil {
+				return Identity{}, err
+			}
+			continue
+		}
+		issuer := chain[i+1]
+		if cert.Issuer != issuer.Subject {
+			return Identity{}, fmt.Errorf("%w: %s issued by %s, next in chain is %s",
+				ErrChainMismatch, cert.Subject, cert.Issuer, issuer.Subject)
+		}
+		if cert.IsProxy {
+			if !cert.Subject.IsProxyFor(issuer.Subject) {
+				return Identity{}, ErrBadProxyName
+			}
+			// A proxy's validity may not outlive its signer's.
+			if cert.NotAfter.After(issuer.NotAfter) {
+				return Identity{}, fmt.Errorf("%w: proxy outlives signer", ErrExpired)
+			}
+		} else if !issuer.IsCA {
+			return Identity{}, ErrNotCA
+		}
+		if err := cert.checkSignature(issuer.PublicKey); err != nil {
+			return Identity{}, err
+		}
+	}
+	return chain[0].Subject, nil
+}
+
+// anchor checks that cert is one of the trusted roots or directly signed by
+// one of them.
+func anchor(cert *Certificate, roots []*Certificate) error {
+	for _, root := range roots {
+		if cert.Subject == root.Subject && bytes.Equal(cert.Signature, root.Signature) {
+			return nil
+		}
+		if cert.Issuer == root.Subject && root.IsCA {
+			if err := cert.checkSignature(root.PublicKey); err == nil {
+				return nil
+			}
+		}
+	}
+	return ErrUntrusted
+}

@@ -1,0 +1,105 @@
+package gsi
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// PEM block types used on disk.
+const (
+	pemCertType = "GDMP CERTIFICATE"
+	pemKeyType  = "RSA PRIVATE KEY"
+)
+
+// SaveCertificate writes a certificate to path in PEM form (world-readable:
+// certificates are public).
+func SaveCertificate(cert *Certificate, path string) error {
+	der, err := MarshalCertificate(cert)
+	if err != nil {
+		return err
+	}
+	block := pem.EncodeToMemory(&pem.Block{Type: pemCertType, Bytes: der})
+	return os.WriteFile(path, block, 0o644)
+}
+
+// LoadCertificate reads a PEM certificate written by SaveCertificate.
+func LoadCertificate(path string) (*Certificate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemCertType {
+		return nil, fmt.Errorf("gsi: %s does not contain a %s block", path, pemCertType)
+	}
+	return UnmarshalCertificate(block.Bytes)
+}
+
+// SaveCredential writes a credential's certificate chain and private key to
+// path. The file contains the leaf certificate, the issuing chain, and the
+// key, and is created owner-readable only, like a Globus key file.
+func SaveCredential(cred *Credential, path string) error {
+	if cred == nil || cred.Key == nil {
+		return errors.New("gsi: nil credential")
+	}
+	var out []byte
+	for _, cert := range cred.FullChain() {
+		der, err := MarshalCertificate(cert)
+		if err != nil {
+			return err
+		}
+		out = append(out, pem.EncodeToMemory(&pem.Block{Type: pemCertType, Bytes: der})...)
+	}
+	keyDER := x509.MarshalPKCS1PrivateKey(cred.Key)
+	out = append(out, pem.EncodeToMemory(&pem.Block{Type: pemKeyType, Bytes: keyDER})...)
+	return os.WriteFile(path, out, 0o600)
+}
+
+// LoadCredential reads a credential written by SaveCredential.
+func LoadCredential(path string) (*Credential, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var certs []*Certificate
+	cred := &Credential{}
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		switch block.Type {
+		case pemCertType:
+			cert, err := UnmarshalCertificate(block.Bytes)
+			if err != nil {
+				return nil, err
+			}
+			certs = append(certs, cert)
+		case pemKeyType:
+			key, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("gsi: parse private key: %w", err)
+			}
+			cred.Key = key
+		default:
+			return nil, fmt.Errorf("gsi: unexpected PEM block %q in %s", block.Type, path)
+		}
+	}
+	if len(certs) == 0 {
+		return nil, fmt.Errorf("gsi: no certificates in %s", path)
+	}
+	if cred.Key == nil {
+		return nil, fmt.Errorf("gsi: no private key in %s", path)
+	}
+	cred.Cert = certs[0]
+	cred.Chain = certs[1:]
+	// The key must match the leaf certificate.
+	if cred.Cert.PublicKey.N.Cmp(cred.Key.PublicKey.N) != 0 {
+		return nil, fmt.Errorf("gsi: key in %s does not match leaf certificate", path)
+	}
+	return cred, nil
+}

@@ -1,0 +1,485 @@
+// Package mss simulates the Mass Storage System environment of Section 4.4:
+// files live permanently on tape (HPSS in the paper) and move on demand to
+// a disk pool that acts as "a data transfer cache for the Grid". GDMP
+// triggers file staging explicitly, because the MSS is shared with other
+// administrative domains and its internal cache cannot be managed by the
+// Grid; the disk pool is the only storage the replication machinery touches
+// directly.
+//
+// The package provides:
+//
+//   - a tape library with configurable mount latency and sequential drain
+//     rate (so staging cost is realistic: seconds of mount plus size/rate);
+//   - a disk pool with bounded capacity, pinning (files in active transfer
+//     cannot be evicted), LRU or FIFO eviction for the ablation benches,
+//     and explicit space reservation — the allocate_storage(datasize) API
+//     the paper cites from [FRS00] as the natural extension point;
+//   - the StorageManager interface, the package's HRM analogue: "a common
+//     interface to be used to access different Mass Storage Systems".
+//
+// Physical bytes are kept on the local filesystem (tape directory and pool
+// directory), so staged files are ordinary files a GridFTP server can
+// serve, exactly as in the paper's deployment.
+package mss
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StorageManager is the HRM-style uniform interface GDMP plugs into.
+type StorageManager interface {
+	// Stage ensures the named file is on disk, staging from tape if
+	// necessary, and returns its disk path with the file pinned. Callers
+	// must Release the file when their transfer completes.
+	Stage(name string) (string, error)
+
+	// Release unpins a previously staged file.
+	Release(name string)
+
+	// OnDisk reports whether the file is currently in the disk pool.
+	OnDisk(name string) bool
+
+	// Archive copies a disk-pool file to tape for permanent storage.
+	Archive(name string) error
+
+	// Reserve sets aside capacity ahead of an incoming transfer and
+	// returns a release function. It fails if the space cannot be freed.
+	Reserve(size int64) (func(), error)
+}
+
+// EvictionPolicy selects which unpinned pool entry is evicted first.
+type EvictionPolicy int
+
+const (
+	// LRU evicts the least recently used file (the default).
+	LRU EvictionPolicy = iota
+	// FIFO evicts the oldest-staged file regardless of use.
+	FIFO
+)
+
+// Errors returned by the MSS.
+var (
+	ErrNotOnTape   = errors.New("mss: file not in tape library")
+	ErrNoSpace     = errors.New("mss: disk pool full and nothing evictable")
+	ErrNotStaged   = errors.New("mss: file not on disk")
+	ErrBadCapacity = errors.New("mss: pool capacity must be positive")
+)
+
+// Config describes one site's storage hierarchy.
+type Config struct {
+	// TapeDir holds the permanent tape-resident copies.
+	TapeDir string
+
+	// PoolDir is the disk pool the Grid transfers from and to.
+	PoolDir string
+
+	// PoolCapacity is the pool size in bytes.
+	PoolCapacity int64
+
+	// MountLatency is charged once per stage operation (tape mount and
+	// seek; minutes on real silos, milliseconds in tests).
+	MountLatency time.Duration
+
+	// TapeRateMBps is the sequential tape read rate; staging a file costs
+	// size / rate in wall-clock time. Zero disables the charge.
+	TapeRateMBps float64
+
+	// Policy selects the eviction order.
+	Policy EvictionPolicy
+}
+
+// Stats counts MSS activity.
+type Stats struct {
+	Hits        int   // stage requests satisfied from the pool
+	Misses      int   // stage requests that went to tape
+	Evictions   int   // files evicted from the pool
+	BytesStaged int64 // bytes moved tape -> disk
+	StageTime   time.Duration
+}
+
+// poolEntry tracks one disk-pool resident file.
+type poolEntry struct {
+	name   string
+	size   int64
+	pins   int
+	staged time.Time // for FIFO
+	lru    *list.Element
+}
+
+// MSS is the simulated hierarchical storage system at one site.
+type MSS struct {
+	cfg Config
+
+	mu       sync.Mutex
+	entries  map[string]*poolEntry
+	lruList  *list.List // front = most recently used
+	used     int64
+	reserved int64
+	stats    Stats
+}
+
+// New creates an MSS over the configured directories, creating them if
+// needed.
+func New(cfg Config) (*MSS, error) {
+	if cfg.PoolCapacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	if cfg.TapeDir == "" || cfg.PoolDir == "" {
+		return nil, errors.New("mss: TapeDir and PoolDir must be set")
+	}
+	for _, dir := range []string{cfg.TapeDir, cfg.PoolDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("mss: create %s: %w", dir, err)
+		}
+	}
+	return &MSS{
+		cfg:     cfg,
+		entries: make(map[string]*poolEntry),
+		lruList: list.New(),
+	}, nil
+}
+
+// safeJoin resolves a file name inside dir, rejecting escapes.
+func safeJoin(dir, name string) (string, error) {
+	clean := filepath.Clean("/" + filepath.ToSlash(name))
+	if clean == "/" {
+		return "", errors.New("mss: empty name")
+	}
+	return filepath.Join(dir, filepath.FromSlash(clean)), nil
+}
+
+// PutTape writes a file directly into the tape library (experiment setup:
+// detector data is archived before the Grid sees it).
+func (m *MSS) PutTape(name string, data []byte) error {
+	p, err := safeJoin(m.cfg.TapeDir, name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// TapeSize returns the size of a tape-resident file.
+func (m *MSS) TapeSize(name string) (int64, error) {
+	p, err := safeJoin(m.cfg.TapeDir, name)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return 0, ErrNotOnTape
+	}
+	return info.Size(), nil
+}
+
+// OnDisk reports whether the file is in the pool.
+func (m *MSS) OnDisk(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[name]
+	return ok
+}
+
+// DiskPath returns the pool path of a staged file without pinning it.
+func (m *MSS) DiskPath(name string) (string, error) {
+	m.mu.Lock()
+	_, ok := m.entries[name]
+	m.mu.Unlock()
+	if !ok {
+		return "", ErrNotStaged
+	}
+	return safeJoin(m.cfg.PoolDir, name)
+}
+
+// Stage ensures the file is on disk and pins it. By default a file is
+// "first looked for on its disk location and if it is not there, it is
+// assumed to be available in the Mass Storage System" and staged.
+func (m *MSS) Stage(name string) (string, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[name]; ok {
+		// Verify the pool copy really is on disk: metadata can drift if
+		// the file was removed behind the pool's back (disk failure,
+		// operator cleanup). A vanished file is re-staged from tape.
+		p, err := safeJoin(m.cfg.PoolDir, name)
+		if err != nil {
+			m.mu.Unlock()
+			return "", err
+		}
+		if _, err := os.Stat(p); err == nil {
+			e.pins++
+			m.touchLocked(e)
+			m.stats.Hits++
+			m.mu.Unlock()
+			return p, nil
+		}
+		m.lruList.Remove(e.lru)
+		delete(m.entries, name)
+		m.used -= e.size
+	}
+	m.stats.Misses++
+	m.mu.Unlock()
+
+	size, err := m.TapeSize(name)
+	if err != nil {
+		return "", err
+	}
+
+	// Make room before the slow tape read, holding the reservation so a
+	// concurrent stage cannot oversubscribe the pool.
+	release, err := m.Reserve(size)
+	if err != nil {
+		return "", err
+	}
+
+	start := time.Now()
+	if m.cfg.MountLatency > 0 {
+		time.Sleep(m.cfg.MountLatency)
+	}
+	if m.cfg.TapeRateMBps > 0 {
+		time.Sleep(time.Duration(float64(size) / (m.cfg.TapeRateMBps * 1e6) * float64(time.Second)))
+	}
+	src, err := safeJoin(m.cfg.TapeDir, name)
+	if err != nil {
+		release()
+		return "", err
+	}
+	dst, err := safeJoin(m.cfg.PoolDir, name)
+	if err != nil {
+		release()
+		return "", err
+	}
+	if err := copyFile(src, dst); err != nil {
+		release()
+		return "", fmt.Errorf("mss: stage %s: %w", name, err)
+	}
+
+	m.mu.Lock()
+	// Convert the reservation into real usage; the release closure is
+	// deliberately never called on this path.
+	m.reserved -= size
+	m.used += size
+	e := &poolEntry{name: name, size: size, pins: 1, staged: time.Now()}
+	e.lru = m.lruList.PushFront(e)
+	m.entries[name] = e
+	m.stats.BytesStaged += size
+	m.stats.StageTime += time.Since(start)
+	m.mu.Unlock()
+	return dst, nil
+}
+
+// Release unpins a staged file, making it evictable again.
+func (m *MSS) Release(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[name]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// AddToPool registers a file written directly into the pool (e.g. a replica
+// that just arrived over the WAN). The file must already exist at the pool
+// path; the entry starts unpinned.
+func (m *MSS) AddToPool(name string) error {
+	p, err := safeJoin(m.cfg.PoolDir, name)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return fmt.Errorf("mss: add to pool: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[name]; ok {
+		return nil
+	}
+	if m.used+m.reserved+info.Size() > m.cfg.PoolCapacity {
+		if err := m.evictLocked(info.Size()); err != nil {
+			return err
+		}
+	}
+	e := &poolEntry{name: name, size: info.Size(), staged: time.Now()}
+	e.lru = m.lruList.PushFront(e)
+	m.entries[name] = e
+	m.used += info.Size()
+	return nil
+}
+
+// Archive copies a pool file to tape (permanent storage for newly produced
+// data).
+func (m *MSS) Archive(name string) error {
+	src, err := m.DiskPath(name)
+	if err != nil {
+		return err
+	}
+	dst, err := safeJoin(m.cfg.TapeDir, name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if m.cfg.MountLatency > 0 {
+		time.Sleep(m.cfg.MountLatency)
+	}
+	return copyFile(src, dst)
+}
+
+// Reserve sets aside size bytes of pool capacity, evicting unpinned files
+// if needed, and returns a function releasing the reservation. This is the
+// allocate_storage(datasize) API of Section 4.4.
+func (m *MSS) Reserve(size int64) (func(), error) {
+	if size < 0 {
+		return nil, errors.New("mss: negative reservation")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.used+m.reserved+size > m.cfg.PoolCapacity {
+		if err := m.evictLocked(size); err != nil {
+			return nil, err
+		}
+	}
+	m.reserved += size
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			m.reserved -= size
+			m.mu.Unlock()
+		})
+	}, nil
+}
+
+// evictLocked frees space until size fits, or fails.
+func (m *MSS) evictLocked(size int64) error {
+	for m.used+m.reserved+size > m.cfg.PoolCapacity {
+		victim := m.pickVictimLocked()
+		if victim == nil {
+			return fmt.Errorf("%w: need %d, used %d, reserved %d, capacity %d",
+				ErrNoSpace, size, m.used, m.reserved, m.cfg.PoolCapacity)
+		}
+		p, err := safeJoin(m.cfg.PoolDir, victim.name)
+		if err == nil {
+			os.Remove(p)
+		}
+		m.lruList.Remove(victim.lru)
+		delete(m.entries, victim.name)
+		m.used -= victim.size
+		m.stats.Evictions++
+	}
+	return nil
+}
+
+// pickVictimLocked selects the next unpinned victim per policy.
+func (m *MSS) pickVictimLocked() *poolEntry {
+	switch m.cfg.Policy {
+	case FIFO:
+		var oldest *poolEntry
+		for _, e := range m.entries {
+			if e.pins > 0 {
+				continue
+			}
+			if oldest == nil || e.staged.Before(oldest.staged) {
+				oldest = e
+			}
+		}
+		return oldest
+	default: // LRU: scan from the back of the recency list
+		for el := m.lruList.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*poolEntry)
+			if e.pins == 0 {
+				return e
+			}
+		}
+		return nil
+	}
+}
+
+// touchLocked marks an entry as recently used.
+func (m *MSS) touchLocked(e *poolEntry) {
+	m.lruList.MoveToFront(e.lru)
+}
+
+// Drop removes a file from the pool's accounting without touching tape.
+// Used when a replica is deliberately deleted from the pool (e.g. an
+// object-extraction file removed after its transfer).
+func (m *MSS) Drop(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[name]
+	if !ok {
+		return
+	}
+	if p, err := safeJoin(m.cfg.PoolDir, name); err == nil {
+		os.Remove(p)
+	}
+	m.lruList.Remove(e.lru)
+	delete(m.entries, name)
+	m.used -= e.size
+}
+
+// Used returns the bytes currently occupied in the pool.
+func (m *MSS) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Free returns the unreserved free capacity.
+func (m *MSS) Free() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.PoolCapacity - m.used - m.reserved
+}
+
+// Stats returns a copy of the activity counters.
+func (m *MSS) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// PoolContents lists the staged files, sorted.
+func (m *MSS) PoolContents() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.entries))
+	for n := range m.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	return out.Close()
+}
+
+var _ StorageManager = (*MSS)(nil)

@@ -1,0 +1,107 @@
+// Package netprobe implements the measurement methodology of Section 6:
+// "To determine the optimal TCP buffer size, we use [the] standard formula
+// ... optimal TCP buffer = RTT x (speed of bottleneck link). The Round Trip
+// Time (RTT) is measured using the Unix ping tool, and the speed of the
+// bottleneck link is measured using pipechar."
+//
+// MeasureRTT is the ping analogue (application-level round trips over an
+// established connection or repeated TCP connects), EstimateBandwidth is
+// the pipechar/iperf analogue (a timed bulk probe), and OptimalBuffer is
+// the [Tier00] formula. gridftp.Client.AutoTune composes the three.
+package netprobe
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MeasureRTT estimates the round-trip time to addr by timing TCP connection
+// establishment (one SYN/SYN-ACK round trip) samples times and returning
+// the minimum, which best approximates the propagation delay.
+func MeasureRTT(dial func(network, addr string) (net.Conn, error), addr string, samples int) (time.Duration, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	if samples < 1 {
+		samples = 3
+	}
+	best := time.Duration(0)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		c, err := dial("tcp", addr)
+		rtt := time.Since(start)
+		if err != nil {
+			return 0, fmt.Errorf("netprobe: rtt probe %d: %w", i, err)
+		}
+		c.Close()
+		if best == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, nil
+}
+
+// MeasureRTTFunc estimates the round trip by timing an application-level
+// no-op (e.g. a GridFTP NOOP) samples times, returning the minimum. Use
+// this when a session already exists and connection setup would distort
+// the measurement.
+func MeasureRTTFunc(roundTrip func() error, samples int) (time.Duration, error) {
+	if roundTrip == nil {
+		return 0, errors.New("netprobe: nil round trip")
+	}
+	if samples < 1 {
+		samples = 3
+	}
+	best := time.Duration(0)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		if err := roundTrip(); err != nil {
+			return 0, fmt.Errorf("netprobe: rtt probe %d: %w", i, err)
+		}
+		rtt := time.Since(start)
+		if best == 0 || rtt < best {
+			best = rtt
+		}
+	}
+	return best, nil
+}
+
+// EstimateBandwidth times a bulk transfer of probeBytes through the given
+// transfer function and returns the achieved rate in bits per second — the
+// pipechar/iperf step of the paper's method. The probe should be large
+// enough to amortize slow start (the paper uses multi-second iperf runs).
+func EstimateBandwidth(transfer func(probeBytes int64) (time.Duration, error), probeBytes int64) (float64, error) {
+	if transfer == nil {
+		return 0, errors.New("netprobe: nil transfer")
+	}
+	if probeBytes <= 0 {
+		return 0, fmt.Errorf("netprobe: probe size %d must be positive", probeBytes)
+	}
+	elapsed, err := transfer(probeBytes)
+	if err != nil {
+		return 0, fmt.Errorf("netprobe: bandwidth probe: %w", err)
+	}
+	if elapsed <= 0 {
+		return 0, errors.New("netprobe: probe finished in zero time")
+	}
+	return float64(probeBytes) * 8 / elapsed.Seconds(), nil
+}
+
+// OptimalBuffer applies the [Tier00] formula: buffer = RTT x bottleneck
+// bandwidth, returned in bytes and clamped to [minBuf, maxBuf].
+func OptimalBuffer(rtt time.Duration, bandwidthBps float64) int {
+	const (
+		minBuf = 8 * 1024
+		maxBuf = 16 * 1024 * 1024
+	)
+	b := int(rtt.Seconds() * bandwidthBps / 8)
+	if b < minBuf {
+		return minBuf
+	}
+	if b > maxBuf {
+		return maxBuf
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package netprobe
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestMeasureRTT(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	// Inject 20 ms of dial latency.
+	slowDial := func(network, addr string) (net.Conn, error) {
+		time.Sleep(20 * time.Millisecond)
+		return net.Dial(network, addr)
+	}
+	rtt, err := MeasureRTT(slowDial, ln.Addr().String(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 20*time.Millisecond || rtt > 200*time.Millisecond {
+		t.Fatalf("rtt = %v, want >= 20ms", rtt)
+	}
+	// Unreachable target errors.
+	if _, err := MeasureRTT(nil, "127.0.0.1:1", 1); err == nil {
+		t.Fatal("unreachable probe succeeded")
+	}
+}
+
+func TestMeasureRTTFunc(t *testing.T) {
+	calls := 0
+	rtt, err := MeasureRTTFunc(func() error {
+		calls++
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("probes = %d", calls)
+	}
+	if rtt < 5*time.Millisecond || rtt > 100*time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	if _, err := MeasureRTTFunc(nil, 1); err == nil {
+		t.Fatal("nil round trip accepted")
+	}
+	if _, err := MeasureRTTFunc(func() error { return errors.New("down") }, 1); err == nil {
+		t.Fatal("failing probe accepted")
+	}
+}
+
+func TestEstimateBandwidth(t *testing.T) {
+	// A transfer that "achieves" exactly 8 Mbps: 1 MB in one second.
+	bw, err := EstimateBandwidth(func(n int64) (time.Duration, error) {
+		return time.Second, nil
+	}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 8_000_000 {
+		t.Fatalf("bw = %v", bw)
+	}
+	if _, err := EstimateBandwidth(nil, 1); err == nil {
+		t.Fatal("nil transfer accepted")
+	}
+	if _, err := EstimateBandwidth(func(int64) (time.Duration, error) { return time.Second, nil }, 0); err == nil {
+		t.Fatal("zero probe accepted")
+	}
+	if _, err := EstimateBandwidth(func(int64) (time.Duration, error) { return 0, nil }, 1); err == nil {
+		t.Fatal("zero elapsed accepted")
+	}
+	if _, err := EstimateBandwidth(func(int64) (time.Duration, error) { return 0, errors.New("x") }, 1); err == nil {
+		t.Fatal("failing transfer accepted")
+	}
+}
+
+func TestOptimalBuffer(t *testing.T) {
+	// The paper's path: 125 ms x 25 Mbps = ~390 KB.
+	b := OptimalBuffer(125*time.Millisecond, 25e6)
+	if b < 380_000 || b > 400_000 {
+		t.Fatalf("buffer = %d, want ~390KB", b)
+	}
+	// Clamping.
+	if b := OptimalBuffer(time.Microsecond, 1000); b != 8*1024 {
+		t.Fatalf("min clamp = %d", b)
+	}
+	if b := OptimalBuffer(10*time.Second, 1e12); b != 16*1024*1024 {
+		t.Fatalf("max clamp = %d", b)
+	}
+}

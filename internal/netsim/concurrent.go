@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ConcurrentTransfer is one transfer in a shared-link scenario: a GDMP
+// fan-out, for instance, has every subscriber pulling from the producer at
+// once, all contending for the producer's WAN uplink.
+type ConcurrentTransfer struct {
+	Transfer
+
+	// StartAt delays the transfer's first byte relative to the scenario
+	// start (e.g. notification staggering).
+	StartAt time.Duration
+}
+
+// ConcurrentResult reports one transfer of a shared-link scenario.
+type ConcurrentResult struct {
+	// Duration is from the transfer's own start (including setup) to its
+	// last byte.
+	Duration time.Duration
+
+	// ThroughputMbps is the transfer's goodput over its own duration.
+	ThroughputMbps float64
+}
+
+// SimulateConcurrent runs several transfers over one shared bottleneck,
+// with per-transfer start offsets. All streams of all transfers contend
+// for the same link, so this models both intra-transfer parallelism and
+// inter-transfer interference.
+func SimulateConcurrent(cfg Config, transfers []ConcurrentTransfer) ([]ConcurrentResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(transfers) == 0 {
+		return nil, fmt.Errorf("netsim: no transfers")
+	}
+	for i, tr := range transfers {
+		if err := tr.validate(); err != nil {
+			return nil, fmt.Errorf("netsim: transfer %d: %w", i, err)
+		}
+		if tr.StartAt < 0 {
+			return nil, fmt.Errorf("netsim: transfer %d: negative StartAt", i)
+		}
+	}
+
+	rng := newRand(cfg.Seed)
+	rtt := cfg.RTT.Seconds()
+	capacity := cfg.availBytesPerSec()
+	mss := float64(cfg.MSS)
+	setup := float64(cfg.SetupRTTs) * rtt
+
+	type cflow struct {
+		flow
+		transfer int
+	}
+	var flows []*cflow
+	tStart := make([]float64, len(transfers))
+	tEnd := make([]float64, len(transfers))
+	for ti, tr := range transfers {
+		begin := tr.StartAt.Seconds()
+		tStart[ti] = begin
+		per := float64(tr.FileBytes) / float64(tr.Streams)
+		for s := 0; s < tr.Streams; s++ {
+			flows = append(flows, &cflow{
+				flow: flow{
+					cwnd:      2 * mss,
+					ssthresh:  float64(tr.BufferBytes),
+					clamp:     float64(tr.BufferBytes),
+					remaining: per,
+					total:     per,
+					start:     begin + setup,
+				},
+				transfer: ti,
+			})
+		}
+	}
+
+	queue := 0.0
+	now := 0.0
+	const maxRounds = 4_000_000
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("netsim: concurrent scenario did not converge in %d rounds", maxRounds)
+		}
+		active := 0
+		pendingFuture := false
+		offered := 0.0
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			if now < f.start {
+				pendingFuture = true
+				continue
+			}
+			active++
+			f.sent = math.Min(math.Min(f.cwnd, f.clamp), f.remaining)
+			offered += f.sent
+		}
+		if active == 0 {
+			if !pendingFuture {
+				break
+			}
+			// Jump to the next flow activation.
+			next := math.Inf(1)
+			for _, f := range flows {
+				if !f.done && f.start > now && f.start < next {
+					next = f.start
+				}
+			}
+			now = next
+			continue
+		}
+
+		effRTT := rtt + queue/capacity
+		drained := capacity * effRTT
+		room := drained + (float64(cfg.QueueBytes) - queue)
+		accept := 1.0
+		overflow := 0.0
+		if offered > room {
+			accept = room / offered
+			overflow = offered - room
+		}
+		queue = math.Max(0, queue+offered*accept-drained)
+		if queue > float64(cfg.QueueBytes) {
+			queue = float64(cfg.QueueBytes)
+		}
+		congProb := 0.0
+		if overflow > 0 {
+			congProb = math.Min(1, 3*overflow/offered)
+		}
+
+		for _, f := range flows {
+			if f.done || now < f.start {
+				continue
+			}
+			delivered := f.sent * accept
+			f.remaining -= delivered
+			if f.remaining <= 1e-6 {
+				f.done = true
+				frac := 1.0
+				if delivered > 0 {
+					frac = math.Max(0, math.Min(1, (delivered+f.remaining)/delivered))
+				}
+				f.end = now + effRTT*frac
+				if f.end > tEnd[f.transfer] {
+					tEnd[f.transfer] = f.end
+				}
+			}
+			segs := delivered / mss
+			lost := false
+			if congProb > 0 && f.sent > 0 && rng.Float64() < congProb {
+				lost = true
+			} else if cfg.LossRate > 0 && segs > 0 && rng.Float64() < 1-math.Pow(1-cfg.LossRate, segs) {
+				lost = true
+			}
+			if f.done {
+				continue
+			}
+			if lost {
+				f.ssthresh = math.Max(f.cwnd/2, 2*mss)
+				f.cwnd = f.ssthresh
+			} else if f.cwnd < f.ssthresh {
+				f.cwnd = math.Min(f.cwnd*2, f.clamp)
+			} else {
+				f.cwnd = math.Min(f.cwnd+mss, f.clamp)
+			}
+		}
+		now += effRTT
+	}
+
+	results := make([]ConcurrentResult, len(transfers))
+	for ti, tr := range transfers {
+		span := tEnd[ti] - tStart[ti]
+		results[ti].Duration = time.Duration(span * float64(time.Second))
+		if span > 0 {
+			results[ti].ThroughputMbps = float64(tr.FileBytes) * 8 / span / 1e6
+		}
+	}
+	return results, nil
+}
+
+// FanOut models a producer publishing one file to n subscribers that all
+// pull concurrently over the producer's shared uplink, returning each
+// subscriber's completion time.
+func FanOut(cfg Config, fileBytes int64, streams, buffer, subscribers int, stagger time.Duration) ([]ConcurrentResult, error) {
+	transfers := make([]ConcurrentTransfer, subscribers)
+	for i := range transfers {
+		transfers[i] = ConcurrentTransfer{
+			Transfer: Transfer{FileBytes: fileBytes, Streams: streams, BufferBytes: buffer},
+			StartAt:  time.Duration(i) * stagger,
+		}
+	}
+	return SimulateConcurrent(cfg, transfers)
+}

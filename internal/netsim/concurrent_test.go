@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateConcurrentValidation(t *testing.T) {
+	cfg := CERNtoANL()
+	if _, err := SimulateConcurrent(cfg, nil); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	bad := []ConcurrentTransfer{{
+		Transfer: Transfer{FileBytes: 0, Streams: 1, BufferBytes: 65536},
+	}}
+	if _, err := SimulateConcurrent(cfg, bad); err == nil {
+		t.Error("invalid transfer accepted")
+	}
+	neg := []ConcurrentTransfer{{
+		Transfer: Transfer{FileBytes: MB, Streams: 1, BufferBytes: 65536},
+		StartAt:  -time.Second,
+	}}
+	if _, err := SimulateConcurrent(cfg, neg); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestConcurrentSingleMatchesSimulate(t *testing.T) {
+	cfg := CERNtoANL()
+	tr := Transfer{FileBytes: 25 * MB, Streams: 3, BufferBytes: TunedBufferBytes}
+	solo, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SimulateConcurrent(cfg, []ConcurrentTransfer{{Transfer: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := multi[0].ThroughputMbps / solo.ThroughputMbps
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("single concurrent transfer %.1f vs Simulate %.1f (ratio %.2f)",
+			multi[0].ThroughputMbps, solo.ThroughputMbps, ratio)
+	}
+}
+
+func TestConcurrentTransfersShareCapacity(t *testing.T) {
+	cfg := CERNtoANL()
+	tr := Transfer{FileBytes: 50 * MB, Streams: 3, BufferBytes: TunedBufferBytes}
+	one, err := SimulateConcurrent(cfg, []ConcurrentTransfer{{Transfer: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := make([]ConcurrentTransfer, 4)
+	for i := range four {
+		four[i] = ConcurrentTransfer{Transfer: tr}
+	}
+	res, err := SimulateConcurrent(cfg, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of four contenders gets roughly a quarter of the link: their
+	// completion must be much slower than the solo run.
+	for i, r := range res {
+		if r.Duration < 2*one[0].Duration {
+			t.Fatalf("transfer %d finished in %v, solo took %v; no contention visible",
+				i, r.Duration, one[0].Duration)
+		}
+	}
+	// Aggregate goodput cannot exceed the link.
+	var lastEnd time.Duration
+	for _, r := range res {
+		if r.Duration > lastEnd {
+			lastEnd = r.Duration
+		}
+	}
+	aggregate := float64(4*50*MB) * 8 / lastEnd.Seconds() / 1e6
+	if aggregate > (cfg.LinkMbps-cfg.CrossTrafficMbps)*1.05 {
+		t.Fatalf("aggregate %.1f Mbps exceeds available capacity", aggregate)
+	}
+	// Rough fairness: no contender more than ~2.5x faster than another.
+	min, max := res[0].ThroughputMbps, res[0].ThroughputMbps
+	for _, r := range res {
+		if r.ThroughputMbps < min {
+			min = r.ThroughputMbps
+		}
+		if r.ThroughputMbps > max {
+			max = r.ThroughputMbps
+		}
+	}
+	if max > 2.5*min {
+		t.Fatalf("unfair sharing: %.1f .. %.1f Mbps", min, max)
+	}
+}
+
+func TestStaggeredStartsRespected(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0
+	tr := Transfer{FileBytes: 5 * MB, Streams: 2, BufferBytes: TunedBufferBytes}
+	res, err := SimulateConcurrent(cfg, []ConcurrentTransfer{
+		{Transfer: tr},
+		{Transfer: tr, StartAt: 30 * time.Second}, // long after the first ends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no overlap, both see the full link: durations comparable.
+	ratio := res[1].Duration.Seconds() / res[0].Duration.Seconds()
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("staggered transfer %v vs first %v (ratio %.2f); overlap where none expected",
+			res[1].Duration, res[0].Duration, ratio)
+	}
+}
+
+func TestFanOutScaling(t *testing.T) {
+	cfg := CERNtoANL()
+	t1, err := FanOut(cfg, 25*MB, 3, TunedBufferBytes, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := FanOut(cfg, 25*MB, 3, TunedBufferBytes, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst time.Duration
+	for _, r := range t4 {
+		if r.Duration > worst {
+			worst = r.Duration
+		}
+	}
+	// Four subscribers over one uplink: the slowest should take roughly
+	// four times the solo duration (within loose tolerance).
+	ratio := worst.Seconds() / t1[0].Duration.Seconds()
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("4-way fan-out slowest/solo = %.2f, expected ~4", ratio)
+	}
+}

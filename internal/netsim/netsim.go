@@ -1,0 +1,345 @@
+// Package netsim provides a deterministic, discrete-event model of TCP bulk
+// transfers over a shared wide-area bottleneck link.
+//
+// The paper's evaluation (Section 6, Figures 5 and 6) measures GridFTP
+// transfer rates between CERN and ANL over a 45 Mbps link with a 125 ms
+// round-trip time, varying the number of parallel TCP streams and the socket
+// buffer size. That testbed is not available here, so netsim reproduces the
+// mechanism the experiment exercises from first principles:
+//
+//   - TCP Reno window dynamics: slow start, congestion avoidance, and
+//     multiplicative decrease on loss;
+//   - the socket-buffer clamp: the send window can never exceed the
+//     configured buffer, so an untuned 64 KB buffer caps a single stream at
+//     buffer/RTT regardless of available bandwidth;
+//   - a shared drop-tail bottleneck queue: when the aggregate offered window
+//     exceeds the bandwidth-delay product plus queue capacity, flows lose
+//     segments and halve their windows;
+//   - ambient random segment loss, as seen on production research links of
+//     the era;
+//   - per-transfer connection setup cost (control-channel round trips and
+//     authentication), which penalizes small files.
+//
+// The model advances in rounds of one effective RTT, a standard fluid
+// approximation for bulk TCP. All randomness is drawn from a seeded
+// generator, so results are reproducible.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config describes a wide-area path between two Grid sites.
+type Config struct {
+	// LinkMbps is the raw capacity of the bottleneck link in megabits per
+	// second (the paper's CERN-ANL link is 45 Mbps).
+	LinkMbps float64
+
+	// CrossTrafficMbps is constant background load from other users of the
+	// production link. It reduces the capacity available to the modeled
+	// flows. The paper's peak measured rate of ~23 Mbps on a 45 Mbps link
+	// implies roughly 20 Mbps of ambient load.
+	CrossTrafficMbps float64
+
+	// RTT is the base round-trip time excluding queueing delay.
+	RTT time.Duration
+
+	// QueueBytes is the drop-tail queue capacity at the bottleneck router.
+	// Era-typical routers had shallow buffers relative to the BDP.
+	QueueBytes int
+
+	// MSS is the TCP maximum segment size in bytes.
+	MSS int
+
+	// LossRate is the ambient probability that any given segment is lost
+	// independently of congestion (link errors, unmodeled cross bursts).
+	LossRate float64
+
+	// SetupRTTs is the number of round trips charged before data flows on
+	// each stream: TCP handshake, control-channel commands, and the
+	// security handshake (Section 4.1: every request is authenticated).
+	SetupRTTs int
+
+	// Seed makes the simulation reproducible. Zero selects a fixed default.
+	Seed int64
+}
+
+// CERNtoANL returns the configuration of the paper's testbed: a 45 Mbps
+// production link between CERN and Argonne with a 125 ms round-trip time.
+// Cross traffic and loss are set so that the peak aggregate rate matches the
+// ~23 Mbps the paper reports.
+func CERNtoANL() Config {
+	return Config{
+		LinkMbps:         45,
+		CrossTrafficMbps: 20,
+		RTT:              125 * time.Millisecond,
+		QueueBytes:       160 * 1024,
+		MSS:              1460,
+		LossRate:         5e-5,
+		SetupRTTs:        3,
+		Seed:             1,
+	}
+}
+
+// validate normalizes zero-valued fields to sane defaults.
+func (c *Config) validate() error {
+	if c.LinkMbps <= 0 {
+		return fmt.Errorf("netsim: LinkMbps must be positive, got %v", c.LinkMbps)
+	}
+	if c.CrossTrafficMbps < 0 || c.CrossTrafficMbps >= c.LinkMbps {
+		return fmt.Errorf("netsim: CrossTrafficMbps %v must be in [0, LinkMbps)", c.CrossTrafficMbps)
+	}
+	if c.RTT <= 0 {
+		return fmt.Errorf("netsim: RTT must be positive, got %v", c.RTT)
+	}
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.QueueBytes < 0 {
+		return fmt.Errorf("netsim: QueueBytes must be non-negative, got %d", c.QueueBytes)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netsim: LossRate %v must be in [0,1)", c.LossRate)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// availBytesPerSec is the capacity left for modeled flows after cross traffic.
+func (c Config) availBytesPerSec() float64 {
+	return (c.LinkMbps - c.CrossTrafficMbps) * 1e6 / 8
+}
+
+// Transfer describes one bulk file transfer using a number of parallel TCP
+// streams, as GridFTP's extended block mode does. The file is divided evenly
+// across the streams.
+type Transfer struct {
+	// FileBytes is the total size of the file to move.
+	FileBytes int64
+
+	// Streams is the number of parallel TCP connections (GridFTP
+	// "parallelism"). Must be at least 1.
+	Streams int
+
+	// BufferBytes is the socket send/receive buffer on each stream. The
+	// paper's untuned default is 64 KB; the tuned value is 1 MB.
+	BufferBytes int
+}
+
+func (t Transfer) validate() error {
+	if t.FileBytes <= 0 {
+		return fmt.Errorf("netsim: FileBytes must be positive, got %d", t.FileBytes)
+	}
+	if t.Streams < 1 {
+		return fmt.Errorf("netsim: Streams must be >= 1, got %d", t.Streams)
+	}
+	if t.BufferBytes < 1024 {
+		return fmt.Errorf("netsim: BufferBytes must be >= 1024, got %d", t.BufferBytes)
+	}
+	return nil
+}
+
+// Result reports the outcome of a simulated transfer.
+type Result struct {
+	// Duration is the wall-clock time from the first SYN to the last byte
+	// delivered, including connection setup.
+	Duration time.Duration
+
+	// ThroughputMbps is FileBytes expressed over Duration in megabits/s.
+	ThroughputMbps float64
+
+	// PerStreamMbps is each stream's goodput over its own active period.
+	PerStreamMbps []float64
+
+	// Rounds is the number of RTT rounds simulated.
+	Rounds int
+
+	// CongestionLosses counts loss events caused by bottleneck overflow.
+	CongestionLosses int
+
+	// RandomLosses counts loss events from the ambient loss process.
+	RandomLosses int
+}
+
+// flow is the per-stream TCP state.
+type flow struct {
+	cwnd      float64 // congestion window, bytes
+	ssthresh  float64 // slow-start threshold, bytes
+	clamp     float64 // socket-buffer window clamp, bytes
+	remaining float64 // bytes left to deliver
+	total     float64 // bytes assigned to this stream
+	start     float64 // seconds at which the stream began sending data
+	end       float64 // seconds at which the stream finished
+	done      bool
+	sent      float64 // bytes offered this round (scratch)
+}
+
+// Simulate runs one transfer over the configured path and returns the result.
+func Simulate(cfg Config, tr Transfer) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.validate(); err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rtt := cfg.RTT.Seconds()
+	capacity := cfg.availBytesPerSec()
+	mss := float64(cfg.MSS)
+
+	per := float64(tr.FileBytes) / float64(tr.Streams)
+	setup := float64(cfg.SetupRTTs) * rtt
+	flows := make([]*flow, tr.Streams)
+	for i := range flows {
+		flows[i] = &flow{
+			cwnd:      2 * mss,
+			ssthresh:  float64(tr.BufferBytes),
+			clamp:     float64(tr.BufferBytes),
+			remaining: per,
+			total:     per,
+			start:     setup,
+		}
+	}
+
+	res := Result{PerStreamMbps: make([]float64, tr.Streams)}
+	queue := 0.0
+	now := setup
+	const maxRounds = 4_000_000
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return Result{}, fmt.Errorf("netsim: transfer did not converge in %d rounds", maxRounds)
+		}
+		res.Rounds = round
+		active := 0
+		offered := 0.0
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			active++
+			f.sent = math.Min(math.Min(f.cwnd, f.clamp), f.remaining)
+			offered += f.sent
+		}
+		if active == 0 {
+			break
+		}
+
+		// Effective RTT includes queueing delay at the bottleneck.
+		effRTT := rtt + queue/capacity
+		drained := capacity * effRTT
+
+		// How much of the offered load fits through the link plus the
+		// remaining queue headroom this round.
+		room := drained + (float64(cfg.QueueBytes) - queue)
+		accept := 1.0
+		overflow := 0.0
+		if offered > room {
+			accept = room / offered
+			overflow = offered - room
+		}
+		queue = math.Max(0, queue+offered*accept-drained)
+		if queue > float64(cfg.QueueBytes) {
+			queue = float64(cfg.QueueBytes)
+		}
+
+		// Congestion-loss probability per flow this round. With drop-tail
+		// queues, flows transmitting during an overflow episode are likely
+		// (but not certain) to lose a segment; the factor spreads halving
+		// across rounds instead of synchronizing every flow at once.
+		congProb := 0.0
+		if overflow > 0 {
+			congProb = math.Min(1, 3*overflow/offered)
+		}
+
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			delivered := f.sent * accept
+			f.remaining -= delivered
+			if f.remaining <= 1e-6 {
+				f.done = true
+				// Interpolate the fraction of the round actually needed.
+				frac := 1.0
+				if delivered > 0 {
+					frac = math.Max(0, math.Min(1, (delivered+f.remaining)/delivered))
+				}
+				f.end = now + effRTT*frac
+			}
+
+			segs := delivered / mss
+			lost := false
+			if congProb > 0 && f.sent > 0 && rng.Float64() < congProb {
+				lost = true
+				res.CongestionLosses++
+			} else if cfg.LossRate > 0 && segs > 0 {
+				if rng.Float64() < 1-math.Pow(1-cfg.LossRate, segs) {
+					lost = true
+					res.RandomLosses++
+				}
+			}
+
+			if f.done {
+				continue
+			}
+			if lost {
+				f.ssthresh = math.Max(f.cwnd/2, 2*mss)
+				f.cwnd = f.ssthresh
+			} else if f.cwnd < f.ssthresh {
+				f.cwnd = math.Min(f.cwnd*2, f.clamp) // slow start
+			} else {
+				f.cwnd = math.Min(f.cwnd+mss, f.clamp) // congestion avoidance
+			}
+		}
+		now += effRTT
+	}
+
+	last := 0.0
+	for i, f := range flows {
+		if f.end > last {
+			last = f.end
+		}
+		span := f.end - f.start
+		if span > 0 {
+			res.PerStreamMbps[i] = f.total * 8 / span / 1e6
+		}
+	}
+	res.Duration = time.Duration(last * float64(time.Second))
+	if last > 0 {
+		res.ThroughputMbps = float64(tr.FileBytes) * 8 / last / 1e6
+	}
+	return res, nil
+}
+
+// MeanThroughputMbps runs the same transfer with n different seeds and
+// returns the mean aggregate throughput. The paper's measurements average
+// several runs; this smooths the loss process the same way.
+func MeanThroughputMbps(cfg Config, tr Transfer, n int) (float64, error) {
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		r, err := Simulate(c, tr)
+		if err != nil {
+			return 0, err
+		}
+		sum += r.ThroughputMbps
+	}
+	return sum / float64(n), nil
+}
+
+// OptimalBufferBytes computes the classic tuning formula the paper quotes
+// from [Tier00]: optimal TCP buffer = RTT x speed of the bottleneck link.
+func OptimalBufferBytes(cfg Config) int {
+	return int(cfg.availBytesPerSec() * cfg.RTT.Seconds())
+}

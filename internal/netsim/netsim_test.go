@@ -1,0 +1,332 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func run(t *testing.T, cfg Config, tr Transfer) Result {
+	t.Helper()
+	r, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatalf("Simulate(%+v): %v", tr, err)
+	}
+	return r
+}
+
+func mean(t *testing.T, tr Transfer) float64 {
+	t.Helper()
+	m, err := MeanThroughputMbps(CERNtoANL(), tr, 8)
+	if err != nil {
+		t.Fatalf("MeanThroughputMbps: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero link", func(c *Config) { c.LinkMbps = 0 }},
+		{"negative link", func(c *Config) { c.LinkMbps = -1 }},
+		{"cross >= link", func(c *Config) { c.CrossTrafficMbps = c.LinkMbps }},
+		{"negative cross", func(c *Config) { c.CrossTrafficMbps = -1 }},
+		{"zero rtt", func(c *Config) { c.RTT = 0 }},
+		{"negative queue", func(c *Config) { c.QueueBytes = -1 }},
+		{"loss rate 1", func(c *Config) { c.LossRate = 1 }},
+		{"negative loss", func(c *Config) { c.LossRate = -0.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := CERNtoANL()
+			tc.mut(&cfg)
+			if _, err := Simulate(cfg, Transfer{FileBytes: MB, Streams: 1, BufferBytes: 65536}); err == nil {
+				t.Errorf("expected validation error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	cfg := CERNtoANL()
+	bad := []Transfer{
+		{FileBytes: 0, Streams: 1, BufferBytes: 65536},
+		{FileBytes: -5, Streams: 1, BufferBytes: 65536},
+		{FileBytes: MB, Streams: 0, BufferBytes: 65536},
+		{FileBytes: MB, Streams: 1, BufferBytes: 512},
+	}
+	for _, tr := range bad {
+		if _, err := Simulate(cfg, tr); err == nil {
+			t.Errorf("expected error for transfer %+v", tr)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := CERNtoANL()
+	tr := Transfer{FileBytes: 25 * MB, Streams: 4, BufferBytes: UntunedBufferBytes}
+	a := run(t, cfg, tr)
+	b := run(t, cfg, tr)
+	if a.ThroughputMbps != b.ThroughputMbps || a.Duration != b.Duration {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 99
+	c := run(t, cfg, tr)
+	if c.Rounds == a.Rounds && c.ThroughputMbps == a.ThroughputMbps && a.RandomLosses+a.CongestionLosses > 0 {
+		t.Logf("different seed gave identical result; acceptable but suspicious")
+	}
+}
+
+// TestUntunedWindowClamp verifies the core tuning fact: with a 64 KB buffer
+// on a 125 ms path, a single stream cannot exceed buffer/RTT = 4.2 Mbps.
+func TestUntunedWindowClamp(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0 // isolate the clamp
+	r := run(t, cfg, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: UntunedBufferBytes})
+	clampMbps := float64(UntunedBufferBytes) * 8 / cfg.RTT.Seconds() / 1e6
+	if r.ThroughputMbps > clampMbps {
+		t.Fatalf("single untuned stream %.2f Mbps exceeds window clamp %.2f Mbps", r.ThroughputMbps, clampMbps)
+	}
+	if r.ThroughputMbps < 0.85*clampMbps {
+		t.Fatalf("single untuned stream %.2f Mbps too far below clamp %.2f Mbps (lossless path)", r.ThroughputMbps, clampMbps)
+	}
+}
+
+// TestAggregateNeverExceedsLink checks conservation: no configuration can
+// deliver more than the available link capacity (steady state, long file).
+func TestAggregateNeverExceedsLink(t *testing.T) {
+	cfg := CERNtoANL()
+	avail := (cfg.LinkMbps - cfg.CrossTrafficMbps)
+	for _, streams := range []int{1, 4, 10, 16} {
+		for _, buf := range []int{UntunedBufferBytes, TunedBufferBytes} {
+			r := run(t, cfg, Transfer{FileBytes: 200 * MB, Streams: streams, BufferBytes: buf})
+			// Small tolerance: queue drain at the end can nudge above.
+			if r.ThroughputMbps > avail*1.05 {
+				t.Errorf("streams=%d buf=%d: %.2f Mbps exceeds available %.1f Mbps",
+					streams, buf, r.ThroughputMbps, avail)
+			}
+		}
+	}
+}
+
+// TestFigure5Shape asserts the qualitative content of Figure 5: with default
+// 64 KB buffers the large-file curves rise almost linearly with stream count
+// and peak around 23 Mbps near 9 streams, while the 1 MB file stays low.
+func TestFigure5Shape(t *testing.T) {
+	big1 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: UntunedBufferBytes})
+	big3 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 3, BufferBytes: UntunedBufferBytes})
+	big5 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 5, BufferBytes: UntunedBufferBytes})
+	big9 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 9, BufferBytes: UntunedBufferBytes})
+	small9 := mean(t, Transfer{FileBytes: 1 * MB, Streams: 9, BufferBytes: UntunedBufferBytes})
+
+	if !(big1 < big3 && big3 < big5 && big5 < big9) {
+		t.Errorf("untuned large-file curve not rising: 1->%.1f 3->%.1f 5->%.1f 9->%.1f", big1, big3, big5, big9)
+	}
+	// Near-linear early growth: 3 streams should give roughly 3x one stream.
+	if big3 < 2.2*big1 || big3 > 3.5*big1 {
+		t.Errorf("untuned growth not near-linear: 1 stream %.1f, 3 streams %.1f", big1, big3)
+	}
+	// Peak region around 20-25 Mbps as in the paper (~23 Mbps at 9 streams).
+	if big9 < 18 || big9 > 26 {
+		t.Errorf("untuned 9-stream rate %.1f Mbps outside the paper's peak region (~23)", big9)
+	}
+	// The 1 MB curve stays far below the large-file curve at high parallelism.
+	if small9 > 0.6*big9 {
+		t.Errorf("1 MB file at 9 streams (%.1f) should stay well below 100 MB (%.1f)", small9, big9)
+	}
+}
+
+// TestFigure6Shape asserts Figure 6: with 1 MB buffers, results are similar
+// to the untuned peak, "except that peak performance is achieved with just
+// 3 streams".
+func TestFigure6Shape(t *testing.T) {
+	t1 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	t3 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 3, BufferBytes: TunedBufferBytes})
+	peak := t3
+	for _, s := range []int{2, 4, 5, 6, 7, 8, 9, 10} {
+		if v := mean(t, Transfer{FileBytes: 100 * MB, Streams: s, BufferBytes: TunedBufferBytes}); v > peak {
+			peak = v
+		}
+	}
+	if t3 < 0.85*peak {
+		t.Errorf("tuned 3-stream rate %.1f should be within 15%% of peak %.1f", t3, peak)
+	}
+	if t1 >= t3 {
+		t.Errorf("tuned single stream %.1f should be below 3 streams %.1f", t1, t3)
+	}
+	if peak < 18 || peak > 26 {
+		t.Errorf("tuned peak %.1f Mbps outside the paper's ~23 Mbps region", peak)
+	}
+}
+
+// TestPaperConclusions checks the four conclusions of Section 6 as ratios.
+func TestPaperConclusions(t *testing.T) {
+	untuned1 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: UntunedBufferBytes})
+	untuned10 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 10, BufferBytes: UntunedBufferBytes})
+	tuned1 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	tuned2 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 2, BufferBytes: TunedBufferBytes})
+	tuned3 := mean(t, Transfer{FileBytes: 100 * MB, Streams: 3, BufferBytes: TunedBufferBytes})
+
+	// C1: proper buffer setting is the single most important factor.
+	if tuned1 < 3*untuned1 {
+		t.Errorf("C1: tuned single stream %.1f should be several times untuned %.1f", tuned1, untuned1)
+	}
+	// C2: 10 untuned streams ~ 2-3 tuned streams.
+	lo, hi := math.Min(tuned2, tuned3), math.Max(tuned2, tuned3)
+	if untuned10 < 0.7*lo || untuned10 > 1.3*hi {
+		t.Errorf("C2: 10 untuned streams %.1f not comparable to 2-3 tuned streams [%.1f, %.1f]", untuned10, lo, hi)
+	}
+	// C3: 2-3 tuned streams gain roughly 25%% over a single tuned stream.
+	gain := math.Max(tuned2, tuned3) / tuned1
+	if gain < 1.10 || gain > 1.60 {
+		t.Errorf("C3: parallel tuned gain %.2fx outside [1.10, 1.60] (~1.25 expected)", gain)
+	}
+	// C4: untuned with enough streams matches the tuned peak.
+	if untuned10 < 0.8*tuned3 {
+		t.Errorf("C4: 10 untuned streams %.1f should approach tuned rate %.1f", untuned10, tuned3)
+	}
+}
+
+func TestOptimalBufferFormula(t *testing.T) {
+	cfg := CERNtoANL()
+	got := OptimalBufferBytes(cfg)
+	want := int((cfg.LinkMbps - cfg.CrossTrafficMbps) * 1e6 / 8 * cfg.RTT.Seconds())
+	if got != want {
+		t.Fatalf("OptimalBufferBytes = %d, want %d", got, want)
+	}
+	// Sanity: for the paper's path this is a few hundred KB, i.e. the 1 MB
+	// tuned value is comfortably sufficient and 64 KB is far too small.
+	if got < 128*1024 || got > 2*1024*1024 {
+		t.Fatalf("optimal buffer %d outside plausible range", got)
+	}
+}
+
+// TestBufferKnee sweeps buffer sizes and checks throughput saturates near
+// the RTT*bandwidth product: growing the buffer beyond the optimum gains
+// little, while halving it costs a lot.
+func TestBufferKnee(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0
+	opt := OptimalBufferBytes(cfg)
+	at := func(buf int) float64 {
+		r := run(t, cfg, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: buf})
+		return r.ThroughputMbps
+	}
+	half := at(opt / 2)
+	full := at(opt)
+	double := at(2 * opt)
+	if half > 0.75*full {
+		t.Errorf("half buffer %.1f should cost much vs optimum %.1f", half, full)
+	}
+	if double > 1.25*full {
+		t.Errorf("doubling buffer %.1f should gain little vs optimum %.1f", double, full)
+	}
+}
+
+func TestSmallFilePenalty(t *testing.T) {
+	// Setup round trips and slow start dominate a 1 MB transfer; its rate
+	// must be a small fraction of a 100 MB transfer at the same settings.
+	small := mean(t, Transfer{FileBytes: 1 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	large := mean(t, Transfer{FileBytes: 100 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	if small > 0.6*large {
+		t.Fatalf("1 MB at %.1f Mbps should be well below 100 MB at %.1f Mbps", small, large)
+	}
+}
+
+func TestPerStreamAccounting(t *testing.T) {
+	cfg := CERNtoANL()
+	r := run(t, cfg, Transfer{FileBytes: 50 * MB, Streams: 5, BufferBytes: TunedBufferBytes})
+	if len(r.PerStreamMbps) != 5 {
+		t.Fatalf("expected 5 per-stream rates, got %d", len(r.PerStreamMbps))
+	}
+	for i, v := range r.PerStreamMbps {
+		if v <= 0 {
+			t.Errorf("stream %d reported non-positive rate %v", i, v)
+		}
+	}
+}
+
+// TestMonotoneInFileSizeDuration is a property test: transfer duration is
+// non-decreasing in file size for fixed settings.
+func TestMonotoneInFileSizeDuration(t *testing.T) {
+	cfg := CERNtoANL()
+	f := func(a, b uint32) bool {
+		sa := int64(a%200+1) * MB / 4
+		sb := int64(b%200+1) * MB / 4
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ra, err := Simulate(cfg, Transfer{FileBytes: sa, Streams: 3, BufferBytes: UntunedBufferBytes})
+		if err != nil {
+			return false
+		}
+		rb, err := Simulate(cfg, Transfer{FileBytes: sb, Streams: 3, BufferBytes: UntunedBufferBytes})
+		if err != nil {
+			return false
+		}
+		return ra.Duration <= rb.Duration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughputPositiveProperty: any valid transfer completes with positive
+// throughput and duration.
+func TestThroughputPositiveProperty(t *testing.T) {
+	cfg := CERNtoANL()
+	f := func(sizeKB uint16, streams uint8, bufKB uint8) bool {
+		tr := Transfer{
+			FileBytes:   int64(sizeKB%4096+1) * 1024,
+			Streams:     int(streams%12) + 1,
+			BufferBytes: (int(bufKB%64) + 2) * 16 * 1024,
+		}
+		r, err := Simulate(cfg, tr)
+		if err != nil {
+			return false
+		}
+		return r.ThroughputMbps > 0 && r.Duration > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanThroughputSmoothing(t *testing.T) {
+	tr := Transfer{FileBytes: 25 * MB, Streams: 3, BufferBytes: TunedBufferBytes}
+	m1, err := MeanThroughputMbps(CERNtoANL(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := MeanThroughputMbps(CERNtoANL(), tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 <= 0 || m8 <= 0 {
+		t.Fatalf("means must be positive: %v %v", m1, m8)
+	}
+	// n < 1 falls back to a single run.
+	m0, err := MeanThroughputMbps(CERNtoANL(), tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 != m1 {
+		t.Fatalf("n=0 should behave like n=1: %v vs %v", m0, m1)
+	}
+}
+
+func TestSetupCostCharged(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0
+	with := run(t, cfg, Transfer{FileBytes: 1 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	cfg.SetupRTTs = 0
+	without := run(t, cfg, Transfer{FileBytes: 1 * MB, Streams: 1, BufferBytes: TunedBufferBytes})
+	diff := with.Duration - without.Duration
+	want := 3 * 125 * time.Millisecond
+	if diff < want-time.Millisecond || diff > want+50*time.Millisecond {
+		t.Fatalf("setup cost %v, want about %v", diff, want)
+	}
+}

@@ -1,0 +1,256 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// HostProfile models the end-system resources of one Grid node taking part
+// in a transfer. Section 5.3 of the paper observes that an object
+// replication server needs more CPU and disk I/O per network byte than a
+// plain file replication server, because the object copier tool adds file
+// system calls, context switches, and bus traffic; this profile lets that
+// overhead be expressed.
+type HostProfile struct {
+	// NICMbps is the network interface speed in megabits per second.
+	NICMbps float64
+
+	// DiskMBps is the sustainable disk throughput in megabytes per second.
+	DiskMBps float64
+
+	// CPUPerByteNs is the CPU cost in nanoseconds charged per byte moved.
+	// A host saturates when CPUPerByteNs * rate reaches one second per
+	// second; e.g. 10 ns/byte caps throughput at 100 MB/s of CPU headroom.
+	CPUPerByteNs float64
+}
+
+// DefaultHost returns the profile of an era-typical replication server that
+// comfortably saturates a 45 Mbps WAN: fast Ethernet, a RAID able to stream
+// tens of MB/s, and CPU that is not the bottleneck for plain file serving.
+func DefaultHost() HostProfile {
+	return HostProfile{NICMbps: 100, DiskMBps: 30, CPUPerByteNs: 5}
+}
+
+// CapBytesPerSec returns the throughput ceiling this host can sustain.
+// A zero field means "not a constraint".
+func (h HostProfile) CapBytesPerSec() float64 {
+	cap := math.Inf(1)
+	if h.NICMbps > 0 {
+		cap = math.Min(cap, h.NICMbps*1e6/8)
+	}
+	if h.DiskMBps > 0 {
+		cap = math.Min(cap, h.DiskMBps*1e6)
+	}
+	if h.CPUPerByteNs > 0 {
+		cap = math.Min(cap, 1e9/h.CPUPerByteNs)
+	}
+	return cap
+}
+
+// StripedTransfer describes an m-host to n-host striped GridFTP transfer
+// (Section 3.2: "striped data transfer (m hosts to n hosts, possibly using
+// multiple TCP streams if also parallel)"). The file is divided across
+// min(SourceHosts, DestHosts) host pairs, each of which runs StreamsPerPair
+// parallel TCP streams; every stream still shares the single WAN bottleneck.
+type StripedTransfer struct {
+	FileBytes      int64
+	SourceHosts    int
+	DestHosts      int
+	StreamsPerPair int
+	BufferBytes    int
+	Source         HostProfile
+	Dest           HostProfile
+}
+
+func (t StripedTransfer) validate() error {
+	if t.FileBytes <= 0 {
+		return fmt.Errorf("netsim: FileBytes must be positive, got %d", t.FileBytes)
+	}
+	if t.SourceHosts < 1 || t.DestHosts < 1 {
+		return fmt.Errorf("netsim: striped transfer needs at least one host on each side")
+	}
+	if t.StreamsPerPair < 1 {
+		return fmt.Errorf("netsim: StreamsPerPair must be >= 1, got %d", t.StreamsPerPair)
+	}
+	if t.BufferBytes < 1024 {
+		return fmt.Errorf("netsim: BufferBytes must be >= 1024, got %d", t.BufferBytes)
+	}
+	return nil
+}
+
+// Pairs returns the number of concurrently striping host pairs.
+func (t StripedTransfer) Pairs() int {
+	if t.SourceHosts < t.DestHosts {
+		return t.SourceHosts
+	}
+	return t.DestHosts
+}
+
+// StripedResult reports a striped transfer outcome.
+type StripedResult struct {
+	Duration       time.Duration
+	ThroughputMbps float64
+	PerPairMbps    []float64
+}
+
+// SimulateStriped runs a striped, parallel transfer through the round model.
+// Each round, per-flow windows are offered, then scaled down by iterative
+// water-filling across three constraint sets: the shared WAN bottleneck, the
+// per-source-host cap, and the per-destination-host cap.
+func SimulateStriped(cfg Config, tr StripedTransfer) (StripedResult, error) {
+	if err := cfg.validate(); err != nil {
+		return StripedResult{}, err
+	}
+	if err := tr.validate(); err != nil {
+		return StripedResult{}, err
+	}
+
+	pairs := tr.Pairs()
+	perPair := float64(tr.FileBytes) / float64(pairs)
+	perStream := perPair / float64(tr.StreamsPerPair)
+	rtt := cfg.RTT.Seconds()
+	capacity := cfg.availBytesPerSec()
+	mss := float64(cfg.MSS)
+	setup := float64(cfg.SetupRTTs) * rtt
+
+	srcCap := tr.Source.CapBytesPerSec()
+	dstCap := tr.Dest.CapBytesPerSec()
+
+	type sflow struct {
+		flow
+		pair int
+	}
+	flows := make([]*sflow, 0, pairs*tr.StreamsPerPair)
+	for p := 0; p < pairs; p++ {
+		for s := 0; s < tr.StreamsPerPair; s++ {
+			flows = append(flows, &sflow{
+				flow: flow{
+					cwnd:      2 * mss,
+					ssthresh:  float64(tr.BufferBytes),
+					clamp:     float64(tr.BufferBytes),
+					remaining: perStream,
+					total:     perStream,
+					start:     setup,
+				},
+				pair: p,
+			})
+		}
+	}
+
+	rng := newRand(cfg.Seed)
+	queue := 0.0
+	now := setup
+	pairEnd := make([]float64, pairs)
+	const maxRounds = 4_000_000
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return StripedResult{}, fmt.Errorf("netsim: striped transfer did not converge in %d rounds", maxRounds)
+		}
+		active := 0
+		offered := 0.0
+		pairOffered := make([]float64, pairs)
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			active++
+			f.sent = math.Min(math.Min(f.cwnd, f.clamp), f.remaining)
+			offered += f.sent
+			pairOffered[f.pair] += f.sent
+		}
+		if active == 0 {
+			break
+		}
+
+		effRTT := rtt + queue/capacity
+		drained := capacity * effRTT
+		wanRoom := drained + (float64(cfg.QueueBytes) - queue)
+
+		// Water-fill: per-flow acceptance fractions under WAN and host caps.
+		// Host caps apply to each pair independently (each pair is a
+		// distinct physical source/destination machine).
+		acceptPair := make([]float64, pairs)
+		hostRoom := math.Min(srcCap, dstCap) * effRTT
+		for p := 0; p < pairs; p++ {
+			acceptPair[p] = 1.0
+			if pairOffered[p] > hostRoom && pairOffered[p] > 0 {
+				acceptPair[p] = hostRoom / pairOffered[p]
+			}
+		}
+		afterHost := 0.0
+		for p := 0; p < pairs; p++ {
+			afterHost += pairOffered[p] * acceptPair[p]
+		}
+		wanScale := 1.0
+		overflow := 0.0
+		if afterHost > wanRoom && afterHost > 0 {
+			wanScale = wanRoom / afterHost
+			overflow = afterHost - wanRoom
+		}
+		queue = math.Max(0, queue+afterHost*wanScale-drained)
+		if queue > float64(cfg.QueueBytes) {
+			queue = float64(cfg.QueueBytes)
+		}
+		congProb := 0.0
+		if overflow > 0 {
+			congProb = math.Min(1, 3*overflow/afterHost)
+		}
+
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			delivered := f.sent * acceptPair[f.pair] * wanScale
+			f.remaining -= delivered
+			if f.remaining <= 1e-6 {
+				f.done = true
+				frac := 1.0
+				if delivered > 0 {
+					frac = math.Max(0, math.Min(1, (delivered+f.remaining)/delivered))
+				}
+				f.end = now + effRTT*frac
+				if f.end > pairEnd[f.pair] {
+					pairEnd[f.pair] = f.end
+				}
+			}
+			segs := delivered / mss
+			lost := false
+			if congProb > 0 && f.sent > 0 && rng.Float64() < congProb {
+				lost = true
+			} else if cfg.LossRate > 0 && segs > 0 && rng.Float64() < 1-math.Pow(1-cfg.LossRate, segs) {
+				lost = true
+			}
+			if f.done {
+				continue
+			}
+			if lost {
+				f.ssthresh = math.Max(f.cwnd/2, 2*mss)
+				f.cwnd = f.ssthresh
+			} else if f.cwnd < f.ssthresh {
+				f.cwnd = math.Min(f.cwnd*2, f.clamp)
+			} else {
+				f.cwnd = math.Min(f.cwnd+mss, f.clamp)
+			}
+		}
+		now += effRTT
+	}
+
+	res := StripedResult{PerPairMbps: make([]float64, pairs)}
+	last := 0.0
+	for p := 0; p < pairs; p++ {
+		if pairEnd[p] > last {
+			last = pairEnd[p]
+		}
+		span := pairEnd[p] - setup
+		if span > 0 {
+			res.PerPairMbps[p] = perPair * 8 / span / 1e6
+		}
+	}
+	res.Duration = time.Duration(last * float64(time.Second))
+	if last > 0 {
+		res.ThroughputMbps = float64(tr.FileBytes) * 8 / last / 1e6
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func runStriped(t *testing.T, cfg Config, tr StripedTransfer) StripedResult {
+	t.Helper()
+	r, err := SimulateStriped(cfg, tr)
+	if err != nil {
+		t.Fatalf("SimulateStriped(%+v): %v", tr, err)
+	}
+	return r
+}
+
+func TestHostProfileCaps(t *testing.T) {
+	h := HostProfile{NICMbps: 100, DiskMBps: 30, CPUPerByteNs: 5}
+	// NIC: 12.5 MB/s; disk: 30 MB/s; CPU: 200 MB/s -> NIC binds.
+	if got, want := h.CapBytesPerSec(), 100e6/8; got != want {
+		t.Fatalf("cap = %v, want %v (NIC bound)", got, want)
+	}
+	h = HostProfile{NICMbps: 1000, DiskMBps: 10, CPUPerByteNs: 5}
+	if got, want := h.CapBytesPerSec(), 10e6*1.0; got != want {
+		t.Fatalf("cap = %v, want %v (disk bound)", got, want)
+	}
+	h = HostProfile{NICMbps: 1000, DiskMBps: 500, CPUPerByteNs: 100}
+	if got, want := h.CapBytesPerSec(), 1e9/100; got != want {
+		t.Fatalf("cap = %v, want %v (CPU bound)", got, want)
+	}
+	h = HostProfile{}
+	if !math.IsInf(h.CapBytesPerSec(), 1) {
+		t.Fatalf("empty profile should be unconstrained")
+	}
+}
+
+func TestStripedValidation(t *testing.T) {
+	cfg := CERNtoANL()
+	bad := []StripedTransfer{
+		{FileBytes: 0, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 1, BufferBytes: 65536},
+		{FileBytes: MB, SourceHosts: 0, DestHosts: 1, StreamsPerPair: 1, BufferBytes: 65536},
+		{FileBytes: MB, SourceHosts: 1, DestHosts: 0, StreamsPerPair: 1, BufferBytes: 65536},
+		{FileBytes: MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 0, BufferBytes: 65536},
+		{FileBytes: MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 1, BufferBytes: 100},
+	}
+	for _, tr := range bad {
+		if _, err := SimulateStriped(cfg, tr); err == nil {
+			t.Errorf("expected error for %+v", tr)
+		}
+	}
+}
+
+func TestStripedPairsMinOfSides(t *testing.T) {
+	tr := StripedTransfer{SourceHosts: 4, DestHosts: 2}
+	if tr.Pairs() != 2 {
+		t.Fatalf("Pairs = %d, want 2", tr.Pairs())
+	}
+	tr = StripedTransfer{SourceHosts: 1, DestHosts: 3}
+	if tr.Pairs() != 1 {
+		t.Fatalf("Pairs = %d, want 1", tr.Pairs())
+	}
+}
+
+// TestStripedMatchesParallelForOnePair: a 1x1 striped transfer with s
+// streams behaves like a plain parallel transfer with s streams, when host
+// resources are not the bottleneck.
+func TestStripedMatchesParallelForOnePair(t *testing.T) {
+	cfg := CERNtoANL()
+	plain := run(t, cfg, Transfer{FileBytes: 50 * MB, Streams: 4, BufferBytes: TunedBufferBytes})
+	striped := runStriped(t, cfg, StripedTransfer{
+		FileBytes: 50 * MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 4,
+		BufferBytes: TunedBufferBytes, Source: DefaultHost(), Dest: DefaultHost(),
+	})
+	ratio := striped.ThroughputMbps / plain.ThroughputMbps
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("1x1 striped %.1f vs plain %.1f (ratio %.2f) should match",
+			striped.ThroughputMbps, plain.ThroughputMbps, ratio)
+	}
+}
+
+// TestStripingOvercomesHostLimit: when a single host NIC is slower than the
+// WAN, striping across several hosts recovers the WAN rate. This is the
+// architectural point of GridFTP striped transfer (Section 3.2).
+func TestStripingOvercomesHostLimit(t *testing.T) {
+	cfg := CERNtoANL()
+	slow := HostProfile{NICMbps: 10} // one host can do at most 10 Mbps
+	one := runStriped(t, cfg, StripedTransfer{
+		FileBytes: 50 * MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 4,
+		BufferBytes: TunedBufferBytes, Source: slow, Dest: slow,
+	})
+	three := runStriped(t, cfg, StripedTransfer{
+		FileBytes: 50 * MB, SourceHosts: 3, DestHosts: 3, StreamsPerPair: 4,
+		BufferBytes: TunedBufferBytes, Source: slow, Dest: slow,
+	})
+	if one.ThroughputMbps > 11 {
+		t.Fatalf("single 10 Mbps host moved %.1f Mbps, exceeding its NIC", one.ThroughputMbps)
+	}
+	if three.ThroughputMbps < 1.8*one.ThroughputMbps {
+		t.Fatalf("3-way striping %.1f should far exceed single host %.1f",
+			three.ThroughputMbps, one.ThroughputMbps)
+	}
+}
+
+// TestObjectCopierOverheadVisible models Section 5.3: a server running the
+// object copier burns more CPU per network byte; with a high-end (here:
+// WAN-saturating) link the degradation becomes noticeable.
+func TestObjectCopierOverheadVisible(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.CrossTrafficMbps = 0 // give the flows the full 45 Mbps
+	fileServer := HostProfile{NICMbps: 100, DiskMBps: 30, CPUPerByteNs: 5}
+	objServer := HostProfile{NICMbps: 100, DiskMBps: 30, CPUPerByteNs: 300} // copier load
+	plain := runStriped(t, cfg, StripedTransfer{
+		FileBytes: 50 * MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 4,
+		BufferBytes: TunedBufferBytes, Source: fileServer, Dest: fileServer,
+	})
+	obj := runStriped(t, cfg, StripedTransfer{
+		FileBytes: 50 * MB, SourceHosts: 1, DestHosts: 1, StreamsPerPair: 4,
+		BufferBytes: TunedBufferBytes, Source: objServer, Dest: fileServer,
+	})
+	if obj.ThroughputMbps >= plain.ThroughputMbps {
+		t.Fatalf("object server %.1f should be slower than file server %.1f",
+			obj.ThroughputMbps, plain.ThroughputMbps)
+	}
+	// 300 ns/byte caps the host at ~26.7 Mbps; the WAN offers 45.
+	if obj.ThroughputMbps > 30 {
+		t.Fatalf("object server %.1f exceeds its CPU cap", obj.ThroughputMbps)
+	}
+}
+
+func TestStripedDeterminism(t *testing.T) {
+	cfg := CERNtoANL()
+	tr := StripedTransfer{
+		FileBytes: 25 * MB, SourceHosts: 2, DestHosts: 2, StreamsPerPair: 2,
+		BufferBytes: UntunedBufferBytes, Source: DefaultHost(), Dest: DefaultHost(),
+	}
+	a := runStriped(t, cfg, tr)
+	b := runStriped(t, cfg, tr)
+	if a.ThroughputMbps != b.ThroughputMbps {
+		t.Fatalf("striped simulation not deterministic: %v vs %v", a.ThroughputMbps, b.ThroughputMbps)
+	}
+	if len(a.PerPairMbps) != 2 {
+		t.Fatalf("expected 2 pair rates, got %d", len(a.PerPairMbps))
+	}
+}
+
+func TestSweepTableAndAccessors(t *testing.T) {
+	cfg := CERNtoANL()
+	sw, err := StreamSweep(cfg, []int{1, 25}, 3, UntunedBufferBytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 6 {
+		t.Fatalf("expected 6 points, got %d", len(sw.Points))
+	}
+	if sw.Rate(25, 2) <= 0 {
+		t.Fatalf("Rate(25,2) should be positive")
+	}
+	if sw.Rate(99, 1) != 0 {
+		t.Fatalf("Rate for unmeasured size should be 0")
+	}
+	peak, at := sw.PeakRate(25)
+	if peak <= 0 || at < 1 || at > 3 {
+		t.Fatalf("PeakRate(25) = %v @ %d streams, implausible", peak, at)
+	}
+	table := sw.Table()
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	for _, want := range []string{"streams", "1MB", "25MB"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// newRand returns the deterministic generator used across the package.
+func newRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// MB is one megabyte in bytes (the unit the paper's figures use).
+const MB = 1 << 20
+
+// FigureFileSizesMB are the four file sizes of Figures 5 and 6.
+var FigureFileSizesMB = []int{1, 25, 50, 100}
+
+// UntunedBufferBytes is the paper's default socket buffer ("typically 64 KB
+// in the test environment").
+const UntunedBufferBytes = 64 * 1024
+
+// TunedBufferBytes is the paper's tuned socket buffer (Figure 6: "TCP
+// buffers tuned to 1 MB").
+const TunedBufferBytes = 1024 * 1024
+
+// SweepPoint is one measurement in a stream sweep: a file size, a stream
+// count, and the achieved aggregate rate.
+type SweepPoint struct {
+	FileMB  int
+	Streams int
+	Mbps    float64
+}
+
+// Sweep is a full figure: transfer rate as a function of parallel streams
+// for each file size, at a fixed buffer size.
+type Sweep struct {
+	BufferBytes int
+	MaxStreams  int
+	Points      []SweepPoint
+}
+
+// StreamSweep reproduces one of the paper's figures: for each file size and
+// each stream count from 1 to maxStreams, it simulates the transfer repeats
+// times with distinct seeds and records the mean aggregate throughput.
+func StreamSweep(cfg Config, fileSizesMB []int, maxStreams, bufferBytes, repeats int) (Sweep, error) {
+	sw := Sweep{BufferBytes: bufferBytes, MaxStreams: maxStreams}
+	for _, mb := range fileSizesMB {
+		for s := 1; s <= maxStreams; s++ {
+			mean, err := MeanThroughputMbps(cfg, Transfer{
+				FileBytes:   int64(mb) * MB,
+				Streams:     s,
+				BufferBytes: bufferBytes,
+			}, repeats)
+			if err != nil {
+				return Sweep{}, err
+			}
+			sw.Points = append(sw.Points, SweepPoint{FileMB: mb, Streams: s, Mbps: mean})
+		}
+	}
+	return sw, nil
+}
+
+// Rate returns the sweep's throughput for the given file size and stream
+// count, or zero if that point was not measured.
+func (s Sweep) Rate(fileMB, streams int) float64 {
+	for _, p := range s.Points {
+		if p.FileMB == fileMB && p.Streams == streams {
+			return p.Mbps
+		}
+	}
+	return 0
+}
+
+// PeakRate returns the highest rate reached for the file size and the stream
+// count at which it occurred.
+func (s Sweep) PeakRate(fileMB int) (mbps float64, streams int) {
+	for _, p := range s.Points {
+		if p.FileMB == fileMB && p.Mbps > mbps {
+			mbps, streams = p.Mbps, p.Streams
+		}
+	}
+	return mbps, streams
+}
+
+// Table renders the sweep as the text analogue of the paper's figure: one
+// row per stream count, one column per file size.
+func (s Sweep) Table() string {
+	var b strings.Builder
+	sizes := uniqueSizes(s.Points)
+	fmt.Fprintf(&b, "%-8s", "streams")
+	for _, mb := range sizes {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("%dMB", mb))
+	}
+	b.WriteByte('\n')
+	for st := 1; st <= s.MaxStreams; st++ {
+		fmt.Fprintf(&b, "%-8d", st)
+		for _, mb := range sizes {
+			fmt.Fprintf(&b, "%10.2f", s.Rate(mb, st))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func uniqueSizes(pts []SweepPoint) []int {
+	var sizes []int
+	seen := make(map[int]bool)
+	for _, p := range pts {
+		if !seen[p.FileMB] {
+			seen[p.FileMB] = true
+			sizes = append(sizes, p.FileMB)
+		}
+	}
+	return sizes
+}
+
+// Figure5 regenerates the paper's Figure 5: transfer rates for 1, 25, 50 and
+// 100 MB files over 1..10 parallel streams with default (untuned) 64 KB
+// buffers on the CERN-ANL path.
+func Figure5(repeats int) (Sweep, error) {
+	return StreamSweep(CERNtoANL(), FigureFileSizesMB, 10, UntunedBufferBytes, repeats)
+}
+
+// Figure6 regenerates the paper's Figure 6: the same sweep with buffers
+// tuned to 1 MB.
+func Figure6(repeats int) (Sweep, error) {
+	return StreamSweep(CERNtoANL(), FigureFileSizesMB, 10, TunedBufferBytes, repeats)
+}

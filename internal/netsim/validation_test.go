@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLossLimitedThroughputMatchesMathis validates the TCP model against
+// the classic Mathis formula: a loss-limited Reno flow achieves roughly
+// MSS/(RTT*sqrt(2p/3)). The round model is an approximation, so agreement
+// within a factor of two across two decades of loss rate is the bar.
+func TestLossLimitedThroughputMatchesMathis(t *testing.T) {
+	for _, p := range []float64{1e-3, 1e-2} {
+		cfg := CERNtoANL()
+		cfg.CrossTrafficMbps = 0 // leave headroom so loss, not the link, binds
+		cfg.LossRate = p
+		cfg.SetupRTTs = 0
+		got, err := MeanThroughputMbps(cfg, Transfer{
+			FileBytes:   200 * MB,
+			Streams:     1,
+			BufferBytes: 8 * 1024 * 1024, // window never the limit
+		}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mathis := float64(cfg.MSS) * 8 / cfg.RTT.Seconds() / math.Sqrt(2*p/3) / 1e6
+		if mathis > cfg.LinkMbps {
+			mathis = cfg.LinkMbps // capacity clamps the formula
+		}
+		ratio := got / mathis
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("p=%g: model %.2f Mbps vs Mathis %.2f Mbps (ratio %.2f)",
+				p, got, mathis, ratio)
+		}
+	}
+}
+
+// TestWindowLimitedThroughputExact validates the window-limited regime: a
+// lossless clamped flow runs at exactly buffer/RTT.
+func TestWindowLimitedThroughputExact(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0
+	cfg.SetupRTTs = 0
+	buf := 128 * 1024
+	r, err := Simulate(cfg, Transfer{FileBytes: 200 * MB, Streams: 1, BufferBytes: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(buf) * 8 / cfg.RTT.Seconds() / 1e6
+	if r.ThroughputMbps < 0.9*want || r.ThroughputMbps > 1.02*want {
+		t.Fatalf("window-limited %.2f Mbps, want ~%.2f", r.ThroughputMbps, want)
+	}
+}
+
+// TestCapacityLimitedThroughput validates the third regime: with huge
+// buffers and no loss, a single flow fills the available link.
+func TestCapacityLimitedThroughput(t *testing.T) {
+	cfg := CERNtoANL()
+	cfg.LossRate = 0
+	cfg.SetupRTTs = 0
+	r, err := Simulate(cfg, Transfer{FileBytes: 500 * MB, Streams: 1, BufferBytes: 16 * 1024 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := cfg.LinkMbps - cfg.CrossTrafficMbps
+	if r.ThroughputMbps < 0.85*avail || r.ThroughputMbps > 1.05*avail {
+		t.Fatalf("capacity-limited %.2f Mbps, want ~%.1f", r.ThroughputMbps, avail)
+	}
+}

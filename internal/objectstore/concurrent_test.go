@@ -1,0 +1,69 @@
+package objectstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestFederationConcurrentReaders: lookups, navigation, and scans from many
+// goroutines against a shared federation must be safe and consistent.
+func TestFederationConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	const dbs = 4
+	for i := uint32(1); i <= dbs; i++ {
+		cross := i + 1
+		if cross > dbs {
+			cross = 0
+		}
+		buildDB(t, filepath.Join(dir, fmt.Sprintf("c%d.odb", i)), i, 20, 64, cross)
+	}
+	fed := NewFederation()
+	defer fed.Close()
+	for i := uint32(1); i <= dbs; i++ {
+		if _, err := fed.Attach(filepath.Join(dir, fmt.Sprintf("c%d.odb", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				oid := OID{DB: uint32(g%dbs) + 1, Slot: uint32(i%20) + 1}
+				obj, err := fed.Lookup(oid)
+				if err != nil {
+					errs <- fmt.Errorf("lookup %v: %w", oid, err)
+					return
+				}
+				if obj.Event != uint64(oid.Slot) {
+					errs <- fmt.Errorf("object %v has event %d", oid, obj.Event)
+					return
+				}
+				if len(obj.Assocs) > 0 {
+					if _, err := fed.Navigate(oid, 0); err != nil {
+						errs <- fmt.Errorf("navigate %v: %w", oid, err)
+						return
+					}
+				}
+			}
+			count := 0
+			if err := fed.Scan(func(m Meta) bool { count++; return true }); err != nil {
+				errs <- err
+				return
+			}
+			if count != dbs*20 {
+				errs <- fmt.Errorf("scan saw %d objects", count)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,434 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestOIDStringRoundTrip(t *testing.T) {
+	f := func(db, slot uint32) bool {
+		oid := OID{DB: db, Slot: slot}
+		parsed, err := ParseOID(oid.String())
+		return err == nil && parsed == oid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "1", "a:b", "1:", ":2", "1:2:3x"} {
+		if _, err := ParseOID(bad); err == nil && bad != "1:2:3x" {
+			t.Errorf("ParseOID(%q) accepted", bad)
+		}
+	}
+}
+
+// buildDB writes a database with n objects of the given size; every object
+// gets an association to its neighbor and, optionally, a cross-file assoc.
+func buildDB(t *testing.T, path string, dbid uint32, n int, size int, crossDB uint32) {
+	t.Helper()
+	w, err := Create(path, dbid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(dbid)))
+	for i := 0; i < n; i++ {
+		data := make([]byte, size)
+		rng.Read(data)
+		obj := &Object{
+			OID:   OID{Slot: uint32(i + 1)},
+			Type:  "raw",
+			Event: uint64(i + 1),
+			Data:  data,
+		}
+		if i > 0 {
+			obj.Assocs = append(obj.Assocs, OID{DB: dbid, Slot: uint32(i)})
+		}
+		if crossDB != 0 && i == n-1 {
+			obj.Assocs = append(obj.Assocs, OID{DB: crossDB, Slot: 1})
+		}
+		if err := w.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db1.odb")
+	w, err := Create(path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []*Object{
+		{OID: OID{Slot: 1}, Type: "raw", Event: 100, Data: []byte("raw-data-payload")},
+		{OID: OID{Slot: 2}, Type: "esd", Event: 100, Assocs: []OID{{DB: 7, Slot: 1}}, Data: []byte("esd")},
+		{OID: OID{Slot: 3}, Type: "tag", Event: 101, Assocs: []OID{{DB: 9, Slot: 4}}, Data: []byte{}},
+	}
+	for _, o := range objs {
+		if err := w.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.DBID() != 7 || db.Len() != 3 {
+		t.Fatalf("dbid=%d len=%d", db.DBID(), db.Len())
+	}
+	for _, want := range objs {
+		got, err := db.Read(want.OID.Slot)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", want.OID.Slot, err)
+		}
+		if got.Type != want.Type || got.Event != want.Event || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("object %d mismatch: %+v", want.OID.Slot, got)
+		}
+		if got.OID.DB != 7 {
+			t.Fatalf("OID.DB not stamped: %v", got.OID)
+		}
+		if len(got.Assocs) != len(want.Assocs) {
+			t.Fatalf("assocs = %v, want %v", got.Assocs, want.Assocs)
+		}
+	}
+	if _, err := db.Read(99); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("Read(99): %v", err)
+	}
+	if got := db.ForeignDBs(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("ForeignDBs = %v", got)
+	}
+	if db.TotalBytes() != int64(len("raw-data-payload")+len("esd")) {
+		t.Fatalf("TotalBytes = %d", db.TotalBytes())
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.odb")
+	w, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(&Object{OID: OID{DB: 2, Slot: 1}}); err == nil {
+		t.Error("foreign dbid accepted")
+	}
+	if err := w.Add(&Object{OID: OID{Slot: 1}, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(&Object{OID: OID{Slot: 1}}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate slot: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrWriterClosed) {
+		t.Errorf("double close: %v", err)
+	}
+	if err := w.Add(&Object{OID: OID{Slot: 5}}); !errors.Is(err, ErrWriterClosed) {
+		t.Errorf("add after close: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.odb")
+	buildDB(t, path, 3, 10, 100, 0)
+
+	// Not a database at all.
+	junk := filepath.Join(dir, "junk")
+	os.WriteFile(junk, []byte("hello world, definitely not a db"), 0o644)
+	if _, err := Open(junk); !errors.Is(err, ErrNotDatabase) {
+		t.Errorf("junk open: %v", err)
+	}
+	// Truncated header.
+	short := filepath.Join(dir, "short")
+	os.WriteFile(short, []byte("GDMP"), 0o644)
+	if _, err := Open(short); !errors.Is(err, ErrNotDatabase) {
+		t.Errorf("short open: %v", err)
+	}
+	// Flipped byte in the index region.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-3] ^= 0xFF
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, corrupt, 0o644)
+	if _, err := Open(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt open: %v", err)
+	}
+	// A crashed writer (header never patched) fails to open.
+	unfinished := filepath.Join(dir, "unfinished")
+	w, err := Create(unfinished, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(&Object{OID: OID{Slot: 1}, Data: []byte("x")})
+	w.f.Close() // simulate crash: no Close(), no header
+	if _, err := Open(unfinished); err == nil {
+		t.Error("unfinished database opened")
+	}
+}
+
+func TestDBPropertyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(dir, fmt.Sprintf("p%d.odb", seed))
+		w, err := Create(path, 42)
+		if err != nil {
+			return false
+		}
+		count := int(n%32) + 1
+		type expect struct {
+			slot uint32
+			data []byte
+		}
+		var want []expect
+		for i := 0; i < count; i++ {
+			data := make([]byte, rng.Intn(1000))
+			rng.Read(data)
+			slot := uint32(i + 1)
+			if err := w.Add(&Object{OID: OID{Slot: slot}, Type: "t", Event: uint64(i), Data: data}); err != nil {
+				return false
+			}
+			want = append(want, expect{slot, data})
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		db, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		defer os.Remove(path)
+		if db.Len() != count {
+			return false
+		}
+		for _, e := range want {
+			got, err := db.Read(e.slot)
+			if err != nil || !bytes.Equal(got.Data, e.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFederationAttachLookupNavigate(t *testing.T) {
+	dir := t.TempDir()
+	db1 := filepath.Join(dir, "db1.odb")
+	db2 := filepath.Join(dir, "db2.odb")
+	buildDB(t, db1, 1, 5, 50, 2) // last object points into db 2
+	buildDB(t, db2, 2, 3, 50, 0)
+
+	fed := NewFederation()
+	defer fed.Close()
+	id, err := fed.Attach(db1)
+	if err != nil || id != 1 {
+		t.Fatalf("Attach db1: %d, %v", id, err)
+	}
+	if _, err := fed.Attach(db1); !errors.Is(err, ErrAlreadyAttached) {
+		t.Fatalf("duplicate attach: %v", err)
+	}
+
+	// Intra-file navigation works.
+	obj, err := fed.Navigate(OID{DB: 1, Slot: 2}, 0)
+	if err != nil {
+		t.Fatalf("Navigate within db1: %v", err)
+	}
+	if obj.OID != (OID{DB: 1, Slot: 1}) {
+		t.Fatalf("navigated to %v", obj.OID)
+	}
+
+	// Cross-file navigation fails while db2 is not attached: the paper's
+	// broken-navigation hazard.
+	_, err = fed.Navigate(OID{DB: 1, Slot: 5}, 1)
+	if !errors.Is(err, ErrNotAttached) {
+		t.Fatalf("navigation to unattached db: %v", err)
+	}
+
+	// After replicating (attaching) db2, navigation succeeds.
+	if _, err := fed.Attach(db2); err != nil {
+		t.Fatal(err)
+	}
+	obj, err = fed.Navigate(OID{DB: 1, Slot: 5}, 1)
+	if err != nil {
+		t.Fatalf("Navigate after attach: %v", err)
+	}
+	if obj.OID != (OID{DB: 2, Slot: 1}) {
+		t.Fatalf("navigated to %v", obj.OID)
+	}
+
+	st, err := fed.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Databases != 2 || st.Objects != 8 {
+		t.Fatalf("Stats = %+v", st)
+	}
+
+	if err := fed.Detach(1); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Attached(1) {
+		t.Fatal("db1 still attached after detach")
+	}
+	if err := fed.Detach(1); !errors.Is(err, ErrNotAttached) {
+		t.Fatalf("double detach: %v", err)
+	}
+}
+
+func TestAssociationClosure(t *testing.T) {
+	dir := t.TempDir()
+	// db1 -> db2 -> db3 (chain via cross assocs), db4 standalone.
+	buildDB(t, filepath.Join(dir, "db2.odb"), 2, 2, 10, 3)
+	buildDB(t, filepath.Join(dir, "db1.odb"), 1, 2, 10, 2)
+	buildDB(t, filepath.Join(dir, "db3.odb"), 3, 2, 10, 0)
+	buildDB(t, filepath.Join(dir, "db4.odb"), 4, 2, 10, 0)
+
+	fed := NewFederation()
+	defer fed.Close()
+	for _, n := range []string{"db1.odb", "db2.odb", "db3.odb", "db4.odb"} {
+		if _, err := fed.Attach(filepath.Join(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closure, missing, err := fed.AssociationClosure([]uint32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(closure) != 3 || closure[0] != 1 || closure[1] != 2 || closure[2] != 3 {
+		t.Fatalf("closure = %v", closure)
+	}
+
+	// With db3 detached the closure reports it as missing.
+	fed.Detach(3)
+	closure, missing, err = fed.AssociationClosure([]uint32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closure) != 2 || len(missing) != 1 || missing[0] != 3 {
+		t.Fatalf("closure = %v, missing = %v", closure, missing)
+	}
+}
+
+func TestFederationScan(t *testing.T) {
+	dir := t.TempDir()
+	buildDB(t, filepath.Join(dir, "a.odb"), 1, 4, 10, 0)
+	buildDB(t, filepath.Join(dir, "b.odb"), 2, 6, 10, 0)
+	fed := NewFederation()
+	defer fed.Close()
+	fed.Attach(filepath.Join(dir, "a.odb"))
+	fed.Attach(filepath.Join(dir, "b.odb"))
+	count := 0
+	if err := fed.Scan(func(m Meta) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("scanned %d objects", count)
+	}
+	// Early stop.
+	count = 0
+	fed.Scan(func(m Meta) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+}
+
+func TestFederationSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	buildDB(t, filepath.Join(dir, "a.odb"), 1, 2, 10, 0)
+	buildDB(t, filepath.Join(dir, "b.odb"), 2, 2, 10, 0)
+	fed := NewFederation()
+	fed.Attach(filepath.Join(dir, "a.odb"))
+	fed.Attach(filepath.Join(dir, "b.odb"))
+	catalog := filepath.Join(dir, "federation.cat")
+	if err := fed.Save(catalog); err != nil {
+		t.Fatal(err)
+	}
+	fed.Close()
+
+	restored, err := LoadFederation(catalog)
+	if err != nil {
+		t.Fatalf("LoadFederation: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Databases(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("restored databases = %v", got)
+	}
+	if _, err := restored.Lookup(OID{DB: 2, Slot: 1}); err != nil {
+		t.Fatalf("lookup after restore: %v", err)
+	}
+	// Corrupt catalog rejected.
+	os.WriteFile(catalog, []byte("nonsense"), 0o644)
+	if _, err := LoadFederation(catalog); err == nil {
+		t.Fatal("bad catalog accepted")
+	}
+}
+
+func TestFindObjects(t *testing.T) {
+	dir := t.TempDir()
+	// Two databases, events 1..5 in each, one object per event per db.
+	buildDB(t, filepath.Join(dir, "a.odb"), 1, 5, 10, 0)
+	buildDB(t, filepath.Join(dir, "b.odb"), 2, 5, 10, 0)
+	fed := NewFederation()
+	defer fed.Close()
+	fed.Attach(filepath.Join(dir, "a.odb"))
+	fed.Attach(filepath.Join(dir, "b.odb"))
+
+	got, err := fed.FindObjects("raw", []uint64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each event appears in both databases.
+	if len(got) != 4 {
+		t.Fatalf("FindObjects returned %d metas", len(got))
+	}
+	for _, m := range got {
+		if m.Event != 2 && m.Event != 4 {
+			t.Fatalf("unexpected event %d", m.Event)
+		}
+	}
+	// Unknown type or events yield nothing.
+	if got, _ := fed.FindObjects("nope", []uint64{2}); len(got) != 0 {
+		t.Fatalf("unknown type matched %d", len(got))
+	}
+	if got, _ := fed.FindObjects("raw", []uint64{99}); len(got) != 0 {
+		t.Fatalf("unknown event matched %d", len(got))
+	}
+}
+
+func TestNavigateBounds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.odb")
+	buildDB(t, path, 1, 2, 10, 0)
+	fed := NewFederation()
+	defer fed.Close()
+	fed.Attach(path)
+	if _, err := fed.Navigate(OID{DB: 1, Slot: 1}, 0); err == nil {
+		t.Fatal("slot 1 has no associations; Navigate should fail")
+	}
+	if _, err := fed.Navigate(OID{DB: 1, Slot: 2}, 5); err == nil {
+		t.Fatal("out-of-range association index accepted")
+	}
+}

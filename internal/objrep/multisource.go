@@ -1,0 +1,70 @@
+package objrep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/objectstore"
+)
+
+// SourceSet maps site names to their GDMP control addresses.
+type SourceSet map[string]string
+
+// ReplicateFromSites serves one object request from a combination of source
+// sites, the full Section 5.2 cycle: "the objects not yet present on the
+// destination site are identified, and a source site, or combination of
+// source sites, for these objects is found" — via a single collective
+// lookup on the global index — after which each source runs its own
+// extraction/transfer pipeline.
+func ReplicateFromSites(dest *core.Site, sources SourceSet, ix *Index, oids []objectstore.OID, batchSize int, pipelined bool) (ReplicationStats, error) {
+	if ix == nil {
+		return ReplicationStats{}, fmt.Errorf("objrep: multi-source replication needs the global index")
+	}
+	missing := ix.Missing(oids, dest.Name())
+	agg := ReplicationStats{Objects: len(missing)}
+	if len(missing) == 0 {
+		return agg, nil
+	}
+	groups := ix.CollectiveLookup(missing)
+	if orphans := groups[""]; len(orphans) > 0 {
+		return agg, fmt.Errorf("objrep: %d objects have no known location (first: %v)",
+			len(orphans), orphans[0])
+	}
+
+	// Deterministic source order.
+	sites := make([]string, 0, len(groups))
+	for site := range groups {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+
+	start := time.Now()
+	for _, site := range sites {
+		ctl, ok := sources[site]
+		if !ok {
+			return agg, fmt.Errorf("objrep: no control address for source site %q", site)
+		}
+		r := &Replicator{
+			Dest:           dest,
+			SourceCtl:      ctl,
+			SourceName:     site,
+			BatchSize:      batchSize,
+			Pipelined:      pipelined,
+			DeleteAtSource: true,
+			Index:          ix,
+		}
+		st, err := r.Replicate(groups[site])
+		agg.Batches += st.Batches
+		agg.BytesMoved += st.BytesMoved
+		agg.ExtractTime += st.ExtractTime
+		agg.TransferTime += st.TransferTime
+		if err != nil {
+			agg.Elapsed = time.Since(start)
+			return agg, fmt.Errorf("objrep: source %s: %w", site, err)
+		}
+	}
+	agg.Elapsed = time.Since(start)
+	return agg, nil
+}

@@ -1,0 +1,152 @@
+package objrep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gdmp/internal/objectstore"
+)
+
+// Reclustering rewrites a federation's objects into new database files
+// whose clustering matches an access pattern — the optimization the paper
+// inherits from [Holt98] ("Automatic Reclustering of Objects in Very Large
+// Databases") and [Scha99], and the storage-level counterpart of object
+// replication: a selection that would touch every file before reclustering
+// touches few files afterwards.
+
+// ClusterPolicy orders objects into new files.
+type ClusterPolicy int
+
+const (
+	// ClusterByType groups same-type objects of consecutive events, the
+	// layout that serves type-wise scans and sparse selections best.
+	ClusterByType ClusterPolicy = iota
+
+	// ClusterByEvent keeps each event's objects together, the layout that
+	// serves whole-event reads best.
+	ClusterByEvent
+)
+
+// ReclusterResult describes the rewritten layout.
+type ReclusterResult struct {
+	Files   []string // paths of the new database files, in order
+	Objects int
+	Bytes   int64
+
+	// Mapping records old OID -> new OID for index maintenance.
+	Mapping map[objectstore.OID]objectstore.OID
+}
+
+// Recluster reads every object of the federation and rewrites them into new
+// database files under outDir, at most objectsPerFile per file, ordered by
+// the policy. Database ids start at firstDBID and increase; the source
+// federation is left untouched (objects are read-only).
+func Recluster(fed *objectstore.Federation, outDir string, policy ClusterPolicy, objectsPerFile int, firstDBID uint32) (*ReclusterResult, error) {
+	if objectsPerFile <= 0 {
+		return nil, fmt.Errorf("objrep: objectsPerFile must be positive, got %d", objectsPerFile)
+	}
+	if firstDBID == 0 {
+		return nil, fmt.Errorf("objrep: firstDBID must be nonzero")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	var metas []objectstore.Meta
+	if err := fed.Scan(func(m objectstore.Meta) bool {
+		metas = append(metas, m)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("objrep: federation holds no objects")
+	}
+
+	switch policy {
+	case ClusterByType:
+		sort.SliceStable(metas, func(i, j int) bool {
+			if metas[i].Type != metas[j].Type {
+				return metas[i].Type < metas[j].Type
+			}
+			return metas[i].Event < metas[j].Event
+		})
+	case ClusterByEvent:
+		sort.SliceStable(metas, func(i, j int) bool {
+			if metas[i].Event != metas[j].Event {
+				return metas[i].Event < metas[j].Event
+			}
+			return metas[i].Type < metas[j].Type
+		})
+	default:
+		return nil, fmt.Errorf("objrep: unknown cluster policy %d", policy)
+	}
+
+	// First pass: assign new OIDs so associations can be rewritten even
+	// when they point forward in the new order.
+	res := &ReclusterResult{Mapping: make(map[objectstore.OID]objectstore.OID, len(metas))}
+	for i, m := range metas {
+		res.Mapping[m.OID] = objectstore.OID{
+			DB:   firstDBID + uint32(i/objectsPerFile),
+			Slot: uint32(i%objectsPerFile) + 1,
+		}
+	}
+
+	// Second pass: write the files.
+	var w *objectstore.Writer
+	var curDB uint32
+	closeCurrent := func() error {
+		if w == nil {
+			return nil
+		}
+		err := w.Close()
+		w = nil
+		return err
+	}
+	for i, m := range metas {
+		newOID := res.Mapping[m.OID]
+		if w == nil || newOID.DB != curDB {
+			if err := closeCurrent(); err != nil {
+				return nil, err
+			}
+			curDB = newOID.DB
+			path := filepath.Join(outDir, fmt.Sprintf("recluster-%08d.odb", curDB))
+			var err error
+			w, err = objectstore.Create(path, curDB)
+			if err != nil {
+				return nil, err
+			}
+			res.Files = append(res.Files, path)
+		}
+		obj, err := fed.Lookup(m.OID)
+		if err != nil {
+			closeCurrent()
+			return nil, err
+		}
+		var assocs []objectstore.OID
+		for _, a := range obj.Assocs {
+			if target, ok := res.Mapping[a]; ok {
+				assocs = append(assocs, target)
+			}
+		}
+		if err := w.Add(&objectstore.Object{
+			OID:    objectstore.OID{Slot: newOID.Slot},
+			Type:   obj.Type,
+			Event:  obj.Event,
+			Assocs: assocs,
+			Data:   obj.Data,
+		}); err != nil {
+			closeCurrent()
+			return nil, err
+		}
+		res.Objects++
+		res.Bytes += int64(len(obj.Data))
+		_ = i
+	}
+	if err := closeCurrent(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,326 @@
+package objrep
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdmp/internal/core"
+	"gdmp/internal/gsi"
+	"gdmp/internal/objectstore"
+	"gdmp/internal/rpc"
+)
+
+// Request Manager methods added by the object replication service. They
+// double as ACL operations; grant them with AllowServiceUseAll.
+const (
+	// MethodExtract runs the object copier at a source site: the request
+	// carries a set of OIDs, the reply the published LFN of the new file
+	// and the original->new OID mapping.
+	MethodExtract = "objrep.extract"
+
+	// MethodRelease deletes an extraction file at the source after the
+	// destination has received it (step 3 of the cycle).
+	MethodRelease = "objrep.release"
+)
+
+// AllowServiceUseAll grants every authenticated identity the object
+// replication methods.
+func AllowServiceUseAll(acl *gsi.ACL) {
+	acl.AllowAll(MethodExtract, MethodRelease)
+}
+
+var extractSerial uint64 // distinguishes extraction files within a process
+
+// EnableService registers the object replication service on a site. The
+// site must have an object federation (extractions read through it).
+func EnableService(site *core.Site) error {
+	if site.Federation() == nil {
+		return errors.New("objrep: site has no object federation")
+	}
+	site.HandleRPC(MethodExtract, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		n := args.Uint32()
+		if n == 0 || n > 10_000_000 {
+			return fmt.Errorf("objrep: implausible object count %d", n)
+		}
+		oids := make([]objectstore.OID, 0, n)
+		for i := uint32(0); i < n; i++ {
+			oids = append(oids, objectstore.OID{DB: args.Uint32(), Slot: args.Uint32()})
+		}
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		lfn, mapping, err := extract(site, oids)
+		if err != nil {
+			return err
+		}
+		resp.String(lfn)
+		resp.Uint32(uint32(len(mapping)))
+		for orig, fresh := range mapping {
+			resp.Uint32(orig.DB)
+			resp.Uint32(orig.Slot)
+			resp.Uint32(fresh.DB)
+			resp.Uint32(fresh.Slot)
+		}
+		return nil
+	})
+	site.HandleRPC(MethodRelease, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return site.RemoveLocal(lfn)
+	})
+	return nil
+}
+
+// extract runs the object copier and publishes the resulting file.
+func extract(site *core.Site, oids []objectstore.OID) (string, map[objectstore.OID]objectstore.OID, error) {
+	serial := atomic.AddUint64(&extractSerial, 1)
+	rel := fmt.Sprintf("objrep/extract-%s-%06d.odb", site.Name(), serial)
+	lfn := "lfn://" + site.Name() + "/" + rel
+
+	// The new database id must not collide with attached databases at any
+	// destination; derive it from the globally unique LFN.
+	h := fnv.New32a()
+	h.Write([]byte(lfn))
+	dbid := h.Sum32() | 0x8000_0000 // keep clear of generator-assigned ids
+
+	full, err := siteLocalPath(site, rel)
+	if err != nil {
+		return "", nil, err
+	}
+	if _, mapping, err := CopyObjects(site.Federation(), oids, full, dbid); err != nil {
+		return "", nil, err
+	} else {
+		if _, err := site.Publish(rel, core.PublishOptions{LFN: lfn, FileType: "objectivity"}); err != nil {
+			return "", nil, err
+		}
+		return lfn, mapping, nil
+	}
+}
+
+// siteLocalPath resolves a site-relative path and creates its directory.
+func siteLocalPath(site *core.Site, rel string) (string, error) {
+	full, err := core.JoinDataDir(site, rel)
+	if err != nil {
+		return "", err
+	}
+	return full, nil
+}
+
+// ReplicationStats reports one object replication cycle.
+type ReplicationStats struct {
+	Objects      int
+	Batches      int
+	BytesMoved   int64
+	Elapsed      time.Duration
+	ExtractTime  time.Duration // total time spent in the copier
+	TransferTime time.Duration // total time spent in wide-area transfers
+}
+
+// Replicator drives a complete object replication cycle against one source
+// site (Section 5.2). The destination must run an object federation.
+type Replicator struct {
+	// Dest is the destination site (objects land in its federation).
+	Dest *core.Site
+
+	// SourceCtl is the source site's GDMP control address.
+	SourceCtl string
+
+	// SourceName names the source site in the global index.
+	SourceName string
+
+	// BatchSize is how many objects each extraction file carries
+	// (default: everything in one file).
+	BatchSize int
+
+	// Pipelined overlaps object copying with file transport
+	// (Section 5.2: "object copying and file transport operations are
+	// pipelined to achieve a better response time").
+	Pipelined bool
+
+	// DeleteAtSource removes extraction files at the source after
+	// transfer (step 3; default true behavior is selected by the caller).
+	DeleteAtSource bool
+
+	// Index, when set, is consulted to skip objects the destination
+	// already holds and updated with the new replicas.
+	Index *Index
+}
+
+// Replicate moves the objects to the destination and returns statistics.
+func (r *Replicator) Replicate(oids []objectstore.OID) (ReplicationStats, error) {
+	if r.Dest == nil || r.SourceCtl == "" {
+		return ReplicationStats{}, errors.New("objrep: Replicator needs Dest and SourceCtl")
+	}
+	if r.Dest.Federation() == nil {
+		return ReplicationStats{}, errors.New("objrep: destination has no object federation")
+	}
+	// Identify the objects not yet present at the destination.
+	work := oids
+	if r.Index != nil {
+		work = r.Index.Missing(oids, r.Dest.Name())
+	}
+	stats := ReplicationStats{Objects: len(work)}
+	if len(work) == 0 {
+		return stats, nil
+	}
+	batch := r.BatchSize
+	if batch <= 0 || batch > len(work) {
+		batch = len(work)
+	}
+	var batches [][]objectstore.OID
+	for start := 0; start < len(work); start += batch {
+		end := start + batch
+		if end > len(work) {
+			end = len(work)
+		}
+		batches = append(batches, work[start:end])
+	}
+	stats.Batches = len(batches)
+
+	start := time.Now()
+	var err error
+	if r.Pipelined {
+		err = r.runPipelined(batches, &stats)
+	} else {
+		err = r.runSequential(batches, &stats)
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, err
+}
+
+// extractBatch asks the source to run the copier for one batch. The batch
+// carries original object identifiers; they are translated to the source
+// site's local identifiers through the index (an extraction file at the
+// source renumbers objects, and the location table knows the mapping).
+func (r *Replicator) extractBatch(batch []objectstore.OID) (string, map[objectstore.OID]objectstore.OID, []objectstore.OID, error) {
+	srcOIDs := make([]objectstore.OID, len(batch))
+	for i, orig := range batch {
+		srcOIDs[i] = orig
+		if r.Index != nil {
+			if local, ok := r.Index.LocalOID(orig, r.SourceName); ok {
+				srcOIDs[i] = local
+			}
+		}
+	}
+	var e rpc.Encoder
+	e.Uint32(uint32(len(srcOIDs)))
+	for _, oid := range srcOIDs {
+		e.Uint32(oid.DB)
+		e.Uint32(oid.Slot)
+	}
+	d, err := r.Dest.CallRemote(r.SourceCtl, MethodExtract, &e)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	lfn := d.String()
+	n := d.Uint32()
+	mapping := make(map[objectstore.OID]objectstore.OID, n)
+	for i := uint32(0); i < n; i++ {
+		src := objectstore.OID{DB: d.Uint32(), Slot: d.Uint32()}
+		fresh := objectstore.OID{DB: d.Uint32(), Slot: d.Uint32()}
+		mapping[src] = fresh
+	}
+	if err := d.Finish(); err != nil {
+		return "", nil, nil, err
+	}
+	return lfn, mapping, srcOIDs, nil
+}
+
+// transferBatch pulls one extraction file and finalizes it, recording the
+// destination-local identifier of every object in the index.
+func (r *Replicator) transferBatch(lfn string, batch, srcOIDs []objectstore.OID, mapping map[objectstore.OID]objectstore.OID, stats *ReplicationStats, mu *sync.Mutex) error {
+	tStart := time.Now()
+	if err := r.Dest.Get(lfn); err != nil {
+		return err
+	}
+	dur := time.Since(tStart)
+
+	var size int64
+	for _, fi := range r.Dest.LocalFiles() {
+		if fi.LFN == lfn {
+			size = fi.Size
+			break
+		}
+	}
+	mu.Lock()
+	stats.TransferTime += dur
+	stats.BytesMoved += size
+	mu.Unlock()
+
+	if r.Index != nil {
+		for i, orig := range batch {
+			local, ok := mapping[srcOIDs[i]]
+			if !ok {
+				local = orig
+			}
+			r.Index.AddAt(orig, r.Dest.Name(), local)
+		}
+	}
+	if r.DeleteAtSource {
+		var e rpc.Encoder
+		e.String(lfn)
+		if _, err := r.Dest.CallRemote(r.SourceCtl, MethodRelease, &e); err != nil {
+			return fmt.Errorf("objrep: release %s at source: %w", lfn, err)
+		}
+	}
+	return nil
+}
+
+// runSequential copies and transfers each batch strictly in turn.
+func (r *Replicator) runSequential(batches [][]objectstore.OID, stats *ReplicationStats) error {
+	var mu sync.Mutex
+	for _, batch := range batches {
+		eStart := time.Now()
+		lfn, mapping, srcOIDs, err := r.extractBatch(batch)
+		if err != nil {
+			return err
+		}
+		stats.ExtractTime += time.Since(eStart)
+		if err := r.transferBatch(lfn, batch, srcOIDs, mapping, stats, &mu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPipelined overlaps extraction of batch i+1 with transfer of batch i.
+func (r *Replicator) runPipelined(batches [][]objectstore.OID, stats *ReplicationStats) error {
+	type extracted struct {
+		lfn     string
+		batch   []objectstore.OID
+		srcOIDs []objectstore.OID
+		mapping map[objectstore.OID]objectstore.OID
+		err     error
+	}
+	var mu sync.Mutex
+	ch := make(chan extracted, 1) // depth-1 pipeline: copy leads transfer by one batch
+	go func() {
+		defer close(ch)
+		for _, batch := range batches {
+			eStart := time.Now()
+			lfn, mapping, srcOIDs, err := r.extractBatch(batch)
+			mu.Lock()
+			stats.ExtractTime += time.Since(eStart)
+			mu.Unlock()
+			ch <- extracted{lfn: lfn, batch: batch, srcOIDs: srcOIDs, mapping: mapping, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for ex := range ch {
+		if ex.err != nil {
+			return ex.err
+		}
+		if err := r.transferBatch(ex.lfn, ex.batch, ex.srcOIDs, ex.mapping, stats, &mu); err != nil {
+			return err
+		}
+	}
+	return nil
+}

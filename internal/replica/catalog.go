@@ -1,0 +1,396 @@
+// Package replica implements the Replica Catalog of Section 3.1: the
+// "fundamental building block in Data Grid systems" that keeps track of
+// multiple physical copies of a single logical file by maintaining a
+// mapping from logical file names to physical locations.
+//
+// The catalog contains the paper's three object types:
+//
+//   - collection: a named group of logical file names, because "datasets are
+//     normally manipulated as a whole";
+//   - logical file entry: an optional record holding attribute-value pairs
+//     (size, modify timestamp, checksum, ...) for one logical file;
+//   - location: the mapping from a logical file name (a globally unique
+//     identifier, not a physical location) to the possibly multiple physical
+//     locations of its replicas.
+//
+// Operations mirror the paper's list: creation and deletion of collection,
+// location, and logical file entries; insertion and removal of logical file
+// names into collections and locations; listing; and "the heart of the
+// system, a function to return all physical locations of a logical file".
+// Queries accept LDAP-style search filters (see filter.go), standing in for
+// the LDAP backend of the Globus implementation. The GDMP paper deploys a
+// single central catalog per Grid; so does this package (see server.go).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known attribute names used by GDMP when publishing files
+// (Section 4.2: "meta-information about the file (such as file size and
+// modify time-stamps)").
+const (
+	AttrSize     = "size"
+	AttrModified = "mtime"
+	AttrCRC      = "crc32"
+	AttrOwner    = "owner"
+	AttrFileType = "filetype"
+)
+
+// Errors returned by catalog operations.
+var (
+	ErrExists        = errors.New("replica: entry already exists")
+	ErrNotFound      = errors.New("replica: entry not found")
+	ErrBadName       = errors.New("replica: invalid name")
+	ErrNotEmpty      = errors.New("replica: collection not empty")
+	ErrNoSuchReplica = errors.New("replica: no such replica")
+)
+
+// LogicalFile is one logical file entry: a globally unique name plus
+// attribute-value metadata.
+type LogicalFile struct {
+	Name  string
+	Attrs map[string]string
+}
+
+// clone returns a deep copy so callers cannot mutate catalog state.
+func (f *LogicalFile) clone() *LogicalFile {
+	attrs := make(map[string]string, len(f.Attrs))
+	for k, v := range f.Attrs {
+		attrs[k] = v
+	}
+	return &LogicalFile{Name: f.Name, Attrs: attrs}
+}
+
+// Size returns the size attribute, if present and numeric.
+func (f *LogicalFile) Size() (int64, bool) {
+	v, ok := f.Attrs[AttrSize]
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Catalog is the in-memory replica catalog. It is safe for concurrent use;
+// the RPC server in this package serializes remote access to a single
+// central instance, exactly as the paper's single-LDAP-server deployment.
+type Catalog struct {
+	mu          sync.RWMutex
+	files       map[string]*LogicalFile
+	locations   map[string]map[string]bool // lfn -> set of PFNs
+	collections map[string]map[string]bool // collection -> set of LFNs
+	serial      uint64                     // for LFN auto-generation
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		files:       make(map[string]*LogicalFile),
+		locations:   make(map[string]map[string]bool),
+		collections: make(map[string]map[string]bool),
+	}
+}
+
+func validName(n string) error {
+	if n == "" || strings.ContainsAny(n, "\n\r\t") {
+		return fmt.Errorf("%w: %q", ErrBadName, n)
+	}
+	return nil
+}
+
+// --- logical files -------------------------------------------------------
+
+// Register creates a logical file entry. The name must be globally unique:
+// registering an existing name fails, which is how GDMP "ensures a global
+// name space" and verifies user-selected logical file names.
+func (c *Catalog) Register(name string, attrs map[string]string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; ok {
+		return fmt.Errorf("%w: logical file %q", ErrExists, name)
+	}
+	cp := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	c.files[name] = &LogicalFile{Name: name, Attrs: cp}
+	c.locations[name] = make(map[string]bool)
+	return nil
+}
+
+// GenerateLFN reserves and registers an automatically generated unique
+// logical file name incorporating the site name and base name, GDMP's
+// "automatic generation ... of new logical file names".
+func (c *Catalog) GenerateLFN(site, base string, attrs map[string]string) (string, error) {
+	if err := validName(site); err != nil {
+		return "", err
+	}
+	if err := validName(base); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		c.serial++
+		name := fmt.Sprintf("lfn://%s/%s.%06d", site, base, c.serial)
+		if _, ok := c.files[name]; ok {
+			continue
+		}
+		cp := make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			cp[k] = v
+		}
+		c.files[name] = &LogicalFile{Name: name, Attrs: cp}
+		c.locations[name] = make(map[string]bool)
+		return name, nil
+	}
+}
+
+// Lookup returns a copy of the logical file entry.
+func (c *Catalog) Lookup(name string) (*LogicalFile, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: logical file %q", ErrNotFound, name)
+	}
+	return f.clone(), nil
+}
+
+// SetAttrs merges attribute updates into an existing entry.
+func (c *Catalog) SetAttrs(name string, attrs map[string]string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, name)
+	}
+	for k, v := range attrs {
+		f.Attrs[k] = v
+	}
+	return nil
+}
+
+// Delete removes a logical file entry, its replica locations, and its
+// membership in any collections.
+func (c *Catalog) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, name)
+	}
+	delete(c.files, name)
+	delete(c.locations, name)
+	for _, set := range c.collections {
+		delete(set, name)
+	}
+	return nil
+}
+
+// Files returns all logical file names, sorted.
+func (c *Catalog) Files() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.files))
+	for n := range c.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query returns copies of the logical files whose attributes satisfy the
+// filter expression (see ParseFilter). Clients "can specify filters to
+// obtain the exact information that they require".
+func (c *Catalog) Query(filter string) ([]*LogicalFile, error) {
+	f, err := ParseFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*LogicalFile
+	for _, lf := range c.files {
+		if f.Match(lf) {
+			out = append(out, lf.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// --- locations -----------------------------------------------------------
+
+// AddReplica records a physical location (PFN) for a logical file.
+func (c *Catalog) AddReplica(lfn, pfn string) error {
+	if err := validName(pfn); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	locs, ok := c.locations[lfn]
+	if !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
+	}
+	if locs[pfn] {
+		return fmt.Errorf("%w: replica %q of %q", ErrExists, pfn, lfn)
+	}
+	locs[pfn] = true
+	return nil
+}
+
+// RemoveReplica deletes one physical location of a logical file.
+func (c *Catalog) RemoveReplica(lfn, pfn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	locs, ok := c.locations[lfn]
+	if !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
+	}
+	if !locs[pfn] {
+		return fmt.Errorf("%w: %q of %q", ErrNoSuchReplica, pfn, lfn)
+	}
+	delete(locs, pfn)
+	return nil
+}
+
+// Locations returns all physical locations of a logical file, sorted — the
+// paper's "heart of the system".
+func (c *Catalog) Locations(lfn string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	locs, ok := c.locations[lfn]
+	if !ok {
+		return nil, fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
+	}
+	out := make([]string, 0, len(locs))
+	for pfn := range locs {
+		out = append(out, pfn)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- collections ---------------------------------------------------------
+
+// CreateCollection creates an empty collection.
+func (c *Catalog) CreateCollection(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.collections[name]; ok {
+		return fmt.Errorf("%w: collection %q", ErrExists, name)
+	}
+	c.collections[name] = make(map[string]bool)
+	return nil
+}
+
+// DeleteCollection removes a collection. It must be empty unless force is
+// set, protecting against accidental loss of dataset groupings.
+func (c *Catalog) DeleteCollection(name string, force bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.collections[name]
+	if !ok {
+		return fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	if len(set) > 0 && !force {
+		return fmt.Errorf("%w: %q has %d members", ErrNotEmpty, name, len(set))
+	}
+	delete(c.collections, name)
+	return nil
+}
+
+// AddToCollection inserts a registered logical file into a collection.
+func (c *Catalog) AddToCollection(coll, lfn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.collections[coll]
+	if !ok {
+		return fmt.Errorf("%w: collection %q", ErrNotFound, coll)
+	}
+	if _, ok := c.files[lfn]; !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
+	}
+	set[lfn] = true
+	return nil
+}
+
+// RemoveFromCollection removes a logical file from a collection.
+func (c *Catalog) RemoveFromCollection(coll, lfn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.collections[coll]
+	if !ok {
+		return fmt.Errorf("%w: collection %q", ErrNotFound, coll)
+	}
+	if !set[lfn] {
+		return fmt.Errorf("%w: %q not in collection %q", ErrNotFound, lfn, coll)
+	}
+	delete(set, lfn)
+	return nil
+}
+
+// ListCollection returns the sorted members of a collection.
+func (c *Catalog) ListCollection(name string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set, ok := c.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	out := make([]string, 0, len(set))
+	for lfn := range set {
+		out = append(out, lfn)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Collections returns all collection names, sorted.
+func (c *Catalog) Collections() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.collections))
+	for n := range c.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes catalog contents.
+type Stats struct {
+	Files       int
+	Replicas    int
+	Collections int
+}
+
+// Stats returns entry counts.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Stats{Files: len(c.files), Collections: len(c.collections)}
+	for _, locs := range c.locations {
+		s.Replicas += len(locs)
+	}
+	return s
+}
+
+// Timestamp formats a time the way catalog attributes store it (RFC3339).
+func Timestamp(t time.Time) string { return t.UTC().Format(time.RFC3339) }

@@ -1,0 +1,221 @@
+package replica
+
+import (
+	"time"
+
+	"gdmp/internal/gsi"
+	"gdmp/internal/rpc"
+)
+
+// Client is the remote interface to a central Replica Catalog server. GDMP
+// wraps it in a higher-level service (internal/core) that adds sanity
+// checks, search filters, and automatic creation of required entries,
+// exactly as the paper's "higher-level object-oriented wrapper to the
+// underlying Globus Replica Catalog library".
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects and authenticates to the catalog server at addr.
+func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...rpc.DialOption) (*Client, error) {
+	cl, err := rpc.Dial(addr, cred, roots, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rc: cl}, nil
+}
+
+// DialTimeout is Dial with an explicit per-call timeout.
+func DialTimeout(addr string, cred *gsi.Credential, roots []*gsi.Certificate, d time.Duration) (*Client, error) {
+	return Dial(addr, cred, roots, rpc.WithTimeout(d))
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Register creates a logical file entry with attributes.
+func (c *Client) Register(name string, attrs map[string]string) error {
+	var e rpc.Encoder
+	e.String(name)
+	encodeAttrs(&e, attrs)
+	_, err := c.rc.Call(MethodRegister, &e)
+	return err
+}
+
+// GenerateLFN asks the catalog to mint and register a unique logical name.
+func (c *Client) GenerateLFN(site, base string, attrs map[string]string) (string, error) {
+	var e rpc.Encoder
+	e.String(site)
+	e.String(base)
+	encodeAttrs(&e, attrs)
+	d, err := c.rc.Call(MethodGenerate, &e)
+	if err != nil {
+		return "", err
+	}
+	lfn := d.String()
+	return lfn, d.Finish()
+}
+
+// Lookup fetches a logical file entry.
+func (c *Client) Lookup(name string) (*LogicalFile, error) {
+	var e rpc.Encoder
+	e.String(name)
+	d, err := c.rc.Call(MethodLookup, &e)
+	if err != nil {
+		return nil, err
+	}
+	attrs := decodeAttrs(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return &LogicalFile{Name: name, Attrs: attrs}, nil
+}
+
+// SetAttrs merges attributes into an entry.
+func (c *Client) SetAttrs(name string, attrs map[string]string) error {
+	var e rpc.Encoder
+	e.String(name)
+	encodeAttrs(&e, attrs)
+	_, err := c.rc.Call(MethodSetAttrs, &e)
+	return err
+}
+
+// Delete removes a logical file entry and its replica locations.
+func (c *Client) Delete(name string) error {
+	var e rpc.Encoder
+	e.String(name)
+	_, err := c.rc.Call(MethodDelete, &e)
+	return err
+}
+
+// Files lists all logical file names.
+func (c *Client) Files() ([]string, error) {
+	d, err := c.rc.Call(MethodFiles, nil)
+	if err != nil {
+		return nil, err
+	}
+	files := d.StringList()
+	return files, d.Finish()
+}
+
+// Query evaluates an LDAP-style filter on the server.
+func (c *Client) Query(filter string) ([]*LogicalFile, error) {
+	var e rpc.Encoder
+	e.String(filter)
+	d, err := c.rc.Call(MethodQuery, &e)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Uint32()
+	out := make([]*LogicalFile, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name := d.String()
+		attrs := decodeAttrs(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, &LogicalFile{Name: name, Attrs: attrs})
+	}
+	return out, d.Finish()
+}
+
+// AddReplica records a physical location for a logical file.
+func (c *Client) AddReplica(lfn, pfn string) error {
+	var e rpc.Encoder
+	e.String(lfn)
+	e.String(pfn)
+	_, err := c.rc.Call(MethodAddReplica, &e)
+	return err
+}
+
+// RemoveReplica deletes a physical location of a logical file.
+func (c *Client) RemoveReplica(lfn, pfn string) error {
+	var e rpc.Encoder
+	e.String(lfn)
+	e.String(pfn)
+	_, err := c.rc.Call(MethodRemoveReplica, &e)
+	return err
+}
+
+// Locations returns all physical locations of a logical file.
+func (c *Client) Locations(lfn string) ([]string, error) {
+	var e rpc.Encoder
+	e.String(lfn)
+	d, err := c.rc.Call(MethodLocations, &e)
+	if err != nil {
+		return nil, err
+	}
+	locs := d.StringList()
+	return locs, d.Finish()
+}
+
+// CreateCollection creates an empty collection.
+func (c *Client) CreateCollection(name string) error {
+	var e rpc.Encoder
+	e.String(name)
+	_, err := c.rc.Call(MethodCreateCollection, &e)
+	return err
+}
+
+// DeleteCollection removes a collection (force deletes non-empty ones).
+func (c *Client) DeleteCollection(name string, force bool) error {
+	var e rpc.Encoder
+	e.String(name)
+	e.Bool(force)
+	_, err := c.rc.Call(MethodDeleteCollection, &e)
+	return err
+}
+
+// AddToCollection inserts a logical file into a collection.
+func (c *Client) AddToCollection(coll, lfn string) error {
+	var e rpc.Encoder
+	e.String(coll)
+	e.String(lfn)
+	_, err := c.rc.Call(MethodAddToCollection, &e)
+	return err
+}
+
+// RemoveFromCollection removes a logical file from a collection.
+func (c *Client) RemoveFromCollection(coll, lfn string) error {
+	var e rpc.Encoder
+	e.String(coll)
+	e.String(lfn)
+	_, err := c.rc.Call(MethodRemoveFromColl, &e)
+	return err
+}
+
+// ListCollection returns the members of a collection.
+func (c *Client) ListCollection(name string) ([]string, error) {
+	var e rpc.Encoder
+	e.String(name)
+	d, err := c.rc.Call(MethodListCollection, &e)
+	if err != nil {
+		return nil, err
+	}
+	members := d.StringList()
+	return members, d.Finish()
+}
+
+// Collections lists all collection names.
+func (c *Client) Collections() ([]string, error) {
+	d, err := c.rc.Call(MethodCollections, nil)
+	if err != nil {
+		return nil, err
+	}
+	colls := d.StringList()
+	return colls, d.Finish()
+}
+
+// Stats returns catalog entry counts.
+func (c *Client) Stats() (Stats, error) {
+	d, err := c.rc.Call(MethodStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Files:       int(d.Uint64()),
+		Replicas:    int(d.Uint64()),
+		Collections: int(d.Uint64()),
+	}
+	return st, d.Finish()
+}

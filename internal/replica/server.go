@@ -1,0 +1,266 @@
+package replica
+
+import (
+	"net"
+
+	"gdmp/internal/gsi"
+	"gdmp/internal/rpc"
+)
+
+// RPC method names served by the catalog. Each doubles as the ACL operation
+// a caller must hold; OpAll grants the full set.
+const (
+	MethodRegister         = "rc.register"
+	MethodGenerate         = "rc.generate"
+	MethodLookup           = "rc.lookup"
+	MethodSetAttrs         = "rc.setattrs"
+	MethodDelete           = "rc.delete"
+	MethodFiles            = "rc.files"
+	MethodQuery            = "rc.query"
+	MethodAddReplica       = "rc.add_replica"
+	MethodRemoveReplica    = "rc.remove_replica"
+	MethodLocations        = "rc.locations"
+	MethodCreateCollection = "rc.create_collection"
+	MethodDeleteCollection = "rc.delete_collection"
+	MethodAddToCollection  = "rc.add_to_collection"
+	MethodRemoveFromColl   = "rc.remove_from_collection"
+	MethodListCollection   = "rc.list_collection"
+	MethodCollections      = "rc.collections"
+	MethodStats            = "rc.stats"
+)
+
+// Methods lists every RPC method the catalog server exposes.
+var Methods = []string{
+	MethodRegister, MethodGenerate, MethodLookup, MethodSetAttrs,
+	MethodDelete, MethodFiles, MethodQuery, MethodAddReplica,
+	MethodRemoveReplica, MethodLocations, MethodCreateCollection,
+	MethodDeleteCollection, MethodAddToCollection, MethodRemoveFromColl,
+	MethodListCollection, MethodCollections, MethodStats,
+}
+
+// AllowCatalogUse grants an identity every catalog operation.
+func AllowCatalogUse(acl *gsi.ACL, id gsi.Identity) {
+	for _, m := range Methods {
+		acl.Allow(id, gsi.Operation(m))
+	}
+}
+
+// AllowCatalogUseAll grants every authenticated identity every catalog
+// operation (typical for a collaboration-internal catalog).
+func AllowCatalogUseAll(acl *gsi.ACL) {
+	for _, m := range Methods {
+		acl.AllowAll(gsi.Operation(m))
+	}
+}
+
+// encodeAttrs / decodeAttrs move attribute maps across the wire.
+func encodeAttrs(e *rpc.Encoder, attrs map[string]string) {
+	e.Uint32(uint32(len(attrs)))
+	// Deterministic order is unnecessary on the wire but harmless; maps
+	// iterate randomly and both sides treat the pairs as a set.
+	for k, v := range attrs {
+		e.String(k)
+		e.String(v)
+	}
+}
+
+func decodeAttrs(d *rpc.Decoder) map[string]string {
+	n := d.Uint32()
+	attrs := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		k := d.String()
+		v := d.String()
+		if d.Err() != nil {
+			return nil
+		}
+		attrs[k] = v
+	}
+	return attrs
+}
+
+// Server exposes a Catalog over the Request Manager RPC layer. This is the
+// deployment shape of the paper: one central Replica Catalog service per
+// Grid, reached by every GDMP site.
+type Server struct {
+	catalog *Catalog
+	rpc     *rpc.Server
+}
+
+// NewServer wraps catalog in an authenticated RPC server.
+func NewServer(catalog *Catalog, cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Server {
+	s := &Server{catalog: catalog, rpc: rpc.NewServer(cred, roots, acl)}
+	s.register()
+	return s
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error { return s.rpc.Serve(ln) }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Catalog returns the underlying catalog (for snapshotting by the daemon).
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+func (s *Server) register() {
+	s.rpc.Handle(MethodRegister, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		attrs := decodeAttrs(args)
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.Register(name, attrs)
+	})
+	s.rpc.Handle(MethodGenerate, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		site := args.String()
+		base := args.String()
+		attrs := decodeAttrs(args)
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		lfn, err := s.catalog.GenerateLFN(site, base, attrs)
+		if err != nil {
+			return err
+		}
+		resp.String(lfn)
+		return nil
+	})
+	s.rpc.Handle(MethodLookup, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		f, err := s.catalog.Lookup(name)
+		if err != nil {
+			return err
+		}
+		encodeAttrs(resp, f.Attrs)
+		return nil
+	})
+	s.rpc.Handle(MethodSetAttrs, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		attrs := decodeAttrs(args)
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.SetAttrs(name, attrs)
+	})
+	s.rpc.Handle(MethodDelete, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.Delete(name)
+	})
+	s.rpc.Handle(MethodFiles, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		resp.StringList(s.catalog.Files())
+		return nil
+	})
+	s.rpc.Handle(MethodQuery, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		filter := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		files, err := s.catalog.Query(filter)
+		if err != nil {
+			return err
+		}
+		resp.Uint32(uint32(len(files)))
+		for _, f := range files {
+			resp.String(f.Name)
+			encodeAttrs(resp, f.Attrs)
+		}
+		return nil
+	})
+	s.rpc.Handle(MethodAddReplica, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		pfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.AddReplica(lfn, pfn)
+	})
+	s.rpc.Handle(MethodRemoveReplica, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		pfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.RemoveReplica(lfn, pfn)
+	})
+	s.rpc.Handle(MethodLocations, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		locs, err := s.catalog.Locations(lfn)
+		if err != nil {
+			return err
+		}
+		resp.StringList(locs)
+		return nil
+	})
+	s.rpc.Handle(MethodCreateCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.CreateCollection(name)
+	})
+	s.rpc.Handle(MethodDeleteCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		force := args.Bool()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.DeleteCollection(name, force)
+	})
+	s.rpc.Handle(MethodAddToCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		coll := args.String()
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.AddToCollection(coll, lfn)
+	})
+	s.rpc.Handle(MethodRemoveFromColl, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		coll := args.String()
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		return s.catalog.RemoveFromCollection(coll, lfn)
+	})
+	s.rpc.Handle(MethodListCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		name := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		members, err := s.catalog.ListCollection(name)
+		if err != nil {
+			return err
+		}
+		resp.StringList(members)
+		return nil
+	})
+	s.rpc.Handle(MethodCollections, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		resp.StringList(s.catalog.Collections())
+		return nil
+	})
+	s.rpc.Handle(MethodStats, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		st := s.catalog.Stats()
+		resp.Uint64(uint64(st.Files))
+		resp.Uint64(uint64(st.Replicas))
+		resp.Uint64(uint64(st.Collections))
+		return nil
+	})
+}

@@ -1,0 +1,252 @@
+package replica
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot persistence. The Globus Replica Catalog stores its state in an
+// LDAP database; this implementation persists the catalog as a plain,
+// line-oriented text snapshot, which also serves GDMP's failure-recovery
+// path ("obtaining a remote site's file catalog for failure recovery").
+//
+// Format (all strings Go-quoted):
+//
+//	gdmp-replica-catalog v1
+//	serial <n>
+//	file <lfn>
+//	attr <key> <value>          # belongs to the preceding file
+//	loc <pfn>                   # belongs to the preceding file
+//	coll <name>
+//	member <lfn>                # belongs to the preceding coll
+
+const snapshotHeader = "gdmp-replica-catalog v1"
+
+// Save writes a snapshot of the entire catalog.
+func (c *Catalog) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotHeader)
+	fmt.Fprintf(bw, "serial %d\n", c.serial)
+
+	names := make([]string, 0, len(c.files))
+	for n := range c.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := c.files[n]
+		fmt.Fprintf(bw, "file %s\n", strconv.Quote(n))
+		keys := make([]string, 0, len(f.Attrs))
+		for k := range f.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, "attr %s %s\n", strconv.Quote(k), strconv.Quote(f.Attrs[k]))
+		}
+		pfns := make([]string, 0, len(c.locations[n]))
+		for p := range c.locations[n] {
+			pfns = append(pfns, p)
+		}
+		sort.Strings(pfns)
+		for _, p := range pfns {
+			fmt.Fprintf(bw, "loc %s\n", strconv.Quote(p))
+		}
+	}
+
+	colls := make([]string, 0, len(c.collections))
+	for n := range c.collections {
+		colls = append(colls, n)
+	}
+	sort.Strings(colls)
+	for _, n := range colls {
+		fmt.Fprintf(bw, "coll %s\n", strconv.Quote(n))
+		members := make([]string, 0, len(c.collections[n]))
+		for m := range c.collections[n] {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			fmt.Fprintf(bw, "member %s\n", strconv.Quote(m))
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the catalog contents with a snapshot previously written by
+// Save.
+func (c *Catalog) Load(r io.Reader) error {
+	files := make(map[string]*LogicalFile)
+	locations := make(map[string]map[string]bool)
+	collections := make(map[string]map[string]bool)
+	var serial uint64
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var curFile string
+	var curColl string
+
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("replica: snapshot line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	unquote := func(s string) (string, error) {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fail("bad quoting in %q", s)
+		}
+		return v, nil
+	}
+
+	if !sc.Scan() {
+		return fmt.Errorf("replica: empty snapshot")
+	}
+	lineNo++
+	if strings.TrimSpace(sc.Text()) != snapshotHeader {
+		return fmt.Errorf("replica: bad snapshot header %q", sc.Text())
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		switch verb {
+		case "serial":
+			n, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return fail("bad serial %q", rest)
+			}
+			serial = n
+		case "file":
+			name, err := unquote(rest)
+			if err != nil {
+				return err
+			}
+			if _, dup := files[name]; dup {
+				return fail("duplicate file %q", name)
+			}
+			files[name] = &LogicalFile{Name: name, Attrs: make(map[string]string)}
+			locations[name] = make(map[string]bool)
+			curFile, curColl = name, ""
+		case "attr":
+			if curFile == "" {
+				return fail("attr before file")
+			}
+			kq, vq, ok := cutQuoted(rest)
+			if !ok {
+				return fail("malformed attr %q", rest)
+			}
+			k, err := unquote(kq)
+			if err != nil {
+				return err
+			}
+			v, err := unquote(vq)
+			if err != nil {
+				return err
+			}
+			files[curFile].Attrs[k] = v
+		case "loc":
+			if curFile == "" {
+				return fail("loc before file")
+			}
+			pfn, err := unquote(rest)
+			if err != nil {
+				return err
+			}
+			locations[curFile][pfn] = true
+		case "coll":
+			name, err := unquote(rest)
+			if err != nil {
+				return err
+			}
+			if _, dup := collections[name]; dup {
+				return fail("duplicate collection %q", name)
+			}
+			collections[name] = make(map[string]bool)
+			curColl, curFile = name, ""
+		case "member":
+			if curColl == "" {
+				return fail("member before coll")
+			}
+			lfn, err := unquote(rest)
+			if err != nil {
+				return err
+			}
+			if _, ok := files[lfn]; !ok {
+				return fail("member %q references unknown file", lfn)
+			}
+			collections[curColl][lfn] = true
+		default:
+			return fail("unknown verb %q", verb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("replica: read snapshot: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.files = files
+	c.locations = locations
+	c.collections = collections
+	c.serial = serial
+	return nil
+}
+
+// cutQuoted splits `"k" "v"` into the two quoted tokens.
+func cutQuoted(s string) (a, b string, ok bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", false
+	}
+	// Find the closing quote of the first token, honoring escapes.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			return s[:i+1], strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// SaveFile atomically writes a snapshot to path.
+func (c *Catalog) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads a snapshot from path.
+func (c *Catalog) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

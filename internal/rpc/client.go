@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+// Client is a Request Manager client: one authenticated connection to a
+// server, over which calls are issued sequentially. Client is safe for
+// concurrent use; concurrent calls are serialized on the connection,
+// mirroring the simple request/response protocol of GDMP's Request Manager.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	peer    *gsi.Peer
+	timeout time.Duration
+	closed  bool
+}
+
+// DialOption customizes Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout time.Duration
+	dialer  func(network, addr string) (net.Conn, error)
+}
+
+// WithTimeout sets a per-call deadline (and the dial timeout).
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithDialer substitutes the transport dialer; tests use this to insert
+// WAN-emulating connections.
+func WithDialer(d func(network, addr string) (net.Conn, error)) DialOption {
+	return func(c *dialConfig) { c.dialer = d }
+}
+
+// Dial connects to a Request Manager server at addr, authenticating with
+// cred and verifying the server against roots.
+func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{
+		timeout: 30 * time.Second,
+		dialer:  net.Dial,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := cfg.dialer("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, cred, roots, cfg.timeout)
+}
+
+// NewClient performs the security handshake over an established connection.
+func NewClient(conn net.Conn, cred *gsi.Credential, roots []*gsi.Certificate, timeout time.Duration) (*Client, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	peer, err := gsi.Handshake(conn, cred, roots, true)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return &Client{conn: conn, peer: peer, timeout: timeout}, nil
+}
+
+// ServerIdentity returns the authenticated identity of the server.
+func (c *Client) ServerIdentity() gsi.Identity { return c.peer.Identity }
+
+// Call invokes method with the encoded args and returns a decoder over the
+// response payload. A *RemoteError is returned when the handler failed.
+func (c *Client) Call(method string, args *Encoder) (*Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("rpc: client closed")
+	}
+
+	var req Encoder
+	req.String(method)
+	if args != nil {
+		req.Bytes32(args.Bytes())
+	} else {
+		req.Bytes32(nil)
+	}
+
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
+		c.closeLocked()
+		return nil, fmt.Errorf("rpc: send %s: %w", method, err)
+	}
+	frame, err := ReadFrame(c.conn)
+	if err != nil {
+		c.closeLocked()
+		return nil, fmt.Errorf("rpc: receive %s: %w", method, err)
+	}
+
+	d := NewDecoder(frame)
+	switch status := d.Uint8(); status {
+	case statusOK:
+		return d, nil
+	case statusError:
+		msg := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Method: method, Msg: msg}
+	default:
+		return nil, fmt.Errorf("%w: unknown status %d", ErrCorrupt, status)
+	}
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeLocked()
+}
+
+func (c *Client) closeLocked() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+// TestCallTimeout: a handler that never returns must not hang the caller
+// when a timeout is configured.
+func TestCallTimeout(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("hang")
+	block := make(chan struct{})
+	defer close(block)
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("hang", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			<-block
+			return nil
+		})
+	})
+	cred, err := ca(t).Issue("impatient", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()},
+		WithTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.Call("hang", nil)
+	if err == nil {
+		t.Fatal("hung call returned successfully")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The client closed itself after the I/O failure.
+	if _, err := cl.Call("hang", nil); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("second call after timeout: %v", err)
+	}
+}
+
+// TestServerRequestTimeout: the server's per-request deadline disconnects
+// idle clients instead of holding goroutines forever.
+func TestServerRequestTimeout(t *testing.T) {
+	serverCred, err := ca(t).Issue("gdmp/deadline", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := gsi.NewACL()
+	acl.AllowAll("echo")
+	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, acl)
+	srv.TimeoutD = 150 * time.Millisecond
+	srv.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cred, err := ca(t).Issue("idler", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(ln.Addr().String(), cred, []*gsi.Certificate{ca(t).Certificate()},
+		WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// First call succeeds, then the client idles past the deadline; the
+	// server hangs up and the next call fails.
+	if _, err := cl.Call("echo", nil); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if _, err := cl.Call("echo", nil); err == nil {
+		t.Fatal("call after server-side idle timeout succeeded")
+	}
+}
+
+// TestCorruptFrameDisconnects: a malformed request frame terminates the
+// connection rather than crashing or wedging the server.
+func TestCorruptFrameDisconnects(t *testing.T) {
+	serverCred, err := ca(t).Issue("gdmp/corrupt", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cred, err := ca(t).Issue("vandal", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := gsi.Handshake(conn, cred, []*gsi.Certificate{ca(t).Certificate()}, true); err != nil {
+		t.Fatal(err)
+	}
+	// A frame whose inner structure is garbage.
+	if err := WriteFrame(conn, []byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadFrame(conn); err == nil {
+		t.Fatal("server answered a corrupt frame instead of hanging up")
+	}
+	// The server still serves new connections.
+	cl, err := Dial(ln.Addr().String(), cred, []*gsi.Certificate{ca(t).Certificate()},
+		WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatalf("server wedged after corrupt frame: %v", err)
+	}
+	cl.Close()
+}

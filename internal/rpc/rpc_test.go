@@ -1,0 +1,448 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+func TestMain(m *testing.M) {
+	gsi.KeyBits = 1024
+	m.Run()
+}
+
+// --- codec ---------------------------------------------------------------
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Uint8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(1 << 60)
+	e.Int64(-42)
+	e.Float64(3.14159)
+	e.String("logical/file/name")
+	e.Bytes32([]byte{1, 2, 3})
+	e.StringList([]string{"a", "", "ccc"})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint8(); got != 7 {
+		t.Errorf("Uint8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if got := d.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := d.Uint64(); got != 1<<60 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := d.Int64(); got != -42 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := d.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.String(); got != "logical/file/name" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := d.StringList(); len(got) != 3 || got[0] != "a" || got[1] != "" || got[2] != "ccc" {
+		t.Errorf("StringList = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(a uint64, b int64, s string, bs []byte, list []string) bool {
+		var e Encoder
+		e.Uint64(a)
+		e.Int64(b)
+		e.String(s)
+		e.Bytes32(bs)
+		e.StringList(list)
+		d := NewDecoder(e.Bytes())
+		if d.Uint64() != a || d.Int64() != b || d.String() != s {
+			return false
+		}
+		got := d.Bytes32()
+		if !bytes.Equal(got, bs) && !(len(got) == 0 && len(bs) == 0) {
+			return false
+		}
+		gl := d.StringList()
+		if len(gl) != len(list) {
+			return false
+		}
+		for i := range gl {
+			if gl[i] != list[i] {
+				return false
+			}
+		}
+		return d.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e Encoder
+	e.String("hello")
+	e.Uint64(12345)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.String()
+		_ = d.Uint64()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.Uint32(1)
+	d := NewDecoder(append(e.Bytes(), 0x00))
+	d.Uint32()
+	if err := d.Finish(); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+func TestDecoderHugeLengthRejected(t *testing.T) {
+	var e Encoder
+	e.Uint32(0xFFFFFFFF) // claimed string length far beyond the buffer
+	d := NewDecoder(e.Bytes())
+	got := d.String()
+	if got != "" || d.Err() == nil {
+		t.Fatal("absurd length accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the payload")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip = %q", got)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// --- client/server -------------------------------------------------------
+
+var (
+	rpcCAOnce sync.Once
+	rpcCA     *gsi.CA
+)
+
+func ca(t *testing.T) *gsi.CA {
+	t.Helper()
+	rpcCAOnce.Do(func() {
+		c, err := gsi.NewCA("DataGrid", time.Hour)
+		if err != nil {
+			panic(err)
+		}
+		rpcCA = c
+	})
+	return rpcCA
+}
+
+// startServer brings up a server on a loopback listener and returns its
+// address plus a cleanup-registered shutdown.
+func startServer(t *testing.T, acl *gsi.ACL, register func(*Server)) string {
+	t.Helper()
+	serverCred, err := ca(t).Issue("gdmp/test-server", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, acl)
+	register(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func dialAs(t *testing.T, addr, user string) *Client {
+	t.Helper()
+	cred, err := ca(t).Issue(user, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()}, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("echo")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			msg := args.String()
+			if err := args.Finish(); err != nil {
+				return err
+			}
+			resp.String(msg + "/" + peer.Base.CommonName)
+			return nil
+		})
+	})
+	cl := dialAs(t, addr, "alice")
+	var args Encoder
+	args.String("hello")
+	d, err := cl.Call("echo", &args)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := d.String(); got != "hello/alice" {
+		t.Fatalf("echo = %q", got)
+	}
+	if cl.ServerIdentity().CommonName != "gdmp/test-server" {
+		t.Fatalf("server identity = %v", cl.ServerIdentity())
+	}
+}
+
+func TestMultipleSequentialCalls(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("inc")
+	var mu sync.Mutex
+	count := 0
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("inc", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			mu.Lock()
+			count++
+			resp.Uint32(uint32(count))
+			mu.Unlock()
+			return nil
+		})
+	})
+	cl := dialAs(t, addr, "bob")
+	for i := 1; i <= 10; i++ {
+		d, err := cl.Call("inc", nil)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := d.Uint32(); got != uint32(i) {
+			t.Fatalf("call %d returned %d", i, got)
+		}
+	}
+}
+
+func TestConcurrentCallsSerialized(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("work")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("work", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			resp.Uint64(args.Uint64() * 2)
+			return nil
+		})
+	})
+	cl := dialAs(t, addr, "carol")
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			var args Encoder
+			args.Uint64(i)
+			d, err := cl.Call("work", &args)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := d.Uint64(); got != i*2 {
+				errs <- fmt.Errorf("work(%d) = %d", i, got)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("fail")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("fail", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			return errors.New("stage request refused: tape library offline")
+		})
+	})
+	cl := dialAs(t, addr, "dave")
+	_, err := cl.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected RemoteError, got %v", err)
+	}
+	if !strings.Contains(re.Msg, "tape library offline") {
+		t.Fatalf("error message lost: %q", re.Msg)
+	}
+	// The connection survives a handler error.
+	if _, err := cl.Call("fail", nil); err == nil {
+		t.Fatal("second call should also fail remotely")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	addr := startServer(t, nil, func(s *Server) {})
+	cl := dialAs(t, addr, "erin")
+	_, err := cl.Call("no-such-method", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "unknown method") {
+		t.Fatalf("expected unknown-method error, got %v", err)
+	}
+}
+
+func TestUnauthorizedCallRejected(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.Allow(gsi.Identity{Organization: "DataGrid", CommonName: "admin"}, "secret")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("secret", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			resp.String("classified")
+			return nil
+		})
+	})
+	cl := dialAs(t, addr, "intruder")
+	_, err := cl.Call("secret", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "unauthorized") {
+		t.Fatalf("expected authorization failure, got %v", err)
+	}
+	// An authorized caller succeeds on the same server.
+	admin := dialAs(t, addr, "admin")
+	d, err := admin.Call("secret", nil)
+	if err != nil {
+		t.Fatalf("admin call: %v", err)
+	}
+	if d.String() != "classified" {
+		t.Fatal("admin did not get payload")
+	}
+}
+
+func TestProxyCredentialAuthorizedAsBase(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.Allow(gsi.Identity{Organization: "DataGrid", CommonName: "frank"}, "op")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("op", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			resp.String(peer.Identity.CommonName)
+			return nil
+		})
+	})
+	userCred, err := ca(t).Issue("frank", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := userCred.Delegate(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, proxy, []*gsi.Certificate{ca(t).Certificate()}, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("Dial with proxy: %v", err)
+	}
+	defer cl.Close()
+	d, err := cl.Call("op", nil)
+	if err != nil {
+		t.Fatalf("proxy call: %v", err)
+	}
+	if got := d.String(); got != "frank/proxy" {
+		t.Fatalf("server saw identity %q", got)
+	}
+}
+
+func TestDialRejectsWrongTrust(t *testing.T) {
+	addr := startServer(t, nil, func(s *Server) {})
+	evil, err := gsi.NewCA("EvilGrid", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := evil.Issue("mallory", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client trusts only EvilGrid; the server's chain will not verify.
+	_, err = Dial(addr, cred, []*gsi.Certificate{evil.Certificate()}, WithTimeout(2*time.Second))
+	if err == nil {
+		t.Fatal("handshake with mismatched trust roots should fail")
+	}
+}
+
+func TestClientClosedCalls(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("echo")
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
+	})
+	cl := dialAs(t, addr, "grace")
+	cl.Close()
+	if _, err := cl.Call("echo", nil); err == nil {
+		t.Fatal("call on closed client should fail")
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	serverCred, err := ca(t).Issue("gdmp/closing", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}

@@ -1,0 +1,218 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"gdmp/internal/gsi"
+)
+
+// status codes carried in response frames.
+const (
+	statusOK    = uint8(0)
+	statusError = uint8(1)
+)
+
+// RemoteError is an error reported by a server-side handler and transported
+// back to the caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one request. The peer is the authenticated caller; args
+// is the decoded request payload; the handler writes its reply into resp.
+type Handler func(peer *gsi.Peer, args *Decoder, resp *Encoder) error
+
+// Server is a Request Manager endpoint: it accepts connections, performs a
+// GSI mutual-authentication handshake on each, authorizes each request
+// against the ACL, and dispatches to registered handlers. One server
+// instance backs each GDMP/replica-catalog daemon.
+type Server struct {
+	cred  *gsi.Credential
+	roots []*gsi.Certificate
+	acl   *gsi.ACL
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lnMu     sync.Mutex
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	logger   *log.Logger
+	TimeoutD time.Duration // per-request read/write deadline; 0 disables
+}
+
+// NewServer creates a Request Manager server using the given service
+// credential, trust roots, and authorization table.
+func NewServer(cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Server {
+	return &Server{
+		cred:     cred,
+		roots:    roots,
+		acl:      acl,
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		logger:   log.New(logDiscard{}, "", 0),
+	}
+}
+
+type logDiscard struct{}
+
+func (logDiscard) Write(p []byte) (int, error) { return len(p), nil }
+
+// SetLogger directs server diagnostics to the given logger.
+func (s *Server) SetLogger(l *log.Logger) {
+	if l != nil {
+		s.logger = l
+	}
+}
+
+// Handle registers a handler for a method name. The method doubles as the
+// ACL operation checked before dispatch.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Identity returns the server's own identity.
+func (s *Server) Identity() gsi.Identity { return s.cred.Identity() }
+
+// Serve listens on ln until Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		return errors.New("rpc: server closed")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.lnMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe starts listening on addr and serves until Close. It
+// returns the bound address on a channel-free API by requiring the caller
+// to use Listen first when the port matters; for tests, use Listen+Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting connections and closes existing ones.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+
+	if s.TimeoutD > 0 {
+		conn.SetDeadline(time.Now().Add(s.TimeoutD))
+	}
+	peer, err := gsi.Handshake(conn, s.cred, s.roots, false)
+	if err != nil {
+		s.logger.Printf("rpc: handshake with %v failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+
+	for {
+		if s.TimeoutD > 0 {
+			conn.SetDeadline(time.Now().Add(s.TimeoutD))
+		} else {
+			conn.SetDeadline(time.Time{})
+		}
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return // connection closed or timed out
+		}
+		d := NewDecoder(frame)
+		method := d.String()
+		payload := d.Bytes32()
+		if err := d.Finish(); err != nil {
+			s.logger.Printf("rpc: corrupt request from %s: %v", peer.Base, err)
+			return
+		}
+		resp := s.dispatch(peer, method, payload)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(peer *gsi.Peer, method string, payload []byte) []byte {
+	var out Encoder
+	fail := func(format string, args ...interface{}) []byte {
+		out.Reset()
+		out.Uint8(statusError)
+		out.String(fmt.Sprintf(format, args...))
+		return out.Bytes()
+	}
+
+	s.mu.RLock()
+	h, ok := s.handlers[method]
+	s.mu.RUnlock()
+	if !ok {
+		return fail("unknown method %q", method)
+	}
+	if s.acl != nil {
+		if err := s.acl.Check(peer.Base, gsi.Operation(method)); err != nil {
+			return fail("unauthorized: %v", err)
+		}
+	}
+
+	out.Uint8(statusOK)
+	args := NewDecoder(payload)
+	if err := h(peer, args, &out); err != nil {
+		return fail("%v", err)
+	}
+	return out.Bytes()
+}
