@@ -1,0 +1,34 @@
+# GDMP build and verification entry points.
+#
+# `make check` is the tier-1+ gate: everything tier-1 runs
+# (build + tests), plus vet, gofmt, and the full suite under the race
+# detector. CI and pre-merge runs should use it.
+
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

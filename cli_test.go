@@ -252,6 +252,20 @@ func TestCLIDeployment(t *testing.T) {
 		t.Fatalf("status output: %s", out)
 	}
 
+	// 11b. The stats command dumps the daemon's metrics registry; the
+	// earlier gurlcopy upload must be visible in the GridFTP server series.
+	out = runTool(t, gdmp, append(aliceArgs, "stats", site1Ctl)...)
+	for _, series := range []string{
+		"# TYPE gdmp_gridftp_server_bytes_total counter",
+		`gdmp_gridftp_server_bytes_total{direction="received"}`,
+		"gdmp_rpc_server_requests_total",
+		"gdmp_site_subscribers 1",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("stats output missing %q:\n%s", series, out)
+		}
+	}
+
 	// 12. Operator-driven catalog registration + logical-name fetch: the
 	// uploaded file becomes a catalog entry, is discoverable by query and
 	// locations, and fetch-lfn resolves and retrieves it.

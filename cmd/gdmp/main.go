@@ -7,6 +7,7 @@
 //
 //	ping        <site-ctl-addr>                  check a site is alive
 //	status      <site-ctl-addr>                  transfer counters of a site
+//	stats       <site-ctl-addr>                  full metrics dump of a site
 //	catalog     <site-ctl-addr>                  dump a site's file catalog
 //	subscribe   <producer-ctl> <myname> <myctl>  subscribe a site to a producer
 //	unsubscribe <producer-ctl> <myname>
@@ -170,6 +171,23 @@ func run(credPath, caPath, rcAddr string, parallel int, args []string) error {
 		fmt.Printf("site %s: %d local files, %d subscribers\n", name, files, subs)
 		fmt.Printf("transfers: %d ok, %d failed, %d bytes replicated, %d pending\n",
 			ok, failed, bytes, pending)
+		return nil
+
+	case "stats":
+		// stats <site-ctl-addr>: dump the site's instrumentation registry
+		// (Prometheus text format) over the Request Manager.
+		if len(args) != 2 {
+			return fmt.Errorf("usage: stats <site-ctl-addr>")
+		}
+		d, err := call(args[1], core.MethodMetrics, nil)
+		if err != nil {
+			return err
+		}
+		text := d.String()
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		fmt.Print(text)
 		return nil
 
 	case "locations":

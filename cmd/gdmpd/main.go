@@ -7,7 +7,7 @@
 //
 //	gdmpd -name cern.ch -data /pool -rc replicad.host:39000 \
 //	      -cred certs/cern.pem -ca certs/ca.pem \
-//	      [-listen :38000] [-ftp-listen :2811] \
+//	      [-listen :38000] [-ftp-listen :2811] [-metrics :9090] \
 //	      [-tape /tape -pool-capacity 1073741824] [-federation] \
 //	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap]
 //
@@ -15,12 +15,17 @@
 // and files are staged from the tape directory on demand. With
 // -federation, the site maintains an object database federation and can
 // replicate "objectivity" files (arrivals are attached automatically).
+// With -metrics, the daemon serves its instrumentation registry in the
+// Prometheus text exposition format at http://<addr>/metrics (the same
+// dump `gdmp stats` fetches over the authenticated control channel).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +35,7 @@ import (
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/objrep"
+	"gdmp/internal/obs"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func main() {
 	tcpBuffer := flag.Int("tcp-buffer", 0, "TCP socket buffer size (0 = OS default)")
 	autoTune := flag.Bool("auto-tune", false, "negotiate TCP buffers per source (RTT x bandwidth)")
 	gridmap := flag.String("gridmap", "", "authorization gridmap (default: allow all)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics over HTTP on this address (empty = off)")
 	flag.Parse()
 
 	if err := run(params{
@@ -55,7 +62,7 @@ func main() {
 		caPath: *caPath, listen: *listen, ftpListen: *ftpListen,
 		tape: *tape, poolCap: *poolCap, federation: *federation,
 		auto: *auto, parallel: *parallel, tcpBuffer: *tcpBuffer,
-		autoTune: *autoTune, gridmap: *gridmap,
+		autoTune: *autoTune, gridmap: *gridmap, metricsAddr: *metricsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -65,9 +72,26 @@ func main() {
 type params struct {
 	name, data, rcAddr, credPath, caPath string
 	listen, ftpListen, tape, gridmap     string
+	metricsAddr                          string
 	poolCap                              int64
 	federation, auto, autoTune           bool
 	parallel, tcpBuffer                  int
+}
+
+// serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
+// It returns the bound listener so the caller can close it on shutdown.
+func serveMetrics(addr string, reg *obs.Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	go http.Serve(ln, mux)
+	return ln, nil
 }
 
 func run(p params) error {
@@ -137,6 +161,15 @@ func run(p params) error {
 		if err := objrep.EnableService(site); err != nil {
 			return err
 		}
+	}
+	if p.metricsAddr != "" {
+		mln, err := serveMetrics(p.metricsAddr, site.Metrics())
+		if err != nil {
+			site.Close()
+			return err
+		}
+		defer mln.Close()
+		log.Printf("metrics at http://%s/metrics", mln.Addr())
 	}
 	log.Printf("GDMP site %s up: control %s, data %s, catalog %s",
 		site.Name(), site.Addr(), site.DataAddr(), p.rcAddr)

@@ -44,18 +44,46 @@ type FileInfo struct {
 // transfer to other sites provides GDMP's failure recovery ("obtaining a
 // remote site's file catalog for failure recovery").
 type localCatalog struct {
-	mu    sync.RWMutex
-	byLFN map[string]FileInfo
+	mu      sync.RWMutex
+	byLFN   map[string]FileInfo
+	waiters map[string]chan struct{} // lfn -> closed when the entry appears
 }
 
 func newLocalCatalog() *localCatalog {
-	return &localCatalog{byLFN: make(map[string]FileInfo)}
+	return &localCatalog{
+		byLFN:   make(map[string]FileInfo),
+		waiters: make(map[string]chan struct{}),
+	}
 }
 
 func (c *localCatalog) put(info FileInfo) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byLFN[info.LFN] = info
+	if ch, ok := c.waiters[info.LFN]; ok {
+		close(ch)
+		delete(c.waiters, info.LFN)
+	}
+}
+
+// await returns a channel that is closed once the LFN is present in the
+// catalog (immediately if it already is). All waiters for one LFN share a
+// channel, so an LFN that never arrives costs one channel, not one per
+// call.
+func (c *localCatalog) await(lfn string) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byLFN[lfn]; ok {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	ch, ok := c.waiters[lfn]
+	if !ok {
+		ch = make(chan struct{})
+		c.waiters[lfn] = ch
+	}
+	return ch
 }
 
 func (c *localCatalog) get(lfn string) (FileInfo, bool) {

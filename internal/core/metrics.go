@@ -1,0 +1,88 @@
+package core
+
+import (
+	"gdmp/internal/gsi"
+	"gdmp/internal/obs"
+	"gdmp/internal/rpc"
+)
+
+// MethodMetrics returns the site's metrics registry rendered in the
+// Prometheus text exposition format; registered alongside the other GDMP
+// methods so `gdmp stats` can scrape any site it can authenticate to.
+const MethodMetrics = "gdmp.metrics"
+
+// SiteMetricsPrefix prefixes every site-level metric.
+const SiteMetricsPrefix = "gdmp_site"
+
+// siteMetrics instruments the publish/subscribe/replicate cycle of
+// Section 4: publication latency, notification fan-out, the pull-queue
+// depth consumers drain, and replication outcomes.
+type siteMetrics struct {
+	publishes     *obs.CounterVec // {outcome}
+	publishTime   *obs.Histogram
+	notifySent    *obs.CounterVec // {outcome}; one increment per subscriber
+	notifyRecv    *obs.Counter
+	pendingDepth  *obs.Gauge
+	subscribers   *obs.Gauge
+	replications  *obs.CounterVec // {outcome}
+	stageRequests *obs.CounterVec // {outcome}
+}
+
+func newSiteMetrics(r *obs.Registry) *siteMetrics {
+	return &siteMetrics{
+		publishes: r.CounterVec(SiteMetricsPrefix+"_publishes_total",
+			"Files published to the Grid, by outcome.", "outcome"),
+		publishTime: r.Histogram(SiteMetricsPrefix+"_publish_seconds",
+			"Publish latency (checksum, catalog registration, notification).", nil),
+		notifySent: r.CounterVec(SiteMetricsPrefix+"_notifications_total",
+			"Publication notices sent to subscribers, by outcome.", "outcome"),
+		notifyRecv: r.Counter(SiteMetricsPrefix+"_notifications_received_total",
+			"Publication notices received from producers."),
+		pendingDepth: r.Gauge(SiteMetricsPrefix+"_pending_queue_depth",
+			"Notified-but-not-yet-replicated files awaiting a pull."),
+		subscribers: r.Gauge(SiteMetricsPrefix+"_subscribers",
+			"Consumer sites currently subscribed."),
+		replications: r.CounterVec(SiteMetricsPrefix+"_replications_total",
+			"Replication (Get) pipeline runs, by outcome.", "outcome"),
+		stageRequests: r.CounterVec(SiteMetricsPrefix+"_stage_requests_total",
+			"Staging requests served for remote consumers, by outcome.", "outcome"),
+	}
+}
+
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+// Metrics returns the registry this site records into (Config.Metrics, or
+// obs.Default).
+func (s *Site) Metrics() *obs.Registry { return s.metrics }
+
+// RemoteMetrics fetches another site's metrics dump (Prometheus text
+// format) over the Request Manager.
+func (s *Site) RemoteMetrics(remoteAddr string) (string, error) {
+	cl, err := s.dialGDMP(remoteAddr)
+	if err != nil {
+		return "", err
+	}
+	defer cl.Close()
+	d, err := cl.Call(MethodMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	text := d.String()
+	return text, d.Finish()
+}
+
+// registerMetricsHandler wires MethodMetrics into the Request Manager.
+func (s *Site) registerMetricsHandler() {
+	s.gdmpSrv.Handle(MethodMetrics, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		resp.String(s.metrics.Text())
+		return nil
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"gdmp/internal/gsi"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
+	"gdmp/internal/obs"
 	"gdmp/internal/replica"
 	"gdmp/internal/rpc"
 )
@@ -64,6 +65,7 @@ const (
 var Methods = []string{
 	MethodPing, MethodSubscribe, MethodUnsubscribe,
 	MethodNotify, MethodCatalog, MethodStage, MethodStatus,
+	MethodMetrics,
 }
 
 // AllowSiteUseAll grants every authenticated identity the full GDMP and
@@ -143,6 +145,10 @@ type Config struct {
 
 	// Logger receives diagnostics; nil discards.
 	Logger *log.Logger
+
+	// Metrics is the registry the site (and its GridFTP and Request
+	// Manager servers) records instrumentation into; nil uses obs.Default.
+	Metrics *obs.Registry
 }
 
 // PublishedFile reports one file made visible to the Grid.
@@ -185,6 +191,9 @@ type Site struct {
 
 	xferLog *transferLog
 
+	metrics *obs.Registry
+	met     *siteMetrics
+
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
 }
@@ -224,6 +233,9 @@ func NewSite(cfg Config) (*Site, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
 
 	dialOpts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
 	if cfg.DialFunc != nil {
@@ -245,6 +257,8 @@ func NewSite(cfg Config) (*Site, error) {
 		subscribers: make(map[string]string),
 		inFlight:    make(map[string]chan struct{}),
 		xferLog:     newTransferLog(0),
+		metrics:     cfg.Metrics,
+		met:         newSiteMetrics(cfg.Metrics),
 		tunedBuf:    make(map[string]int),
 	}
 	if s.federation != nil {
@@ -260,6 +274,7 @@ func NewSite(cfg Config) (*Site, error) {
 		TrustRoots: cfg.TrustRoots,
 		ACL:        cfg.ACL,
 		Logger:     cfg.Logger,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		rcClient.Close()
@@ -282,6 +297,7 @@ func NewSite(cfg Config) (*Site, error) {
 		gdmpListen = net.JoinHostPort(cfg.ListenHost, "0")
 	}
 	s.gdmpSrv = rpc.NewServer(cfg.Cred, cfg.TrustRoots, cfg.ACL)
+	s.gdmpSrv.SetMetrics(cfg.Metrics)
 	s.registerHandlers()
 	s.gdmpLn, err = net.Listen("tcp", gdmpListen)
 	if err != nil {
@@ -381,7 +397,9 @@ func (s *Site) Publish(relPath string, opts PublishOptions) (PublishedFile, erro
 }
 
 // publishCore registers a file and optionally notifies subscribers.
-func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (PublishedFile, error) {
+func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (pf PublishedFile, err error) {
+	defer s.met.publishTime.Time()()
+	defer func() { s.met.publishes.WithLabelValues(outcomeOf(err)).Inc() }()
 	localPath, err := s.resolveLocal(relPath)
 	if err != nil {
 		return PublishedFile{}, err
@@ -464,7 +482,9 @@ func (s *Site) notifySubscribers(files []FileInfo) {
 	}
 	s.subMu.Unlock()
 	for name, addr := range subs {
-		if err := s.sendNotify(addr, files); err != nil {
+		err := s.sendNotify(addr, files)
+		s.met.notifySent.WithLabelValues(outcomeOf(err)).Inc()
+		if err != nil {
 			s.logger.Printf("gdmp[%s]: notify %s (%s): %v", s.cfg.Name, name, addr, err)
 		}
 	}
@@ -603,7 +623,9 @@ func (s *Site) Get(lfn string) error {
 		close(ch)
 		s.replMu.Unlock()
 	}()
-	return s.replicate(lfn)
+	err := s.replicate(lfn)
+	s.met.replications.WithLabelValues(outcomeOf(err)).Inc()
+	return err
 }
 
 func (s *Site) replicate(lfn string) error {
@@ -739,6 +761,7 @@ func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
 		opts := []gridftp.ClientOption{
 			gridftp.WithParallelism(s.cfg.Parallelism),
 			gridftp.WithTimeout(30 * time.Second),
+			gridftp.WithMetrics(s.metrics),
 		}
 		if buf := s.bufferFor(src.Addr); buf > 0 {
 			opts = append(opts, gridftp.WithBufferSize(buf))
@@ -810,6 +833,7 @@ func (s *Site) ProcessPending() (int, error) {
 	s.pendMu.Lock()
 	work := s.pending
 	s.pending = nil
+	s.met.pendingDepth.Set(0)
 	s.pendMu.Unlock()
 	n := 0
 	for _, fi := range work {
@@ -818,9 +842,7 @@ func (s *Site) ProcessPending() (int, error) {
 		}
 		if err := s.Get(fi.LFN); err != nil {
 			// Put the remainder back for a later retry.
-			s.pendMu.Lock()
-			s.pending = append(s.pending, fi)
-			s.pendMu.Unlock()
+			s.addPending(fi)
 			return n, err
 		}
 		n++
@@ -828,17 +850,27 @@ func (s *Site) ProcessPending() (int, error) {
 	return n, nil
 }
 
+// addPending queues a notification for a later pull and tracks the queue
+// depth gauge.
+func (s *Site) addPending(files ...FileInfo) {
+	s.pendMu.Lock()
+	s.pending = append(s.pending, files...)
+	s.met.pendingDepth.Set(int64(len(s.pending)))
+	s.pendMu.Unlock()
+}
+
 // WaitForFile blocks until the LFN is replicated locally or the timeout
-// expires (used with AutoReplicate).
+// expires (used with AutoReplicate). It waits on the local catalog's
+// arrival notification rather than polling.
 func (s *Site) WaitForFile(lfn string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if s.HasFile(lfn) {
-			return nil
-		}
-		time.Sleep(5 * time.Millisecond)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-s.local.await(lfn):
+		return nil
+	case <-t.C:
+		return fmt.Errorf("core: %s did not arrive within %v", lfn, timeout)
 	}
-	return fmt.Errorf("core: %s did not arrive within %v", lfn, timeout)
 }
 
 // sendNotify delivers a notification to one subscriber.
@@ -908,6 +940,7 @@ func (s *Site) registerHandlers() {
 		}
 		s.subMu.Lock()
 		s.subscribers[name] = addr
+		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.subMu.Unlock()
 		s.logger.Printf("gdmp[%s]: %s subscribed as %s (%s)", s.cfg.Name, peer.Base, name, addr)
 		return nil
@@ -919,6 +952,7 @@ func (s *Site) registerHandlers() {
 		}
 		s.subMu.Lock()
 		delete(s.subscribers, name)
+		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.subMu.Unlock()
 		return nil
 	})
@@ -928,6 +962,7 @@ func (s *Site) registerHandlers() {
 		if err := args.Finish(); err != nil {
 			return err
 		}
+		s.met.notifyRecv.Inc()
 		s.logger.Printf("gdmp[%s]: notified by %s of %d files", s.cfg.Name, from, len(files))
 		fresh := files[:0:0]
 		for _, fi := range files {
@@ -943,17 +978,13 @@ func (s *Site) registerHandlers() {
 				go func(lfn string) {
 					if err := s.Get(lfn); err != nil {
 						s.logger.Printf("gdmp[%s]: auto-replicate %s: %v", s.cfg.Name, lfn, err)
-						s.pendMu.Lock()
-						s.pending = append(s.pending, FileInfo{LFN: lfn})
-						s.pendMu.Unlock()
+						s.addPending(FileInfo{LFN: lfn})
 					}
 				}(fi.LFN)
 			}
 			return nil
 		}
-		s.pendMu.Lock()
-		s.pending = append(s.pending, fresh...)
-		s.pendMu.Unlock()
+		s.addPending(fresh...)
 		return nil
 	})
 	s.gdmpSrv.Handle(MethodCatalog, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
@@ -968,9 +999,12 @@ func (s *Site) registerHandlers() {
 		if err := args.Finish(); err != nil {
 			return err
 		}
-		return s.stageLocal(lfn)
+		err := s.stageLocal(lfn)
+		s.met.stageRequests.WithLabelValues(outcomeOf(err)).Inc()
+		return err
 	})
 	s.registerStatusHandler()
+	s.registerMetricsHandler()
 }
 
 // stageLocal ensures a published file is present in the disk pool, staging

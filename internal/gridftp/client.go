@@ -15,7 +15,12 @@ import (
 
 	"gdmp/internal/gsi"
 	"gdmp/internal/netprobe"
+	"gdmp/internal/obs"
 )
+
+// ClientMetricsPrefix names the client-side transfer metric family; see
+// package obs for the collector suffixes.
+const ClientMetricsPrefix = "gdmp_gridftp_client"
 
 // Marker is one 112 performance marker received during a transfer, the
 // paper's "integrated instrumentation, for monitoring ongoing transfer
@@ -82,6 +87,12 @@ func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
 }
 
+// WithMetrics directs the client's integrated instrumentation into a
+// specific registry (default obs.Default).
+func WithMetrics(r *obs.Registry) ClientOption {
+	return func(c *Client) { c.metrics = r }
+}
+
 // Client is a GridFTP control-channel session, the programmatic equivalent
 // of globus_ftp_client / globus_url_copy.
 type Client struct {
@@ -94,6 +105,9 @@ type Client struct {
 	blockSize   int
 	timeout     time.Duration
 	dial        func(network, addr string) (net.Conn, error)
+
+	metrics *obs.Registry
+	rec     *obs.TransferRecorder
 
 	mu     sync.Mutex // serializes commands
 	closed bool
@@ -110,6 +124,10 @@ func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...C
 	for _, o := range opts {
 		o(c)
 	}
+	if c.metrics == nil {
+		c.metrics = obs.Default
+	}
+	c.rec = obs.NewTransferRecorder(c.metrics, ClientMetricsPrefix)
 	if c.parallelism < 1 || c.parallelism > MaxParallelism {
 		return nil, fmt.Errorf("gridftp: parallelism %d out of range", c.parallelism)
 	}
@@ -410,10 +428,21 @@ func (c *Client) GetRange(path string, r Range, dst io.WriterAt) (TransferStats,
 	return c.getRangeLocked(path, r, dst, nil)
 }
 
-// getRangeLocked performs one ERET transfer. Received ranges are recorded
-// into track (when non-nil) as blocks land, so an interrupted transfer
-// leaves an accurate restart map behind.
+// getRangeLocked performs one ERET transfer, recording it in the client's
+// transfer instrumentation. Received ranges are recorded into track (when
+// non-nil) as blocks land, so an interrupted transfer leaves an accurate
+// restart map behind.
 func (c *Client) getRangeLocked(path string, r Range, dst io.WriterAt, track *RangeSet) (TransferStats, error) {
+	finish := c.rec.Start()
+	stats, err := c.getRangeBody(path, r, dst, track)
+	finish(obs.TransferSample{
+		Direction: "get", Bytes: stats.Bytes, Streams: stats.Streams,
+		Elapsed: stats.Elapsed, Err: err,
+	})
+	return stats, err
+}
+
+func (c *Client) getRangeBody(path string, r Range, dst io.WriterAt, track *RangeSet) (TransferStats, error) {
 	if r.Len() < 0 {
 		return TransferStats{}, fmt.Errorf("gridftp: negative range %+v", r)
 	}
@@ -553,6 +582,16 @@ func (c *Client) put(verb, path string, src io.ReaderAt, size int64) (TransferSt
 func (c *Client) putRanges(verb, path string, src io.ReaderAt, ranges []Range, total int64) (TransferStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	finish := c.rec.Start()
+	stats, err := c.putRangesLocked(verb, path, src, ranges, total)
+	finish(obs.TransferSample{
+		Direction: "put", Bytes: stats.Bytes, Streams: stats.Streams,
+		Elapsed: stats.Elapsed, Err: err,
+	})
+	return stats, err
+}
+
+func (c *Client) putRangesLocked(verb, path string, src io.ReaderAt, ranges []Range, total int64) (TransferStats, error) {
 	start := time.Now()
 	pi, err := c.enterPassive()
 	if err != nil {
@@ -682,6 +721,7 @@ func (c *Client) verifyLocal(remotePath, localPath string) error {
 		return err
 	}
 	if got != want {
+		c.rec.CRCFailure()
 		return fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
 	}
 	return nil
@@ -722,6 +762,9 @@ func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, 
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if attempt > 1 {
+			cl.rec.Restart()
 		}
 		err = func() error {
 			defer cl.Close()
@@ -851,6 +894,9 @@ func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, r
 			lastErr = err
 			continue
 		}
+		if attempt > 1 {
+			cl.rec.Restart()
+		}
 		err = func() error {
 			defer cl.Close()
 			if !created {
@@ -909,6 +955,7 @@ func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, r
 			return agg, err
 		}
 		if got != want {
+			cl2.rec.CRCFailure()
 			lastErr = fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
 			created = false // resend everything
 			done = RangeSet{}
@@ -946,6 +993,7 @@ func StripedGet(clients []*Client, path string, dst io.WriterAt) (TransferStats,
 	if len(clients) == 0 {
 		return TransferStats{}, errors.New("gridftp: striped get needs at least one client")
 	}
+	clients[0].rec.Striped(len(clients))
 	size, err := clients[0].Size(path)
 	if err != nil {
 		return TransferStats{}, err
@@ -1000,6 +1048,16 @@ func ThirdParty(src, dst *Client, srcPath, dstPath string) (TransferStats, error
 	dst.mu.Lock()
 	defer dst.mu.Unlock()
 
+	finish := src.rec.Start()
+	stats, err := thirdPartyLocked(src, dst, srcPath, dstPath)
+	finish(obs.TransferSample{
+		Direction: "3rd-party", Bytes: stats.Bytes, Streams: stats.Streams,
+		Elapsed: stats.Elapsed, Err: err,
+	})
+	return stats, err
+}
+
+func thirdPartyLocked(src, dst *Client, srcPath, dstPath string) (TransferStats, error) {
 	start := time.Now()
 	size, err := src.sizeLocked(srcPath)
 	if err != nil {
@@ -1058,6 +1116,7 @@ func ThirdParty(src, dst *Client, srcPath, dstPath string) (TransferStats, error
 		return stats, err
 	}
 	if srcCRC != dstCRC {
+		src.rec.CRCFailure()
 		return stats, fmt.Errorf("%w: source %08x, destination %08x", ErrChecksum, srcCRC, dstCRC)
 	}
 	return stats, nil

@@ -18,7 +18,41 @@ import (
 	"time"
 
 	"gdmp/internal/gsi"
+	"gdmp/internal/obs"
 )
+
+// ServerMetricsPrefix names the server-side metric family.
+const ServerMetricsPrefix = "gdmp_gridftp_server"
+
+// serverMetrics holds the server's instrumentation handles.
+type serverMetrics struct {
+	sessions       *obs.Gauge      // authenticated control sessions
+	handshakeFails *obs.Counter    // failed GSI handshakes
+	transfers      *obs.CounterVec // {verb, outcome}
+	bytes          *obs.CounterVec // {direction}: sent / received
+	markers        *obs.Counter    // 112 performance markers emitted
+	streams        *obs.Histogram  // data streams per transfer
+	transferTime   *obs.Histogram  // seconds per transfer
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		sessions: r.Gauge(ServerMetricsPrefix+"_sessions",
+			"Authenticated control sessions currently open."),
+		handshakeFails: r.Counter(ServerMetricsPrefix+"_handshake_failures_total",
+			"GSI handshakes that failed."),
+		transfers: r.CounterVec(ServerMetricsPrefix+"_transfers_total",
+			"Data transfers served by verb and outcome.", "verb", "outcome"),
+		bytes: r.CounterVec(ServerMetricsPrefix+"_bytes_total",
+			"Payload bytes served by direction.", "direction"),
+		markers: r.Counter(ServerMetricsPrefix+"_markers_total",
+			"112 performance markers emitted on control channels."),
+		streams: r.Histogram(ServerMetricsPrefix+"_streams",
+			"Parallel data streams per served transfer.", obs.LinearBuckets(1, 1, MaxParallelism)),
+		transferTime: r.Histogram(ServerMetricsPrefix+"_transfer_seconds",
+			"Wall-clock seconds per served transfer.", nil),
+	}
+}
 
 // ACL operations checked by the server. Read covers RETR/ERET/SIZE/CKSM/
 // NLST; write covers STOR/ESTO/DELE/MKD.
@@ -54,11 +88,16 @@ type ServerConfig struct {
 
 	// Logger receives diagnostics; nil discards them.
 	Logger *log.Logger
+
+	// Metrics receives the server's integrated instrumentation; nil uses
+	// obs.Default.
+	Metrics *obs.Registry
 }
 
 // Server is a GridFTP server instance.
 type Server struct {
 	cfg ServerConfig
+	met *serverMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -91,7 +130,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
+	return &Server{
+		cfg:   cfg,
+		met:   newServerMetrics(cfg.Metrics),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // Serve accepts control connections on ln until Close.
@@ -185,10 +231,13 @@ func (s *Server) serveControl(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	peer, err := gsi.Handshake(conn, s.cfg.Cred, s.cfg.TrustRoots, false)
 	if err != nil {
+		s.met.handshakeFails.Inc()
 		s.cfg.Logger.Printf("gridftp: handshake from %v failed: %v", conn.RemoteAddr(), err)
 		return
 	}
 	conn.SetDeadline(time.Time{})
+	s.met.sessions.Inc()
+	defer s.met.sessions.Dec()
 
 	sess := &session{
 		srv:         s,
@@ -467,7 +516,7 @@ func (se *session) cmdRETR(args string) error {
 	if err != nil || info.IsDir() {
 		return se.reply(codeNoFile, "no such file")
 	}
-	return se.sendFile(p, 0, info.Size())
+	return se.sendFile("RETR", p, 0, info.Size())
 }
 
 func (se *session) cmdERET(args string) error {
@@ -491,7 +540,7 @@ func (se *session) cmdERET(args string) error {
 	if off+length > info.Size() {
 		return se.reply(codeBadArgs, "range [%d,%d) beyond EOF %d", off, off+length, info.Size())
 	}
-	return se.sendFile(p, off, length)
+	return se.sendFile("ERET", p, off, length)
 }
 
 // openDataConns establishes the session's data connections for one
@@ -565,7 +614,8 @@ func (se *session) tuneConn(c net.Conn) {
 // sendFile streams [off, off+length) of the file over the arranged data
 // connections: the range is split into one contiguous sub-range per stream,
 // sent as self-describing extended blocks.
-func (se *session) sendFile(p string, off, length int64) error {
+func (se *session) sendFile(verb, p string, off, length int64) error {
+	met := se.srv.met
 	if !se.authorize(OpRead) {
 		return se.reply(codeDenied, "not authorized for read")
 	}
@@ -575,12 +625,14 @@ func (se *session) sendFile(p string, off, length int64) error {
 	}
 	defer f.Close()
 
+	start := time.Now()
 	n := se.parallelism
 	if err := se.reply(codeOpening, "opening %d streams size=%d", n, length); err != nil {
 		return err
 	}
 	conns, err := se.openDataConns(n)
 	if err != nil {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeProtoErr, "%v", err)
 	}
 	defer func() {
@@ -623,6 +675,7 @@ func (se *session) sendFile(p string, off, length int64) error {
 				if mb := se.srv.cfg.MarkerBytes; mb > 0 {
 					if last := atomic.LoadInt64(&lastMark); total-last >= mb &&
 						atomic.CompareAndSwapInt64(&lastMark, last, total) {
+						met.markers.Inc()
 						se.reply(codeMarker, "%d %d", total, length)
 					}
 				}
@@ -635,9 +688,14 @@ func (se *session) sendFile(p string, off, length int64) error {
 	}
 	wg.Wait()
 	close(errs)
+	met.bytes.WithLabelValues("sent").Add(atomic.LoadInt64(&sent))
 	if err := <-errs; err != nil {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeInterrupt, "transfer aborted: %v", err)
 	}
+	met.transfers.WithLabelValues(verb, "ok").Inc()
+	met.streams.Observe(float64(n))
+	met.transferTime.ObserveDuration(time.Since(start))
 	return se.reply(codeComplete, "transfer complete %d bytes", length)
 }
 
@@ -673,12 +731,19 @@ func (se *session) cmdSTOR(args string, extended bool) error {
 	}
 	defer f.Close()
 
+	met := se.srv.met
+	verb := "STOR"
+	if extended {
+		verb = "ESTO"
+	}
+	start := time.Now()
 	n := se.parallelism
 	if err := se.reply(codeOpening, "opening %d streams size=%d", n, length); err != nil {
 		return err
 	}
 	conns, err := se.openDataConns(n)
 	if err != nil {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeProtoErr, "%v", err)
 	}
 	defer func() {
@@ -712,6 +777,7 @@ func (se *session) cmdSTOR(args string, extended bool) error {
 					if mb := se.srv.cfg.MarkerBytes; mb > 0 {
 						if last := atomic.LoadInt64(&lastMark); total-last >= mb &&
 							atomic.CompareAndSwapInt64(&lastMark, last, total) {
+							met.markers.Inc()
 							se.reply(codeMarker, "%d %d", total, length)
 						}
 					}
@@ -724,14 +790,21 @@ func (se *session) cmdSTOR(args string, extended bool) error {
 	}
 	wg.Wait()
 	close(errs)
+	met.bytes.WithLabelValues("received").Add(atomic.LoadInt64(&received))
 	if err := <-errs; err != nil {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeInterrupt, "transfer aborted: %v", err)
 	}
 	if got := atomic.LoadInt64(&received); got != length {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeInterrupt, "expected %d bytes, received %d", length, got)
 	}
 	if err := f.Sync(); err != nil {
+		met.transfers.WithLabelValues(verb, "error").Inc()
 		return se.reply(codeLocalErr, "sync: %v", err)
 	}
+	met.transfers.WithLabelValues(verb, "ok").Inc()
+	met.streams.Observe(float64(n))
+	met.transferTime.ObserveDuration(time.Since(start))
 	return se.reply(codeComplete, "stored %d bytes", length)
 }

@@ -1,0 +1,140 @@
+package obs
+
+import "time"
+
+// Transfer stream-count buckets: parallelism is bounded by GridFTP's
+// MaxParallelism (32), so linear buckets cover the space exactly.
+var streamBuckets = LinearBuckets(1, 1, 32)
+
+// Bandwidth buckets in Mbps, from dial-up to multi-gigabit.
+var bandwidthBuckets = ExponentialBuckets(0.1, 2, 18)
+
+// TransferSample is the per-transfer record fed to a TransferRecorder:
+// the same quantities GridFTP's integrated instrumentation reports per
+// transfer (bytes moved, stream and stripe counts, restart attempts,
+// elapsed time).
+type TransferSample struct {
+	// Direction is "get" or "put" (or "3rd-party").
+	Direction string
+
+	// Bytes actually moved.
+	Bytes int64
+
+	// Streams is the parallel TCP stream count used.
+	Streams int
+
+	// Stripes is the number of source hosts for a striped transfer
+	// (0 or 1 for a plain transfer).
+	Stripes int
+
+	// Attempts is the total attempt count; attempts beyond the first are
+	// counted as restarts.
+	Attempts int
+
+	// Elapsed is the wall-clock transfer time.
+	Elapsed time.Duration
+
+	// Err records failure; a nil Err is a completed transfer.
+	Err error
+}
+
+// RateMbps returns the sample's effective bandwidth in megabits/second.
+func (s TransferSample) RateMbps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / s.Elapsed.Seconds() / 1e6
+}
+
+// TransferRecorder aggregates per-transfer statistics into a registry:
+// transfer and byte counts by direction and outcome, stream/stripe
+// utilization, restart counts, CRC failures, and effective bandwidth.
+// All names are prefixed with the owning subsystem, e.g.
+// "gdmp_gridftp_client".
+type TransferRecorder struct {
+	transfers *CounterVec // {direction, outcome}
+	bytes     *CounterVec // {direction}
+	streams   *Histogram
+	stripes   *Histogram
+	restarts  *Counter
+	crcFails  *Counter
+	bandwidth *Histogram
+	inFlight  *Gauge
+}
+
+// NewTransferRecorder creates (or rebinds to) the transfer metric family
+// with the given name prefix in a registry. Multiple recorders with the
+// same prefix in the same registry share the underlying collectors.
+func NewTransferRecorder(r *Registry, prefix string) *TransferRecorder {
+	return &TransferRecorder{
+		transfers: r.CounterVec(prefix+"_transfers_total",
+			"Transfers by direction and outcome.", "direction", "outcome"),
+		bytes: r.CounterVec(prefix+"_bytes_total",
+			"Payload bytes moved by direction.", "direction"),
+		streams: r.Histogram(prefix+"_streams",
+			"Parallel TCP streams used per transfer.", streamBuckets),
+		stripes: r.Histogram(prefix+"_stripes",
+			"Source hosts per striped transfer.", streamBuckets),
+		restarts: r.Counter(prefix+"_restarts_total",
+			"Transfer attempts beyond the first (reliable-transfer restarts)."),
+		crcFails: r.Counter(prefix+"_crc_failures_total",
+			"End-to-end CRC-32 verification failures."),
+		bandwidth: r.Histogram(prefix+"_bandwidth_mbps",
+			"Effective per-transfer bandwidth in Mbps.", bandwidthBuckets),
+		inFlight: r.Gauge(prefix+"_in_flight",
+			"Transfers currently in progress."),
+	}
+}
+
+// Start marks a transfer as in flight and returns a function that records
+// the finished sample (and decrements the in-flight gauge).
+func (t *TransferRecorder) Start() func(TransferSample) {
+	t.inFlight.Inc()
+	return func(s TransferSample) {
+		t.inFlight.Dec()
+		t.Record(s)
+	}
+}
+
+// Record aggregates one completed (or failed) transfer.
+func (t *TransferRecorder) Record(s TransferSample) {
+	outcome := "ok"
+	if s.Err != nil {
+		outcome = "error"
+	}
+	t.transfers.WithLabelValues(s.Direction, outcome).Inc()
+	t.bytes.WithLabelValues(s.Direction).Add(s.Bytes)
+	if s.Streams > 0 {
+		t.streams.Observe(float64(s.Streams))
+	}
+	if s.Stripes > 1 {
+		t.stripes.Observe(float64(s.Stripes))
+	}
+	if s.Attempts > 1 {
+		t.restarts.Add(int64(s.Attempts - 1))
+	}
+	if s.Err == nil && s.Bytes > 0 && s.Elapsed > 0 {
+		t.bandwidth.Observe(s.RateMbps())
+	}
+}
+
+// Restart counts one reliable-transfer restart directly (used when the
+// restart spans multiple client sessions).
+func (t *TransferRecorder) Restart() { t.restarts.Inc() }
+
+// Striped observes the source-host count of one striped transfer whose
+// constituent range fetches are recorded individually.
+func (t *TransferRecorder) Striped(hosts int) { t.stripes.Observe(float64(hosts)) }
+
+// CRCFailure counts one end-to-end checksum mismatch.
+func (t *TransferRecorder) CRCFailure() { t.crcFails.Inc() }
+
+// Transfers returns the count for a direction/outcome pair (test hook).
+func (t *TransferRecorder) Transfers(direction, outcome string) int64 {
+	return t.transfers.WithLabelValues(direction, outcome).Value()
+}
+
+// Bytes returns the byte count for a direction (test hook).
+func (t *TransferRecorder) Bytes(direction string) int64 {
+	return t.bytes.WithLabelValues(direction).Value()
+}

@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gdmp/internal/obs"
 )
 
 // Well-known attribute names used by GDMP when publishing files
@@ -90,14 +92,25 @@ type Catalog struct {
 	locations   map[string]map[string]bool // lfn -> set of PFNs
 	collections map[string]map[string]bool // collection -> set of LFNs
 	serial      uint64                     // for LFN auto-generation
+	met         *catalogMetrics
 }
 
-// NewCatalog creates an empty catalog.
+// NewCatalog creates an empty catalog recording into obs.Default.
 func NewCatalog() *Catalog {
+	return NewCatalogWithMetrics(nil)
+}
+
+// NewCatalogWithMetrics creates an empty catalog recording operation
+// counts and latencies into the given registry (obs.Default when nil).
+func NewCatalogWithMetrics(r *obs.Registry) *Catalog {
+	if r == nil {
+		r = obs.Default
+	}
 	return &Catalog{
 		files:       make(map[string]*LogicalFile),
 		locations:   make(map[string]map[string]bool),
 		collections: make(map[string]map[string]bool),
+		met:         newCatalogMetrics(r),
 	}
 }
 
@@ -113,7 +126,8 @@ func validName(n string) error {
 // Register creates a logical file entry. The name must be globally unique:
 // registering an existing name fails, which is how GDMP "ensures a global
 // name space" and verifies user-selected logical file names.
-func (c *Catalog) Register(name string, attrs map[string]string) error {
+func (c *Catalog) Register(name string, attrs map[string]string) (err error) {
+	defer c.met.record(opRegister, time.Now(), &err)
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -134,7 +148,8 @@ func (c *Catalog) Register(name string, attrs map[string]string) error {
 // GenerateLFN reserves and registers an automatically generated unique
 // logical file name incorporating the site name and base name, GDMP's
 // "automatic generation ... of new logical file names".
-func (c *Catalog) GenerateLFN(site, base string, attrs map[string]string) (string, error) {
+func (c *Catalog) GenerateLFN(site, base string, attrs map[string]string) (lfn string, err error) {
+	defer c.met.record(opGenerate, time.Now(), &err)
 	if err := validName(site); err != nil {
 		return "", err
 	}
@@ -160,7 +175,8 @@ func (c *Catalog) GenerateLFN(site, base string, attrs map[string]string) (strin
 }
 
 // Lookup returns a copy of the logical file entry.
-func (c *Catalog) Lookup(name string) (*LogicalFile, error) {
+func (c *Catalog) Lookup(name string) (f *LogicalFile, err error) {
+	defer c.met.record(opLookup, time.Now(), &err)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	f, ok := c.files[name]
@@ -171,7 +187,8 @@ func (c *Catalog) Lookup(name string) (*LogicalFile, error) {
 }
 
 // SetAttrs merges attribute updates into an existing entry.
-func (c *Catalog) SetAttrs(name string, attrs map[string]string) error {
+func (c *Catalog) SetAttrs(name string, attrs map[string]string) (err error) {
+	defer c.met.record(opSetAttrs, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f, ok := c.files[name]
@@ -186,7 +203,8 @@ func (c *Catalog) SetAttrs(name string, attrs map[string]string) error {
 
 // Delete removes a logical file entry, its replica locations, and its
 // membership in any collections.
-func (c *Catalog) Delete(name string) error {
+func (c *Catalog) Delete(name string) (err error) {
+	defer c.met.record(opDelete, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.files[name]; !ok {
@@ -202,6 +220,7 @@ func (c *Catalog) Delete(name string) error {
 
 // Files returns all logical file names, sorted.
 func (c *Catalog) Files() []string {
+	defer c.met.record(opFiles, time.Now(), nil)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.files))
@@ -215,14 +234,14 @@ func (c *Catalog) Files() []string {
 // Query returns copies of the logical files whose attributes satisfy the
 // filter expression (see ParseFilter). Clients "can specify filters to
 // obtain the exact information that they require".
-func (c *Catalog) Query(filter string) ([]*LogicalFile, error) {
+func (c *Catalog) Query(filter string) (out []*LogicalFile, err error) {
+	defer c.met.record(opQuery, time.Now(), &err)
 	f, err := ParseFilter(filter)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	var out []*LogicalFile
 	for _, lf := range c.files {
 		if f.Match(lf) {
 			out = append(out, lf.clone())
@@ -235,7 +254,8 @@ func (c *Catalog) Query(filter string) ([]*LogicalFile, error) {
 // --- locations -----------------------------------------------------------
 
 // AddReplica records a physical location (PFN) for a logical file.
-func (c *Catalog) AddReplica(lfn, pfn string) error {
+func (c *Catalog) AddReplica(lfn, pfn string) (err error) {
+	defer c.met.record(opAddReplica, time.Now(), &err)
 	if err := validName(pfn); err != nil {
 		return err
 	}
@@ -253,7 +273,8 @@ func (c *Catalog) AddReplica(lfn, pfn string) error {
 }
 
 // RemoveReplica deletes one physical location of a logical file.
-func (c *Catalog) RemoveReplica(lfn, pfn string) error {
+func (c *Catalog) RemoveReplica(lfn, pfn string) (err error) {
+	defer c.met.record(opRemoveReplica, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	locs, ok := c.locations[lfn]
@@ -269,14 +290,15 @@ func (c *Catalog) RemoveReplica(lfn, pfn string) error {
 
 // Locations returns all physical locations of a logical file, sorted — the
 // paper's "heart of the system".
-func (c *Catalog) Locations(lfn string) ([]string, error) {
+func (c *Catalog) Locations(lfn string) (out []string, err error) {
+	defer c.met.record(opLocations, time.Now(), &err)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	locs, ok := c.locations[lfn]
 	if !ok {
 		return nil, fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
 	}
-	out := make([]string, 0, len(locs))
+	out = make([]string, 0, len(locs))
 	for pfn := range locs {
 		out = append(out, pfn)
 	}
@@ -287,7 +309,8 @@ func (c *Catalog) Locations(lfn string) ([]string, error) {
 // --- collections ---------------------------------------------------------
 
 // CreateCollection creates an empty collection.
-func (c *Catalog) CreateCollection(name string) error {
+func (c *Catalog) CreateCollection(name string) (err error) {
+	defer c.met.record(opCreateCollection, time.Now(), &err)
 	if err := validName(name); err != nil {
 		return err
 	}
@@ -302,7 +325,8 @@ func (c *Catalog) CreateCollection(name string) error {
 
 // DeleteCollection removes a collection. It must be empty unless force is
 // set, protecting against accidental loss of dataset groupings.
-func (c *Catalog) DeleteCollection(name string, force bool) error {
+func (c *Catalog) DeleteCollection(name string, force bool) (err error) {
+	defer c.met.record(opDeleteCollection, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	set, ok := c.collections[name]
@@ -317,7 +341,8 @@ func (c *Catalog) DeleteCollection(name string, force bool) error {
 }
 
 // AddToCollection inserts a registered logical file into a collection.
-func (c *Catalog) AddToCollection(coll, lfn string) error {
+func (c *Catalog) AddToCollection(coll, lfn string) (err error) {
+	defer c.met.record(opAddToColl, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	set, ok := c.collections[coll]
@@ -332,7 +357,8 @@ func (c *Catalog) AddToCollection(coll, lfn string) error {
 }
 
 // RemoveFromCollection removes a logical file from a collection.
-func (c *Catalog) RemoveFromCollection(coll, lfn string) error {
+func (c *Catalog) RemoveFromCollection(coll, lfn string) (err error) {
+	defer c.met.record(opRemoveFromColl, time.Now(), &err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	set, ok := c.collections[coll]
@@ -347,14 +373,15 @@ func (c *Catalog) RemoveFromCollection(coll, lfn string) error {
 }
 
 // ListCollection returns the sorted members of a collection.
-func (c *Catalog) ListCollection(name string) ([]string, error) {
+func (c *Catalog) ListCollection(name string) (out []string, err error) {
+	defer c.met.record(opListCollection, time.Now(), &err)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	set, ok := c.collections[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: collection %q", ErrNotFound, name)
 	}
-	out := make([]string, 0, len(set))
+	out = make([]string, 0, len(set))
 	for lfn := range set {
 		out = append(out, lfn)
 	}
@@ -364,6 +391,7 @@ func (c *Catalog) ListCollection(name string) ([]string, error) {
 
 // Collections returns all collection names, sorted.
 func (c *Catalog) Collections() []string {
+	defer c.met.record(opCollections, time.Now(), nil)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.collections))
@@ -383,6 +411,7 @@ type Stats struct {
 
 // Stats returns entry counts.
 func (c *Catalog) Stats() Stats {
+	defer c.met.record(opStats, time.Now(), nil)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	s := Stats{Files: len(c.files), Collections: len(c.collections)}

@@ -1,0 +1,69 @@
+package replica
+
+import (
+	"time"
+
+	"gdmp/internal/obs"
+)
+
+// CatalogMetricsPrefix prefixes every replica catalog metric.
+const CatalogMetricsPrefix = "gdmp_replica_catalog"
+
+// Operation labels recorded by catalog instrumentation; one per public
+// catalog operation, including the filter-query path whose timings the
+// ops histogram captures under opQuery.
+const (
+	opRegister         = "register"
+	opGenerate         = "generate"
+	opLookup           = "lookup"
+	opSetAttrs         = "set_attrs"
+	opDelete           = "delete"
+	opFiles            = "files"
+	opQuery            = "query"
+	opAddReplica       = "add_replica"
+	opRemoveReplica    = "remove_replica"
+	opLocations        = "locations"
+	opCreateCollection = "create_collection"
+	opDeleteCollection = "delete_collection"
+	opAddToColl        = "add_to_collection"
+	opRemoveFromColl   = "remove_from_collection"
+	opListCollection   = "list_collection"
+	opCollections      = "collections"
+	opStats            = "stats"
+)
+
+// catalogMetrics counts catalog operations by outcome and times each one.
+type catalogMetrics struct {
+	ops     *obs.CounterVec   // {op, outcome}
+	latency *obs.HistogramVec // {op}
+}
+
+func newCatalogMetrics(r *obs.Registry) *catalogMetrics {
+	return &catalogMetrics{
+		ops: r.CounterVec(CatalogMetricsPrefix+"_ops_total",
+			"Replica catalog operations by operation and outcome.", "op", "outcome"),
+		latency: r.HistogramVec(CatalogMetricsPrefix+"_op_seconds",
+			"Replica catalog operation latency by operation.", nil, "op"),
+	}
+}
+
+// record finishes one operation: use as
+//
+//	defer c.met.record(opLookup, time.Now(), &err)
+//
+// with a named error return (nil errp for operations that cannot fail).
+// The deferred call reads *errp at function exit, after the body has
+// assigned the result.
+func (m *catalogMetrics) record(op string, start time.Time, errp *error) {
+	outcome := "ok"
+	if errp != nil && *errp != nil {
+		outcome = "error"
+	}
+	m.ops.WithLabelValues(op, outcome).Inc()
+	m.latency.WithLabelValues(op).ObserveDuration(time.Since(start))
+}
+
+// OpCount returns the count for an operation/outcome pair (test hook).
+func (c *Catalog) OpCount(op, outcome string) int64 {
+	return c.met.ops.WithLabelValues(op, outcome).Value()
+}

@@ -9,7 +9,37 @@ import (
 	"time"
 
 	"gdmp/internal/gsi"
+	"gdmp/internal/obs"
 )
+
+// ServerMetricsPrefix prefixes every Request Manager server metric.
+const ServerMetricsPrefix = "gdmp_rpc_server"
+
+// serverMetrics instruments the Request Manager: request counts by method
+// and status, per-method latency, in-flight requests, and the two
+// rejection classes that precede dispatch (handshake and authorization).
+type serverMetrics struct {
+	requests       *obs.CounterVec   // {method, status}
+	latency        *obs.HistogramVec // {method}
+	inFlight       *obs.Gauge
+	authFails      *obs.Counter
+	handshakeFails *obs.Counter
+}
+
+func newRPCServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: r.CounterVec(ServerMetricsPrefix+"_requests_total",
+			"RPC requests by method and status.", "method", "status"),
+		latency: r.HistogramVec(ServerMetricsPrefix+"_request_seconds",
+			"RPC request handling latency by method.", nil, "method"),
+		inFlight: r.Gauge(ServerMetricsPrefix+"_in_flight",
+			"RPC requests currently being dispatched."),
+		authFails: r.Counter(ServerMetricsPrefix+"_auth_failures_total",
+			"Requests rejected by the ACL check."),
+		handshakeFails: r.Counter(ServerMetricsPrefix+"_handshake_failures_total",
+			"Connections dropped during the GSI handshake."),
+	}
+}
 
 // status codes carried in response frames.
 const (
@@ -50,6 +80,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	logger   *log.Logger
+	met      *serverMetrics
 	TimeoutD time.Duration // per-request read/write deadline; 0 disables
 }
 
@@ -63,6 +94,16 @@ func NewServer(cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Se
 		handlers: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
 		logger:   log.New(logDiscard{}, "", 0),
+		met:      newRPCServerMetrics(obs.Default),
+	}
+}
+
+// SetMetrics rebinds the server's instrumentation to the given registry
+// (tests use a private registry; the default is obs.Default). Call before
+// Serve.
+func (s *Server) SetMetrics(r *obs.Registry) {
+	if r != nil {
+		s.met = newRPCServerMetrics(r)
 	}
 }
 
@@ -160,6 +201,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	peer, err := gsi.Handshake(conn, s.cred, s.roots, false)
 	if err != nil {
+		s.met.handshakeFails.Inc()
 		s.logger.Printf("rpc: handshake with %v failed: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -189,8 +231,13 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(peer *gsi.Peer, method string, payload []byte) []byte {
+	s.met.inFlight.Inc()
+	defer s.met.inFlight.Dec()
+	defer s.met.latency.WithLabelValues(method).Time()()
+
 	var out Encoder
-	fail := func(format string, args ...interface{}) []byte {
+	fail := func(status, format string, args ...interface{}) []byte {
+		s.met.requests.WithLabelValues(method, status).Inc()
 		out.Reset()
 		out.Uint8(statusError)
 		out.String(fmt.Sprintf(format, args...))
@@ -201,18 +248,20 @@ func (s *Server) dispatch(peer *gsi.Peer, method string, payload []byte) []byte 
 	h, ok := s.handlers[method]
 	s.mu.RUnlock()
 	if !ok {
-		return fail("unknown method %q", method)
+		return fail("unknown", "unknown method %q", method)
 	}
 	if s.acl != nil {
 		if err := s.acl.Check(peer.Base, gsi.Operation(method)); err != nil {
-			return fail("unauthorized: %v", err)
+			s.met.authFails.Inc()
+			return fail("unauthorized", "unauthorized: %v", err)
 		}
 	}
 
 	out.Uint8(statusOK)
 	args := NewDecoder(payload)
 	if err := h(peer, args, &out); err != nil {
-		return fail("%v", err)
+		return fail("error", "%v", err)
 	}
+	s.met.requests.WithLabelValues(method, "ok").Inc()
 	return out.Bytes()
 }

@@ -18,6 +18,7 @@ import (
 	"gdmp/internal/gsi"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
+	"gdmp/internal/obs"
 	"gdmp/internal/replica"
 )
 
@@ -67,6 +68,10 @@ type SiteOptions struct {
 
 	// Select overrides the replica selection policy.
 	Select core.ReplicaSelector
+
+	// Metrics gives the site a private instrumentation registry, keeping
+	// test assertions isolated from obs.Default.
+	Metrics *obs.Registry
 }
 
 // NewGrid creates the trust domain and the central replica catalog.
@@ -133,6 +138,7 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		AutoTuneBuffers: opts.AutoTuneBuffers,
 		DialFunc:        opts.DialFunc,
 		Select:          opts.Select,
+		Metrics:         opts.Metrics,
 	}
 	if opts.WithMSS {
 		capacity := opts.MSSCapacity
