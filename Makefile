@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench
+.PHONY: all build test check vet fmt race bench chaos
 
 all: build
 
@@ -32,3 +32,12 @@ check: fmt vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fault-injection suite: scripted fault schedules through internal/faults,
+# race detector on. The seed is logged by every test; override it to
+# replay a run, e.g. `make chaos CHAOS_SEED=7`.
+CHAOS_SEED ?= 20260805
+chaos:
+	@echo "chaos seed: $(CHAOS_SEED)"
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v \
+		-run 'TestChaos|TestRecoverWithMidTransferFailure|TestProcessPendingRequeuesRemainder' .

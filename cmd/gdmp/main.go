@@ -34,6 +34,7 @@ import (
 	"gdmp/internal/gridftp"
 	"gdmp/internal/gsi"
 	"gdmp/internal/replica"
+	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
 )
 
@@ -42,15 +43,20 @@ func main() {
 	caPath := flag.String("ca", "", "trust anchor certificate (required)")
 	rcAddr := flag.String("rc", "", "replica catalog address (for locations/query)")
 	parallel := flag.Int("p", 2, "parallel streams (for fetch)")
+	attempts := flag.Int("attempts", 3, "restart attempts for fetch/fetch-lfn")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial backoff between restart attempts")
 	flag.Parse()
 
-	if err := run(*credPath, *caPath, *rcAddr, *parallel, flag.Args()); err != nil {
+	pol := retry.DefaultPolicy()
+	pol.Attempts = *attempts
+	pol.BaseDelay = *retryBase
+	if err := run(*credPath, *caPath, *rcAddr, *parallel, pol, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(credPath, caPath, rcAddr string, parallel int, args []string) error {
+func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args []string) error {
 	if credPath == "" || caPath == "" {
 		return fmt.Errorf("-cred and -ca are required")
 	}
@@ -284,7 +290,7 @@ func run(credPath, caPath, rcAddr string, parallel int, args []string) error {
 		connect := func() (*gridftp.Client, error) {
 			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
 		}
-		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], 3)
+		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], pol)
 		if err != nil {
 			return err
 		}
@@ -303,7 +309,7 @@ func run(credPath, caPath, rcAddr string, parallel int, args []string) error {
 		connect := func() (*gridftp.Client, error) {
 			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
 		}
-		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], 3)
+		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], pol)
 		if err != nil {
 			return err
 		}

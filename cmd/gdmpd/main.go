@@ -9,7 +9,9 @@
 //	      -cred certs/cern.pem -ca certs/ca.pem \
 //	      [-listen :38000] [-ftp-listen :2811] [-metrics :9090] \
 //	      [-tape /tape -pool-capacity 1073741824] [-federation] \
-//	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap]
+//	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap] \
+//	      [-retry-attempts 3 -retry-base 50ms -retry-max 2s] \
+//	      [-transfer-attempts 3] [-notify-failures 3]
 //
 // With -tape, the site runs a Mass Storage System: the pool acts as a cache
 // and files are staged from the tape directory on demand. With
@@ -29,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"gdmp/internal/core"
 	"gdmp/internal/gsi"
@@ -36,6 +39,7 @@ import (
 	"gdmp/internal/objectstore"
 	"gdmp/internal/objrep"
 	"gdmp/internal/obs"
+	"gdmp/internal/retry"
 )
 
 func main() {
@@ -55,14 +59,25 @@ func main() {
 	autoTune := flag.Bool("auto-tune", false, "negotiate TCP buffers per source (RTT x bandwidth)")
 	gridmap := flag.String("gridmap", "", "authorization gridmap (default: allow all)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics over HTTP on this address (empty = off)")
+	retryAttempts := flag.Int("retry-attempts", 3, "attempt cap for retried network operations")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial backoff between retries")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff ceiling between retries")
+	transferAttempts := flag.Int("transfer-attempts", 3, "restart attempts per file transfer")
+	notifyFailures := flag.Int("notify-failures", 3, "consecutive notification failures before a subscriber is suspect")
 	flag.Parse()
 
+	pol := retry.DefaultPolicy()
+	pol.Attempts = *retryAttempts
+	pol.BaseDelay = *retryBase
+	pol.MaxDelay = *retryMax
 	if err := run(params{
 		name: *name, data: *data, rcAddr: *rcAddr, credPath: *credPath,
 		caPath: *caPath, listen: *listen, ftpListen: *ftpListen,
 		tape: *tape, poolCap: *poolCap, federation: *federation,
 		auto: *auto, parallel: *parallel, tcpBuffer: *tcpBuffer,
 		autoTune: *autoTune, gridmap: *gridmap, metricsAddr: *metricsAddr,
+		retry: pol, transferAttempts: *transferAttempts,
+		notifyFailures: *notifyFailures,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -76,6 +91,8 @@ type params struct {
 	poolCap                              int64
 	federation, auto, autoTune           bool
 	parallel, tcpBuffer                  int
+	retry                                retry.Policy
+	transferAttempts, notifyFailures     int
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -137,6 +154,10 @@ func run(p params) error {
 		GDMPListen:      p.listen,
 		FTPListen:       p.ftpListen,
 		Logger:          log.Default(),
+
+		Retry:                  p.retry,
+		TransferAttempts:       p.transferAttempts,
+		NotifyFailureThreshold: p.notifyFailures,
 	}
 	if p.tape != "" {
 		m, err := mss.New(mss.Config{

@@ -24,6 +24,7 @@ import (
 	"gdmp/internal/core"
 	"gdmp/internal/gridftp"
 	"gdmp/internal/gsi"
+	"gdmp/internal/retry"
 )
 
 func main() {
@@ -32,9 +33,15 @@ func main() {
 	parallel := flag.Int("p", 1, "number of parallel TCP streams")
 	tcpBS := flag.Int("tcp-bs", 0, "TCP socket buffer size in bytes (0 = OS default)")
 	attempts := flag.Int("attempts", 3, "restart attempts for downloads")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial backoff between restart attempts")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff ceiling between restart attempts")
 	flag.Parse()
 
-	if err := run(*credPath, *caPath, *parallel, *tcpBS, *attempts, flag.Args()); err != nil {
+	pol := retry.DefaultPolicy()
+	pol.Attempts = *attempts
+	pol.BaseDelay = *retryBase
+	pol.MaxDelay = *retryMax
+	if err := run(*credPath, *caPath, *parallel, *tcpBS, pol, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "gurlcopy:", err)
 		os.Exit(1)
 	}
@@ -42,7 +49,7 @@ func main() {
 
 func isRemote(s string) bool { return strings.HasPrefix(s, "gridftp://") }
 
-func run(credPath, caPath string, parallel, tcpBS, attempts int, args []string) error {
+func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []string) error {
 	if credPath == "" || caPath == "" {
 		return fmt.Errorf("-cred and -ca are required")
 	}
@@ -101,7 +108,7 @@ func run(credPath, caPath string, parallel, tcpBS, attempts int, args []string) 
 			return err
 		}
 		connect := func() (*gridftp.Client, error) { return dial(pfn.Addr) }
-		stats, err = gridftp.ReliableGetFile(connect, pfn.Path, dst, attempts)
+		stats, err = gridftp.ReliableGetFile(connect, pfn.Path, dst, pol)
 		if err != nil {
 			return err
 		}

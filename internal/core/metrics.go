@@ -18,14 +18,18 @@ const SiteMetricsPrefix = "gdmp_site"
 // Section 4: publication latency, notification fan-out, the pull-queue
 // depth consumers drain, and replication outcomes.
 type siteMetrics struct {
-	publishes     *obs.CounterVec // {outcome}
-	publishTime   *obs.Histogram
-	notifySent    *obs.CounterVec // {outcome}; one increment per subscriber
-	notifyRecv    *obs.Counter
-	pendingDepth  *obs.Gauge
-	subscribers   *obs.Gauge
-	replications  *obs.CounterVec // {outcome}
-	stageRequests *obs.CounterVec // {outcome}
+	publishes          *obs.CounterVec // {outcome}
+	publishTime        *obs.Histogram
+	notifySent         *obs.CounterVec // {outcome}; one increment per delivery attempt
+	notifyRecv         *obs.Counter
+	notifyRedeliveries *obs.Counter
+	notifySkipped      *obs.Counter
+	notifyQueueDepth   *obs.Gauge
+	suspectSubscribers *obs.Gauge
+	pendingDepth       *obs.Gauge
+	subscribers        *obs.Gauge
+	replications       *obs.CounterVec // {outcome}
+	stageRequests      *obs.CounterVec // {outcome}
 }
 
 func newSiteMetrics(r *obs.Registry) *siteMetrics {
@@ -38,6 +42,14 @@ func newSiteMetrics(r *obs.Registry) *siteMetrics {
 			"Publication notices sent to subscribers, by outcome.", "outcome"),
 		notifyRecv: r.Counter(SiteMetricsPrefix+"_notifications_received_total",
 			"Publication notices received from producers."),
+		notifyRedeliveries: r.Counter(SiteMetricsPrefix+"_notify_redeliveries_total",
+			"Notification deliveries that failed and were queued for retry."),
+		notifySkipped: r.Counter(SiteMetricsPrefix+"_notify_skipped_total",
+			"Notifications not queued because the subscriber was suspect."),
+		notifyQueueDepth: r.Gauge(SiteMetricsPrefix+"_notify_queue_depth",
+			"Publication notices queued for redelivery across all subscribers."),
+		suspectSubscribers: r.Gauge(SiteMetricsPrefix+"_suspect_subscribers",
+			"Subscribers past the consecutive-failure threshold, awaiting re-subscribe."),
 		pendingDepth: r.Gauge(SiteMetricsPrefix+"_pending_queue_depth",
 			"Notified-but-not-yet-replicated files awaiting a pull."),
 		subscribers: r.Gauge(SiteMetricsPrefix+"_subscribers",

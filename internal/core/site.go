@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"gdmp/internal/objectstore"
 	"gdmp/internal/obs"
 	"gdmp/internal/replica"
+	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
 )
 
@@ -128,6 +130,18 @@ type Config struct {
 	// TransferAttempts bounds restart attempts per file (default 3).
 	TransferAttempts int
 
+	// Retry is the base backoff policy for the site's network paths
+	// (Request Manager dials, stage requests, replica pulls, notification
+	// redelivery). Zero fields take the retry package defaults; the policy
+	// is labeled per operation before use.
+	Retry retry.Policy
+
+	// NotifyFailureThreshold is how many consecutive redelivery failures
+	// mark a subscriber suspect (default 3). A suspect subscriber's queue
+	// is dropped — it reconciles through Recover — and its health resets
+	// when it re-subscribes.
+	NotifyFailureThreshold int
+
 	// Select chooses among replicas (default FirstReplica).
 	Select ReplicaSelector
 
@@ -180,7 +194,13 @@ type Site struct {
 	types *typeRegistry
 
 	subMu       sync.Mutex
-	subscribers map[string]string // site name -> gdmp addr
+	subscribers map[string]*subscriberState // site name -> delivery state
+	notifyWG    sync.WaitGroup
+
+	// ctx is canceled by Close; it gates retry backoffs and redelivery
+	// drains so shutdown does not wait out a backoff schedule.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	pendMu  sync.Mutex
 	pending []FileInfo // notified but not yet replicated
@@ -224,6 +244,9 @@ func NewSite(cfg Config) (*Site, error) {
 	if cfg.TransferAttempts <= 0 {
 		cfg.TransferAttempts = 3
 	}
+	if cfg.NotifyFailureThreshold <= 0 {
+		cfg.NotifyFailureThreshold = 3
+	}
 	if cfg.Select == nil {
 		cfg.Select = FirstReplica
 	}
@@ -254,13 +277,14 @@ func NewSite(cfg Config) (*Site, error) {
 		federation:  cfg.Federation,
 		storage:     cfg.MSS,
 		types:       newTypeRegistry(),
-		subscribers: make(map[string]string),
+		subscribers: make(map[string]*subscriberState),
 		inFlight:    make(map[string]chan struct{}),
 		xferLog:     newTransferLog(0),
 		metrics:     cfg.Metrics,
 		met:         newSiteMetrics(cfg.Metrics),
 		tunedBuf:    make(map[string]int),
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	if s.federation != nil {
 		if err := s.types.register(ObjectivityType{}); err != nil {
 			rcClient.Close()
@@ -346,6 +370,8 @@ func (s *Site) Query(filter string) ([]*replica.LogicalFile, error) {
 func (s *Site) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.cancel()
+		s.notifyWG.Wait()
 		e1 := s.gdmpSrv.Close()
 		e2 := s.ftpSrv.Close()
 		e3 := s.rc.close()
@@ -472,22 +498,133 @@ func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (pf
 	return PublishedFile{LFN: lfn, PFN: pfn, Size: info.Size(), CRC: crcHex}, nil
 }
 
-// notifySubscribers sends the publication notice to every subscriber,
-// best-effort (a dead subscriber recovers later via the catalog transfer).
+// subscriberState is the per-subscriber delivery queue and health record.
+// All fields are guarded by Site.subMu.
+type subscriberState struct {
+	name     string
+	addr     string
+	queue    []FileInfo // notices not yet acknowledged
+	failures int        // consecutive delivery failures
+	suspect  bool       // past the failure threshold; skipped until re-subscribe
+	draining bool       // a drain goroutine is running
+}
+
+// notifySubscribers queues the publication notice for every healthy
+// subscriber and kicks each subscriber's drain goroutine. Delivery is
+// asynchronous and retried with backoff; a subscriber that keeps failing
+// turns suspect and reconciles later via the catalog transfer (Recover).
 func (s *Site) notifySubscribers(files []FileInfo) {
 	s.subMu.Lock()
-	subs := make(map[string]string, len(s.subscribers))
-	for k, v := range s.subscribers {
-		subs[k] = v
-	}
-	s.subMu.Unlock()
-	for name, addr := range subs {
-		err := s.sendNotify(addr, files)
-		s.met.notifySent.WithLabelValues(outcomeOf(err)).Inc()
-		if err != nil {
-			s.logger.Printf("gdmp[%s]: notify %s (%s): %v", s.cfg.Name, name, addr, err)
+	defer s.subMu.Unlock()
+	for _, st := range s.subscribers {
+		if st.suspect {
+			s.met.notifySkipped.Inc()
+			continue
+		}
+		st.queue = append(st.queue, files...)
+		if !st.draining {
+			st.draining = true
+			s.notifyWG.Add(1)
+			go s.drainSubscriber(st)
 		}
 	}
+	s.updateNotifyGaugesLocked()
+}
+
+// updateNotifyGaugesLocked refreshes the queue-depth and suspect gauges;
+// the caller holds subMu.
+func (s *Site) updateNotifyGaugesLocked() {
+	var depth, suspect int64
+	for _, st := range s.subscribers {
+		depth += int64(len(st.queue))
+		if st.suspect {
+			suspect++
+		}
+	}
+	s.met.notifyQueueDepth.Set(depth)
+	s.met.suspectSubscribers.Set(suspect)
+}
+
+// drainSubscriber delivers one subscriber's queued notices in order,
+// backing off between consecutive failures. After NotifyFailureThreshold
+// consecutive failures the subscriber is marked suspect and its queue
+// dropped: GDMP's recovery path for a site that missed notifications is the
+// producer-catalog reconciliation (Recover), not an unbounded queue.
+func (s *Site) drainSubscriber(st *subscriberState) {
+	defer s.notifyWG.Done()
+	pol := s.cfg.Retry
+	for {
+		s.subMu.Lock()
+		if len(st.queue) == 0 || st.suspect || s.ctx.Err() != nil {
+			st.draining = false
+			s.updateNotifyGaugesLocked()
+			s.subMu.Unlock()
+			return
+		}
+		batch := st.queue
+		addr := st.addr
+		s.subMu.Unlock()
+
+		err := s.sendNotify(addr, batch)
+		s.met.notifySent.WithLabelValues(outcomeOf(err)).Inc()
+
+		s.subMu.Lock()
+		if err == nil {
+			// New notices may have been queued while the send ran; keep them.
+			st.queue = st.queue[len(batch):]
+			st.failures = 0
+			s.updateNotifyGaugesLocked()
+			s.subMu.Unlock()
+			continue
+		}
+		st.failures++
+		failures := st.failures
+		if failures >= s.cfg.NotifyFailureThreshold {
+			st.suspect = true
+			st.draining = false
+			st.queue = nil
+			s.updateNotifyGaugesLocked()
+			s.subMu.Unlock()
+			s.logger.Printf("gdmp[%s]: subscriber %s (%s) suspect after %d failures: %v",
+				s.cfg.Name, st.name, addr, failures, err)
+			return
+		}
+		s.subMu.Unlock()
+		s.met.notifyRedeliveries.Inc()
+		s.logger.Printf("gdmp[%s]: notify %s (%s) failed (%d/%d), retrying: %v",
+			s.cfg.Name, st.name, addr, failures, s.cfg.NotifyFailureThreshold, err)
+		if retry.Sleep(s.ctx, pol.Delay(failures)) != nil {
+			s.subMu.Lock()
+			st.draining = false
+			s.subMu.Unlock()
+			return
+		}
+	}
+}
+
+// NotifyQueueDepth reports how many notices are queued for redelivery
+// across all subscribers.
+func (s *Site) NotifyQueueDepth() int {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	n := 0
+	for _, st := range s.subscribers {
+		n += len(st.queue)
+	}
+	return n
+}
+
+// SuspectSubscribers lists subscribers currently marked suspect.
+func (s *Site) SuspectSubscribers() []string {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	var out []string
+	for name, st := range s.subscribers {
+		if st.suspect {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // --- subscribe ----------------------------------------------------------------
@@ -529,6 +666,29 @@ func (s *Site) Subscribers() []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// retryPolicy labels the site's base policy for one operation and points
+// its instrumentation at the site registry.
+func (s *Site) retryPolicy(op string) retry.Policy {
+	p := s.cfg.Retry
+	p.Op = op
+	p.Registry = s.metrics
+	if p.Retryable == nil {
+		p.Retryable = transientRPC
+	}
+	return p
+}
+
+// transientRPC retries transport failures but not application-level
+// errors: a *rpc.RemoteError means the exchange worked and the remote
+// handler rejected the request, which a redial will not change.
+func transientRPC(err error) bool {
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return retry.DefaultRetryable(err)
 }
 
 // --- remote catalog / ping -----------------------------------------------------
@@ -587,12 +747,17 @@ func (s *Site) Recover(remoteAddr string) (fetched int, err error) {
 	return fetched, nil
 }
 
+// dialGDMP opens a Request Manager session, retrying transient dial
+// failures under the site policy.
 func (s *Site) dialGDMP(addr string) (*rpc.Client, error) {
-	opts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
-	if s.cfg.DialFunc != nil {
-		opts = append(opts, rpc.WithDialer(s.cfg.DialFunc))
-	}
-	return rpc.Dial(addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
+	var cl *rpc.Client
+	pol := s.retryPolicy("core.dial")
+	err := pol.Do(s.ctx, func(int) error {
+		var derr error
+		cl, derr = rpc.Dial(addr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
+		return derr
+	})
+	return cl, err
 }
 
 // --- get (replication) ----------------------------------------------------------
@@ -647,7 +812,16 @@ func (s *Site) replicate(lfn string) error {
 	if len(usable) == 0 {
 		return fmt.Errorf("core: no remote replica of %s", lfn)
 	}
-	src := s.cfg.Select(lfn, usable)
+	// Failover order: the selector's pick first, then the remaining
+	// replicas in catalog order.
+	pick := s.cfg.Select(lfn, usable)
+	order := make([]PFN, 0, len(usable))
+	order = append(order, pick)
+	for _, p := range usable {
+		if p != pick {
+			order = append(order, p)
+		}
+	}
 
 	ftName := entry.Attrs[replica.AttrFileType]
 	if ftName == "" {
@@ -664,9 +838,11 @@ func (s *Site) replicate(lfn string) error {
 	}
 
 	// Step 2: the actual file transfer (staged at the source if needed).
+	// Attempts rotate through the replica locations, so a dead or corrupt
+	// source fails over to the next one under the same backoff policy.
 	rel := entry.Attrs[attrPath]
 	if rel == "" {
-		rel = src.Path
+		rel = order[0].Path
 	}
 	localPath, err := s.resolveLocal(rel)
 	if err != nil {
@@ -683,43 +859,16 @@ func (s *Site) replicate(lfn string) error {
 			defer release()
 		}
 	}
-	if ctl := entry.Attrs[ctlAttrPrefix+src.Addr]; ctl != "" {
-		if err := s.requestStage(ctl, lfn); err != nil {
-			err = fmt.Errorf("core: stage %s at source: %w", lfn, err)
-			s.xferLog.add(TransferRecord{
-				LFN: lfn, Source: src.Addr, When: time.Now(),
-				Failed: true, Error: err.Error(),
-			})
-			return err
-		}
+	pol := s.retryPolicy("core.replicate")
+	if pol.Attempts < len(order) {
+		pol.Attempts = len(order) // visit every replica at least once
 	}
-	stats, err := s.fetch(src, localPath)
-	record := TransferRecord{
-		LFN: lfn, Source: src.Addr, Bytes: stats.Bytes,
-		Elapsed: stats.Elapsed, Attempts: stats.Attempts,
-		RateMbps: stats.RateMbps(), When: time.Now(),
-	}
+	err = pol.Do(s.ctx, func(attempt int) error {
+		src := order[(attempt-1)%len(order)]
+		return s.replicateFrom(entry, lfn, src, localPath)
+	})
 	if err != nil {
-		record.Failed = true
-		record.Error = err.Error()
-		s.xferLog.add(record)
 		return fmt.Errorf("core: transfer %s: %w", lfn, err)
-	}
-	s.xferLog.add(record)
-	s.logger.Printf("gdmp[%s]: replicated %s (%d bytes, %d attempts, %.2f Mbps)",
-		s.cfg.Name, lfn, stats.Bytes, stats.Attempts, stats.RateMbps())
-
-	// Verify against the catalog's published CRC, not only the source's
-	// current content (guards against catalog/file drift).
-	if want := entry.Attrs[replica.AttrCRC]; want != "" {
-		got, err := gridftp.CRC32File(localPath)
-		if err != nil {
-			return err
-		}
-		if fmt.Sprintf("%08x", got) != want {
-			os.Remove(localPath)
-			return fmt.Errorf("%w: %s catalog=%s local=%08x", gridftp.ErrChecksum, lfn, want, got)
-		}
 	}
 
 	// Step 3: post-processing (e.g. attach to the federation).
@@ -748,6 +897,51 @@ func (s *Site) replicate(lfn string) error {
 	if s.storage != nil {
 		if err := s.storage.AddToPool(myPFN.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
+		}
+	}
+	return nil
+}
+
+// replicateFrom runs one replication attempt against one source: stage
+// request, restartable transfer, and verification against the catalog's
+// published CRC (not only the source's current content, which guards
+// against catalog/file drift). A CRC mismatch removes the local file and
+// returns a retryable error so the caller fails over to another replica.
+func (s *Site) replicateFrom(entry *replica.LogicalFile, lfn string, src PFN, localPath string) error {
+	if ctl := entry.Attrs[ctlAttrPrefix+src.Addr]; ctl != "" {
+		if err := s.requestStage(ctl, lfn); err != nil {
+			err = fmt.Errorf("core: stage %s at source: %w", lfn, err)
+			s.xferLog.add(TransferRecord{
+				LFN: lfn, Source: src.Addr, When: time.Now(),
+				Failed: true, Error: err.Error(),
+			})
+			return err
+		}
+	}
+	stats, err := s.fetch(src, localPath)
+	record := TransferRecord{
+		LFN: lfn, Source: src.Addr, Bytes: stats.Bytes,
+		Elapsed: stats.Elapsed, Attempts: stats.Attempts,
+		RateMbps: stats.RateMbps(), When: time.Now(),
+	}
+	if err != nil {
+		record.Failed = true
+		record.Error = err.Error()
+		s.xferLog.add(record)
+		return err
+	}
+	s.xferLog.add(record)
+	s.logger.Printf("gdmp[%s]: replicated %s from %s (%d bytes, %d attempts, %.2f Mbps)",
+		s.cfg.Name, lfn, src.Addr, stats.Bytes, stats.Attempts, stats.RateMbps())
+
+	if want := entry.Attrs[replica.AttrCRC]; want != "" {
+		got, err := gridftp.CRC32File(localPath)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if fmt.Sprintf("%08x", got) != want {
+			os.Remove(localPath)
+			return fmt.Errorf("%w: %s catalog=%s local=%08x", gridftp.ErrChecksum, lfn, want, got)
 		}
 	}
 	return nil
@@ -790,7 +984,10 @@ func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
 		}
 		return cl, nil
 	}
-	return gridftp.ReliableGetFile(connect, src.Path, localPath, s.cfg.TransferAttempts)
+	pol := s.retryPolicy("gridftp.get")
+	pol.Attempts = s.cfg.TransferAttempts
+	pol.Retryable = nil // transfer failures are all retryable
+	return gridftp.ReliableGetFile(connect, src.Path, localPath, pol)
 }
 
 // bufferFor returns the socket buffer to use against a source: the static
@@ -805,17 +1002,30 @@ func (s *Site) bufferFor(addr string) int {
 }
 
 // requestStage asks the source site's GDMP server to bring the file onto
-// disk before the disk-to-disk transfer (Section 4.4).
+// disk before the disk-to-disk transfer (Section 4.4). The whole exchange
+// retries as a unit: staging is idempotent at the source, and the dial
+// already succeeded once so a fresh session is cheap.
 func (s *Site) requestStage(ctlAddr, lfn string) error {
-	cl, err := s.dialGDMP(ctlAddr)
-	if err != nil {
+	pol := s.retryPolicy("core.stage")
+	return pol.Do(s.ctx, func(int) error {
+		cl, err := rpc.Dial(ctlAddr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		var e rpc.Encoder
+		e.String(lfn)
+		_, err = cl.Call(MethodStage, &e)
 		return err
+	})
+}
+
+func (s *Site) rpcDialOpts() []rpc.DialOption {
+	opts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
+	if s.cfg.DialFunc != nil {
+		opts = append(opts, rpc.WithDialer(s.cfg.DialFunc))
 	}
-	defer cl.Close()
-	var e rpc.Encoder
-	e.String(lfn)
-	_, err = cl.Call(MethodStage, &e)
-	return err
+	return opts
 }
 
 // --- notifications (consumer side) ---------------------------------------------
@@ -836,13 +1046,14 @@ func (s *Site) ProcessPending() (int, error) {
 	s.met.pendingDepth.Set(0)
 	s.pendMu.Unlock()
 	n := 0
-	for _, fi := range work {
+	for i, fi := range work {
 		if s.HasFile(fi.LFN) {
 			continue
 		}
 		if err := s.Get(fi.LFN); err != nil {
-			// Put the remainder back for a later retry.
-			s.addPending(fi)
+			// Put the failed file AND everything not yet attempted back
+			// for a later retry; dropping the tail would lose notices.
+			s.addPending(work[i:]...)
 			return n, err
 		}
 		n++
@@ -939,8 +1150,17 @@ func (s *Site) registerHandlers() {
 			return errors.New("subscribe wants site name and address")
 		}
 		s.subMu.Lock()
-		s.subscribers[name] = addr
+		if st, ok := s.subscribers[name]; ok {
+			// Re-subscribing updates the address and resets delivery
+			// health: the site is telling us it is back.
+			st.addr = addr
+			st.suspect = false
+			st.failures = 0
+		} else {
+			s.subscribers[name] = &subscriberState{name: name, addr: addr}
+		}
 		s.met.subscribers.Set(int64(len(s.subscribers)))
+		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
 		s.logger.Printf("gdmp[%s]: %s subscribed as %s (%s)", s.cfg.Name, peer.Base, name, addr)
 		return nil
@@ -953,6 +1173,7 @@ func (s *Site) registerHandlers() {
 		s.subMu.Lock()
 		delete(s.subscribers, name)
 		s.met.subscribers.Set(int64(len(s.subscribers)))
+		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
 		return nil
 	})

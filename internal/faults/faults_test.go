@@ -1,0 +1,288 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdmp/internal/obs"
+)
+
+// echoServer accepts connections and echoes whatever it reads.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func TestDialRefusal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	reg := obs.NewRegistry()
+	in := New(1, func(c ConnInfo) Plan {
+		if c.AddrSeq == 0 {
+			return Plan{RefuseDial: true}
+		}
+		return Plan{}
+	}, WithMetrics(reg))
+	dial := in.Dialer(nil)
+
+	if _, err := dial("tcp", addr); !errors.Is(err, ErrDialRefused) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("first dial: want ErrDialRefused, got %v", err)
+	}
+	c, err := dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	c.Close()
+	if got := in.Injected(KindDialRefused); got != 1 {
+		t.Fatalf("refusals = %d", got)
+	}
+	if !strings.Contains(reg.Text(), `gdmp_faults_injected_total{kind="dial_refused"} 1`) {
+		t.Fatalf("metrics missing refusal:\n%s", reg.Text())
+	}
+}
+
+func TestMidStreamResetAfterExactBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, func(ConnInfo) Plan { return Plan{ResetAfterBytes: 10} })
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 6 bytes out; 4 more may cross (echoed back) before the reset.
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("read %d bytes past the cap, want 4", n)
+	}
+	// The next operation must observe the reset.
+	if _, err := c.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+	if in.Injected(KindReset) != 1 {
+		t.Fatalf("resets = %d", in.Injected(KindReset))
+	}
+}
+
+func TestResetDuringWrite(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, func(ConnInfo) Plan { return Plan{ResetAfterBytes: 5} })
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n, err := c.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got n=%d err=%v", n, err)
+	}
+	if n != 5 {
+		t.Fatalf("wrote %d bytes before reset, want 5", n)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, func(ConnInfo) Plan { return Plan{MaxWriteBytes: 3} })
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n, err := c.Write([]byte("hello!"))
+	if !errors.Is(err, ErrPartialWrite) || n != 3 {
+		t.Fatalf("want 3-byte partial write, got n=%d err=%v", n, err)
+	}
+	// Only the first oversized write is truncated; the bytes that made it
+	// through are really on the wire.
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(c, buf); err != nil || !bytes.Equal(buf, []byte("hel")) {
+		t.Fatalf("echo after partial write: %q, %v", buf, err)
+	}
+	if _, err := c.Write([]byte("again")); err != nil {
+		t.Fatalf("second write should pass: %v", err)
+	}
+	if in.Injected(KindPartialWrite) != 1 {
+		t.Fatalf("partial writes = %d", in.Injected(KindPartialWrite))
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, func(ConnInfo) Plan { return Plan{Latency: 30 * time.Millisecond} })
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("read returned in %v, latency not injected", d)
+	}
+	if in.Injected(KindLatency) != 1 {
+		t.Fatalf("latency injections = %d", in.Injected(KindLatency))
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, func(ConnInfo) Plan {
+		return Plan{StallAfterBytes: 1, StallFor: 10 * time.Second}
+	})
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	c.Write([]byte("x")) // crosses the stall threshold
+	buf := make([]byte, 1)
+	_, rerr := c.Read(buf)
+	elapsed := time.Since(start)
+	// The wedge must not outlive the deadline by much, and the post-stall
+	// read must surface a timeout.
+	if elapsed > 2*time.Second {
+		t.Fatalf("stall ignored the deadline: %v", elapsed)
+	}
+	var ne net.Error
+	if rerr != nil && !(errors.As(rerr, &ne) && ne.Timeout()) {
+		t.Fatalf("want timeout after stall, got %v", rerr)
+	}
+	if in.Injected(KindStall) != 1 {
+		t.Fatalf("stalls = %d", in.Injected(KindStall))
+	}
+}
+
+func TestListenerWrapAndOrdinals(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []ConnInfo
+	var mu sync.Mutex
+	in := New(7, func(c ConnInfo) Plan {
+		mu.Lock()
+		infos = append(infos, c)
+		mu.Unlock()
+		if c.Seq == 0 {
+			return Plan{RefuseDial: true} // first accept is torn down
+		}
+		return Plan{}
+	})
+	wrapped := in.Listener(ln)
+	defer wrapped.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := wrapped.Accept() // serves the *second* dial
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("ok"))
+		c.Close()
+	}()
+
+	// First dial connects at TCP level but is immediately closed.
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("second dial not served: %q, %v", buf, err)
+	}
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) != 2 {
+		t.Fatalf("scripted %d connections, want 2", len(infos))
+	}
+	for i, info := range infos {
+		if info.Seq != i || info.AddrSeq != i || !info.Accepted {
+			t.Fatalf("info[%d] = %+v", i, info)
+		}
+	}
+	if in.Injected(KindDialRefused) != 1 {
+		t.Fatalf("refusals = %d", in.Injected(KindDialRefused))
+	}
+}
+
+func TestDeterministicRandom(t *testing.T) {
+	a, b := New(99, nil), New(99, nil)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestZeroPlanPassesThrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	in := New(1, nil)
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*conn); ok {
+		t.Fatal("zero plan should not wrap the connection")
+	}
+	if in.Connections() != 1 {
+		t.Fatalf("connections = %d", in.Connections())
+	}
+}

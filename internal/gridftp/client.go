@@ -1,6 +1,7 @@
 package gridftp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -16,6 +17,7 @@ import (
 	"gdmp/internal/gsi"
 	"gdmp/internal/netprobe"
 	"gdmp/internal/obs"
+	"gdmp/internal/retry"
 )
 
 // ClientMetricsPrefix names the client-side transfer metric family; see
@@ -144,7 +146,9 @@ func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...C
 	conn.SetDeadline(time.Time{})
 	c.conn = conn
 	c.ctl = newControlConn(conn)
+	c.armDeadline()
 	code, text, err := c.ctl.readReply()
+	c.clearDeadline()
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -175,9 +179,27 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.armDeadline() // a hung server must not wedge Close
 	c.ctl.sendLine("QUIT")
 	c.ctl.readReply() // best-effort 221
 	return c.conn.Close()
+}
+
+// armDeadline bounds the next control-channel exchange with the client's
+// timeout; without it, a server that hangs after the handshake stalls
+// every subsequent control operation forever.
+func (c *Client) armDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// clearDeadline removes the per-operation deadline so idle sessions and
+// long data transfers are not killed between exchanges.
+func (c *Client) clearDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // simpleCmd sends a command and expects a specific reply code.
@@ -187,12 +209,14 @@ func (c *Client) simpleCmd(want int, format string, args ...interface{}) error {
 		return err
 	}
 	if code != want {
-		return fmt.Errorf("%w: %d %s", ErrProtocol, code, text)
+		return &ReplyError{Code: code, Text: text}
 	}
 	return nil
 }
 
 func (c *Client) roundTrip(format string, args ...interface{}) (int, string, error) {
+	c.armDeadline()
+	defer c.clearDeadline()
 	if err := c.ctl.sendLine(format, args...); err != nil {
 		return 0, "", err
 	}
@@ -237,7 +261,7 @@ func (c *Client) sizeLocked(path string) (int64, error) {
 		return 0, err
 	}
 	if code != codeStat {
-		return 0, fmt.Errorf("%w: SIZE: %d %s", ErrProtocol, code, text)
+		return 0, &ReplyError{Verb: "SIZE", Code: code, Text: text}
 	}
 	return strconv.ParseInt(strings.TrimSpace(text), 10, 64)
 }
@@ -262,7 +286,7 @@ func (c *Client) checksumCmd(format string, args ...interface{}) (uint32, error)
 		return 0, err
 	}
 	if code != codeStat {
-		return 0, fmt.Errorf("%w: CKSM: %d %s", ErrProtocol, code, text)
+		return 0, &ReplyError{Verb: "CKSM", Code: code, Text: text}
 	}
 	v, err := strconv.ParseUint(strings.TrimSpace(text), 16, 32)
 	return uint32(v), err
@@ -283,14 +307,16 @@ func (c *Client) List(prefix string) ([]ListEntry, error) {
 		return nil, err
 	}
 	if code != codeOpening {
-		return nil, fmt.Errorf("%w: NLST: %d %s", ErrProtocol, code, text)
+		return nil, &ReplyError{Verb: "NLST", Code: code, Text: text}
 	}
 	n, err := strconv.Atoi(strings.TrimSpace(text))
 	if err != nil {
 		return nil, fmt.Errorf("%w: NLST count %q", ErrProtocol, text)
 	}
 	entries := make([]ListEntry, 0, n)
+	defer c.clearDeadline()
 	for i := 0; i < n; i++ {
+		c.armDeadline()
 		line, err := c.ctl.readLine()
 		if err != nil {
 			return nil, err
@@ -305,6 +331,7 @@ func (c *Client) List(prefix string) ([]ListEntry, error) {
 		}
 		entries = append(entries, ListEntry{Name: name, Size: size})
 	}
+	c.armDeadline()
 	code, text, err = c.ctl.readReply()
 	if err != nil {
 		return nil, err
@@ -350,7 +377,7 @@ func (c *Client) enterPassive() (passiveInfo, error) {
 		return passiveInfo{}, err
 	}
 	if code != codePassive {
-		return passiveInfo{}, fmt.Errorf("%w: PASV: %d %s", ErrProtocol, code, text)
+		return passiveInfo{}, &ReplyError{Verb: "PASV", Code: code, Text: text}
 	}
 	fields := strings.Fields(text)
 	if len(fields) != 2 {
@@ -529,9 +556,14 @@ func (c *Client) getRangeBody(path string, r Range, dst io.WriterAt, track *Rang
 	return stats, nil
 }
 
-// drainTransferReplies reads control lines until a non-marker reply.
+// drainTransferReplies reads control lines until a non-marker reply. The
+// per-operation deadline is re-armed for every line, so a transfer may
+// run longer than the timeout as long as the control channel stays alive
+// (performance markers refresh it), while a wedged server still times out.
 func (c *Client) drainTransferReplies(stats *TransferStats) (int, string, error) {
+	defer c.clearDeadline()
 	for {
+		c.armDeadline()
 		code, text, err := c.ctl.readReply()
 		if err != nil {
 			return 0, "", err
@@ -743,69 +775,83 @@ func CRC32File(path string) (uint32, error) {
 
 // --- reliable restartable transfer ------------------------------------------
 
+// Attempts converts a bare attempt cap into a retry policy with the
+// transfer layer's default backoff, for callers that only care about the
+// bound.
+func Attempts(n int) retry.Policy {
+	p := retry.DefaultPolicy()
+	if n > 0 {
+		p.Attempts = n
+	}
+	return p
+}
+
+// transferRetryable is the transfer layer's default classification: every
+// failure earns a fresh session except a permanent (5yz) server reply.
+func transferRetryable(err error) bool {
+	return !permanentReply(err) && retry.DefaultRetryable(err)
+}
+
 // ReliableGet retrieves a file with restart-on-failure semantics: after an
 // interrupted attempt, only the missing byte ranges are re-requested from a
-// fresh session. connect must return a new authenticated client; path and
-// dst are as in Get. The returned stats aggregate all attempts.
-func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, maxAttempts int) (TransferStats, error) {
-	if maxAttempts < 1 {
-		maxAttempts = 1
-	}
+// fresh session after the policy's backoff. connect must return a new
+// authenticated client; path and dst are as in Get. The returned stats
+// aggregate all attempts.
+func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, pol retry.Policy) (TransferStats, error) {
 	var agg TransferStats
 	var rs RangeSet
 	var size int64 = -1
-	var lastErr error
-
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
+	if pol.Op == "" {
+		pol.Op = "gridftp.get"
+	}
+	if pol.Retryable == nil {
+		pol.Retryable = transferRetryable
+	}
+	err := pol.Do(context.Background(), func(attempt int) error {
 		agg.Attempts = attempt
 		cl, err := connect()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
+		defer cl.Close()
 		if attempt > 1 {
 			cl.rec.Restart()
 		}
-		err = func() error {
-			defer cl.Close()
-			if size < 0 {
-				sz, err := cl.Size(path)
-				if err != nil {
-					return err
-				}
-				size = sz
+		if size < 0 {
+			sz, err := cl.Size(path)
+			if err != nil {
+				return err
 			}
-			for _, missing := range rs.Missing(size) {
-				cl.mu.Lock()
-				st, err := cl.getRangeLocked(path, missing, dst, &rs)
-				cl.mu.Unlock()
-				agg.merge(st)
-				if err != nil {
-					return err
-				}
+			size = sz
+		}
+		for _, missing := range rs.Missing(size) {
+			cl.mu.Lock()
+			st, err := cl.getRangeLocked(path, missing, dst, &rs)
+			cl.mu.Unlock()
+			agg.merge(st)
+			if err != nil {
+				return err
 			}
-			return nil
-		}()
-		if err != nil {
-			lastErr = err
-			continue
 		}
-		if rs.Complete(size) {
-			return agg, nil
+		if !rs.Complete(size) {
+			return fmt.Errorf("%w: incomplete (%s)", ErrTransferFailed, rs.String())
 		}
-		lastErr = fmt.Errorf("%w: incomplete after attempt %d (%s)", ErrTransferFailed, attempt, rs.String())
+		return nil
+	})
+	if err != nil {
+		return agg, fmt.Errorf("gridftp: reliable get of %s: %w", path, err)
 	}
-	return agg, fmt.Errorf("gridftp: reliable get of %s failed after %d attempts: %w", path, maxAttempts, lastErr)
+	return agg, nil
 }
 
 // ReliableGetFile is ReliableGet into a local file plus end-to-end CRC
 // verification, the full Data Mover contract of Section 4.3.
-func ReliableGetFile(connect func() (*Client, error), remotePath, localPath string, maxAttempts int) (TransferStats, error) {
+func ReliableGetFile(connect func() (*Client, error), remotePath, localPath string, pol retry.Policy) (TransferStats, error) {
 	f, err := os.Create(localPath)
 	if err != nil {
 		return TransferStats{}, err
 	}
-	stats, err := ReliableGet(connect, remotePath, f, maxAttempts)
+	stats, err := ReliableGet(connect, remotePath, f, pol)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -878,21 +924,21 @@ func (discardWriterAt) WriteAt(p []byte, off int64) (int, error) { return len(p)
 // the server has not confirmed are re-sent with ESTO from a fresh session.
 // Because the receiving server only acknowledges a transfer once every
 // expected byte arrived, confirmation is tracked per successful command.
-func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, remotePath string, maxAttempts int) (TransferStats, error) {
-	if maxAttempts < 1 {
-		maxAttempts = 1
-	}
+func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, remotePath string, pol retry.Policy) (TransferStats, error) {
 	var agg TransferStats
-	var lastErr error
 	var created bool
 	var done RangeSet
-
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
+	if pol.Op == "" {
+		pol.Op = "gridftp.put"
+	}
+	if pol.Retryable == nil {
+		pol.Retryable = transferRetryable
+	}
+	err := pol.Do(context.Background(), func(attempt int) error {
 		agg.Attempts = attempt
 		cl, err := connect()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
 		if attempt > 1 {
 			cl.rec.Restart()
@@ -935,35 +981,35 @@ func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, r
 			return nil
 		}()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
 		// Verify end to end before declaring success.
 		cl2, err := connect()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
 		want, err := cl2.Checksum(remotePath)
 		cl2.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
 		got, err := crcOfReader(src, size)
 		if err != nil {
-			return agg, err
+			// A local read failure will not heal on retry.
+			return retry.Permanent(err)
 		}
 		if got != want {
 			cl2.rec.CRCFailure()
-			lastErr = fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
 			created = false // resend everything
 			done = RangeSet{}
-			continue
+			return fmt.Errorf("%w: local %08x, remote %08x", ErrChecksum, got, want)
 		}
-		return agg, nil
+		return nil
+	})
+	if err != nil {
+		return agg, fmt.Errorf("gridftp: reliable put of %s: %w", remotePath, err)
 	}
-	return agg, fmt.Errorf("gridftp: reliable put of %s failed after %d attempts: %w", remotePath, maxAttempts, lastErr)
+	return agg, nil
 }
 
 // crcOfReader computes the CRC-32 of size bytes from an io.ReaderAt.

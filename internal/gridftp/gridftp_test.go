@@ -1,10 +1,12 @@
 package gridftp
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -14,7 +16,14 @@ import (
 	"time"
 
 	"gdmp/internal/gsi"
+	"gdmp/internal/retry"
 )
+
+// fastPolicy bounds a reliable transfer at n attempts with millisecond
+// backoff so failure tests stay quick.
+func fastPolicy(n int) retry.Policy {
+	return retry.Policy{Attempts: n, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+}
 
 func TestMain(m *testing.M) {
 	gsi.KeyBits = 1024
@@ -464,7 +473,7 @@ func TestReliableGetRestartsAfterFailure(t *testing.T) {
 			WithDialFunc(fd.dial), WithParallelism(2))
 	}
 	local := filepath.Join(t.TempDir(), "out.db")
-	stats, err := ReliableGetFile(connect, "big.db", local, 5)
+	stats, err := ReliableGetFile(connect, "big.db", local, fastPolicy(5))
 	if err != nil {
 		t.Fatalf("ReliableGetFile: %v", err)
 	}
@@ -490,9 +499,63 @@ func TestReliableGetExhaustsAttempts(t *testing.T) {
 			WithDialFunc(fd.dial), WithParallelism(1))
 	}
 	dst := newSparseBuffer(2_000_000)
-	_, err := ReliableGet(connect, "big.db", dst, 2)
+	_, err := ReliableGet(connect, "big.db", dst, fastPolicy(2))
 	if err == nil {
 		t.Fatal("expected failure after exhausting attempts")
+	}
+}
+
+// TestControlDeadlineOnHungServer pins the regression where the control
+// deadline was cleared after the handshake: a server that authenticates,
+// banners, and then goes silent must not wedge subsequent control
+// operations forever — each exchange is bounded by the client timeout.
+func TestControlDeadlineOnHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvCred := cred(t, "gridftpd/"+t.Name())
+	rts := roots(t)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if _, err := gsi.Handshake(c, srvCred, rts, false); err != nil {
+			return
+		}
+		io.WriteString(c, "220 ready\r\n")
+		br := bufio.NewReader(c)
+		// Answer the OPTS PARALLEL session setup, then go silent: keep
+		// reading so the TCP window stays open but never reply again.
+		if _, err := br.ReadString('\n'); err != nil {
+			return
+		}
+		io.WriteString(c, "200 ok\r\n")
+		io.Copy(io.Discard, br)
+	}()
+
+	cl, err := Dial(ln.Addr().String(), cred(t, "user/"+t.Name()), rts,
+		WithTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	_, err = cl.Size("anything.db")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("SIZE against a hung server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("control operation hung for %v despite the timeout", elapsed)
 	}
 }
 

@@ -81,6 +81,34 @@ var (
 	ErrProtocol       = errors.New("gridftp: protocol error")
 )
 
+// ReplyError is a completed control-channel exchange that drew a failure
+// reply: the server received the command and answered it. It unwraps to
+// ErrProtocol, and carries the reply code so the retry layer can tell a
+// permanent refusal (5yz: no such file, denied, bad command) from a
+// transient one (4yz: data-connection trouble, local error) — re-dialing
+// a server that has already said "no" deterministically cannot help.
+type ReplyError struct {
+	Verb string // command that drew the reply ("" for a generic exchange)
+	Code int
+	Text string
+}
+
+func (e *ReplyError) Error() string {
+	if e.Verb == "" {
+		return fmt.Sprintf("%v: %d %s", ErrProtocol, e.Code, e.Text)
+	}
+	return fmt.Sprintf("%v: %s: %d %s", ErrProtocol, e.Verb, e.Code, e.Text)
+}
+
+func (e *ReplyError) Unwrap() error { return ErrProtocol }
+
+// permanentReply reports whether err is a server reply in the permanent
+// negative (5yz) class.
+func permanentReply(err error) bool {
+	var re *ReplyError
+	return errors.As(err, &re) && re.Code >= 500
+}
+
 // block header layout: 1 flag byte, 8 byte offset, 4 byte length.
 const blockHeaderLen = 13
 

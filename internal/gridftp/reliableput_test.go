@@ -19,7 +19,7 @@ func TestReliablePutCleanPath(t *testing.T) {
 	connect := func() (*Client, error) {
 		return Dial(addr, cred(t, "user/"+t.Name()), roots(t), WithParallelism(3))
 	}
-	stats, err := ReliablePut(connect, bytes.NewReader(data), int64(len(data)), "up/clean.db", 3)
+	stats, err := ReliablePut(connect, bytes.NewReader(data), int64(len(data)), "up/clean.db", fastPolicy(3))
 	if err != nil {
 		t.Fatalf("ReliablePut: %v", err)
 	}
@@ -93,7 +93,7 @@ func TestReliablePutRestartsAfterFailure(t *testing.T) {
 	rand.New(rand.NewSource(31)).Read(data)
 
 	d := &writeLimitedDialer{failures: 1, budget: 300_000}
-	stats, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/retry.db", 4)
+	stats, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/retry.db", fastPolicy(4))
 	if err != nil {
 		t.Fatalf("ReliablePut with injected failure: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestReliablePutExhaustsAttempts(t *testing.T) {
 	addr, _ := startServer(t, nil)
 	data := make([]byte, 1_000_000)
 	d := &writeLimitedDialer{failures: 1 << 30, budget: 100_000}
-	_, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/never.db", 2)
+	_, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/never.db", fastPolicy(2))
 	if err == nil {
 		t.Fatal("expected failure after exhausting attempts")
 	}

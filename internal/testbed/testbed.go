@@ -15,11 +15,13 @@ import (
 	"time"
 
 	"gdmp/internal/core"
+	"gdmp/internal/faults"
 	"gdmp/internal/gsi"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/obs"
 	"gdmp/internal/replica"
+	"gdmp/internal/retry"
 )
 
 // Grid is a running in-process Data Grid.
@@ -65,6 +67,22 @@ type SiteOptions struct {
 
 	// DialFunc substitutes the transport dialer (WAN emulation).
 	DialFunc func(network, addr string) (net.Conn, error)
+
+	// Faults routes every outbound connection of the site (RPC and
+	// GridFTP alike) through a fault injector; composes with DialFunc
+	// (the injector wraps it).
+	Faults *faults.Injector
+
+	// Retry overrides the site's base backoff policy; zero fields take
+	// the retry package defaults.
+	Retry retry.Policy
+
+	// NotifyFailureThreshold sets how many consecutive notification
+	// failures mark a subscriber suspect (default 3).
+	NotifyFailureThreshold int
+
+	// TransferAttempts bounds restart attempts per file transfer.
+	TransferAttempts int
 
 	// Select overrides the replica selection policy.
 	Select core.ReplicaSelector
@@ -125,20 +143,27 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		return nil, err
 	}
 
+	dialFunc := opts.DialFunc
+	if opts.Faults != nil {
+		dialFunc = opts.Faults.Dialer(dialFunc)
+	}
 	cfg := core.Config{
-		Name:            name,
-		DataDir:         dataDir,
-		Cred:            cred,
-		TrustRoots:      g.Roots,
-		ACL:             g.ACL,
-		ReplicaCatalog:  g.CatalogAddr,
-		AutoReplicate:   opts.AutoReplicate,
-		Parallelism:     opts.Parallelism,
-		BufferBytes:     opts.BufferBytes,
-		AutoTuneBuffers: opts.AutoTuneBuffers,
-		DialFunc:        opts.DialFunc,
-		Select:          opts.Select,
-		Metrics:         opts.Metrics,
+		Name:                   name,
+		DataDir:                dataDir,
+		Cred:                   cred,
+		TrustRoots:             g.Roots,
+		ACL:                    g.ACL,
+		ReplicaCatalog:         g.CatalogAddr,
+		AutoReplicate:          opts.AutoReplicate,
+		Parallelism:            opts.Parallelism,
+		BufferBytes:            opts.BufferBytes,
+		AutoTuneBuffers:        opts.AutoTuneBuffers,
+		DialFunc:               dialFunc,
+		Retry:                  opts.Retry,
+		NotifyFailureThreshold: opts.NotifyFailureThreshold,
+		TransferAttempts:       opts.TransferAttempts,
+		Select:                 opts.Select,
+		Metrics:                opts.Metrics,
 	}
 	if opts.WithMSS {
 		capacity := opts.MSSCapacity
