@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench chaos
+.PHONY: all build test check vet fmt race bench bench-pull chaos
 
 all: build
 
@@ -30,8 +30,16 @@ fmt:
 
 check: fmt vet build race
 
-bench:
+bench: bench-pull
 	$(GO) test -bench=. -benchmem ./...
+
+# Pull-scheduler benchmark: drains a 16-file pending queue over a
+# latency-shaped WAN link, sequentially and with the 4-worker pool, and
+# records both timings plus the speedup in BENCH_pull.json. Fails if the
+# pool is under 3x faster than sequential.
+BENCH_PULL_OUT ?= BENCH_pull.json
+bench-pull:
+	BENCH_PULL_OUT=$(BENCH_PULL_OUT) $(GO) test -run TestPullSchedulerBenchmark -v .
 
 # Fault-injection suite: scripted fault schedules through internal/faults,
 # race detector on. The seed is logged by every test; override it to

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -406,10 +407,12 @@ func TestRecoverWithMidTransferFailure(t *testing.T) {
 	}
 }
 
-// TestProcessPendingRequeuesRemainder pins the ProcessPending regression:
-// when replication of one pending file fails, the failed file AND every
-// not-yet-attempted notice must return to the queue — the buggy behavior
-// re-queued only the failed item and silently dropped the tail.
+// TestProcessPendingRequeuesRemainder pins ProcessPending's
+// partial-failure contract under the concurrent scheduler: every pending
+// file is attempted, the ones that fail (and only those) return to the
+// queue, and the count reflects the files that actually arrived. An older
+// sequential bug dropped the unattempted tail on the first failure; the
+// concurrent version must lose no notice either.
 func TestProcessPendingRequeuesRemainder(t *testing.T) {
 	g, err := testbed.NewGrid(t.TempDir())
 	if err != nil {
@@ -450,15 +453,21 @@ func TestProcessPendingRequeuesRemainder(t *testing.T) {
 	if err == nil {
 		t.Fatal("ProcessPending succeeded with a sabotaged source")
 	}
-	if n != 0 {
-		t.Fatalf("fetched %d files before the failure, want 0", n)
+	if !strings.Contains(err.Error(), f1.LFN) {
+		t.Fatalf("error %v does not name the failed file %s", err, f1.LFN)
+	}
+	if n != 2 {
+		t.Fatalf("fetched %d files, want 2 (the healthy ones must not be held back)", n)
+	}
+	if !cons.HasFile(f2.LFN) || !cons.HasFile(f3.LFN) {
+		t.Fatal("healthy files missing after partial failure")
 	}
 	pending := cons.Pending()
-	if len(pending) != 3 {
-		t.Fatalf("pending after failure = %d entries, want all 3 re-queued", len(pending))
+	if len(pending) != 1 {
+		t.Fatalf("pending after failure = %d entries, want only the failed file re-queued", len(pending))
 	}
 	if pending[0].LFN != f1.LFN {
-		t.Fatalf("first re-queued entry = %s, want %s", pending[0].LFN, f1.LFN)
+		t.Fatalf("re-queued entry = %s, want %s", pending[0].LFN, f1.LFN)
 	}
 
 	// Repair the source; the re-queued remainder drains completely.
@@ -466,7 +475,7 @@ func TestProcessPendingRequeuesRemainder(t *testing.T) {
 		t.Fatal(err)
 	}
 	n, err = cons.ProcessPending()
-	if err != nil || n != 3 {
+	if err != nil || n != 1 {
 		t.Fatalf("ProcessPending after repair = %d, %v", n, err)
 	}
 	for _, lfn := range []string{f1.LFN, f2.LFN, f3.LFN} {

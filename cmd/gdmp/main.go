@@ -17,17 +17,26 @@
 //	register    -rc <addr> <lfn> <pfn>           record a replica in the catalog
 //	fetch       <pfn> <local-path> [-p N]        reliable GridFTP download
 //	fetch-lfn   -rc <addr> <lfn> <local-path>    resolve via catalog, then fetch
+//	pull        -rc <addr> <dest-dir> <lfn>...   concurrent multi-file fetch
 //
 // fetch takes a gridftp://host:port/path physical name and performs the
 // Data Mover's restartable, CRC-verified retrieval; fetch-lfn resolves a
-// logical name through the replica catalog first.
+// logical name through the replica catalog first. pull fetches a batch of
+// logical files through the replication scheduler: -pull-workers bounds
+// concurrency and -per-source caps simultaneous transfers per source.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"gdmp/internal/core"
@@ -36,6 +45,7 @@ import (
 	"gdmp/internal/replica"
 	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
+	"gdmp/internal/xfer"
 )
 
 func main() {
@@ -45,18 +55,30 @@ func main() {
 	parallel := flag.Int("p", 2, "parallel streams (for fetch)")
 	attempts := flag.Int("attempts", 3, "restart attempts for fetch/fetch-lfn")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial backoff between restart attempts")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
+	pullWorkers := flag.Int("pull-workers", 4, "concurrent transfers for pull")
+	perSource := flag.Int("per-source", 0, "max concurrent pull transfers per source (0 = unlimited)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
 	pol.Attempts = *attempts
 	pol.BaseDelay = *retryBase
-	if err := run(*credPath, *caPath, *rcAddr, *parallel, pol, flag.Args()); err != nil {
+	// An interrupt (or -timeout expiry) cancels the context, which aborts
+	// in-flight RPCs and transfers instead of letting them run out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *credPath, *caPath, *rcAddr, *parallel, *pullWorkers, *perSource, pol, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args []string) error {
+func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWorkers, perSource int, pol retry.Policy, args []string) error {
 	if credPath == "" || caPath == "" {
 		return fmt.Errorf("-cred and -ca are required")
 	}
@@ -74,12 +96,12 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 	roots := []*gsi.Certificate{anchor}
 
 	call := func(addr, method string, enc *rpc.Encoder) (*rpc.Decoder, error) {
-		cl, err := rpc.Dial(addr, cred, roots, rpc.WithTimeout(30*time.Second))
+		cl, err := rpc.DialContext(ctx, addr, cred, roots, rpc.WithTimeout(30*time.Second))
 		if err != nil {
 			return nil, err
 		}
 		defer cl.Close()
-		return cl.Call(method, enc)
+		return cl.CallContext(ctx, method, enc)
 	}
 
 	switch args[0] {
@@ -200,12 +222,12 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if rcAddr == "" || len(args) != 2 {
 			return fmt.Errorf("usage: -rc <addr> locations <lfn>")
 		}
-		rc, err := replica.Dial(rcAddr, cred, roots)
+		rc, err := replica.DialContext(ctx, rcAddr, cred, roots)
 		if err != nil {
 			return err
 		}
 		defer rc.Close()
-		locs, err := rc.Locations(args[1])
+		locs, err := rc.Locations(ctx, args[1])
 		if err != nil {
 			return err
 		}
@@ -218,12 +240,12 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if rcAddr == "" || len(args) != 2 {
 			return fmt.Errorf("usage: -rc <addr> query <filter>")
 		}
-		rc, err := replica.Dial(rcAddr, cred, roots)
+		rc, err := replica.DialContext(ctx, rcAddr, cred, roots)
 		if err != nil {
 			return err
 		}
 		defer rc.Close()
-		files, err := rc.Query(args[1])
+		files, err := rc.Query(ctx, args[1])
 		if err != nil {
 			return err
 		}
@@ -245,17 +267,17 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if _, err := core.ParsePFN(args[2]); err != nil {
 			return err
 		}
-		rc, err := replica.Dial(rcAddr, cred, roots)
+		rc, err := replica.DialContext(ctx, rcAddr, cred, roots)
 		if err != nil {
 			return err
 		}
 		defer rc.Close()
-		if err := rc.Register(args[1], map[string]string{
+		if err := rc.Register(ctx, args[1], map[string]string{
 			replica.AttrOwner: cred.Identity().String(),
 		}); err != nil {
 			return err
 		}
-		if err := rc.AddReplica(args[1], args[2]); err != nil {
+		if err := rc.AddReplica(ctx, args[1], args[2]); err != nil {
 			return err
 		}
 		fmt.Printf("registered %s -> %s\n", args[1], args[2])
@@ -267,11 +289,11 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if rcAddr == "" || len(args) != 3 {
 			return fmt.Errorf("usage: -rc <addr> fetch-lfn <lfn> <local-path>")
 		}
-		rc, err := replica.Dial(rcAddr, cred, roots)
+		rc, err := replica.DialContext(ctx, rcAddr, cred, roots)
 		if err != nil {
 			return err
 		}
-		locs, err := rc.Locations(args[1])
+		locs, err := rc.Locations(ctx, args[1])
 		rc.Close()
 		if err != nil {
 			return err
@@ -287,16 +309,83 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if !found {
 			return fmt.Errorf("no usable replica of %s (locations: %v)", args[1], locs)
 		}
-		connect := func() (*gridftp.Client, error) {
-			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
+		connect := func(ctx context.Context) (*gridftp.Client, error) {
+			return gridftp.DialContext(ctx, pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
 		}
-		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], pol)
+		stats, err := gridftp.ReliableGetFile(ctx, connect, pfn.Path, args[2], pol)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("fetched %s from %s: %d bytes (%.2f Mbps)\n",
 			args[1], pfn.Addr, stats.Bytes, stats.RateMbps())
 		return nil
+
+	case "pull":
+		// pull <dest-dir> <lfn>...: resolve each logical file through the
+		// catalog and fetch the batch through the replication scheduler,
+		// -pull-workers at a time, at most -per-source per source host.
+		if rcAddr == "" || len(args) < 3 {
+			return fmt.Errorf("usage: -rc <addr> pull <dest-dir> <lfn>...")
+		}
+		destDir := args[1]
+		if err := os.MkdirAll(destDir, 0o755); err != nil {
+			return err
+		}
+		rc, err := replica.DialContext(ctx, rcAddr, cred, roots)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		sched := xfer.New(xfer.Config{Workers: pullWorkers, PerSource: perSource})
+		defer sched.Close()
+		type pull struct {
+			lfn string
+			tk  *xfer.Ticket
+		}
+		pulls := make([]pull, 0, len(args)-2)
+		for _, lfn := range args[2:] {
+			lfn := lfn
+			pulls = append(pulls, pull{lfn, sched.Submit(lfn, 0, func(jobCtx context.Context) error {
+				locs, err := rc.Locations(jobCtx, lfn)
+				if err != nil {
+					return err
+				}
+				var pfn core.PFN
+				found := false
+				for _, l := range locs {
+					if p, err := core.ParsePFN(l); err == nil {
+						pfn, found = p, true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("no usable replica (locations: %v)", locs)
+				}
+				release, err := sched.AcquireSource(jobCtx, pfn.Addr)
+				if err != nil {
+					return err
+				}
+				defer release()
+				connect := func(ctx context.Context) (*gridftp.Client, error) {
+					return gridftp.DialContext(ctx, pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
+				}
+				dst := filepath.Join(destDir, filepath.FromSlash(path.Clean("/"+pfn.Path)))
+				if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+					return err
+				}
+				_, err = gridftp.ReliableGetFile(jobCtx, connect, pfn.Path, dst, pol)
+				return err
+			})})
+		}
+		var errs []error
+		for _, p := range pulls {
+			if err := p.tk.Wait(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", p.lfn, err))
+				continue
+			}
+			fmt.Printf("pulled %s\n", p.lfn)
+		}
+		return errors.Join(errs...)
 
 	case "fetch":
 		if len(args) != 3 {
@@ -306,10 +395,10 @@ func run(credPath, caPath, rcAddr string, parallel int, pol retry.Policy, args [
 		if err != nil {
 			return err
 		}
-		connect := func() (*gridftp.Client, error) {
-			return gridftp.Dial(pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
+		connect := func(ctx context.Context) (*gridftp.Client, error) {
+			return gridftp.DialContext(ctx, pfn.Addr, cred, roots, gridftp.WithParallelism(parallel))
 		}
-		stats, err := gridftp.ReliableGetFile(connect, pfn.Path, args[2], pol)
+		stats, err := gridftp.ReliableGetFile(ctx, connect, pfn.Path, args[2], pol)
 		if err != nil {
 			return err
 		}

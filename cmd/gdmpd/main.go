@@ -64,6 +64,8 @@ func main() {
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff ceiling between retries")
 	transferAttempts := flag.Int("transfer-attempts", 3, "restart attempts per file transfer")
 	notifyFailures := flag.Int("notify-failures", 3, "consecutive notification failures before a subscriber is suspect")
+	pullWorkers := flag.Int("pull-workers", 4, "concurrent pull replications")
+	perSource := flag.Int("per-source", 0, "max concurrent transfers per source site (0 = unlimited)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
@@ -78,6 +80,7 @@ func main() {
 		autoTune: *autoTune, gridmap: *gridmap, metricsAddr: *metricsAddr,
 		retry: pol, transferAttempts: *transferAttempts,
 		notifyFailures: *notifyFailures,
+		pullWorkers:    *pullWorkers, perSource: *perSource,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -93,6 +96,7 @@ type params struct {
 	parallel, tcpBuffer                  int
 	retry                                retry.Policy
 	transferAttempts, notifyFailures     int
+	pullWorkers, perSource               int
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -158,6 +162,8 @@ func run(p params) error {
 		Retry:                  p.retry,
 		TransferAttempts:       p.transferAttempts,
 		NotifyFailureThreshold: p.notifyFailures,
+		PullWorkers:            p.pullWorkers,
+		PerSourceLimit:         p.perSource,
 	}
 	if p.tape != "" {
 		m, err := mss.New(mss.Config{

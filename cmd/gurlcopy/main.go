@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gdmp/internal/core"
@@ -41,7 +44,11 @@ func main() {
 	pol.Attempts = *attempts
 	pol.BaseDelay = *retryBase
 	pol.MaxDelay = *retryMax
-	if err := run(*credPath, *caPath, *parallel, *tcpBS, pol, flag.Args()); err != nil {
+	// An interrupt cancels the context, which severs the active GridFTP
+	// session and aborts the transfer mid-stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *credPath, *caPath, *parallel, *tcpBS, pol, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "gurlcopy:", err)
 		os.Exit(1)
 	}
@@ -49,7 +56,7 @@ func main() {
 
 func isRemote(s string) bool { return strings.HasPrefix(s, "gridftp://") }
 
-func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []string) error {
+func run(ctx context.Context, credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []string) error {
 	if credPath == "" || caPath == "" {
 		return fmt.Errorf("-cred and -ca are required")
 	}
@@ -69,8 +76,8 @@ func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []
 	if tcpBS > 0 {
 		opts = append(opts, gridftp.WithBufferSize(tcpBS))
 	}
-	dial := func(addr string) (*gridftp.Client, error) {
-		return gridftp.Dial(addr, cred, roots, opts...)
+	dial := func(ctx context.Context, addr string) (*gridftp.Client, error) {
+		return gridftp.DialContext(ctx, addr, cred, roots, opts...)
 	}
 
 	src, dst := args[0], args[1]
@@ -87,12 +94,12 @@ func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []
 		if err != nil {
 			return err
 		}
-		srcCl, err := dial(srcPFN.Addr)
+		srcCl, err := dial(ctx, srcPFN.Addr)
 		if err != nil {
 			return err
 		}
 		defer srcCl.Close()
-		dstCl, err := dial(dstPFN.Addr)
+		dstCl, err := dial(ctx, dstPFN.Addr)
 		if err != nil {
 			return err
 		}
@@ -107,8 +114,8 @@ func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []
 		if err != nil {
 			return err
 		}
-		connect := func() (*gridftp.Client, error) { return dial(pfn.Addr) }
-		stats, err = gridftp.ReliableGetFile(connect, pfn.Path, dst, pol)
+		connect := func(ctx context.Context) (*gridftp.Client, error) { return dial(ctx, pfn.Addr) }
+		stats, err = gridftp.ReliableGetFile(ctx, connect, pfn.Path, dst, pol)
 		if err != nil {
 			return err
 		}
@@ -118,7 +125,7 @@ func run(credPath, caPath string, parallel, tcpBS int, pol retry.Policy, args []
 		if err != nil {
 			return err
 		}
-		cl, err := dial(pfn.Addr)
+		cl, err := dial(ctx, pfn.Addr)
 		if err != nil {
 			return err
 		}

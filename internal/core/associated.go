@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -20,21 +21,36 @@ import (
 // this site, returning the LFNs actually fetched (already-present files
 // are skipped).
 func (s *Site) GetCollection(collection string) ([]string, error) {
-	members, err := s.rc.client.ListCollection(collection)
+	return s.GetCollectionCtx(s.ctx, collection)
+}
+
+// GetCollectionCtx is GetCollection bounded by a caller context. The
+// member pulls fan out through the scheduler, so a collection downloads
+// with the worker pool's concurrency rather than one file at a time.
+func (s *Site) GetCollectionCtx(ctx context.Context, collection string) ([]string, error) {
+	members, err := s.rc.client.ListCollection(ctx, collection)
 	if err != nil {
 		return nil, err
 	}
-	var fetched []string
+	// Only files missing before the call count as fetched by it.
+	missing := make([]FileInfo, 0, len(members))
 	for _, lfn := range members {
-		if s.HasFile(lfn) {
-			continue
+		if !s.HasFile(lfn) {
+			missing = append(missing, FileInfo{LFN: lfn})
 		}
-		if err := s.Get(lfn); err != nil {
-			return fetched, fmt.Errorf("core: collection %s: %w", collection, err)
-		}
-		fetched = append(fetched, lfn)
 	}
-	return fetched, nil
+	_, failed, err := s.pullAll(ctx, missing, 0, "collection "+collection)
+	failedSet := make(map[string]bool, len(failed))
+	for _, fi := range failed {
+		failedSet[fi.LFN] = true
+	}
+	var fetched []string
+	for _, fi := range missing {
+		if !failedSet[fi.LFN] {
+			fetched = append(fetched, fi.LFN)
+		}
+	}
+	return fetched, err
 }
 
 // GetWithAssociated replicates a logical file and, for object database
@@ -46,6 +62,11 @@ func (s *Site) GetCollection(collection string) ([]string, error) {
 // unreplicated database fails with objectstore.ErrNotAttached — exactly the
 // hazard Section 2.1 describes.
 func (s *Site) GetWithAssociated(lfn string) ([]string, error) {
+	return s.GetWithAssociatedCtx(s.ctx, lfn)
+}
+
+// GetWithAssociatedCtx is GetWithAssociated bounded by a caller context.
+func (s *Site) GetWithAssociatedCtx(ctx context.Context, lfn string) ([]string, error) {
 	var fetched []string
 	visitedLFN := make(map[string]bool)
 	visitedDB := make(map[string]bool)
@@ -59,12 +80,12 @@ func (s *Site) GetWithAssociated(lfn string) ([]string, error) {
 		}
 		visitedLFN[cur] = true
 
-		entry, err := s.rc.lookup(cur)
+		entry, err := s.rc.lookup(ctx, cur)
 		if err != nil {
 			return fetched, err
 		}
 		if !s.HasFile(cur) {
-			if err := s.Get(cur); err != nil {
+			if err := s.GetCtx(ctx, cur); err != nil {
 				return fetched, err
 			}
 			fetched = append(fetched, cur)
@@ -82,7 +103,7 @@ func (s *Site) GetWithAssociated(lfn string) ([]string, error) {
 				continue
 			}
 			visitedDB[dbid] = true
-			target, err := s.lfnForDBID(dbid)
+			target, err := s.lfnForDBID(ctx, dbid)
 			if err != nil {
 				return fetched, fmt.Errorf("core: associated db %s of %s: %w", dbid, cur, err)
 			}
@@ -94,8 +115,8 @@ func (s *Site) GetWithAssociated(lfn string) ([]string, error) {
 
 // lfnForDBID resolves an object database id to its logical file via the
 // catalog — the Grid-level half of the object-to-file mapping of Figure 1.
-func (s *Site) lfnForDBID(dbid string) (string, error) {
-	matches, err := s.rc.query("(" + AttrDBID + "=" + dbid + ")")
+func (s *Site) lfnForDBID(ctx context.Context, dbid string) (string, error) {
+	matches, err := s.rc.query(ctx, "("+AttrDBID+"="+dbid+")")
 	if err != nil {
 		return "", err
 	}

@@ -43,7 +43,7 @@ func (s *Site) PublishAll(relPaths []string, opts PublishOptions) ([]PublishedFi
 // subscribers; PublishAll sends one batched notification afterwards.
 func (s *Site) publishNoNotify(relPath string, opts PublishOptions) (PublishedFile, error) {
 	opts.LFN = ""
-	return s.publishCore(relPath, opts, false)
+	return s.publishCore(s.ctx, relPath, opts, false)
 }
 
 // RebuildLocalCatalog reconstructs the site's local file catalog from the
@@ -55,7 +55,7 @@ func (s *Site) publishNoNotify(relPath string, opts PublishOptions) (PublishedFi
 // recovery story: a crashed site loses no published state, because the
 // replica catalog is the durable record.
 func (s *Site) RebuildLocalCatalog() (int, error) {
-	entries, err := s.rc.query("(" + attrSite + "=" + s.cfg.Name + ")")
+	entries, err := s.rc.query(s.ctx, "("+attrSite+"="+s.cfg.Name+")")
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,12 +38,17 @@ func (s *Site) HandleRPC(method string, h rpc.Handler) {
 // CallRemote invokes a Request Manager method on another site using this
 // site's credential and transport settings.
 func (s *Site) CallRemote(addr, method string, args *rpc.Encoder) (*rpc.Decoder, error) {
-	cl, err := s.dialGDMP(addr)
+	return s.CallRemoteCtx(s.ctx, addr, method, args)
+}
+
+// CallRemoteCtx is CallRemote bounded by a caller context.
+func (s *Site) CallRemoteCtx(ctx context.Context, addr, method string, args *rpc.Encoder) (*rpc.Decoder, error) {
+	cl, err := s.dialGDMP(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
-	return cl.Call(method, args)
+	return cl.CallContext(ctx, method, args)
 }
 
 // RemoveLocal deletes this site's replica of a logical file: the bytes on
@@ -66,7 +72,7 @@ func (s *Site) RemoveLocal(lfn string) error {
 	if s.storage != nil {
 		s.storage.Drop(fi.Path)
 	}
-	if err := s.rc.removeReplica(fi.LFN, s.pfnFor(fi.Path)); err != nil {
+	if err := s.rc.removeReplica(s.ctx, fi.LFN, s.pfnFor(fi.Path)); err != nil {
 		return err
 	}
 	s.local.remove(lfn)
@@ -90,5 +96,5 @@ func (s *Site) DeleteLogical(lfn string) error {
 		}
 		s.local.remove(lfn)
 	}
-	return s.rc.client.Delete(lfn)
+	return s.rc.client.Delete(s.ctx, lfn)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"gdmp/internal/gsi"
 	"gdmp/internal/obs"
 	"gdmp/internal/rpc"
@@ -75,12 +76,12 @@ func (s *Site) Metrics() *obs.Registry { return s.metrics }
 // RemoteMetrics fetches another site's metrics dump (Prometheus text
 // format) over the Request Manager.
 func (s *Site) RemoteMetrics(remoteAddr string) (string, error) {
-	cl, err := s.dialGDMP(remoteAddr)
+	cl, err := s.dialGDMP(s.ctx, remoteAddr)
 	if err != nil {
 		return "", err
 	}
 	defer cl.Close()
-	d, err := cl.Call(MethodMetrics, nil)
+	d, err := cl.CallContext(s.ctx, MethodMetrics, nil)
 	if err != nil {
 		return "", err
 	}
@@ -90,7 +91,7 @@ func (s *Site) RemoteMetrics(remoteAddr string) (string, error) {
 
 // registerMetricsHandler wires MethodMetrics into the Request Manager.
 func (s *Site) registerMetricsHandler() {
-	s.gdmpSrv.Handle(MethodMetrics, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodMetrics, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}

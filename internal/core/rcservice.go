@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -44,24 +45,24 @@ func isNotFound(err error) bool {
 // its metadata and first physical location, creating the collection if
 // needed — one GDMP publish step (Section 4.2: files and their
 // meta-information are added to the replica catalog).
-func (rc *rcService) publishFile(lfn string, attrs map[string]string, pfn PFN, collection string) error {
+func (rc *rcService) publishFile(ctx context.Context, lfn string, attrs map[string]string, pfn PFN, collection string) error {
 	if err := checkCatalogName("logical file", lfn); err != nil {
 		return err
 	}
-	if err := rc.client.Register(lfn, attrs); err != nil {
+	if err := rc.client.Register(ctx, lfn, attrs); err != nil {
 		if isExists(err) {
 			return fmt.Errorf("core: logical file name %q already taken (the catalog enforces a global namespace): %w", lfn, err)
 		}
 		return err
 	}
-	if err := rc.client.AddReplica(lfn, pfn.String()); err != nil {
+	if err := rc.client.AddReplica(ctx, lfn, pfn.String()); err != nil {
 		return err
 	}
 	if collection != "" {
-		if err := rc.ensureCollection(collection); err != nil {
+		if err := rc.ensureCollection(ctx, collection); err != nil {
 			return err
 		}
-		if err := rc.client.AddToCollection(collection, lfn); err != nil {
+		if err := rc.client.AddToCollection(ctx, collection, lfn); err != nil {
 			return err
 		}
 	}
@@ -69,8 +70,8 @@ func (rc *rcService) publishFile(lfn string, attrs map[string]string, pfn PFN, c
 }
 
 // addReplica records an additional physical location for an existing file.
-func (rc *rcService) addReplica(lfn string, pfn PFN) error {
-	err := rc.client.AddReplica(lfn, pfn.String())
+func (rc *rcService) addReplica(ctx context.Context, lfn string, pfn PFN) error {
+	err := rc.client.AddReplica(ctx, lfn, pfn.String())
 	if err != nil && isExists(err) {
 		return nil // idempotent: replica already recorded
 	}
@@ -78,17 +79,17 @@ func (rc *rcService) addReplica(lfn string, pfn PFN) error {
 }
 
 // removeReplica drops one physical location.
-func (rc *rcService) removeReplica(lfn string, pfn PFN) error {
-	return rc.client.RemoveReplica(lfn, pfn.String())
+func (rc *rcService) removeReplica(ctx context.Context, lfn string, pfn PFN) error {
+	return rc.client.RemoveReplica(ctx, lfn, pfn.String())
 }
 
 // ensureCollection creates the collection if it does not exist yet —
 // "automatic creation of required entries if they do not already exist".
-func (rc *rcService) ensureCollection(name string) error {
+func (rc *rcService) ensureCollection(ctx context.Context, name string) error {
 	if err := checkCatalogName("collection", name); err != nil {
 		return err
 	}
-	err := rc.client.CreateCollection(name)
+	err := rc.client.CreateCollection(ctx, name)
 	if err != nil && isExists(err) {
 		return nil
 	}
@@ -96,8 +97,8 @@ func (rc *rcService) ensureCollection(name string) error {
 }
 
 // locations returns the parsed physical locations of a logical file.
-func (rc *rcService) locations(lfn string) ([]PFN, error) {
-	raw, err := rc.client.Locations(lfn)
+func (rc *rcService) locations(ctx context.Context, lfn string) ([]PFN, error) {
+	raw, err := rc.client.Locations(ctx, lfn)
 	if err != nil {
 		return nil, err
 	}
@@ -114,19 +115,19 @@ func (rc *rcService) locations(lfn string) ([]PFN, error) {
 }
 
 // lookup fetches a file entry's attributes.
-func (rc *rcService) lookup(lfn string) (*replica.LogicalFile, error) {
-	return rc.client.Lookup(lfn)
+func (rc *rcService) lookup(ctx context.Context, lfn string) (*replica.LogicalFile, error) {
+	return rc.client.Lookup(ctx, lfn)
 }
 
 // setAttrs merges attributes into an entry.
-func (rc *rcService) setAttrs(lfn string, attrs map[string]string) error {
-	return rc.client.SetAttrs(lfn, attrs)
+func (rc *rcService) setAttrs(ctx context.Context, lfn string, attrs map[string]string) error {
+	return rc.client.SetAttrs(ctx, lfn, attrs)
 }
 
 // query runs a filter search, "to obtain the exact information that they
 // require" (Section 4.2).
-func (rc *rcService) query(filter string) ([]*replica.LogicalFile, error) {
-	return rc.client.Query(filter)
+func (rc *rcService) query(ctx context.Context, filter string) ([]*replica.LogicalFile, error) {
+	return rc.client.Query(ctx, filter)
 }
 
 func (rc *rcService) close() error { return rc.client.Close() }

@@ -23,6 +23,7 @@ import (
 	"gdmp/internal/replica"
 	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
+	"gdmp/internal/xfer"
 )
 
 // Attribute names GDMP stores per logical file, beyond the generic ones in
@@ -121,6 +122,16 @@ type Config struct {
 	Parallelism int
 	BufferBytes int
 
+	// PullWorkers bounds how many pull replications run concurrently
+	// (default 4). A burst of publication notices queues behind the pool
+	// instead of opening one GridFTP session per file.
+	PullWorkers int
+
+	// PerSourceLimit caps concurrent transfers fetching from any single
+	// source site, so one consumer cannot saturate a producer's GridFTP
+	// server (0 = no per-source cap).
+	PerSourceLimit int
+
 	// AutoTuneBuffers, when set and BufferBytes is zero, makes the data
 	// mover negotiate socket buffers per source using the paper's
 	// ping+bandwidth-probe+formula method (Section 6, [Tier00]); the
@@ -205,8 +216,9 @@ type Site struct {
 	pendMu  sync.Mutex
 	pending []FileInfo // notified but not yet replicated
 
-	replMu    sync.Mutex
-	inFlight  map[string]chan struct{} // lfn -> done
+	// sched owns the pull pipeline: bounded workers, FIFO+priority
+	// admission, in-flight LFN dedup, and per-source caps.
+	sched     *xfer.Scheduler
 	closeOnce sync.Once
 
 	xferLog *transferLog
@@ -278,15 +290,20 @@ func NewSite(cfg Config) (*Site, error) {
 		storage:     cfg.MSS,
 		types:       newTypeRegistry(),
 		subscribers: make(map[string]*subscriberState),
-		inFlight:    make(map[string]chan struct{}),
 		xferLog:     newTransferLog(0),
 		metrics:     cfg.Metrics,
 		met:         newSiteMetrics(cfg.Metrics),
 		tunedBuf:    make(map[string]int),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.sched = xfer.New(xfer.Config{
+		Workers:   cfg.PullWorkers,
+		PerSource: cfg.PerSourceLimit,
+		Registry:  cfg.Metrics,
+	})
 	if s.federation != nil {
 		if err := s.types.register(ObjectivityType{}); err != nil {
+			s.sched.Close()
 			rcClient.Close()
 			return nil, err
 		}
@@ -301,6 +318,7 @@ func NewSite(cfg Config) (*Site, error) {
 		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
+		s.sched.Close()
 		rcClient.Close()
 		return nil, err
 	}
@@ -311,6 +329,7 @@ func NewSite(cfg Config) (*Site, error) {
 	s.ftpSrv = ftpSrv
 	s.ftpLn, err = net.Listen("tcp", ftpListen)
 	if err != nil {
+		s.sched.Close()
 		rcClient.Close()
 		return nil, err
 	}
@@ -325,6 +344,7 @@ func NewSite(cfg Config) (*Site, error) {
 	s.registerHandlers()
 	s.gdmpLn, err = net.Listen("tcp", gdmpListen)
 	if err != nil {
+		s.sched.Close()
 		s.ftpSrv.Close()
 		rcClient.Close()
 		return nil, err
@@ -363,7 +383,12 @@ func (s *Site) HasFile(lfn string) bool {
 
 // Query searches the central replica catalog with an LDAP-style filter.
 func (s *Site) Query(filter string) ([]*replica.LogicalFile, error) {
-	return s.rc.query(filter)
+	return s.QueryCtx(s.ctx, filter)
+}
+
+// QueryCtx is Query bounded by a caller context.
+func (s *Site) QueryCtx(ctx context.Context, filter string) ([]*replica.LogicalFile, error) {
+	return s.rc.query(ctx, filter)
 }
 
 // Close shuts the site down.
@@ -371,6 +396,9 @@ func (s *Site) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.cancel()
+		// Stop the pull pipeline: running transfers are canceled, queued
+		// jobs fail with context.Canceled, and the workers drain.
+		s.sched.Close()
 		s.notifyWG.Wait()
 		e1 := s.gdmpSrv.Close()
 		e2 := s.ftpSrv.Close()
@@ -419,11 +447,11 @@ type PublishOptions struct {
 // it is added to the replica catalog with its meta-information, and all
 // subscribers are notified of its existence.
 func (s *Site) Publish(relPath string, opts PublishOptions) (PublishedFile, error) {
-	return s.publishCore(relPath, opts, true)
+	return s.publishCore(s.ctx, relPath, opts, true)
 }
 
 // publishCore registers a file and optionally notifies subscribers.
-func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (pf PublishedFile, err error) {
+func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOptions, notify bool) (pf PublishedFile, err error) {
 	defer s.met.publishTime.Time()()
 	defer func() { s.met.publishes.WithLabelValues(outcomeOf(err)).Inc() }()
 	localPath, err := s.resolveLocal(relPath)
@@ -477,7 +505,7 @@ func (s *Site) publishCore(relPath string, opts PublishOptions, notify bool) (pf
 	for k, v := range typeAttrs {
 		attrs[k] = v
 	}
-	if err := s.rc.publishFile(lfn, attrs, pfn, opts.Collection); err != nil {
+	if err := s.rc.publishFile(ctx, lfn, attrs, pfn, opts.Collection); err != nil {
 		return PublishedFile{}, err
 	}
 
@@ -565,7 +593,7 @@ func (s *Site) drainSubscriber(st *subscriberState) {
 		addr := st.addr
 		s.subMu.Unlock()
 
-		err := s.sendNotify(addr, batch)
+		err := s.sendNotify(s.ctx, addr, batch)
 		s.met.notifySent.WithLabelValues(outcomeOf(err)).Inc()
 
 		s.subMu.Lock()
@@ -632,7 +660,12 @@ func (s *Site) SuspectSubscribers() []string {
 // SubscribeTo registers this site as a consumer of another site's
 // publications (Section 4.1's first client service).
 func (s *Site) SubscribeTo(remoteAddr string) error {
-	cl, err := s.dialGDMP(remoteAddr)
+	return s.SubscribeToCtx(s.ctx, remoteAddr)
+}
+
+// SubscribeToCtx is SubscribeTo bounded by a caller context.
+func (s *Site) SubscribeToCtx(ctx context.Context, remoteAddr string) error {
+	cl, err := s.dialGDMP(ctx, remoteAddr)
 	if err != nil {
 		return err
 	}
@@ -640,20 +673,25 @@ func (s *Site) SubscribeTo(remoteAddr string) error {
 	var e rpc.Encoder
 	e.String(s.cfg.Name)
 	e.String(s.Addr())
-	_, err = cl.Call(MethodSubscribe, &e)
+	_, err = cl.CallContext(ctx, MethodSubscribe, &e)
 	return err
 }
 
 // UnsubscribeFrom removes this site from a producer's subscriber list.
 func (s *Site) UnsubscribeFrom(remoteAddr string) error {
-	cl, err := s.dialGDMP(remoteAddr)
+	return s.UnsubscribeFromCtx(s.ctx, remoteAddr)
+}
+
+// UnsubscribeFromCtx is UnsubscribeFrom bounded by a caller context.
+func (s *Site) UnsubscribeFromCtx(ctx context.Context, remoteAddr string) error {
+	cl, err := s.dialGDMP(ctx, remoteAddr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
 	var e rpc.Encoder
 	e.String(s.cfg.Name)
-	_, err = cl.Call(MethodUnsubscribe, &e)
+	_, err = cl.CallContext(ctx, MethodUnsubscribe, &e)
 	return err
 }
 
@@ -697,12 +735,17 @@ func transientRPC(err error) bool {
 // recovery path: a site that missed notifications reconciles against the
 // producer's catalog.
 func (s *Site) RemoteCatalog(remoteAddr string) ([]FileInfo, error) {
-	cl, err := s.dialGDMP(remoteAddr)
+	return s.RemoteCatalogCtx(s.ctx, remoteAddr)
+}
+
+// RemoteCatalogCtx is RemoteCatalog bounded by a caller context.
+func (s *Site) RemoteCatalogCtx(ctx context.Context, remoteAddr string) ([]FileInfo, error) {
+	cl, err := s.dialGDMP(ctx, remoteAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Close()
-	d, err := cl.Call(MethodCatalog, nil)
+	d, err := cl.CallContext(ctx, MethodCatalog, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -715,12 +758,12 @@ func (s *Site) RemoteCatalog(remoteAddr string) ([]FileInfo, error) {
 
 // Ping checks liveness and returns the remote site's name.
 func (s *Site) Ping(remoteAddr string) (string, error) {
-	cl, err := s.dialGDMP(remoteAddr)
+	cl, err := s.dialGDMP(s.ctx, remoteAddr)
 	if err != nil {
 		return "", err
 	}
 	defer cl.Close()
-	d, err := cl.Call(MethodPing, nil)
+	d, err := cl.CallContext(s.ctx, MethodPing, nil)
 	if err != nil {
 		return "", err
 	}
@@ -731,30 +774,32 @@ func (s *Site) Ping(remoteAddr string) (string, error) {
 // Recover pulls every file the remote site has that we lack, using its
 // catalog instead of notifications (failure recovery after downtime).
 func (s *Site) Recover(remoteAddr string) (fetched int, err error) {
-	files, err := s.RemoteCatalog(remoteAddr)
+	return s.RecoverCtx(s.ctx, remoteAddr)
+}
+
+// RecoverCtx is Recover bounded by a caller context. Every missing file is
+// attempted even when some fail — a single dead source must not stop the
+// whole reconciliation — and the failures come back joined, alongside the
+// true count of files that did arrive.
+func (s *Site) RecoverCtx(ctx context.Context, remoteAddr string) (fetched int, err error) {
+	files, err := s.RemoteCatalogCtx(ctx, remoteAddr)
 	if err != nil {
 		return 0, err
 	}
-	for _, fi := range files {
-		if s.HasFile(fi.LFN) {
-			continue
-		}
-		if err := s.Get(fi.LFN); err != nil {
-			return fetched, fmt.Errorf("core: recover %s: %w", fi.LFN, err)
-		}
-		fetched++
-	}
-	return fetched, nil
+	// Recovery is bulk reconciliation; it runs below notification-driven
+	// pulls so it cannot starve them.
+	fetched, _, err = s.pullAll(ctx, files, -1, "recover")
+	return fetched, err
 }
 
 // dialGDMP opens a Request Manager session, retrying transient dial
 // failures under the site policy.
-func (s *Site) dialGDMP(addr string) (*rpc.Client, error) {
+func (s *Site) dialGDMP(ctx context.Context, addr string) (*rpc.Client, error) {
 	var cl *rpc.Client
 	pol := s.retryPolicy("core.dial")
-	err := pol.Do(s.ctx, func(int) error {
+	err := pol.Do(ctx, func(int) error {
 		var derr error
-		cl, derr = rpc.Dial(addr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
+		cl, derr = rpc.DialContext(ctx, addr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
 		return derr
 	})
 	return cl, err
@@ -765,40 +810,42 @@ func (s *Site) dialGDMP(addr string) (*rpc.Client, error) {
 // Get replicates a logical file to this site, running the full pipeline of
 // Section 4.1: pre-processing, secure restartable transfer with CRC
 // verification, post-processing, and insertion into the replica catalog.
-// Concurrent Gets of the same LFN coalesce.
+// Concurrent Gets of the same LFN coalesce onto one scheduler job, and
+// every waiter receives that job's real error.
 func (s *Site) Get(lfn string) error {
+	return s.GetCtx(s.ctx, lfn)
+}
+
+// GetCtx is Get bounded by a caller context. The pull itself runs as a
+// scheduler job under the site's lifetime; ctx only bounds this caller's
+// wait. When the last interested caller gives up, the job is canceled
+// (dequeued if still pending, interrupted mid-transfer if running).
+func (s *Site) GetCtx(ctx context.Context, lfn string) error {
 	if s.HasFile(lfn) {
 		return nil
 	}
-	s.replMu.Lock()
-	if ch, busy := s.inFlight[lfn]; busy {
-		s.replMu.Unlock()
-		<-ch
+	return s.submitGet(lfn, 0).Wait(ctx)
+}
+
+// submitGet admits one LFN pull to the scheduler; the LFN is the dedup
+// key, so concurrent submissions share a single transfer.
+func (s *Site) submitGet(lfn string, priority int) *xfer.Ticket {
+	return s.sched.Submit(lfn, priority, func(jobCtx context.Context) error {
 		if s.HasFile(lfn) {
 			return nil
 		}
-		return fmt.Errorf("core: concurrent replication of %s failed", lfn)
-	}
-	ch := make(chan struct{})
-	s.inFlight[lfn] = ch
-	s.replMu.Unlock()
-	defer func() {
-		s.replMu.Lock()
-		delete(s.inFlight, lfn)
-		close(ch)
-		s.replMu.Unlock()
-	}()
-	err := s.replicate(lfn)
-	s.met.replications.WithLabelValues(outcomeOf(err)).Inc()
-	return err
+		err := s.replicate(jobCtx, lfn)
+		s.met.replications.WithLabelValues(outcomeOf(err)).Inc()
+		return err
+	})
 }
 
-func (s *Site) replicate(lfn string) error {
-	entry, err := s.rc.lookup(lfn)
+func (s *Site) replicate(ctx context.Context, lfn string) error {
+	entry, err := s.rc.lookup(ctx, lfn)
 	if err != nil {
 		return fmt.Errorf("core: lookup %s: %w", lfn, err)
 	}
-	candidates, err := s.rc.locations(lfn)
+	candidates, err := s.rc.locations(ctx, lfn)
 	if err != nil {
 		return err
 	}
@@ -863,9 +910,9 @@ func (s *Site) replicate(lfn string) error {
 	if pol.Attempts < len(order) {
 		pol.Attempts = len(order) // visit every replica at least once
 	}
-	err = pol.Do(s.ctx, func(attempt int) error {
+	err = pol.Do(ctx, func(attempt int) error {
 		src := order[(attempt-1)%len(order)]
-		return s.replicateFrom(entry, lfn, src, localPath)
+		return s.replicateFrom(ctx, entry, lfn, src, localPath)
 	})
 	if err != nil {
 		return fmt.Errorf("core: transfer %s: %w", lfn, err)
@@ -879,10 +926,10 @@ func (s *Site) replicate(lfn string) error {
 	// Step 4: insert the new replica into the replica catalog, making it
 	// visible to the Grid.
 	myPFN := s.pfnFor(rel)
-	if err := s.rc.addReplica(lfn, myPFN); err != nil {
+	if err := s.rc.addReplica(ctx, lfn, myPFN); err != nil {
 		return err
 	}
-	if err := s.rc.setAttrs(lfn, map[string]string{ctlAttrPrefix + myPFN.Addr: s.Addr()}); err != nil {
+	if err := s.rc.setAttrs(ctx, lfn, map[string]string{ctlAttrPrefix + myPFN.Addr: s.Addr()}); err != nil {
 		return err
 	}
 
@@ -907,9 +954,17 @@ func (s *Site) replicate(lfn string) error {
 // published CRC (not only the source's current content, which guards
 // against catalog/file drift). A CRC mismatch removes the local file and
 // returns a retryable error so the caller fails over to another replica.
-func (s *Site) replicateFrom(entry *replica.LogicalFile, lfn string, src PFN, localPath string) error {
+func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lfn string, src PFN, localPath string) error {
+	// The source is only known here, after replica selection, so the
+	// per-source concurrency cap is enforced at this layer rather than at
+	// admission. Blocking counts against the job, not the queue.
+	release, err := s.sched.AcquireSource(ctx, src.Addr)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if ctl := entry.Attrs[ctlAttrPrefix+src.Addr]; ctl != "" {
-		if err := s.requestStage(ctl, lfn); err != nil {
+		if err := s.requestStage(ctx, ctl, lfn); err != nil {
 			err = fmt.Errorf("core: stage %s at source: %w", lfn, err)
 			s.xferLog.add(TransferRecord{
 				LFN: lfn, Source: src.Addr, When: time.Now(),
@@ -918,7 +973,7 @@ func (s *Site) replicateFrom(entry *replica.LogicalFile, lfn string, src PFN, lo
 			return err
 		}
 	}
-	stats, err := s.fetch(src, localPath)
+	stats, err := s.fetch(ctx, src, localPath)
 	record := TransferRecord{
 		LFN: lfn, Source: src.Addr, Bytes: stats.Bytes,
 		Elapsed: stats.Elapsed, Attempts: stats.Attempts,
@@ -950,8 +1005,8 @@ func (s *Site) replicateFrom(entry *replica.LogicalFile, lfn string, src PFN, lo
 // fetch is the Data Mover service: a secure, restartable, CRC-verified
 // GridFTP retrieval (Section 4.3), with optional per-source buffer
 // auto-tuning.
-func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
-	connect := func() (*gridftp.Client, error) {
+func (s *Site) fetch(ctx context.Context, src PFN, localPath string) (gridftp.TransferStats, error) {
+	connect := func(ctx context.Context) (*gridftp.Client, error) {
 		opts := []gridftp.ClientOption{
 			gridftp.WithParallelism(s.cfg.Parallelism),
 			gridftp.WithTimeout(30 * time.Second),
@@ -963,7 +1018,7 @@ func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
 		if s.cfg.DialFunc != nil {
 			opts = append(opts, gridftp.WithDialFunc(s.cfg.DialFunc))
 		}
-		cl, err := gridftp.Dial(src.Addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
+		cl, err := gridftp.DialContext(ctx, src.Addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -987,7 +1042,7 @@ func (s *Site) fetch(src PFN, localPath string) (gridftp.TransferStats, error) {
 	pol := s.retryPolicy("gridftp.get")
 	pol.Attempts = s.cfg.TransferAttempts
 	pol.Retryable = nil // transfer failures are all retryable
-	return gridftp.ReliableGetFile(connect, src.Path, localPath, pol)
+	return gridftp.ReliableGetFile(ctx, connect, src.Path, localPath, pol)
 }
 
 // bufferFor returns the socket buffer to use against a source: the static
@@ -1005,17 +1060,17 @@ func (s *Site) bufferFor(addr string) int {
 // disk before the disk-to-disk transfer (Section 4.4). The whole exchange
 // retries as a unit: staging is idempotent at the source, and the dial
 // already succeeded once so a fresh session is cheap.
-func (s *Site) requestStage(ctlAddr, lfn string) error {
+func (s *Site) requestStage(ctx context.Context, ctlAddr, lfn string) error {
 	pol := s.retryPolicy("core.stage")
-	return pol.Do(s.ctx, func(int) error {
-		cl, err := rpc.Dial(ctlAddr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
+	return pol.Do(ctx, func(int) error {
+		cl, err := rpc.DialContext(ctx, ctlAddr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
 		if err != nil {
 			return err
 		}
 		defer cl.Close()
 		var e rpc.Encoder
 		e.String(lfn)
-		_, err = cl.Call(MethodStage, &e)
+		_, err = cl.CallContext(ctx, MethodStage, &e)
 		return err
 	})
 }
@@ -1037,28 +1092,62 @@ func (s *Site) Pending() []FileInfo {
 	return append([]FileInfo(nil), s.pending...)
 }
 
-// ProcessPending replicates every pending notification synchronously and
-// returns how many files were fetched.
+// ProcessPending replicates every pending notification through the pull
+// scheduler and returns how many files were fetched.
 func (s *Site) ProcessPending() (int, error) {
+	return s.ProcessPendingCtx(s.ctx)
+}
+
+// ProcessPendingCtx drains the pending queue as one concurrent batch:
+// every missing file is submitted to the scheduler up front, so the
+// workers overlap transfers across sources. Each file is attempted even
+// when others fail; the failed ones go back on the pending queue for a
+// later pass, and their errors come back joined.
+func (s *Site) ProcessPendingCtx(ctx context.Context) (int, error) {
 	s.pendMu.Lock()
 	work := s.pending
 	s.pending = nil
 	s.met.pendingDepth.Set(0)
 	s.pendMu.Unlock()
-	n := 0
-	for i, fi := range work {
+	n, failed, err := s.pullAll(ctx, work, 0, "pending")
+	if len(failed) > 0 {
+		// Requeue only what actually failed; the rest either arrived or
+		// was already here.
+		s.addPending(failed...)
+	}
+	return n, err
+}
+
+// pullAll fans a batch of files out to the scheduler and waits for all of
+// them. It returns how many were fetched, the files whose pulls failed,
+// and the failures joined into one error. Already-present files count as
+// neither fetched nor failed.
+func (s *Site) pullAll(ctx context.Context, files []FileInfo, priority int, op string) (int, []FileInfo, error) {
+	type pull struct {
+		fi FileInfo
+		tk *xfer.Ticket
+	}
+	// Submit everything before waiting on anything: the batch is a
+	// fan-out, and admission order is preserved by the FIFO queue.
+	pulls := make([]pull, 0, len(files))
+	for _, fi := range files {
 		if s.HasFile(fi.LFN) {
 			continue
 		}
-		if err := s.Get(fi.LFN); err != nil {
-			// Put the failed file AND everything not yet attempted back
-			// for a later retry; dropping the tail would lose notices.
-			s.addPending(work[i:]...)
-			return n, err
-		}
-		n++
+		pulls = append(pulls, pull{fi, s.submitGet(fi.LFN, priority)})
 	}
-	return n, nil
+	fetched := 0
+	var failed []FileInfo
+	var errs []error
+	for _, p := range pulls {
+		if err := p.tk.Wait(ctx); err != nil {
+			failed = append(failed, p.fi)
+			errs = append(errs, fmt.Errorf("core: %s %s: %w", op, p.fi.LFN, err))
+			continue
+		}
+		fetched++
+	}
+	return fetched, failed, errors.Join(errs...)
 }
 
 // addPending queues a notification for a later pull and tracks the queue
@@ -1085,8 +1174,8 @@ func (s *Site) WaitForFile(lfn string, timeout time.Duration) error {
 }
 
 // sendNotify delivers a notification to one subscriber.
-func (s *Site) sendNotify(addr string, files []FileInfo) error {
-	cl, err := s.dialGDMP(addr)
+func (s *Site) sendNotify(ctx context.Context, addr string, files []FileInfo) error {
+	cl, err := s.dialGDMP(ctx, addr)
 	if err != nil {
 		return err
 	}
@@ -1094,7 +1183,7 @@ func (s *Site) sendNotify(addr string, files []FileInfo) error {
 	var e rpc.Encoder
 	e.String(s.cfg.Name)
 	encodeFileInfos(&e, files)
-	_, err = cl.Call(MethodNotify, &e)
+	_, err = cl.CallContext(ctx, MethodNotify, &e)
 	return err
 }
 
@@ -1133,14 +1222,14 @@ func decodeFileInfos(d *rpc.Decoder) []FileInfo {
 }
 
 func (s *Site) registerHandlers() {
-	s.gdmpSrv.Handle(MethodPing, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodPing, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		resp.String(s.cfg.Name)
 		return nil
 	})
-	s.gdmpSrv.Handle(MethodSubscribe, func(peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodSubscribe, func(ctx context.Context, peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		addr := args.String()
 		if err := args.Finish(); err != nil {
@@ -1165,7 +1254,7 @@ func (s *Site) registerHandlers() {
 		s.logger.Printf("gdmp[%s]: %s subscribed as %s (%s)", s.cfg.Name, peer.Base, name, addr)
 		return nil
 	})
-	s.gdmpSrv.Handle(MethodUnsubscribe, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodUnsubscribe, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		if err := args.Finish(); err != nil {
 			return err
@@ -1177,7 +1266,7 @@ func (s *Site) registerHandlers() {
 		s.subMu.Unlock()
 		return nil
 	})
-	s.gdmpSrv.Handle(MethodNotify, func(peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodNotify, func(ctx context.Context, peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		from := args.String()
 		files := decodeFileInfos(args)
 		if err := args.Finish(); err != nil {
@@ -1195,32 +1284,39 @@ func (s *Site) registerHandlers() {
 			return nil
 		}
 		if s.cfg.AutoReplicate {
+			// Submit the batch to the pull scheduler instead of spawning
+			// one unbounded goroutine per file: the worker pool bounds
+			// concurrency, and duplicate notices coalesce by LFN.
 			for _, fi := range fresh {
-				go func(lfn string) {
-					if err := s.Get(lfn); err != nil {
+				lfn := fi.LFN
+				tk := s.submitGet(lfn, 0)
+				s.notifyWG.Add(1)
+				go func() {
+					defer s.notifyWG.Done()
+					if err := tk.Wait(s.ctx); err != nil {
 						s.logger.Printf("gdmp[%s]: auto-replicate %s: %v", s.cfg.Name, lfn, err)
 						s.addPending(FileInfo{LFN: lfn})
 					}
-				}(fi.LFN)
+				}()
 			}
 			return nil
 		}
 		s.addPending(fresh...)
 		return nil
 	})
-	s.gdmpSrv.Handle(MethodCatalog, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodCatalog, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		encodeFileInfos(resp, s.local.list())
 		return nil
 	})
-	s.gdmpSrv.Handle(MethodStage, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodStage, func(ctx context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		lfn := args.String()
 		if err := args.Finish(); err != nil {
 			return err
 		}
-		err := s.stageLocal(lfn)
+		err := s.stageLocal(ctx, lfn)
 		s.met.stageRequests.WithLabelValues(outcomeOf(err)).Inc()
 		return err
 	})
@@ -1229,8 +1325,8 @@ func (s *Site) registerHandlers() {
 }
 
 // stageLocal ensures a published file is present in the disk pool, staging
-// from the MSS when necessary.
-func (s *Site) stageLocal(lfn string) error {
+// from the MSS when necessary; ctx interrupts the simulated tape waits.
+func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 	fi, ok := s.local.get(lfn)
 	if !ok {
 		return fmt.Errorf("core: %q not published at %s", lfn, s.cfg.Name)
@@ -1245,7 +1341,7 @@ func (s *Site) stageLocal(lfn string) error {
 	if s.storage == nil {
 		return fmt.Errorf("core: %q missing on disk and no MSS configured", lfn)
 	}
-	if _, err := s.storage.Stage(fi.Path); err != nil {
+	if _, err := s.storage.StageContext(ctx, fi.Path); err != nil {
 		return err
 	}
 	// The transfer itself re-reads from disk; unpin right away and rely on

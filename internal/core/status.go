@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -107,12 +108,12 @@ func (s *Site) Status() SiteStatus {
 
 // RemoteStatus fetches another site's status over the Request Manager.
 func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
-	cl, err := s.dialGDMP(remoteAddr)
+	cl, err := s.dialGDMP(s.ctx, remoteAddr)
 	if err != nil {
 		return SiteStatus{}, err
 	}
 	defer cl.Close()
-	d, err := cl.Call(MethodStatus, nil)
+	d, err := cl.CallContext(s.ctx, MethodStatus, nil)
 	if err != nil {
 		return SiteStatus{}, err
 	}
@@ -130,7 +131,7 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 
 // registerStatusHandler wires MethodStatus into the Request Manager.
 func (s *Site) registerStatusHandler() {
-	s.gdmpSrv.Handle(MethodStatus, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.gdmpSrv.Handle(MethodStatus, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}

@@ -113,15 +113,53 @@ type Client struct {
 
 	mu     sync.Mutex // serializes commands
 	closed bool
+
+	// Every connection the session opens — control plus data — is tracked
+	// so a canceled context can sever them all at once, aborting a transfer
+	// already streaming on the data channels.
+	trackMu   sync.Mutex
+	tracked   map[net.Conn]struct{}
+	stopAbort func() bool // detaches the context watcher; set by DialContext
+}
+
+func (c *Client) track(conn net.Conn) {
+	c.trackMu.Lock()
+	if c.tracked == nil {
+		c.tracked = make(map[net.Conn]struct{})
+	}
+	c.tracked[conn] = struct{}{}
+	c.trackMu.Unlock()
+}
+
+func (c *Client) untrack(conn net.Conn) {
+	c.trackMu.Lock()
+	delete(c.tracked, conn)
+	c.trackMu.Unlock()
+}
+
+// abort severs every tracked connection; blocked reads and writes on the
+// control and data channels fail immediately.
+func (c *Client) abort() {
+	c.trackMu.Lock()
+	for conn := range c.tracked {
+		conn.Close()
+	}
+	c.trackMu.Unlock()
 }
 
 // Dial connects, authenticates with a GSI handshake, and reads the banner.
 func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...ClientOption) (*Client, error) {
+	return DialContext(context.Background(), addr, cred, roots, opts...)
+}
+
+// DialContext is Dial with the whole session bound to ctx: cancellation
+// closes the control channel and any data channels opened later, so an
+// in-flight transfer aborts promptly rather than running to completion.
+func DialContext(ctx context.Context, addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...ClientOption) (*Client, error) {
 	c := &Client{
 		parallelism: DefaultParallelism,
 		blockSize:   DefaultBlockSize,
 		timeout:     30 * time.Second,
-		dial:        net.Dial,
 	}
 	for _, o := range opts {
 		o(c)
@@ -133,15 +171,40 @@ func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...C
 	if c.parallelism < 1 || c.parallelism > MaxParallelism {
 		return nil, fmt.Errorf("gridftp: parallelism %d out of range", c.parallelism)
 	}
+	base := c.dial
+	if base == nil {
+		var d net.Dialer
+		base = func(network, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, network, addr)
+		}
+	}
+	c.dial = func(network, addr string) (net.Conn, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := base(network, addr)
+		if err == nil {
+			c.track(conn)
+		}
+		return conn, err
+	}
 	c.addr = addr
 	conn, err := c.dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("gridftp: dial %s: %w", addr, err)
 	}
+	c.stopAbort = context.AfterFunc(ctx, c.abort)
+	fail := func(err error) (*Client, error) {
+		c.stopAbort()
+		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("gridftp: dial %s: %w", addr, cerr)
+		}
+		return nil, err
+	}
 	conn.SetDeadline(time.Now().Add(c.timeout))
 	if _, err := gsi.Handshake(conn, cred, roots, true); err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	conn.SetDeadline(time.Time{})
 	c.conn = conn
@@ -150,23 +213,19 @@ func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...C
 	code, text, err := c.ctl.readReply()
 	c.clearDeadline()
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if code != 220 {
-		conn.Close()
-		return nil, fmt.Errorf("%w: banner %d %s", ErrProtocol, code, text)
+		return fail(fmt.Errorf("%w: banner %d %s", ErrProtocol, code, text))
 	}
 	// Negotiate session parameters up front.
 	if c.bufferSize > 0 {
 		if err := c.simpleCmd(codeOK, "SBUF %d", c.bufferSize); err != nil {
-			conn.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if err := c.simpleCmd(codeOK, "OPTS PARALLEL %d", c.parallelism); err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	return c, nil
 }
@@ -179,9 +238,13 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.stopAbort != nil {
+		c.stopAbort()
+	}
 	c.armDeadline() // a hung server must not wedge Close
 	c.ctl.sendLine("QUIT")
 	c.ctl.readReply() // best-effort 221
+	c.untrack(c.conn)
 	return c.conn.Close()
 }
 
@@ -496,6 +559,7 @@ func (c *Client) getRangeBody(path string, r Range, dst io.WriterAt, track *Rang
 	defer func() {
 		for _, dc := range conns {
 			dc.Close()
+			c.untrack(dc)
 		}
 	}()
 
@@ -647,6 +711,7 @@ func (c *Client) putRangesLocked(verb, path string, src io.ReaderAt, ranges []Ra
 	defer func() {
 		for _, dc := range conns {
 			dc.Close()
+			c.untrack(dc)
 		}
 	}()
 
@@ -795,9 +860,11 @@ func transferRetryable(err error) bool {
 // ReliableGet retrieves a file with restart-on-failure semantics: after an
 // interrupted attempt, only the missing byte ranges are re-requested from a
 // fresh session after the policy's backoff. connect must return a new
-// authenticated client; path and dst are as in Get. The returned stats
-// aggregate all attempts.
-func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, pol retry.Policy) (TransferStats, error) {
+// authenticated client bound to the context it is given; path and dst are
+// as in Get. Canceling ctx severs the active session's connections and
+// stops further attempts, so an in-flight transfer aborts within one retry
+// interval. The returned stats aggregate all attempts.
+func ReliableGet(ctx context.Context, connect func(context.Context) (*Client, error), path string, dst io.WriterAt, pol retry.Policy) (TransferStats, error) {
 	var agg TransferStats
 	var rs RangeSet
 	var size int64 = -1
@@ -807,9 +874,9 @@ func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, 
 	if pol.Retryable == nil {
 		pol.Retryable = transferRetryable
 	}
-	err := pol.Do(context.Background(), func(attempt int) error {
+	err := pol.Do(ctx, func(attempt int) error {
 		agg.Attempts = attempt
-		cl, err := connect()
+		cl, err := connect(ctx)
 		if err != nil {
 			return err
 		}
@@ -846,19 +913,19 @@ func ReliableGet(connect func() (*Client, error), path string, dst io.WriterAt, 
 
 // ReliableGetFile is ReliableGet into a local file plus end-to-end CRC
 // verification, the full Data Mover contract of Section 4.3.
-func ReliableGetFile(connect func() (*Client, error), remotePath, localPath string, pol retry.Policy) (TransferStats, error) {
+func ReliableGetFile(ctx context.Context, connect func(context.Context) (*Client, error), remotePath, localPath string, pol retry.Policy) (TransferStats, error) {
 	f, err := os.Create(localPath)
 	if err != nil {
 		return TransferStats{}, err
 	}
-	stats, err := ReliableGet(connect, remotePath, f, pol)
+	stats, err := ReliableGet(ctx, connect, remotePath, f, pol)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return stats, err
 	}
-	cl, err := connect()
+	cl, err := connect(ctx)
 	if err != nil {
 		return stats, err
 	}
@@ -924,7 +991,7 @@ func (discardWriterAt) WriteAt(p []byte, off int64) (int, error) { return len(p)
 // the server has not confirmed are re-sent with ESTO from a fresh session.
 // Because the receiving server only acknowledges a transfer once every
 // expected byte arrived, confirmation is tracked per successful command.
-func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, remotePath string, pol retry.Policy) (TransferStats, error) {
+func ReliablePut(ctx context.Context, connect func(context.Context) (*Client, error), src io.ReaderAt, size int64, remotePath string, pol retry.Policy) (TransferStats, error) {
 	var agg TransferStats
 	var created bool
 	var done RangeSet
@@ -934,9 +1001,9 @@ func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, r
 	if pol.Retryable == nil {
 		pol.Retryable = transferRetryable
 	}
-	err := pol.Do(context.Background(), func(attempt int) error {
+	err := pol.Do(ctx, func(attempt int) error {
 		agg.Attempts = attempt
-		cl, err := connect()
+		cl, err := connect(ctx)
 		if err != nil {
 			return err
 		}
@@ -984,7 +1051,7 @@ func ReliablePut(connect func() (*Client, error), src io.ReaderAt, size int64, r
 			return err
 		}
 		// Verify end to end before declaring success.
-		cl2, err := connect()
+		cl2, err := connect(ctx)
 		if err != nil {
 			return err
 		}

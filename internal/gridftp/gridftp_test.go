@@ -3,6 +3,7 @@ package gridftp
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -17,6 +18,7 @@ import (
 
 	"gdmp/internal/gsi"
 	"gdmp/internal/retry"
+	"gdmp/internal/wan"
 )
 
 // fastPolicy bounds a reliable transfer at n attempts with millisecond
@@ -465,7 +467,7 @@ func TestReliableGetRestartsAfterFailure(t *testing.T) {
 	_, want := makeFile(t, root, "big.db", 2_000_000, 15)
 	fd := &flakyDialer{failures: 1, budget: 500_000}
 
-	connect := func() (*Client, error) {
+	connect := func(ctx context.Context) (*Client, error) {
 		fd.mu.Lock()
 		fd.attempts++
 		fd.mu.Unlock()
@@ -473,7 +475,7 @@ func TestReliableGetRestartsAfterFailure(t *testing.T) {
 			WithDialFunc(fd.dial), WithParallelism(2))
 	}
 	local := filepath.Join(t.TempDir(), "out.db")
-	stats, err := ReliableGetFile(connect, "big.db", local, fastPolicy(5))
+	stats, err := ReliableGetFile(context.Background(), connect, "big.db", local, fastPolicy(5))
 	if err != nil {
 		t.Fatalf("ReliableGetFile: %v", err)
 	}
@@ -494,12 +496,12 @@ func TestReliableGetExhaustsAttempts(t *testing.T) {
 	addr, root := startServer(t, nil)
 	makeFile(t, root, "big.db", 2_000_000, 16)
 	fd := &flakyDialer{failures: 1 << 30, budget: 100_000} // always fails
-	connect := func() (*Client, error) {
+	connect := func(ctx context.Context) (*Client, error) {
 		return Dial(addr, cred(t, "user/"+t.Name()), roots(t),
 			WithDialFunc(fd.dial), WithParallelism(1))
 	}
 	dst := newSparseBuffer(2_000_000)
-	_, err := ReliableGet(connect, "big.db", dst, fastPolicy(2))
+	_, err := ReliableGet(context.Background(), connect, "big.db", dst, fastPolicy(2))
 	if err == nil {
 		t.Fatal("expected failure after exhausting attempts")
 	}
@@ -688,4 +690,50 @@ func (b *sparseBuffer) WriteAt(p []byte, off int64) (int, error) {
 	}
 	copy(b.data[off:], p)
 	return len(p), nil
+}
+
+// TestReliableGetAbortsOnContextCancel proves the acceptance contract of
+// the context threading: canceling the context mid-transfer severs the
+// session's data connections, so ReliableGet returns within one retry
+// interval instead of finishing the download or sleeping out the backoff
+// schedule.
+func TestReliableGetAbortsOnContextCancel(t *testing.T) {
+	addr, root := startServer(t, nil)
+	makeFile(t, root, "big.db", 4_000_000, 21)
+
+	// Pace the link so the transfer takes several seconds untouched.
+	link := wan.NewLink(4, 0) // 4 Mbps -> ~8 s for 4 MB
+	ctx, cancel := context.WithCancel(context.Background())
+	connect := func(ctx context.Context) (*Client, error) {
+		return DialContext(ctx, addr, cred(t, "user/"+t.Name()), roots(t),
+			WithDialFunc(link.Dialer(net.Dial)), WithParallelism(2))
+	}
+	pol := fastPolicy(5)
+	pol.BaseDelay = 200 * time.Millisecond
+	pol.MaxDelay = 200 * time.Millisecond
+
+	done := make(chan error, 1)
+	dst := newSparseBuffer(4_000_000)
+	go func() {
+		_, err := ReliableGet(ctx, connect, "big.db", dst, pol)
+		done <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // well into the data transfer
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from canceled transfer")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		// One retry interval (200 ms) plus scheduling slack.
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("abort took %v, want within one retry interval", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled transfer did not abort")
+	}
 }

@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -16,10 +17,10 @@ func TestReliablePutCleanPath(t *testing.T) {
 	data := make([]byte, 600_000)
 	rand.New(rand.NewSource(30)).Read(data)
 
-	connect := func() (*Client, error) {
+	connect := func(ctx context.Context) (*Client, error) {
 		return Dial(addr, cred(t, "user/"+t.Name()), roots(t), WithParallelism(3))
 	}
-	stats, err := ReliablePut(connect, bytes.NewReader(data), int64(len(data)), "up/clean.db", fastPolicy(3))
+	stats, err := ReliablePut(context.Background(), connect, bytes.NewReader(data), int64(len(data)), "up/clean.db", fastPolicy(3))
 	if err != nil {
 		t.Fatalf("ReliablePut: %v", err)
 	}
@@ -66,8 +67,8 @@ type writeLimitedDialer struct {
 	attempts int
 }
 
-func (d *writeLimitedDialer) connect(t *testing.T, addr string) func() (*Client, error) {
-	return func() (*Client, error) {
+func (d *writeLimitedDialer) connect(t *testing.T, addr string) func(context.Context) (*Client, error) {
+	return func(_ context.Context) (*Client, error) {
 		d.mu.Lock()
 		d.attempts++
 		inject := d.attempts <= d.failures
@@ -93,7 +94,7 @@ func TestReliablePutRestartsAfterFailure(t *testing.T) {
 	rand.New(rand.NewSource(31)).Read(data)
 
 	d := &writeLimitedDialer{failures: 1, budget: 300_000}
-	stats, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/retry.db", fastPolicy(4))
+	stats, err := ReliablePut(context.Background(), d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/retry.db", fastPolicy(4))
 	if err != nil {
 		t.Fatalf("ReliablePut with injected failure: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestReliablePutExhaustsAttempts(t *testing.T) {
 	addr, _ := startServer(t, nil)
 	data := make([]byte, 1_000_000)
 	d := &writeLimitedDialer{failures: 1 << 30, budget: 100_000}
-	_, err := ReliablePut(d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/never.db", fastPolicy(2))
+	_, err := ReliablePut(context.Background(), d.connect(t, addr), bytes.NewReader(data), int64(len(data)), "up/never.db", fastPolicy(2))
 	if err == nil {
 		t.Fatal("expected failure after exhausting attempts")
 	}

@@ -24,6 +24,7 @@ package mss
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +34,22 @@ import (
 	"sync"
 	"time"
 )
+
+// sleepCtx waits for d or until ctx is done, so the simulated tape-drive
+// delays do not outlive a canceled stage request.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // StorageManager is the HRM-style uniform interface GDMP plugs into.
 type StorageManager interface {
@@ -205,6 +222,12 @@ func (m *MSS) DiskPath(name string) (string, error) {
 // "first looked for on its disk location and if it is not there, it is
 // assumed to be available in the Mass Storage System" and staged.
 func (m *MSS) Stage(name string) (string, error) {
+	return m.StageContext(context.Background(), name)
+}
+
+// StageContext is Stage bounded by a context: cancellation interrupts the
+// simulated mount and tape-drain waits instead of sleeping them out.
+func (m *MSS) StageContext(ctx context.Context, name string) (string, error) {
 	m.mu.Lock()
 	if e, ok := m.entries[name]; ok {
 		// Verify the pool copy really is on disk: metadata can drift if
@@ -242,11 +265,16 @@ func (m *MSS) Stage(name string) (string, error) {
 	}
 
 	start := time.Now()
-	if m.cfg.MountLatency > 0 {
-		time.Sleep(m.cfg.MountLatency)
+	if err := sleepCtx(ctx, m.cfg.MountLatency); err != nil {
+		release()
+		return "", fmt.Errorf("mss: stage %s: %w", name, err)
 	}
 	if m.cfg.TapeRateMBps > 0 {
-		time.Sleep(time.Duration(float64(size) / (m.cfg.TapeRateMBps * 1e6) * float64(time.Second)))
+		drain := time.Duration(float64(size) / (m.cfg.TapeRateMBps * 1e6) * float64(time.Second))
+		if err := sleepCtx(ctx, drain); err != nil {
+			release()
+			return "", fmt.Errorf("mss: stage %s: %w", name, err)
+		}
 	}
 	src, err := safeJoin(m.cfg.TapeDir, name)
 	if err != nil {

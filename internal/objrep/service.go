@@ -1,6 +1,7 @@
 package objrep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -41,7 +42,7 @@ func EnableService(site *core.Site) error {
 	if site.Federation() == nil {
 		return errors.New("objrep: site has no object federation")
 	}
-	site.HandleRPC(MethodExtract, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	site.HandleRPC(MethodExtract, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		n := args.Uint32()
 		if n == 0 || n > 10_000_000 {
 			return fmt.Errorf("objrep: implausible object count %d", n)
@@ -67,7 +68,7 @@ func EnableService(site *core.Site) error {
 		}
 		return nil
 	})
-	site.HandleRPC(MethodRelease, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	site.HandleRPC(MethodRelease, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		lfn := args.String()
 		if err := args.Finish(); err != nil {
 			return err

@@ -191,6 +191,39 @@ func (v *CounterVec) WithLabelValues(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+func newGaugeVec(labels []string) *GaugeVec {
+	return &GaugeVec{labels: labels, children: make(map[string]*Gauge)}
+}
+
+// WithLabelValues returns (creating if needed) the gauge for the given
+// label values, which must match the vector's label names in count.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	g, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.children[key]; !ok {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
 // HistogramVec is a family of histograms sharing bucket bounds,
 // distinguished by label values.
 type HistogramVec struct {

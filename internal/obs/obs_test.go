@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -176,5 +177,25 @@ func TestBucketHelpers(t *testing.T) {
 	exp := ExponentialBuckets(1, 10, 3)
 	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
 		t.Fatalf("exponential = %v", exp)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("inflight", "In-flight ops by source.", "source")
+	v.WithLabelValues("cern.ch").Set(3)
+	v.WithLabelValues("anl.gov").Inc()
+	v.WithLabelValues("cern.ch").Dec()
+	if got := v.WithLabelValues("cern.ch").Value(); got != 2 {
+		t.Fatalf("cern.ch gauge = %d, want 2", got)
+	}
+	// Same registry name returns the same family; children render sorted.
+	if r.GaugeVec("inflight", "", "source") != v {
+		t.Fatal("get-or-register returned a new GaugeVec")
+	}
+	text := r.Text()
+	want := "# TYPE inflight gauge\ninflight{source=\"anl.gov\"} 1\ninflight{source=\"cern.ch\"} 2\n"
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition:\n%s\nwant substring:\n%s", text, want)
 	}
 }

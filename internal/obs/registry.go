@@ -19,6 +19,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 	kindHistogramVec
 )
 
@@ -26,7 +27,7 @@ func (k metricKind) String() string {
 	switch k {
 	case kindCounter, kindCounterVec:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindGaugeVec:
 		return "gauge"
 	default:
 		return "histogram"
@@ -102,6 +103,12 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 // if needed.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return r.getOrRegister(name, help, kindCounterVec, func() interface{} { return newCounterVec(labels) }).(*CounterVec)
+}
+
+// GaugeVec returns the registered labeled gauge family, creating it if
+// needed.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return r.getOrRegister(name, help, kindGaugeVec, func() interface{} { return newGaugeVec(labels) }).(*GaugeVec)
 }
 
 // HistogramVec returns the registered labeled histogram family, creating
@@ -222,6 +229,23 @@ func (r *Registry) WriteText(w io.Writer) error {
 				keys = append(keys, k)
 			}
 			children := make(map[string]*Counter, len(c.children))
+			for k, v := range c.children {
+				children[k] = v
+			}
+			c.mu.RUnlock()
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, labelString(c.labels, k), children[k].Value()); err != nil {
+					return err
+				}
+			}
+		case *GaugeVec:
+			c.mu.RLock()
+			keys := make([]string, 0, len(c.children))
+			for k := range c.children {
+				keys = append(keys, k)
+			}
+			children := make(map[string]*Gauge, len(c.children))
 			for k, v := range c.children {
 				children[k] = v
 			}

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"time"
 
 	"gdmp/internal/gsi"
@@ -18,7 +19,13 @@ type Client struct {
 
 // Dial connects and authenticates to the catalog server at addr.
 func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...rpc.DialOption) (*Client, error) {
-	cl, err := rpc.Dial(addr, cred, roots, opts...)
+	return DialContext(context.Background(), addr, cred, roots, opts...)
+}
+
+// DialContext is Dial bound to a context governing connection establishment
+// and the security handshake.
+func DialContext(ctx context.Context, addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...rpc.DialOption) (*Client, error) {
+	cl, err := rpc.DialContext(ctx, addr, cred, roots, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -34,21 +41,21 @@ func DialTimeout(addr string, cred *gsi.Credential, roots []*gsi.Certificate, d 
 func (c *Client) Close() error { return c.rc.Close() }
 
 // Register creates a logical file entry with attributes.
-func (c *Client) Register(name string, attrs map[string]string) error {
+func (c *Client) Register(ctx context.Context, name string, attrs map[string]string) error {
 	var e rpc.Encoder
 	e.String(name)
 	encodeAttrs(&e, attrs)
-	_, err := c.rc.Call(MethodRegister, &e)
+	_, err := c.rc.CallContext(ctx, MethodRegister, &e)
 	return err
 }
 
 // GenerateLFN asks the catalog to mint and register a unique logical name.
-func (c *Client) GenerateLFN(site, base string, attrs map[string]string) (string, error) {
+func (c *Client) GenerateLFN(ctx context.Context, site, base string, attrs map[string]string) (string, error) {
 	var e rpc.Encoder
 	e.String(site)
 	e.String(base)
 	encodeAttrs(&e, attrs)
-	d, err := c.rc.Call(MethodGenerate, &e)
+	d, err := c.rc.CallContext(ctx, MethodGenerate, &e)
 	if err != nil {
 		return "", err
 	}
@@ -57,10 +64,10 @@ func (c *Client) GenerateLFN(site, base string, attrs map[string]string) (string
 }
 
 // Lookup fetches a logical file entry.
-func (c *Client) Lookup(name string) (*LogicalFile, error) {
+func (c *Client) Lookup(ctx context.Context, name string) (*LogicalFile, error) {
 	var e rpc.Encoder
 	e.String(name)
-	d, err := c.rc.Call(MethodLookup, &e)
+	d, err := c.rc.CallContext(ctx, MethodLookup, &e)
 	if err != nil {
 		return nil, err
 	}
@@ -72,25 +79,25 @@ func (c *Client) Lookup(name string) (*LogicalFile, error) {
 }
 
 // SetAttrs merges attributes into an entry.
-func (c *Client) SetAttrs(name string, attrs map[string]string) error {
+func (c *Client) SetAttrs(ctx context.Context, name string, attrs map[string]string) error {
 	var e rpc.Encoder
 	e.String(name)
 	encodeAttrs(&e, attrs)
-	_, err := c.rc.Call(MethodSetAttrs, &e)
+	_, err := c.rc.CallContext(ctx, MethodSetAttrs, &e)
 	return err
 }
 
 // Delete removes a logical file entry and its replica locations.
-func (c *Client) Delete(name string) error {
+func (c *Client) Delete(ctx context.Context, name string) error {
 	var e rpc.Encoder
 	e.String(name)
-	_, err := c.rc.Call(MethodDelete, &e)
+	_, err := c.rc.CallContext(ctx, MethodDelete, &e)
 	return err
 }
 
 // Files lists all logical file names.
-func (c *Client) Files() ([]string, error) {
-	d, err := c.rc.Call(MethodFiles, nil)
+func (c *Client) Files(ctx context.Context) ([]string, error) {
+	d, err := c.rc.CallContext(ctx, MethodFiles, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -99,10 +106,10 @@ func (c *Client) Files() ([]string, error) {
 }
 
 // Query evaluates an LDAP-style filter on the server.
-func (c *Client) Query(filter string) ([]*LogicalFile, error) {
+func (c *Client) Query(ctx context.Context, filter string) ([]*LogicalFile, error) {
 	var e rpc.Encoder
 	e.String(filter)
-	d, err := c.rc.Call(MethodQuery, &e)
+	d, err := c.rc.CallContext(ctx, MethodQuery, &e)
 	if err != nil {
 		return nil, err
 	}
@@ -120,28 +127,28 @@ func (c *Client) Query(filter string) ([]*LogicalFile, error) {
 }
 
 // AddReplica records a physical location for a logical file.
-func (c *Client) AddReplica(lfn, pfn string) error {
+func (c *Client) AddReplica(ctx context.Context, lfn, pfn string) error {
 	var e rpc.Encoder
 	e.String(lfn)
 	e.String(pfn)
-	_, err := c.rc.Call(MethodAddReplica, &e)
+	_, err := c.rc.CallContext(ctx, MethodAddReplica, &e)
 	return err
 }
 
 // RemoveReplica deletes a physical location of a logical file.
-func (c *Client) RemoveReplica(lfn, pfn string) error {
+func (c *Client) RemoveReplica(ctx context.Context, lfn, pfn string) error {
 	var e rpc.Encoder
 	e.String(lfn)
 	e.String(pfn)
-	_, err := c.rc.Call(MethodRemoveReplica, &e)
+	_, err := c.rc.CallContext(ctx, MethodRemoveReplica, &e)
 	return err
 }
 
 // Locations returns all physical locations of a logical file.
-func (c *Client) Locations(lfn string) ([]string, error) {
+func (c *Client) Locations(ctx context.Context, lfn string) ([]string, error) {
 	var e rpc.Encoder
 	e.String(lfn)
-	d, err := c.rc.Call(MethodLocations, &e)
+	d, err := c.rc.CallContext(ctx, MethodLocations, &e)
 	if err != nil {
 		return nil, err
 	}
@@ -150,45 +157,45 @@ func (c *Client) Locations(lfn string) ([]string, error) {
 }
 
 // CreateCollection creates an empty collection.
-func (c *Client) CreateCollection(name string) error {
+func (c *Client) CreateCollection(ctx context.Context, name string) error {
 	var e rpc.Encoder
 	e.String(name)
-	_, err := c.rc.Call(MethodCreateCollection, &e)
+	_, err := c.rc.CallContext(ctx, MethodCreateCollection, &e)
 	return err
 }
 
 // DeleteCollection removes a collection (force deletes non-empty ones).
-func (c *Client) DeleteCollection(name string, force bool) error {
+func (c *Client) DeleteCollection(ctx context.Context, name string, force bool) error {
 	var e rpc.Encoder
 	e.String(name)
 	e.Bool(force)
-	_, err := c.rc.Call(MethodDeleteCollection, &e)
+	_, err := c.rc.CallContext(ctx, MethodDeleteCollection, &e)
 	return err
 }
 
 // AddToCollection inserts a logical file into a collection.
-func (c *Client) AddToCollection(coll, lfn string) error {
+func (c *Client) AddToCollection(ctx context.Context, coll, lfn string) error {
 	var e rpc.Encoder
 	e.String(coll)
 	e.String(lfn)
-	_, err := c.rc.Call(MethodAddToCollection, &e)
+	_, err := c.rc.CallContext(ctx, MethodAddToCollection, &e)
 	return err
 }
 
 // RemoveFromCollection removes a logical file from a collection.
-func (c *Client) RemoveFromCollection(coll, lfn string) error {
+func (c *Client) RemoveFromCollection(ctx context.Context, coll, lfn string) error {
 	var e rpc.Encoder
 	e.String(coll)
 	e.String(lfn)
-	_, err := c.rc.Call(MethodRemoveFromColl, &e)
+	_, err := c.rc.CallContext(ctx, MethodRemoveFromColl, &e)
 	return err
 }
 
 // ListCollection returns the members of a collection.
-func (c *Client) ListCollection(name string) ([]string, error) {
+func (c *Client) ListCollection(ctx context.Context, name string) ([]string, error) {
 	var e rpc.Encoder
 	e.String(name)
-	d, err := c.rc.Call(MethodListCollection, &e)
+	d, err := c.rc.CallContext(ctx, MethodListCollection, &e)
 	if err != nil {
 		return nil, err
 	}
@@ -197,8 +204,8 @@ func (c *Client) ListCollection(name string) ([]string, error) {
 }
 
 // Collections lists all collection names.
-func (c *Client) Collections() ([]string, error) {
-	d, err := c.rc.Call(MethodCollections, nil)
+func (c *Client) Collections(ctx context.Context) ([]string, error) {
+	d, err := c.rc.CallContext(ctx, MethodCollections, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -207,8 +214,8 @@ func (c *Client) Collections() ([]string, error) {
 }
 
 // Stats returns catalog entry counts.
-func (c *Client) Stats() (Stats, error) {
-	d, err := c.rc.Call(MethodStats, nil)
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	d, err := c.rc.CallContext(ctx, MethodStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}

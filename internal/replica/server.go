@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"net"
 
 	"gdmp/internal/gsi"
@@ -103,7 +104,7 @@ func (s *Server) Close() error { return s.rpc.Close() }
 func (s *Server) Catalog() *Catalog { return s.catalog }
 
 func (s *Server) register() {
-	s.rpc.Handle(MethodRegister, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodRegister, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		attrs := decodeAttrs(args)
 		if err := args.Finish(); err != nil {
@@ -111,7 +112,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.Register(name, attrs)
 	})
-	s.rpc.Handle(MethodGenerate, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodGenerate, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		site := args.String()
 		base := args.String()
 		attrs := decodeAttrs(args)
@@ -125,7 +126,7 @@ func (s *Server) register() {
 		resp.String(lfn)
 		return nil
 	})
-	s.rpc.Handle(MethodLookup, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodLookup, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		if err := args.Finish(); err != nil {
 			return err
@@ -137,7 +138,7 @@ func (s *Server) register() {
 		encodeAttrs(resp, f.Attrs)
 		return nil
 	})
-	s.rpc.Handle(MethodSetAttrs, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodSetAttrs, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		attrs := decodeAttrs(args)
 		if err := args.Finish(); err != nil {
@@ -145,21 +146,21 @@ func (s *Server) register() {
 		}
 		return s.catalog.SetAttrs(name, attrs)
 	})
-	s.rpc.Handle(MethodDelete, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodDelete, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		return s.catalog.Delete(name)
 	})
-	s.rpc.Handle(MethodFiles, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodFiles, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		resp.StringList(s.catalog.Files())
 		return nil
 	})
-	s.rpc.Handle(MethodQuery, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodQuery, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		filter := args.String()
 		if err := args.Finish(); err != nil {
 			return err
@@ -175,7 +176,7 @@ func (s *Server) register() {
 		}
 		return nil
 	})
-	s.rpc.Handle(MethodAddReplica, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodAddReplica, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		lfn := args.String()
 		pfn := args.String()
 		if err := args.Finish(); err != nil {
@@ -183,7 +184,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.AddReplica(lfn, pfn)
 	})
-	s.rpc.Handle(MethodRemoveReplica, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodRemoveReplica, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		lfn := args.String()
 		pfn := args.String()
 		if err := args.Finish(); err != nil {
@@ -191,7 +192,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.RemoveReplica(lfn, pfn)
 	})
-	s.rpc.Handle(MethodLocations, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodLocations, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		lfn := args.String()
 		if err := args.Finish(); err != nil {
 			return err
@@ -203,14 +204,14 @@ func (s *Server) register() {
 		resp.StringList(locs)
 		return nil
 	})
-	s.rpc.Handle(MethodCreateCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodCreateCollection, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		return s.catalog.CreateCollection(name)
 	})
-	s.rpc.Handle(MethodDeleteCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodDeleteCollection, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		force := args.Bool()
 		if err := args.Finish(); err != nil {
@@ -218,7 +219,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.DeleteCollection(name, force)
 	})
-	s.rpc.Handle(MethodAddToCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodAddToCollection, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		coll := args.String()
 		lfn := args.String()
 		if err := args.Finish(); err != nil {
@@ -226,7 +227,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.AddToCollection(coll, lfn)
 	})
-	s.rpc.Handle(MethodRemoveFromColl, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodRemoveFromColl, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		coll := args.String()
 		lfn := args.String()
 		if err := args.Finish(); err != nil {
@@ -234,7 +235,7 @@ func (s *Server) register() {
 		}
 		return s.catalog.RemoveFromCollection(coll, lfn)
 	})
-	s.rpc.Handle(MethodListCollection, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodListCollection, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
 		if err := args.Finish(); err != nil {
 			return err
@@ -246,14 +247,14 @@ func (s *Server) register() {
 		resp.StringList(members)
 		return nil
 	})
-	s.rpc.Handle(MethodCollections, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodCollections, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}
 		resp.StringList(s.catalog.Collections())
 		return nil
 	})
-	s.rpc.Handle(MethodStats, func(_ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+	s.rpc.Handle(MethodStats, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		if err := args.Finish(); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -70,20 +71,20 @@ func startCatalog(t *testing.T) (*Client, *Catalog) {
 func TestClientRegisterLookupLocations(t *testing.T) {
 	cl, _ := startCatalog(t)
 	attrs := map[string]string{AttrSize: "4096", AttrOwner: "heinz"}
-	if err := cl.Register("lfn://cern.ch/events.db", attrs); err != nil {
+	if err := cl.Register(context.Background(), "lfn://cern.ch/events.db", attrs); err != nil {
 		t.Fatal(err)
 	}
-	f, err := cl.Lookup("lfn://cern.ch/events.db")
+	f, err := cl.Lookup(context.Background(), "lfn://cern.ch/events.db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Attrs[AttrSize] != "4096" || f.Attrs[AttrOwner] != "heinz" {
 		t.Fatalf("attrs over the wire = %v", f.Attrs)
 	}
-	if err := cl.AddReplica("lfn://cern.ch/events.db", "gridftp://cern.ch/data/events.db"); err != nil {
+	if err := cl.AddReplica(context.Background(), "lfn://cern.ch/events.db", "gridftp://cern.ch/data/events.db"); err != nil {
 		t.Fatal(err)
 	}
-	locs, err := cl.Locations("lfn://cern.ch/events.db")
+	locs, err := cl.Locations(context.Background(), "lfn://cern.ch/events.db")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestClientRegisterLookupLocations(t *testing.T) {
 
 func TestClientErrorsAreRemoteErrors(t *testing.T) {
 	cl, _ := startCatalog(t)
-	err := cl.AddReplica("lfn://missing", "pfn")
+	err := cl.AddReplica(context.Background(), "lfn://missing", "pfn")
 	if err == nil {
 		t.Fatal("expected error for missing lfn")
 	}
@@ -124,11 +125,11 @@ func asRemote(err error, target **rpc.RemoteError) bool {
 
 func TestClientGenerateLFN(t *testing.T) {
 	cl, _ := startCatalog(t)
-	a, err := cl.GenerateLFN("cern.ch", "run.db", map[string]string{AttrSize: "1"})
+	a, err := cl.GenerateLFN(context.Background(), "cern.ch", "run.db", map[string]string{AttrSize: "1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cl.GenerateLFN("cern.ch", "run.db", nil)
+	b, err := cl.GenerateLFN(context.Background(), "cern.ch", "run.db", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +145,11 @@ func TestClientQueryAndCollections(t *testing.T) {
 	cl, _ := startCatalog(t)
 	for i, size := range []string{"10", "2000", "300000"} {
 		name := "lfn://site/f" + string(rune('a'+i))
-		if err := cl.Register(name, map[string]string{AttrSize: size}); err != nil {
+		if err := cl.Register(context.Background(), name, map[string]string{AttrSize: size}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := cl.Query("(size>=2000)")
+	got, err := cl.Query(context.Background(), "(size>=2000)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,70 +157,70 @@ func TestClientQueryAndCollections(t *testing.T) {
 		t.Fatalf("Query returned %d entries, want 2", len(got))
 	}
 
-	if err := cl.CreateCollection("dataset1"); err != nil {
+	if err := cl.CreateCollection(context.Background(), "dataset1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.AddToCollection("dataset1", "lfn://site/fa"); err != nil {
+	if err := cl.AddToCollection(context.Background(), "dataset1", "lfn://site/fa"); err != nil {
 		t.Fatal(err)
 	}
-	members, err := cl.ListCollection("dataset1")
+	members, err := cl.ListCollection(context.Background(), "dataset1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(members) != 1 || members[0] != "lfn://site/fa" {
 		t.Fatalf("members = %v", members)
 	}
-	colls, err := cl.Collections()
+	colls, err := cl.Collections(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(colls) != 1 || colls[0] != "dataset1" {
 		t.Fatalf("collections = %v", colls)
 	}
-	if err := cl.RemoveFromCollection("dataset1", "lfn://site/fa"); err != nil {
+	if err := cl.RemoveFromCollection(context.Background(), "dataset1", "lfn://site/fa"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteCollection("dataset1", false); err != nil {
+	if err := cl.DeleteCollection(context.Background(), "dataset1", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestClientSetAttrsDeleteFilesStats(t *testing.T) {
 	cl, _ := startCatalog(t)
-	if err := cl.Register("f1", nil); err != nil {
+	if err := cl.Register(context.Background(), "f1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.SetAttrs("f1", map[string]string{"crc32": "deadbeef"}); err != nil {
+	if err := cl.SetAttrs(context.Background(), "f1", map[string]string{"crc32": "deadbeef"}); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := cl.Lookup("f1")
+	f, _ := cl.Lookup(context.Background(), "f1")
 	if f.Attrs["crc32"] != "deadbeef" {
 		t.Fatalf("SetAttrs not applied: %v", f.Attrs)
 	}
-	files, err := cl.Files()
+	files, err := cl.Files(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(files) != 1 || files[0] != "f1" {
 		t.Fatalf("Files = %v", files)
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Files != 1 {
 		t.Fatalf("Stats = %+v", st)
 	}
-	if err := cl.AddReplica("f1", "pfn1"); err != nil {
+	if err := cl.AddReplica(context.Background(), "f1", "pfn1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.RemoveReplica("f1", "pfn1"); err != nil {
+	if err := cl.RemoveReplica(context.Background(), "f1", "pfn1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Delete("f1"); err != nil {
+	if err := cl.Delete(context.Background(), "f1"); err != nil {
 		t.Fatal(err)
 	}
-	if files, _ := cl.Files(); len(files) != 0 {
+	if files, _ := cl.Files(context.Background()); len(files) != 0 {
 		t.Fatalf("Files after delete = %v", files)
 	}
 }
@@ -249,7 +250,7 @@ func TestUnauthorizedCatalogAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Register("f", nil); err == nil || !strings.Contains(err.Error(), "unauthorized") {
+	if err := cl.Register(context.Background(), "f", nil); err == nil || !strings.Contains(err.Error(), "unauthorized") {
 		t.Fatalf("unauthorized register: %v", err)
 	}
 }

@@ -311,7 +311,10 @@ func (p Policy) Do(ctx context.Context, fn func(attempt int) error) error {
 		}
 		if serr := sleep(ctx, d); serr != nil {
 			finish(OutcomeCanceled)
-			return &ExhaustedError{Op: p.Op, Attempts: attempt, Reason: OutcomeCanceled, Last: err}
+			// Surface both the cancellation (so errors.Is(err,
+			// context.Canceled) holds for callers deciding whether to
+			// requeue) and the attempt's own failure.
+			return &ExhaustedError{Op: p.Op, Attempts: attempt, Reason: OutcomeCanceled, Last: errors.Join(serr, err)}
 		}
 	}
 }

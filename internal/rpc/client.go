@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -43,18 +44,41 @@ func WithDialer(d func(network, addr string) (net.Conn, error)) DialOption {
 // Dial connects to a Request Manager server at addr, authenticating with
 // cred and verifying the server against roots.
 func Dial(addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, cred, roots, opts...)
+}
+
+// DialContext is Dial bound to a context: cancellation or expiry of ctx
+// aborts the dial and the security handshake. The returned client itself is
+// not bound to ctx; pass a context to CallContext per call.
+func DialContext(ctx context.Context, addr string, cred *gsi.Credential, roots []*gsi.Certificate, opts ...DialOption) (*Client, error) {
 	cfg := dialConfig{
 		timeout: 30 * time.Second,
-		dialer:  net.Dial,
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.dialer == nil {
+		var d net.Dialer
+		cfg.dialer = func(network, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, network, addr)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
 	conn, err := cfg.dialer("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return NewClient(conn, cred, roots, cfg.timeout)
+	// A canceled context must interrupt the handshake, not just the dial:
+	// closing the connection unblocks any in-flight read or write.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	cl, err := NewClient(conn, cred, roots, cfg.timeout)
+	stop()
+	if err != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, ctx.Err())
+	}
+	return cl, err
 }
 
 // NewClient performs the security handshake over an established connection.
@@ -77,11 +101,26 @@ func (c *Client) ServerIdentity() gsi.Identity { return c.peer.Identity }
 // Call invokes method with the encoded args and returns a decoder over the
 // response payload. A *RemoteError is returned when the handler failed.
 func (c *Client) Call(method string, args *Encoder) (*Decoder, error) {
+	return c.CallContext(context.Background(), method, args)
+}
+
+// CallContext is Call bound to a context: cancellation closes the
+// connection, unblocking the exchange immediately; a context deadline
+// earlier than the client's own timeout wins.
+func (c *Client) CallContext(ctx context.Context, method string, args *Encoder) (*Decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("rpc: client closed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rpc: call %s: %w", method, err)
+	}
+	// The connection is closed out-of-band on cancellation (net.Conn.Close
+	// is safe concurrently with reads and writes), so a canceled context
+	// interrupts an exchange already in flight.
+	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
+	defer stop()
 
 	var req Encoder
 	req.String(method)
@@ -91,17 +130,27 @@ func (c *Client) Call(method string, args *Encoder) (*Decoder, error) {
 		req.Bytes32(nil)
 	}
 
+	deadline := time.Time{}
 	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	c.conn.SetDeadline(deadline)
+	fail := func(stage string, err error) (*Decoder, error) {
+		c.closeLocked()
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		return nil, fmt.Errorf("rpc: %s %s: %w", stage, method, err)
 	}
 	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
-		c.closeLocked()
-		return nil, fmt.Errorf("rpc: send %s: %w", method, err)
+		return fail("send", err)
 	}
 	frame, err := ReadFrame(c.conn)
 	if err != nil {
-		c.closeLocked()
-		return nil, fmt.Errorf("rpc: receive %s: %w", method, err)
+		return fail("receive", err)
 	}
 
 	d := NewDecoder(frame)

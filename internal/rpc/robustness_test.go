@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestCallTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("hang", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("hang", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			<-block
 			return nil
 		})
@@ -57,7 +58,7 @@ func TestServerRequestTimeout(t *testing.T) {
 	acl.AllowAll("echo")
 	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, acl)
 	srv.TimeoutD = 150 * time.Millisecond
-	srv.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
+	srv.Handle("echo", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -216,7 +217,7 @@ func TestCallRoundTrip(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.AllowAll("echo")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("echo", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			msg := args.String()
 			if err := args.Finish(); err != nil {
 				return err
@@ -246,7 +247,7 @@ func TestMultipleSequentialCalls(t *testing.T) {
 	var mu sync.Mutex
 	count := 0
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("inc", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("inc", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			mu.Lock()
 			count++
 			resp.Uint32(uint32(count))
@@ -270,7 +271,7 @@ func TestConcurrentCallsSerialized(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.AllowAll("work")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("work", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("work", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			resp.Uint64(args.Uint64() * 2)
 			return nil
 		})
@@ -305,7 +306,7 @@ func TestRemoteErrorPropagation(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.AllowAll("fail")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("fail", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("fail", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			return errors.New("stage request refused: tape library offline")
 		})
 	})
@@ -338,7 +339,7 @@ func TestUnauthorizedCallRejected(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.Allow(gsi.Identity{Organization: "DataGrid", CommonName: "admin"}, "secret")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("secret", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("secret", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			resp.String("classified")
 			return nil
 		})
@@ -364,7 +365,7 @@ func TestProxyCredentialAuthorizedAsBase(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.Allow(gsi.Identity{Organization: "DataGrid", CommonName: "frank"}, "op")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("op", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+		s.Handle("op", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
 			resp.String(peer.Identity.CommonName)
 			return nil
 		})
@@ -412,7 +413,7 @@ func TestClientClosedCalls(t *testing.T) {
 	acl := gsi.NewACL()
 	acl.AllowAll("echo")
 	addr := startServer(t, acl, func(s *Server) {
-		s.Handle("echo", func(peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
+		s.Handle("echo", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error { return nil })
 	})
 	cl := dialAs(t, addr, "grace")
 	cl.Close()
@@ -445,4 +446,97 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Serve did not return after Close")
 	}
+}
+
+// --- context ------------------------------------------------------------
+
+func TestCallContextCancellationUnblocksCall(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("slow")
+	release := make(chan struct{})
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("slow", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			<-release
+			return nil
+		})
+	})
+	defer close(release)
+	cl := dialAs(t, addr, "dave")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := cl.CallContext(ctx, "slow", nil)
+	if err == nil {
+		t.Fatal("CallContext should fail when ctx is canceled mid-call")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+func TestCallContextDeadlineExceeded(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("slow")
+	release := make(chan struct{})
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("slow", func(_ context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			<-release
+			return nil
+		})
+	})
+	defer close(release)
+	cl := dialAs(t, addr, "erin")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := cl.CallContext(ctx, "slow", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestDialContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cred, err := ca(t).Issue("frank", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialContext(ctx, "127.0.0.1:1", cred, []*gsi.Certificate{ca(t).Certificate()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DialContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestHandlerContextCanceledOnServerClose(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("watch")
+	sawCancel := make(chan struct{})
+	var srv *Server
+	addr := startServer(t, acl, func(s *Server) {
+		srv = s
+		s.Handle("watch", func(ctx context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error {
+			<-ctx.Done()
+			close(sawCancel)
+			return ctx.Err()
+		})
+	})
+	cl := dialAs(t, addr, "grace")
+	done := make(chan struct{})
+	go func() {
+		cl.Call("watch", nil) // fails once the server shuts down
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go srv.Close()
+	select {
+	case <-sawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler ctx not canceled on server Close")
+	}
+	<-done
 }

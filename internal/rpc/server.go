@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -58,9 +59,11 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Msg)
 }
 
-// Handler processes one request. The peer is the authenticated caller; args
-// is the decoded request payload; the handler writes its reply into resp.
-type Handler func(peer *gsi.Peer, args *Decoder, resp *Encoder) error
+// Handler processes one request. The context is canceled when the server
+// shuts down, so long-running handlers (replication pulls, staging) can
+// abort cleanly; the peer is the authenticated caller; args is the decoded
+// request payload; the handler writes its reply into resp.
+type Handler func(ctx context.Context, peer *gsi.Peer, args *Decoder, resp *Encoder) error
 
 // Server is a Request Manager endpoint: it accepts connections, performs a
 // GSI mutual-authentication handshake on each, authorizes each request
@@ -82,19 +85,25 @@ type Server struct {
 	logger   *log.Logger
 	met      *serverMetrics
 	TimeoutD time.Duration // per-request read/write deadline; 0 disables
+
+	baseCtx    context.Context // canceled by Close; parent of handler contexts
+	baseCancel context.CancelFunc
 }
 
 // NewServer creates a Request Manager server using the given service
 // credential, trust roots, and authorization table.
 func NewServer(cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cred:     cred,
-		roots:    roots,
-		acl:      acl,
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
-		logger:   log.New(logDiscard{}, "", 0),
-		met:      newRPCServerMetrics(obs.Default),
+		cred:       cred,
+		roots:      roots,
+		acl:        acl,
+		handlers:   make(map[string]Handler),
+		conns:      make(map[net.Conn]struct{}),
+		logger:     log.New(logDiscard{}, "", 0),
+		met:        newRPCServerMetrics(obs.Default),
+		baseCtx:    ctx,
+		baseCancel: cancel,
 	}
 }
 
@@ -171,8 +180,10 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Close stops accepting connections and closes existing ones.
+// Close stops accepting connections, cancels the context passed to every
+// in-flight handler, and closes existing connections.
 func (s *Server) Close() error {
+	s.baseCancel()
 	s.lnMu.Lock()
 	s.closed = true
 	ln := s.ln
@@ -223,14 +234,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logger.Printf("rpc: corrupt request from %s: %v", peer.Base, err)
 			return
 		}
-		resp := s.dispatch(peer, method, payload)
+		resp := s.dispatch(s.baseCtx, peer, method, payload)
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(peer *gsi.Peer, method string, payload []byte) []byte {
+func (s *Server) dispatch(ctx context.Context, peer *gsi.Peer, method string, payload []byte) []byte {
 	s.met.inFlight.Inc()
 	defer s.met.inFlight.Dec()
 	defer s.met.latency.WithLabelValues(method).Time()()
@@ -259,7 +270,7 @@ func (s *Server) dispatch(peer *gsi.Peer, method string, payload []byte) []byte 
 
 	out.Uint8(statusOK)
 	args := NewDecoder(payload)
-	if err := h(peer, args, &out); err != nil {
+	if err := h(ctx, peer, args, &out); err != nil {
 		return fail("error", "%v", err)
 	}
 	s.met.requests.WithLabelValues(method, "ok").Inc()

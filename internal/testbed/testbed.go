@@ -84,6 +84,14 @@ type SiteOptions struct {
 	// TransferAttempts bounds restart attempts per file transfer.
 	TransferAttempts int
 
+	// PullWorkers bounds the site's concurrent pull replications
+	// (default 4).
+	PullWorkers int
+
+	// PerSourceLimit caps concurrent transfers per source site (0 = no
+	// per-source cap).
+	PerSourceLimit int
+
 	// Select overrides the replica selection policy.
 	Select core.ReplicaSelector
 
@@ -162,6 +170,8 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		Retry:                  opts.Retry,
 		NotifyFailureThreshold: opts.NotifyFailureThreshold,
 		TransferAttempts:       opts.TransferAttempts,
+		PullWorkers:            opts.PullWorkers,
+		PerSourceLimit:         opts.PerSourceLimit,
 		Select:                 opts.Select,
 		Metrics:                opts.Metrics,
 	}
