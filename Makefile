@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull chaos
+.PHONY: all build test check vet fmt race bench bench-pull chaos crash
 
 all: build
 
@@ -49,3 +49,17 @@ chaos:
 	@echo "chaos seed: $(CHAOS_SEED)"
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v \
 		-run 'TestChaos|TestRecoverWithMidTransferFailure|TestProcessPendingRequeuesRemainder' .
+
+# Crash/restart chaos suite: sites die SIGKILL-style at randomized points
+# (journal severed, no graceful teardown) and restart on the same state
+# and data directories; recovery must lose no notification, requeue every
+# unfinished pull, resume partial downloads, and quarantine anything
+# corrupt. The seed is logged by every test; replay a run with
+# `make crash CRASH_SEED=7`. State directories of failed tests survive
+# under $(CRASH_ARTIFACT_DIR) for inspection.
+CRASH_SEED ?= 20260805
+CRASH_ARTIFACT_DIR ?= crash-artifacts
+crash:
+	@echo "crash seed: $(CRASH_SEED)"
+	CRASH_SEED=$(CRASH_SEED) CRASH_ARTIFACT_DIR=$(CRASH_ARTIFACT_DIR) \
+		$(GO) test -race -v -run 'TestCrashRestart' .

@@ -193,12 +193,20 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		failed := d.Uint64()
 		bytes := d.Int64()
 		pending := d.Uint64()
+		restored := d.Uint64()
+		requeued := d.Uint64()
+		quarantined := d.Uint64()
+		notices := d.Uint64()
 		if err := d.Finish(); err != nil {
 			return err
 		}
 		fmt.Printf("site %s: %d local files, %d subscribers\n", name, files, subs)
 		fmt.Printf("transfers: %d ok, %d failed, %d bytes replicated, %d pending\n",
 			ok, failed, bytes, pending)
+		if restored+requeued+quarantined+notices > 0 {
+			fmt.Printf("last restart: %d files restored, %d pulls requeued, %d notices requeued, %d quarantined\n",
+				restored, requeued, notices, quarantined)
+		}
 		return nil
 
 	case "stats":

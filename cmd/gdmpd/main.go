@@ -8,6 +8,8 @@
 //	gdmpd -name cern.ch -data /pool -rc replicad.host:39000 \
 //	      -cred certs/cern.pem -ca certs/ca.pem \
 //	      [-listen :38000] [-ftp-listen :2811] [-metrics :9090] \
+//	      [-state-dir /var/lib/gdmp] [-drain-timeout 30s] \
+//	      [-rc-serve :39000 -rc-save-every 1m] \
 //	      [-tape /tape -pool-capacity 1073741824] [-federation] \
 //	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap] \
 //	      [-retry-attempts 3 -retry-base 50ms -retry-max 2s] \
@@ -20,9 +22,25 @@
 // With -metrics, the daemon serves its instrumentation registry in the
 // Prometheus text exposition format at http://<addr>/metrics (the same
 // dump `gdmp stats` fetches over the authenticated control channel).
+//
+// With -state-dir, the site is crash-safe: every acknowledged mutation
+// (publications, subscriptions, notification queues, pending pulls, the
+// local catalog) is journaled under the directory before it is acked, and
+// a restart replays the journal, quarantines suspect files under
+// <state-dir>/quarantine, and requeues unfinished transfers. SIGTERM then
+// drains gracefully: admissions stop, in-flight transfers get
+// -drain-timeout to finish, and whatever remains stays journaled for the
+// next start (SIGINT still shuts down immediately).
+//
+// With -rc-serve, the daemon additionally hosts an embedded replica
+// catalog server on the given address — a one-process Grid for small
+// deployments — persisting its snapshot under <state-dir>/rc.snap (or in
+// memory only, without -state-dir), loaded at startup and saved every
+// -rc-save-every and on shutdown.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -39,6 +58,7 @@ import (
 	"gdmp/internal/objectstore"
 	"gdmp/internal/objrep"
 	"gdmp/internal/obs"
+	"gdmp/internal/replica"
 	"gdmp/internal/retry"
 )
 
@@ -66,6 +86,10 @@ func main() {
 	notifyFailures := flag.Int("notify-failures", 3, "consecutive notification failures before a subscriber is suspect")
 	pullWorkers := flag.Int("pull-workers", 4, "concurrent pull replications")
 	perSource := flag.Int("per-source", 0, "max concurrent transfers per source site (0 = unlimited)")
+	stateDir := flag.String("state-dir", "", "journal directory for crash-safe state (empty = no persistence)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets in-flight transfers finish")
+	rcServe := flag.String("rc-serve", "", "also run an embedded replica catalog server on this address")
+	rcSaveEvery := flag.Duration("rc-save-every", time.Minute, "embedded catalog snapshot interval (with -rc-serve and -state-dir)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
@@ -81,6 +105,8 @@ func main() {
 		retry: pol, transferAttempts: *transferAttempts,
 		notifyFailures: *notifyFailures,
 		pullWorkers:    *pullWorkers, perSource: *perSource,
+		stateDir: *stateDir, drainTimeout: *drainTimeout,
+		rcServe: *rcServe, rcSaveEvery: *rcSaveEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -97,6 +123,10 @@ type params struct {
 	retry                                retry.Policy
 	transferAttempts, notifyFailures     int
 	pullWorkers, perSource               int
+	stateDir                             string
+	drainTimeout                         time.Duration
+	rcServe                              string
+	rcSaveEvery                          time.Duration
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -116,8 +146,11 @@ func serveMetrics(addr string, reg *obs.Registry) (net.Listener, error) {
 }
 
 func run(p params) error {
-	if p.name == "" || p.data == "" || p.rcAddr == "" || p.credPath == "" || p.caPath == "" {
-		return fmt.Errorf("-name, -data, -rc, -cred and -ca are required")
+	if p.name == "" || p.data == "" || p.credPath == "" || p.caPath == "" {
+		return fmt.Errorf("-name, -data, -cred and -ca are required")
+	}
+	if p.rcAddr == "" && p.rcServe == "" {
+		return fmt.Errorf("-rc is required (or run the catalog here with -rc-serve)")
 	}
 	cred, err := gsi.LoadCredential(p.credPath)
 	if err != nil {
@@ -142,6 +175,51 @@ func run(p params) error {
 		acl = gsi.NewACL()
 		core.AllowSiteUseAll(acl)
 		objrep.AllowServiceUseAll(acl)
+		if p.rcServe != "" {
+			replica.AllowCatalogUseAll(acl)
+		}
+	}
+
+	// The embedded replica catalog (if any) must be up before the site
+	// dials it.
+	var rcSrv *replica.Server
+	var rcCatalog *replica.Catalog
+	rcSnapshot := ""
+	if p.rcServe != "" {
+		rcCatalog = replica.NewCatalog()
+		if p.stateDir != "" {
+			if err := os.MkdirAll(p.stateDir, 0o755); err != nil {
+				return err
+			}
+			rcSnapshot = filepath.Join(p.stateDir, "rc.snap")
+			if err := rcCatalog.LoadFile(rcSnapshot); err == nil {
+				st := rcCatalog.Stats()
+				log.Printf("embedded catalog: loaded %s (%d files, %d replicas)",
+					rcSnapshot, st.Files, st.Replicas)
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("load embedded catalog snapshot: %w", err)
+			}
+		}
+		rcSrv = replica.NewServer(rcCatalog, cred, []*gsi.Certificate{anchor}, acl)
+		rcLn, err := net.Listen("tcp", p.rcServe)
+		if err != nil {
+			return err
+		}
+		go rcSrv.Serve(rcLn)
+		defer rcSrv.Close()
+		log.Printf("embedded replica catalog on %s", rcLn.Addr())
+		if p.rcAddr == "" {
+			p.rcAddr = rcLn.Addr().String()
+		}
+		if rcSnapshot != "" && p.rcSaveEvery > 0 {
+			go func() {
+				for range time.Tick(p.rcSaveEvery) {
+					if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
+						log.Printf("embedded catalog snapshot: %v", err)
+					}
+				}
+			}()
+		}
 	}
 
 	cfg := core.Config{
@@ -157,6 +235,7 @@ func run(p params) error {
 		AutoTuneBuffers: p.autoTune,
 		GDMPListen:      p.listen,
 		FTPListen:       p.ftpListen,
+		StateDir:        p.stateDir,
 		Logger:          log.Default(),
 
 		Retry:                  p.retry,
@@ -198,12 +277,37 @@ func run(p params) error {
 		defer mln.Close()
 		log.Printf("metrics at http://%s/metrics", mln.Addr())
 	}
+	if rs := site.Recovery(); rs != (core.RecoveryStats{}) {
+		log.Printf("recovery: %d files restored, %d notices requeued, %d pulls requeued, %d parts resumable, %d quarantined",
+			rs.FilesRestored, rs.NoticesRequeued, rs.PullsRequeued, rs.PartsResumed, rs.Quarantined)
+	}
 	log.Printf("GDMP site %s up: control %s, data %s, catalog %s",
 		site.Name(), site.Addr(), site.DataAddr(), p.rcAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("received %v, shutting down", s)
-	return site.Close()
+	var err2 error
+	if s == syscall.SIGTERM && p.drainTimeout > 0 {
+		// Graceful drain: stop admissions, give in-flight transfers until
+		// the deadline, journal the rest as pending for the next start.
+		log.Printf("received %v, draining (up to %v)", s, p.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), p.drainTimeout)
+		abandoned, derr := site.Drain(ctx)
+		cancel()
+		if derr != nil {
+			log.Printf("drain: %d transfers abandoned (journaled as pending): %v", len(abandoned), derr)
+		}
+	} else {
+		log.Printf("received %v, shutting down", s)
+		err2 = site.Close()
+	}
+	if rcCatalog != nil && rcSnapshot != "" {
+		if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
+			log.Printf("final embedded catalog snapshot: %v", err)
+		} else {
+			log.Printf("embedded catalog persisted to %s", rcSnapshot)
+		}
+	}
+	return err2
 }

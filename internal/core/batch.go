@@ -84,14 +84,16 @@ func (s *Site) RebuildLocalCatalog() (int, error) {
 			state = StateTape
 		}
 		size, _ := strconv.ParseInt(entry.Attrs["size"], 10, 64)
-		s.local.put(FileInfo{
+		fi := FileInfo{
 			LFN:      entry.Name,
 			Path:     rel,
 			Size:     size,
 			CRC32:    entry.Attrs["crc32"],
 			FileType: entry.Attrs["filetype"],
 			State:    state,
-		})
+		}
+		s.local.put(fi)
+		s.persist.putFile(fi)
 		restored++
 	}
 	return restored, nil

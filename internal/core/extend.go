@@ -76,6 +76,7 @@ func (s *Site) RemoveLocal(lfn string) error {
 		return err
 	}
 	s.local.remove(lfn)
+	s.persist.removeFile(lfn)
 	return nil
 }
 
@@ -95,6 +96,7 @@ func (s *Site) DeleteLogical(lfn string) error {
 			s.storage.Drop(fi.Path)
 		}
 		s.local.remove(lfn)
+		s.persist.removeFile(lfn)
 	}
 	return s.rc.client.Delete(s.ctx, lfn)
 }

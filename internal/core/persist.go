@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"gdmp/internal/gridftp"
+	"gdmp/internal/journal"
+	"gdmp/internal/obs"
+	"gdmp/internal/rpc"
+)
+
+// RecoveryMetricsPrefix prefixes the restart-recovery metrics.
+const RecoveryMetricsPrefix = "gdmp_recovery"
+
+// Journal record tags. Every mutation of durable site state — the local
+// file catalog, the subscriber registry with its undelivered notification
+// queues, and the set of notified-but-unfinished pulls — is one tagged
+// record, applied to the persistence mirror before it is appended, and
+// re-applied in order at replay. Records are deltas, so their per-key
+// ordering matters; each is journaled under the same site lock that
+// guards the in-memory state it describes.
+const (
+	recPutFile uint8 = iota + 1
+	recRemoveFile
+	recSetState
+	recSubscribe
+	recUnsubscribe
+	recNotifyQueue
+	recNotifyAck
+	recNotifyDrop
+	recPullQueued
+	recPullDone
+)
+
+// compactThreshold is how many WAL records accumulate before the journal
+// is folded into a snapshot.
+const compactThreshold = 1024
+
+// persistSub mirrors one subscriber's durable delivery state.
+type persistSub struct {
+	addr    string
+	suspect bool
+	queue   []FileInfo
+}
+
+// persistState is the durable mirror of a site: exactly the state a
+// restart must reconstruct. The mirror is the journal's state machine —
+// records are transitions on it — so a snapshot is just its encoding and
+// needs no other site locks.
+type persistState struct {
+	files map[string]FileInfo
+	subs  map[string]*persistSub
+	pulls map[string]FileInfo // notified or admitted, not yet replicated
+}
+
+func newPersistState() persistState {
+	return persistState{
+		files: make(map[string]FileInfo),
+		subs:  make(map[string]*persistSub),
+		pulls: make(map[string]FileInfo),
+	}
+}
+
+// sitePersistence couples the journal with its state mirror. All methods
+// are safe for concurrent use; a nil *sitePersistence (site without a
+// StateDir) turns every method into a no-op.
+type sitePersistence struct {
+	mu     sync.Mutex
+	j      *journal.Journal
+	st     persistState
+	closed bool
+	logger *log.Logger
+}
+
+// openPersistence opens the journal under stateDir and replays it into a
+// fresh mirror. tornBytes reports WAL bytes quarantined at open.
+func openPersistence(stateDir string, reg *obs.Registry, logger *log.Logger) (p *sitePersistence, tornBytes int64, err error) {
+	j, rec, err := journal.Open(filepath.Join(stateDir, "journal"), journal.Options{Registry: reg})
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: open journal: %w", err)
+	}
+	p = &sitePersistence{j: j, st: newPersistState(), logger: logger}
+	if rec.Snapshot != nil {
+		if err := p.st.decode(rec.Snapshot); err != nil {
+			j.Close()
+			return nil, 0, fmt.Errorf("core: decode journal snapshot: %w", err)
+		}
+	}
+	for _, r := range rec.Records {
+		if err := p.st.apply(r); err != nil {
+			// The record passed its WAL checksum, so a decode failure is a
+			// version skew or a bug, not disk corruption; surface it.
+			j.Close()
+			return nil, 0, fmt.Errorf("core: replay journal record: %w", err)
+		}
+	}
+	return p, rec.TornBytes, nil
+}
+
+// commit applies one record to the mirror and appends it to the journal,
+// compacting when the WAL has grown past the threshold. It returns only
+// after the record is fsync'd, so callers may acknowledge the mutation
+// the moment commit returns.
+func (p *sitePersistence) commit(rec []byte) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if err := p.st.apply(rec); err != nil {
+		p.logger.Printf("gdmp: journal record rejected by mirror: %v", err)
+		return
+	}
+	if err := p.j.Append(rec); err != nil {
+		p.logger.Printf("gdmp: journal append failed: %v", err)
+		return
+	}
+	if p.j.Records() >= compactThreshold {
+		if err := p.j.Compact(p.st.encode()); err != nil {
+			p.logger.Printf("gdmp: journal compaction failed: %v", err)
+		}
+	}
+}
+
+// close shuts the journal down. A graceful close folds the final state
+// into a snapshot first; an abrupt close (Kill) writes nothing more, so
+// only already-fsync'd records survive — exactly a crash's disk image.
+func (p *sitePersistence) close(graceful bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if graceful {
+		if err := p.j.Compact(p.st.encode()); err != nil {
+			p.logger.Printf("gdmp: final journal compaction failed: %v", err)
+		}
+	}
+	p.j.Close()
+}
+
+// --- record constructors (the site's journaling hooks) ---------------------
+
+func (p *sitePersistence) putFile(fi FileInfo) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recPutFile)
+	encodeFileInfo(&e, fi)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) removeFile(lfn string) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recRemoveFile)
+	e.String(lfn)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) setState(lfn string, st FileState) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recSetState)
+	e.String(lfn)
+	e.String(string(st))
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) subscribe(name, addr string) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recSubscribe)
+	e.String(name)
+	e.String(addr)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) unsubscribe(name string) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recUnsubscribe)
+	e.String(name)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) notifyQueue(name string, files []FileInfo) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recNotifyQueue)
+	e.String(name)
+	encodeFileInfos(&e, files)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) notifyAck(name string, n int) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recNotifyAck)
+	e.String(name)
+	e.Uint32(uint32(n))
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) notifyDrop(name string) {
+	if p == nil {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recNotifyDrop)
+	e.String(name)
+	p.commit(e.Bytes())
+}
+
+// pullQueued records an unfinished pull. It is idempotent by LFN and
+// never downgrades: a record that already carries the file's path is not
+// replaced by a bare-LFN admission for the same file.
+func (p *sitePersistence) pullQueued(fi FileInfo) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	existing, ok := p.st.pulls[fi.LFN]
+	p.mu.Unlock()
+	if ok && (existing.Path != "" || fi.Path == "") {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recPullQueued)
+	encodeFileInfo(&e, fi)
+	p.commit(e.Bytes())
+}
+
+func (p *sitePersistence) pullDone(lfn string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	_, ok := p.st.pulls[lfn]
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	var e rpc.Encoder
+	e.Uint8(recPullDone)
+	e.String(lfn)
+	p.commit(e.Bytes())
+}
+
+// incompletePulls returns the recovered unfinished-pull set (replay hook).
+func (p *sitePersistence) incompletePulls() []FileInfo {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FileInfo, 0, len(p.st.pulls))
+	for _, fi := range p.st.pulls {
+		out = append(out, fi)
+	}
+	return out
+}
+
+// --- mirror transitions -----------------------------------------------------
+
+func encodeFileInfo(e *rpc.Encoder, fi FileInfo) {
+	e.String(fi.LFN)
+	e.String(fi.Path)
+	e.Int64(fi.Size)
+	e.String(fi.CRC32)
+	e.String(fi.FileType)
+	e.String(string(fi.State))
+}
+
+func decodeFileInfo(d *rpc.Decoder) FileInfo {
+	return FileInfo{
+		LFN:      d.String(),
+		Path:     d.String(),
+		Size:     d.Int64(),
+		CRC32:    d.String(),
+		FileType: d.String(),
+		State:    FileState(d.String()),
+	}
+}
+
+// apply runs one record against the mirror. Replay calls it for every
+// recovered record in append order; commit calls it before appending, so
+// both paths share one transition function.
+func (st *persistState) apply(rec []byte) error {
+	d := rpc.NewDecoder(rec)
+	switch tag := d.Uint8(); tag {
+	case recPutFile:
+		fi := decodeFileInfo(d)
+		if d.Err() == nil {
+			st.files[fi.LFN] = fi
+		}
+	case recRemoveFile:
+		delete(st.files, d.String())
+	case recSetState:
+		lfn := d.String()
+		state := FileState(d.String())
+		if fi, ok := st.files[lfn]; ok && d.Err() == nil {
+			fi.State = state
+			st.files[lfn] = fi
+		}
+	case recSubscribe:
+		name := d.String()
+		addr := d.String()
+		if d.Err() != nil {
+			break
+		}
+		if sub, ok := st.subs[name]; ok {
+			// Re-subscribing updates the address and clears suspicion; the
+			// undelivered queue survives.
+			sub.addr = addr
+			sub.suspect = false
+		} else {
+			st.subs[name] = &persistSub{addr: addr}
+		}
+	case recUnsubscribe:
+		delete(st.subs, d.String())
+	case recNotifyQueue:
+		name := d.String()
+		files := decodeFileInfos(d)
+		if sub, ok := st.subs[name]; ok && d.Err() == nil {
+			sub.queue = append(sub.queue, files...)
+		}
+	case recNotifyAck:
+		name := d.String()
+		n := int(d.Uint32())
+		if sub, ok := st.subs[name]; ok && d.Err() == nil {
+			if n > len(sub.queue) {
+				n = len(sub.queue)
+			}
+			sub.queue = append([]FileInfo(nil), sub.queue[n:]...)
+		}
+	case recNotifyDrop:
+		if sub, ok := st.subs[d.String()]; ok && d.Err() == nil {
+			sub.suspect = true
+			sub.queue = nil
+		}
+	case recPullQueued:
+		fi := decodeFileInfo(d)
+		if d.Err() == nil {
+			st.pulls[fi.LFN] = fi
+		}
+	case recPullDone:
+		delete(st.pulls, d.String())
+	default:
+		return fmt.Errorf("unknown record tag %d", tag)
+	}
+	return d.Err()
+}
+
+// snapshotVersion guards the snapshot payload layout.
+const snapshotVersion = 1
+
+// encode serializes the mirror for a journal snapshot.
+func (st *persistState) encode() []byte {
+	var e rpc.Encoder
+	e.Uint8(snapshotVersion)
+	e.Uint32(uint32(len(st.files)))
+	for _, fi := range st.files {
+		encodeFileInfo(&e, fi)
+	}
+	e.Uint32(uint32(len(st.subs)))
+	for name, sub := range st.subs {
+		e.String(name)
+		e.String(sub.addr)
+		e.Bool(sub.suspect)
+		encodeFileInfos(&e, sub.queue)
+	}
+	e.Uint32(uint32(len(st.pulls)))
+	for _, fi := range st.pulls {
+		encodeFileInfo(&e, fi)
+	}
+	return e.Bytes()
+}
+
+// decode loads a snapshot payload into the (empty) mirror.
+func (st *persistState) decode(b []byte) error {
+	d := rpc.NewDecoder(b)
+	if v := d.Uint8(); v != snapshotVersion && d.Err() == nil {
+		return fmt.Errorf("unsupported snapshot version %d", v)
+	}
+	for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
+		fi := decodeFileInfo(d)
+		if d.Err() == nil {
+			st.files[fi.LFN] = fi
+		}
+	}
+	for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
+		name := d.String()
+		sub := &persistSub{addr: d.String(), suspect: d.Bool()}
+		sub.queue = decodeFileInfos(d)
+		if d.Err() == nil {
+			st.subs[name] = sub
+		}
+	}
+	for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
+		fi := decodeFileInfo(d)
+		if d.Err() == nil {
+			st.pulls[fi.LFN] = fi
+		}
+	}
+	return d.Finish()
+}
+
+// --- restart recovery --------------------------------------------------------
+
+// RecoveryStats reports what a restart reconstructed and repaired.
+type RecoveryStats struct {
+	// FilesRestored is how many local-catalog entries replay recovered.
+	FilesRestored int
+
+	// SubscribersRestored is how many subscribers replay recovered.
+	SubscribersRestored int
+
+	// NoticesRequeued is how many undelivered publication notices went
+	// back onto subscriber delivery queues.
+	NoticesRequeued int
+
+	// PullsRequeued is how many unfinished pulls were resubmitted (or
+	// returned to the pending queue when AutoReplicate is off).
+	PullsRequeued int
+
+	// PartsResumed is how many .part staging files matched an unfinished
+	// pull and were kept for resumption.
+	PartsResumed int
+
+	// Quarantined is how many orphaned .part files and size-mismatched
+	// catalog files were moved into the quarantine directory.
+	Quarantined int
+
+	// MissingFiles is how many catalog entries had no bytes on disk and
+	// were dropped from the local catalog.
+	MissingFiles int
+
+	// TornBytes is how many trailing journal bytes a crash left torn
+	// (preserved in the journal's wal.torn).
+	TornBytes int64
+}
+
+// recordRecoveryMetrics publishes the gdmp_recovery_* family.
+func recordRecoveryMetrics(reg *obs.Registry, rs RecoveryStats) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	set := func(name, help string, v int64) {
+		reg.Gauge(RecoveryMetricsPrefix+"_"+name, help).Set(v)
+	}
+	set("files_restored", "Local catalog entries recovered from the journal at the last restart.", int64(rs.FilesRestored))
+	set("subscribers_restored", "Subscribers recovered from the journal at the last restart.", int64(rs.SubscribersRestored))
+	set("notices_requeued", "Undelivered publication notices requeued at the last restart.", int64(rs.NoticesRequeued))
+	set("pulls_requeued", "Unfinished pulls requeued at the last restart.", int64(rs.PullsRequeued))
+	set("parts_resumed", "Partial downloads kept for resumption at the last restart.", int64(rs.PartsResumed))
+	set("quarantined", "Orphaned or corrupt files quarantined at the last restart.", int64(rs.Quarantined))
+	set("missing_files", "Catalog entries dropped because their bytes were gone at the last restart.", int64(rs.MissingFiles))
+	set("torn_bytes", "Torn journal bytes truncated at the last restart.", rs.TornBytes)
+}
+
+// restoreFromJournal fills the site's in-memory state from the replayed
+// mirror: local catalog, subscriber registry with undelivered queues, and
+// the unfinished-pull set. It then reconciles the data directory against
+// the recovered catalog. Called from NewSite before the servers start;
+// delivery drains and pull requeues are kicked separately once they can
+// run (resumeRecovered).
+func (s *Site) restoreFromJournal(tornBytes int64) error {
+	p := s.persist
+	p.mu.Lock()
+	files := make([]FileInfo, 0, len(p.st.files))
+	for _, fi := range p.st.files {
+		files = append(files, fi)
+	}
+	type subRestore struct {
+		name string
+		sub  persistSub
+	}
+	subs := make([]subRestore, 0, len(p.st.subs))
+	for name, sub := range p.st.subs {
+		subs = append(subs, subRestore{name, persistSub{
+			addr:    sub.addr,
+			suspect: sub.suspect,
+			queue:   append([]FileInfo(nil), sub.queue...),
+		}})
+	}
+	p.mu.Unlock()
+
+	rs := RecoveryStats{TornBytes: tornBytes}
+	for _, fi := range files {
+		s.local.put(fi)
+		rs.FilesRestored++
+	}
+	s.subMu.Lock()
+	for _, sr := range subs {
+		s.subscribers[sr.name] = &subscriberState{
+			name:    sr.name,
+			addr:    sr.sub.addr,
+			suspect: sr.sub.suspect,
+			queue:   sr.sub.queue,
+		}
+		rs.SubscribersRestored++
+		rs.NoticesRequeued += len(sr.sub.queue)
+	}
+	s.met.subscribers.Set(int64(len(s.subscribers)))
+	s.updateNotifyGaugesLocked()
+	s.subMu.Unlock()
+
+	if err := s.reconcileDataDir(&rs); err != nil {
+		return err
+	}
+	s.recovery = rs
+	return nil
+}
+
+// reconcileDataDir checks the recovered catalog against the bytes on disk
+// and sweeps staging files: a catalog entry without its file is dropped, a
+// size mismatch is quarantined, a .part file is kept only when an
+// unfinished pull claims it.
+func (s *Site) reconcileDataDir(rs *RecoveryStats) error {
+	for _, fi := range s.local.list() {
+		if fi.State != StateDisk {
+			continue
+		}
+		localPath, err := s.resolveLocal(fi.Path)
+		if err != nil {
+			continue
+		}
+		info, err := os.Stat(localPath)
+		if os.IsNotExist(err) {
+			s.logger.Printf("gdmp[%s]: recovery: %s has no bytes at %s, dropping catalog entry",
+				s.cfg.Name, fi.LFN, fi.Path)
+			s.local.remove(fi.LFN)
+			s.persist.removeFile(fi.LFN)
+			rs.MissingFiles++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if fi.Size > 0 && info.Size() != fi.Size {
+			s.logger.Printf("gdmp[%s]: recovery: %s is %d bytes, catalog says %d; quarantining",
+				s.cfg.Name, fi.LFN, info.Size(), fi.Size)
+			if s.quarantine(localPath) {
+				rs.Quarantined++
+			}
+			s.local.remove(fi.LFN)
+			s.persist.removeFile(fi.LFN)
+		}
+	}
+
+	// Staging files an unfinished pull may legitimately resume.
+	expected := make(map[string]bool)
+	for _, fi := range s.persist.incompletePulls() {
+		if fi.Path == "" {
+			continue
+		}
+		if lp, err := s.resolveLocal(fi.Path); err == nil {
+			expected[lp+gridftp.PartSuffix] = true
+		}
+	}
+	return filepath.WalkDir(s.cfg.DataDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), gridftp.PartSuffix) {
+			return err
+		}
+		if expected[path] {
+			rs.PartsResumed++
+			return nil
+		}
+		s.logger.Printf("gdmp[%s]: recovery: quarantining orphaned staging file %s", s.cfg.Name, path)
+		if s.quarantine(path) {
+			rs.Quarantined++
+		}
+		return nil
+	})
+}
+
+// quarantine moves a suspect file into <StateDir>/quarantine, reporting
+// whether the move happened. The file keeps its base name, suffixed on
+// collision, so repeated recoveries never overwrite earlier evidence.
+func (s *Site) quarantine(path string) bool {
+	qdir := filepath.Join(s.cfg.StateDir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.logger.Printf("gdmp[%s]: quarantine dir: %v", s.cfg.Name, err)
+		return false
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		s.logger.Printf("gdmp[%s]: quarantine %s: %v", s.cfg.Name, path, err)
+		return false
+	}
+	return true
+}
+
+// resumeRecovered kicks the deferred halves of recovery once the site is
+// fully up: redelivery drains for restored notification queues, and the
+// unfinished pulls back into the scheduler (AutoReplicate) or the pending
+// queue.
+func (s *Site) resumeRecovered() {
+	s.subMu.Lock()
+	for _, st := range s.subscribers {
+		if len(st.queue) > 0 && !st.suspect && !st.draining {
+			st.draining = true
+			s.notifyWG.Add(1)
+			go s.drainSubscriber(st)
+		}
+	}
+	s.subMu.Unlock()
+
+	pulls := s.persist.incompletePulls()
+	s.recovery.PullsRequeued = len(pulls)
+	recordRecoveryMetrics(s.metrics, s.recovery)
+	if len(pulls) == 0 {
+		return
+	}
+	s.logger.Printf("gdmp[%s]: recovery: requeueing %d unfinished pulls", s.cfg.Name, len(pulls))
+	if !s.cfg.AutoReplicate {
+		s.addPending(pulls...)
+		return
+	}
+	for _, fi := range pulls {
+		fi := fi
+		tk := s.submitGet(fi.LFN, 0)
+		s.notifyWG.Add(1)
+		go func() {
+			defer s.notifyWG.Done()
+			if err := tk.Wait(s.ctx); err != nil {
+				s.logger.Printf("gdmp[%s]: recovered pull %s: %v", s.cfg.Name, fi.LFN, err)
+				s.addPending(fi)
+			}
+		}()
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdmp/internal/obs"
+)
+
+func testPersist(t *testing.T, dir string) *sitePersistence {
+	t.Helper()
+	p, torn, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("openPersistence: %v", err)
+	}
+	if torn != 0 {
+		t.Fatalf("fresh/clean journal reported %d torn bytes", torn)
+	}
+	return p
+}
+
+// TestPersistCrashRoundTrip commits one of every record kind, severs the
+// journal abruptly (no final snapshot — the crash image), and reopens:
+// the replayed mirror must equal the pre-crash mirror exactly.
+func TestPersistCrashRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := testPersist(t, dir)
+
+	p.putFile(FileInfo{LFN: "a", Path: "x/a.db", Size: 10, CRC32: "aa", State: StateDisk})
+	p.putFile(FileInfo{LFN: "b", Path: "x/b.db", Size: 20, State: StateTape})
+	p.setState("b", StateDisk)
+	p.putFile(FileInfo{LFN: "dead", Path: "x/d.db"})
+	p.removeFile("dead")
+	p.subscribe("anl.gov", "127.0.0.1:1000")
+	p.subscribe("fnal.gov", "127.0.0.1:2000")
+	p.notifyQueue("anl.gov", []FileInfo{{LFN: "a", Path: "x/a.db", Size: 10}, {LFN: "b", Path: "x/b.db", Size: 20}})
+	p.notifyAck("anl.gov", 1)
+	p.unsubscribe("fnal.gov")
+	p.pullQueued(FileInfo{LFN: "p1", Path: "y/p1.db", Size: 5})
+	p.pullQueued(FileInfo{LFN: "p2"})
+	p.pullDone("p1")
+	p.close(false) // crash: only fsync'd WAL records survive
+
+	q, torn, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q.close(false)
+	if torn != 0 {
+		t.Fatalf("clean crash reported %d torn bytes", torn)
+	}
+	if n := len(q.st.files); n != 2 {
+		t.Fatalf("files = %d, want 2 (%+v)", n, q.st.files)
+	}
+	if fi := q.st.files["b"]; fi.State != StateDisk || fi.Size != 20 {
+		t.Fatalf("file b replayed wrong: %+v", fi)
+	}
+	if _, ok := q.st.files["dead"]; ok {
+		t.Fatal("removed file survived replay")
+	}
+	if n := len(q.st.subs); n != 1 {
+		t.Fatalf("subs = %d, want 1", n)
+	}
+	sub := q.st.subs["anl.gov"]
+	if sub == nil || len(sub.queue) != 1 || sub.queue[0].LFN != "b" {
+		t.Fatalf("undelivered queue replayed wrong: %+v", sub)
+	}
+	pulls := q.incompletePulls()
+	if len(pulls) != 1 || pulls[0].LFN != "p2" {
+		t.Fatalf("incomplete pulls = %+v, want just p2", pulls)
+	}
+}
+
+// TestPersistGracefulCloseSnapshots verifies that a graceful close folds
+// the state into a snapshot, so the next open replays zero WAL records.
+func TestPersistGracefulCloseSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	p := testPersist(t, dir)
+	p.putFile(FileInfo{LFN: "a", Path: "a.db", Size: 1})
+	p.subscribe("anl.gov", "127.0.0.1:1000")
+	p.close(true)
+
+	wal, err := os.Stat(filepath.Join(dir, "journal", "wal"))
+	if err == nil && wal.Size() != 0 {
+		t.Fatalf("graceful close left %d WAL bytes uncompacted", wal.Size())
+	}
+	q, _, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q.close(false)
+	if len(q.st.files) != 1 || len(q.st.subs) != 1 {
+		t.Fatalf("snapshot round-trip lost state: %+v", q.st)
+	}
+}
+
+// TestPersistTornTailRecovered chops the WAL mid-record, as a crash
+// during an append would: reopen must keep every whole record, report the
+// torn bytes, and keep accepting new appends.
+func TestPersistTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	p := testPersist(t, dir)
+	p.putFile(FileInfo{LFN: "whole", Path: "w.db", Size: 9})
+	p.putFile(FileInfo{LFN: "torn", Path: "t.db", Size: 9})
+	p.close(false)
+
+	walPath := filepath.Join(dir, "journal", "wal")
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	q, torn, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if torn == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if _, ok := q.st.files["whole"]; !ok {
+		t.Fatal("whole record lost with the torn tail")
+	}
+	if _, ok := q.st.files["torn"]; ok {
+		t.Fatal("torn record replayed")
+	}
+	q.putFile(FileInfo{LFN: "after", Path: "a.db", Size: 1})
+	q.close(false)
+
+	r, torn2, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil || torn2 != 0 {
+		t.Fatalf("third open = torn %d, %v", torn2, err)
+	}
+	defer r.close(false)
+	for _, lfn := range []string{"whole", "after"} {
+		if _, ok := r.st.files[lfn]; !ok {
+			t.Fatalf("%s missing after post-truncation append", lfn)
+		}
+	}
+}
+
+// TestPersistPullQueuedNeverDowngrades pins the idempotence contract: a
+// bare-LFN admission must not overwrite an earlier record that carries
+// the file's path (the path is what ties a .part file to its pull at
+// recovery), while a path-carrying record upgrades a bare one.
+func TestPersistPullQueuedNeverDowngrades(t *testing.T) {
+	p := testPersist(t, t.TempDir())
+	defer p.close(false)
+
+	p.pullQueued(FileInfo{LFN: "f", Path: "d/f.db", Size: 7})
+	p.pullQueued(FileInfo{LFN: "f"}) // bare admission must not downgrade
+	if fi := p.st.pulls["f"]; fi.Path != "d/f.db" || fi.Size != 7 {
+		t.Fatalf("path-carrying pull downgraded: %+v", fi)
+	}
+	p.pullQueued(FileInfo{LFN: "g"})
+	p.pullQueued(FileInfo{LFN: "g", Path: "d/g.db"}) // upgrade is allowed
+	if fi := p.st.pulls["g"]; fi.Path != "d/g.db" {
+		t.Fatalf("bare pull not upgraded: %+v", fi)
+	}
+	p.pullDone("f")
+	p.pullDone("f") // done on an absent pull is a no-op, not a new record
+	if n := p.j.Records(); n != 4 {
+		t.Fatalf("journal holds %d records, want 4 (dups and no-ops elided)", n)
+	}
+}
+
+// TestPersistSubscriberTransitions pins the subscriber delta semantics:
+// ack clamps to the queue length, drop marks suspect and clears the
+// queue, and re-subscribing heals suspicion without losing the queue.
+func TestPersistSubscriberTransitions(t *testing.T) {
+	p := testPersist(t, t.TempDir())
+	defer p.close(false)
+
+	p.subscribe("anl.gov", "127.0.0.1:1000")
+	p.notifyQueue("anl.gov", []FileInfo{{LFN: "a"}, {LFN: "b"}})
+	p.notifyAck("anl.gov", 5) // over-ack clamps instead of corrupting
+	if q := p.st.subs["anl.gov"].queue; len(q) != 0 {
+		t.Fatalf("over-ack left queue %+v", q)
+	}
+
+	p.notifyQueue("anl.gov", []FileInfo{{LFN: "c"}})
+	p.subscribe("anl.gov", "127.0.0.1:3000") // re-subscribe from a new address
+	sub := p.st.subs["anl.gov"]
+	if sub.addr != "127.0.0.1:3000" || len(sub.queue) != 1 {
+		t.Fatalf("re-subscribe lost queue or address: %+v", sub)
+	}
+
+	p.notifyDrop("anl.gov")
+	if sub := p.st.subs["anl.gov"]; !sub.suspect || len(sub.queue) != 0 {
+		t.Fatalf("drop did not mark suspect and clear: %+v", sub)
+	}
+	p.subscribe("anl.gov", "127.0.0.1:3000")
+	if sub := p.st.subs["anl.gov"]; sub.suspect {
+		t.Fatal("re-subscribe did not heal suspicion")
+	}
+}
+
+// TestPersistNilIsNoOp: a site without a StateDir journals nothing and
+// never panics.
+func TestPersistNilIsNoOp(t *testing.T) {
+	var p *sitePersistence
+	p.putFile(FileInfo{LFN: "x"})
+	p.removeFile("x")
+	p.setState("x", StateDisk)
+	p.subscribe("s", "a")
+	p.unsubscribe("s")
+	p.notifyQueue("s", nil)
+	p.notifyAck("s", 1)
+	p.notifyDrop("s")
+	p.pullQueued(FileInfo{LFN: "x"})
+	p.pullDone("x")
+	p.close(true)
+	if got := p.incompletePulls(); got != nil {
+		t.Fatalf("nil persistence returned pulls: %v", got)
+	}
+}

@@ -97,6 +97,15 @@ type Config struct {
 	// MSS is set this should be the MSS pool directory.
 	DataDir string
 
+	// StateDir, when set, makes the site crash-safe: every mutation of the
+	// local catalog, the subscriber registry with its undelivered
+	// notification queues, and the pending-pull set is journaled (fsync'd
+	// write-ahead log + compacting snapshots) under this directory before
+	// it is acknowledged, and a restart replays the journal, reconciles
+	// the data directory, and requeues unfinished work. Suspect files are
+	// moved to <StateDir>/quarantine. Empty disables persistence.
+	StateDir string
+
 	// Cred is the site service credential; TrustRoots anchor peer chains.
 	Cred       *gsi.Credential
 	TrustRoots []*gsi.Certificate
@@ -223,6 +232,10 @@ type Site struct {
 
 	xferLog *transferLog
 
+	// persist journals durable state mutations; nil without Config.StateDir.
+	persist  *sitePersistence
+	recovery RecoveryStats
+
 	metrics *obs.Registry
 	met     *siteMetrics
 
@@ -309,6 +322,22 @@ func NewSite(cfg Config) (*Site, error) {
 		}
 	}
 
+	if cfg.StateDir != "" {
+		persist, torn, err := openPersistence(cfg.StateDir, cfg.Metrics, cfg.Logger)
+		if err != nil {
+			s.sched.Close()
+			rcClient.Close()
+			return nil, err
+		}
+		s.persist = persist
+		if err := s.restoreFromJournal(torn); err != nil {
+			persist.close(false)
+			s.sched.Close()
+			rcClient.Close()
+			return nil, fmt.Errorf("core: restart recovery: %w", err)
+		}
+	}
+
 	ftpSrv, err := gridftp.NewServer(gridftp.ServerConfig{
 		Root:       cfg.DataDir,
 		Cred:       cfg.Cred,
@@ -318,6 +347,7 @@ func NewSite(cfg Config) (*Site, error) {
 		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
+		s.persist.close(false)
 		s.sched.Close()
 		rcClient.Close()
 		return nil, err
@@ -329,6 +359,7 @@ func NewSite(cfg Config) (*Site, error) {
 	s.ftpSrv = ftpSrv
 	s.ftpLn, err = net.Listen("tcp", ftpListen)
 	if err != nil {
+		s.persist.close(false)
 		s.sched.Close()
 		rcClient.Close()
 		return nil, err
@@ -344,6 +375,7 @@ func NewSite(cfg Config) (*Site, error) {
 	s.registerHandlers()
 	s.gdmpLn, err = net.Listen("tcp", gdmpListen)
 	if err != nil {
+		s.persist.close(false)
 		s.sched.Close()
 		s.ftpSrv.Close()
 		rcClient.Close()
@@ -351,6 +383,11 @@ func NewSite(cfg Config) (*Site, error) {
 	}
 	go s.gdmpSrv.Serve(s.gdmpLn)
 
+	if s.persist != nil {
+		// Only now can recovered work run: delivery drains need the site
+		// context, requeued pulls need the servers' addresses.
+		s.resumeRecovered()
+	}
 	return s, nil
 }
 
@@ -391,7 +428,8 @@ func (s *Site) QueryCtx(ctx context.Context, filter string) ([]*replica.LogicalF
 	return s.rc.query(ctx, filter)
 }
 
-// Close shuts the site down.
+// Close shuts the site down. With a StateDir, the final state is folded
+// into a journal snapshot so the next start replays nothing.
 func (s *Site) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -406,6 +444,7 @@ func (s *Site) Close() error {
 		if s.federation != nil {
 			s.federation.Close()
 		}
+		s.persist.close(true)
 		for _, e := range []error{e1, e2, e3} {
 			if e != nil && err == nil {
 				err = e
@@ -414,6 +453,37 @@ func (s *Site) Close() error {
 	})
 	return err
 }
+
+// Kill tears the site down abruptly, skipping every graceful step: the
+// journal is severed first — no final compaction, no further appends — so
+// the disk holds exactly what was fsync'd at the moment of death, the
+// same image a SIGKILL or power loss would leave. Crash tests restart a
+// site on the same StateDir/DataDir afterwards.
+func (s *Site) Kill() {
+	s.persist.close(false)
+	s.Close()
+}
+
+// Drain shuts the site down gracefully: new pull admissions fail with
+// xfer.ErrDraining while queued and running transfers get until ctx
+// expires to finish; whatever does not make it stays journaled as
+// unfinished work and is requeued on the next start. It returns the
+// dedup keys (LFNs) of the pulls it had to abandon.
+func (s *Site) Drain(ctx context.Context) (abandoned []string, err error) {
+	abandoned, derr := s.sched.Drain(ctx)
+	if derr != nil {
+		s.logger.Printf("gdmp[%s]: drain abandoned %d pulls: %v", s.cfg.Name, len(abandoned), derr)
+	}
+	cerr := s.Close()
+	if derr != nil {
+		return abandoned, derr
+	}
+	return nil, cerr
+}
+
+// Recovery reports what the last restart reconstructed (zero value when
+// the site has no StateDir or started fresh).
+func (s *Site) Recovery() RecoveryStats { return s.recovery }
 
 // resolveLocal maps a site-relative path into the data directory.
 func (s *Site) resolveLocal(rel string) (string, error) {
@@ -514,6 +584,7 @@ func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOpti
 		CRC32: crcHex, FileType: ftName, State: StateDisk,
 	}
 	s.local.put(fi)
+	s.persist.putFile(fi)
 	if s.storage != nil {
 		if err := s.storage.AddToPool(pfn.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, pfn.Path, err)
@@ -550,6 +621,9 @@ func (s *Site) notifySubscribers(files []FileInfo) {
 			continue
 		}
 		st.queue = append(st.queue, files...)
+		// Journaled before Publish returns: an acknowledged publication's
+		// notices survive a crash and redeliver after restart.
+		s.persist.notifyQueue(st.name, files)
 		if !st.draining {
 			st.draining = true
 			s.notifyWG.Add(1)
@@ -601,6 +675,7 @@ func (s *Site) drainSubscriber(st *subscriberState) {
 			// New notices may have been queued while the send ran; keep them.
 			st.queue = st.queue[len(batch):]
 			st.failures = 0
+			s.persist.notifyAck(st.name, len(batch))
 			s.updateNotifyGaugesLocked()
 			s.subMu.Unlock()
 			continue
@@ -611,6 +686,7 @@ func (s *Site) drainSubscriber(st *subscriberState) {
 			st.suspect = true
 			st.draining = false
 			st.queue = nil
+			s.persist.notifyDrop(st.name)
 			s.updateNotifyGaugesLocked()
 			s.subMu.Unlock()
 			s.logger.Printf("gdmp[%s]: subscriber %s (%s) suspect after %d failures: %v",
@@ -830,12 +906,20 @@ func (s *Site) GetCtx(ctx context.Context, lfn string) error {
 // submitGet admits one LFN pull to the scheduler; the LFN is the dedup
 // key, so concurrent submissions share a single transfer.
 func (s *Site) submitGet(lfn string, priority int) *xfer.Ticket {
+	// Admission is durable: a crash between here and replication requeues
+	// the pull at restart (no-op when the LFN is already journaled with
+	// richer detail from its notification).
+	s.persist.pullQueued(FileInfo{LFN: lfn})
 	return s.sched.Submit(lfn, priority, func(jobCtx context.Context) error {
 		if s.HasFile(lfn) {
+			s.persist.pullDone(lfn)
 			return nil
 		}
 		err := s.replicate(jobCtx, lfn)
 		s.met.replications.WithLabelValues(outcomeOf(err)).Inc()
+		if err == nil {
+			s.persist.pullDone(lfn)
+		}
 		return err
 	})
 }
@@ -937,10 +1021,12 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 	if err != nil {
 		return err
 	}
-	s.local.put(FileInfo{
+	fi := FileInfo{
 		LFN: lfn, Path: myPFN.Path, Size: info.Size(),
 		CRC32: entry.Attrs[replica.AttrCRC], FileType: ftName, State: StateDisk,
-	})
+	}
+	s.local.put(fi)
+	s.persist.putFile(fi)
 	if s.storage != nil {
 		if err := s.storage.AddToPool(myPFN.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
@@ -1132,6 +1218,8 @@ func (s *Site) pullAll(ctx context.Context, files []FileInfo, priority int, op s
 	pulls := make([]pull, 0, len(files))
 	for _, fi := range files {
 		if s.HasFile(fi.LFN) {
+			// Already here: any journaled pull intent for it is satisfied.
+			s.persist.pullDone(fi.LFN)
 			continue
 		}
 		pulls = append(pulls, pull{fi, s.submitGet(fi.LFN, priority)})
@@ -1248,6 +1336,9 @@ func (s *Site) registerHandlers() {
 		} else {
 			s.subscribers[name] = &subscriberState{name: name, addr: addr}
 		}
+		// Journaled before the RPC acks: a subscription that the consumer
+		// believes registered survives a producer crash.
+		s.persist.subscribe(name, addr)
 		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
@@ -1261,6 +1352,7 @@ func (s *Site) registerHandlers() {
 		}
 		s.subMu.Lock()
 		delete(s.subscribers, name)
+		s.persist.unsubscribe(name)
 		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
@@ -1283,19 +1375,25 @@ func (s *Site) registerHandlers() {
 		if len(fresh) == 0 {
 			return nil
 		}
+		// Journal every accepted notice before this handler returns: once
+		// the producer sees the ack and dequeues, this site owns the pull,
+		// so it must survive a crash here.
+		for _, fi := range fresh {
+			s.persist.pullQueued(fi)
+		}
 		if s.cfg.AutoReplicate {
 			// Submit the batch to the pull scheduler instead of spawning
 			// one unbounded goroutine per file: the worker pool bounds
 			// concurrency, and duplicate notices coalesce by LFN.
 			for _, fi := range fresh {
-				lfn := fi.LFN
-				tk := s.submitGet(lfn, 0)
+				fi := fi
+				tk := s.submitGet(fi.LFN, 0)
 				s.notifyWG.Add(1)
 				go func() {
 					defer s.notifyWG.Done()
 					if err := tk.Wait(s.ctx); err != nil {
-						s.logger.Printf("gdmp[%s]: auto-replicate %s: %v", s.cfg.Name, lfn, err)
-						s.addPending(FileInfo{LFN: lfn})
+						s.logger.Printf("gdmp[%s]: auto-replicate %s: %v", s.cfg.Name, fi.LFN, err)
+						s.addPending(fi)
 					}
 				}()
 			}
@@ -1336,7 +1434,11 @@ func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 		return err
 	}
 	if _, err := os.Stat(localPath); err == nil {
-		return s.local.setState(lfn, StateDisk)
+		if err := s.local.setState(lfn, StateDisk); err != nil {
+			return err
+		}
+		s.persist.setState(lfn, StateDisk)
+		return nil
 	}
 	if s.storage == nil {
 		return fmt.Errorf("core: %q missing on disk and no MSS configured", lfn)
@@ -1347,7 +1449,11 @@ func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 	// The transfer itself re-reads from disk; unpin right away and rely on
 	// the pool's recency to keep the file until the transfer completes.
 	s.storage.Release(fi.Path)
-	return s.local.setState(lfn, StateDisk)
+	if err := s.local.setState(lfn, StateDisk); err != nil {
+		return err
+	}
+	s.persist.setState(lfn, StateDisk)
+	return nil
 }
 
 // ArchiveLocal pushes a published file's bytes to tape and (optionally)

@@ -77,6 +77,13 @@ type SiteStatus struct {
 	TransfersFailed  int
 	BytesReplicated  int64
 	PendingTransfers int
+
+	// Restart-recovery summary (all zero for a site without a StateDir or
+	// one that started fresh).
+	RestoredFiles    int
+	RequeuedPulls    int
+	QuarantinedFiles int
+	RequeuedNotices  int
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -103,6 +110,10 @@ func (s *Site) Status() SiteStatus {
 		TransfersFailed:  failed,
 		BytesReplicated:  bytes,
 		PendingTransfers: pending,
+		RestoredFiles:    s.recovery.FilesRestored,
+		RequeuedPulls:    s.recovery.PullsRequeued,
+		QuarantinedFiles: s.recovery.Quarantined,
+		RequeuedNotices:  s.recovery.NoticesRequeued,
 	}
 }
 
@@ -125,6 +136,10 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 		TransfersFailed:  int(d.Uint64()),
 		BytesReplicated:  d.Int64(),
 		PendingTransfers: int(d.Uint64()),
+		RestoredFiles:    int(d.Uint64()),
+		RequeuedPulls:    int(d.Uint64()),
+		QuarantinedFiles: int(d.Uint64()),
+		RequeuedNotices:  int(d.Uint64()),
 	}
 	return st, d.Finish()
 }
@@ -143,6 +158,10 @@ func (s *Site) registerStatusHandler() {
 		resp.Uint64(uint64(st.TransfersFailed))
 		resp.Int64(st.BytesReplicated)
 		resp.Uint64(uint64(st.PendingTransfers))
+		resp.Uint64(uint64(st.RestoredFiles))
+		resp.Uint64(uint64(st.RequeuedPulls))
+		resp.Uint64(uint64(st.QuarantinedFiles))
+		resp.Uint64(uint64(st.RequeuedNotices))
 		return nil
 	})
 }

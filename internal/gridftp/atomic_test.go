@@ -1,0 +1,188 @@
+package gridftp
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdmp/internal/faults"
+	"gdmp/internal/obs"
+)
+
+// connector builds a ReliableGetFile connect func against addr, recording
+// into reg and optionally routing through a fault injector.
+func connector(t *testing.T, addr string, reg *obs.Registry, inj *faults.Injector) func(context.Context) (*Client, error) {
+	t.Helper()
+	return func(ctx context.Context) (*Client, error) {
+		// Single-stream so an interrupted transfer leaves a contiguous
+		// prefix (a multi-stream kill can leave holes, which the prefix
+		// check would — correctly — refuse to resume).
+		opts := []ClientOption{WithMetrics(reg), WithParallelism(1)}
+		if inj != nil {
+			opts = append(opts, WithDialFunc(inj.Dialer(nil)))
+		}
+		return DialContext(ctx, addr, cred(t, "user/"+t.Name()), roots(t), opts...)
+	}
+}
+
+func TestGetFileFailureNeverTouchesDestination(t *testing.T) {
+	addr, _ := startServer(t, nil)
+	cl := dial(t, addr)
+	dest := filepath.Join(t.TempDir(), "out.db")
+	// A destination from a previous successful run must survive a failed
+	// re-transfer untouched.
+	if err := os.WriteFile(dest, []byte("precious old bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetFile("no/such/file.db", dest); err == nil {
+		t.Fatal("GetFile of a missing remote file succeeded")
+	}
+	got, err := os.ReadFile(dest)
+	if err != nil || string(got) != "precious old bytes" {
+		t.Fatalf("destination disturbed by failed transfer: %q, %v", got, err)
+	}
+	if _, err := os.Stat(dest + PartSuffix); !os.IsNotExist(err) {
+		t.Fatalf("staging file left behind: %v", err)
+	}
+}
+
+func TestGetFileStagesAndRenames(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "a.db", 200_000, 11)
+	cl := dial(t, addr)
+	dest := filepath.Join(t.TempDir(), "a.db")
+	if _, err := cl.GetFile("a.db", dest); err != nil {
+		t.Fatalf("GetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch")
+	}
+	if _, err := os.Stat(dest + PartSuffix); !os.IsNotExist(err) {
+		t.Fatalf("staging file survived success: %v", err)
+	}
+}
+
+func TestReliableGetFileResumesVerifiedPrefix(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "big.db", 400_000, 12)
+	reg := obs.NewRegistry()
+	dest := filepath.Join(t.TempDir(), "big.db")
+	// A previous interrupted attempt left a correct 150k prefix staged.
+	if err := os.WriteFile(dest+PartSuffix, want[:150_000], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReliableGetFile(context.Background(), connector(t, addr, reg, nil),
+		"big.db", dest, fastPolicy(3))
+	if err != nil {
+		t.Fatalf("ReliableGetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after resumed transfer")
+	}
+	rec := obs.NewTransferRecorder(reg, ClientMetricsPrefix)
+	if rec.Resumes() != 1 {
+		t.Fatalf("resumes = %d, want 1", rec.Resumes())
+	}
+	if rec.ResumedBytes() != 150_000 {
+		t.Fatalf("resumed bytes = %d, want 150000", rec.ResumedBytes())
+	}
+	// Only the missing suffix crossed the wire.
+	if stats.Bytes != 250_000 {
+		t.Fatalf("transferred %d bytes, want 250000", stats.Bytes)
+	}
+}
+
+func TestReliableGetFileRejectsCorruptPrefix(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "b.db", 300_000, 13)
+	reg := obs.NewRegistry()
+	dest := filepath.Join(t.TempDir(), "b.db")
+	bad := append([]byte(nil), want[:100_000]...)
+	bad[12_345] ^= 0xff
+	if err := os.WriteFile(dest+PartSuffix, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReliableGetFile(context.Background(), connector(t, addr, reg, nil),
+		"b.db", dest, fastPolicy(3))
+	if err != nil {
+		t.Fatalf("ReliableGetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after prefix rejection")
+	}
+	rec := obs.NewTransferRecorder(reg, ClientMetricsPrefix)
+	if rec.Resumes() != 0 {
+		t.Fatalf("corrupt prefix was resumed (%d resumes)", rec.Resumes())
+	}
+	if stats.Bytes != 300_000 {
+		t.Fatalf("transferred %d bytes, want the full 300000 after restart", stats.Bytes)
+	}
+}
+
+func TestReliableGetFileRestartsWhenPartialExceedsRemote(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "c.db", 50_000, 14)
+	dest := filepath.Join(t.TempDir(), "c.db")
+	if err := os.WriteFile(dest+PartSuffix, make([]byte, 80_000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReliableGetFile(context.Background(), connector(t, addr, obs.NewRegistry(), nil),
+		"c.db", dest, fastPolicy(3)); err != nil {
+		t.Fatalf("ReliableGetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after oversized-partial restart")
+	}
+}
+
+// TestReliableGetFileInterruptThenResume is the full restart-marker
+// lifecycle: a mid-stream connection reset leaves a staging file and no
+// destination; a second call verifies the prefix and finishes from a
+// non-zero offset.
+func TestReliableGetFileInterruptThenResume(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "d.db", 600_000, 15)
+	reg := obs.NewRegistry()
+	dest := filepath.Join(t.TempDir(), "d.db")
+
+	// Every data connection dies after 200k bytes; with one attempt the
+	// transfer must fail.
+	inj := faults.New(1, func(c faults.ConnInfo) faults.Plan {
+		return faults.Plan{ResetAfterBytes: 200_000}
+	}, faults.WithMetrics(reg))
+	if _, err := ReliableGetFile(context.Background(), connector(t, addr, reg, inj),
+		"d.db", dest, fastPolicy(1)); err == nil {
+		t.Fatal("interrupted transfer reported success")
+	}
+	if _, err := os.Stat(dest); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after failed transfer: %v", err)
+	}
+	info, err := os.Stat(dest + PartSuffix)
+	if err != nil {
+		t.Fatalf("no staging file after interruption: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("staging file is empty; nothing to resume from")
+	}
+
+	// Second run, no faults: must resume from the staged prefix.
+	if _, err := ReliableGetFile(context.Background(), connector(t, addr, reg, nil),
+		"d.db", dest, fastPolicy(3)); err != nil {
+		t.Fatalf("resumed ReliableGetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after interrupt + resume")
+	}
+	rec := obs.NewTransferRecorder(reg, ClientMetricsPrefix)
+	if rec.Resumes() == 0 || rec.ResumedBytes() == 0 {
+		t.Fatalf("resume not recorded: resumes=%d bytes=%d", rec.Resumes(), rec.ResumedBytes())
+	}
+	t.Logf("resumed from offset %d of %d", rec.ResumedBytes(), len(want))
+}

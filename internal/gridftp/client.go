@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -787,24 +788,52 @@ func (c *Client) PutFile(localPath, remotePath string) (TransferStats, error) {
 	return c.Put(remotePath, f, info.Size())
 }
 
+// PartSuffix marks an in-progress download staged next to its final
+// path. A transfer only renames the staging file into place after the
+// end-to-end CRC passes, so the final path never holds a truncated or
+// unverified file; site recovery quarantines orphaned *.part files.
+const PartSuffix = ".part"
+
 // GetFile downloads a remote file to a local path, verifying the CRC-32
-// end to end (Section 4.3's integrity check beyond TCP checksums).
+// end to end (Section 4.3's integrity check beyond TCP checksums). The
+// payload is staged at localPath+PartSuffix and renamed into place only
+// after verification; a failed transfer removes the staging file and
+// never touches the destination.
 func (c *Client) GetFile(remotePath, localPath string) (TransferStats, error) {
-	f, err := os.Create(localPath)
+	part := localPath + PartSuffix
+	f, err := os.Create(part)
 	if err != nil {
 		return TransferStats{}, err
 	}
 	stats, err := c.Get(remotePath, f)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = c.verifyLocal(remotePath, part)
+	}
 	if err != nil {
+		os.Remove(part)
 		return stats, err
 	}
-	if err := c.verifyLocal(remotePath, localPath); err != nil {
+	if err := os.Rename(part, localPath); err != nil {
+		os.Remove(part)
 		return stats, err
 	}
+	syncDir(filepath.Dir(localPath))
 	return stats, nil
+}
+
+// syncDir makes a rename within dir durable; best-effort (some
+// filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // verifyLocal compares the server CRC with a locally computed one.
@@ -865,8 +894,16 @@ func transferRetryable(err error) bool {
 // stops further attempts, so an in-flight transfer aborts within one retry
 // interval. The returned stats aggregate all attempts.
 func ReliableGet(ctx context.Context, connect func(context.Context) (*Client, error), path string, dst io.WriterAt, pol retry.Policy) (TransferStats, error) {
-	var agg TransferStats
 	var rs RangeSet
+	return reliableGet(ctx, connect, path, dst, &rs, pol)
+}
+
+// reliableGet is ReliableGet with a caller-seeded restart map: ranges
+// already in rs are treated as on disk and never re-requested, which is
+// how a resumed download continues from a verified partial file instead
+// of byte 0.
+func reliableGet(ctx context.Context, connect func(context.Context) (*Client, error), path string, dst io.WriterAt, rs *RangeSet, pol retry.Policy) (TransferStats, error) {
+	var agg TransferStats
 	var size int64 = -1
 	if pol.Op == "" {
 		pol.Op = "gridftp.get"
@@ -893,7 +930,7 @@ func ReliableGet(ctx context.Context, connect func(context.Context) (*Client, er
 		}
 		for _, missing := range rs.Missing(size) {
 			cl.mu.Lock()
-			st, err := cl.getRangeLocked(path, missing, dst, &rs)
+			st, err := cl.getRangeLocked(path, missing, dst, rs)
 			cl.mu.Unlock()
 			agg.merge(st)
 			if err != nil {
@@ -912,17 +949,36 @@ func ReliableGet(ctx context.Context, connect func(context.Context) (*Client, er
 }
 
 // ReliableGetFile is ReliableGet into a local file plus end-to-end CRC
-// verification, the full Data Mover contract of Section 4.3.
+// verification, the full Data Mover contract of Section 4.3 — made
+// crash-safe and resumable:
+//
+//   - the payload lands at localPath+PartSuffix and is renamed into
+//     place only after the end-to-end CRC passes, so the destination
+//     never holds a truncated or unverified file;
+//   - a failed or interrupted transfer leaves the staging file behind,
+//     and a later call resumes from its length after verifying the
+//     prefix CRC against the server (CKSM of [0, len)); a mismatched or
+//     oversized prefix falls back to a full restart from byte 0.
 func ReliableGetFile(ctx context.Context, connect func(context.Context) (*Client, error), remotePath, localPath string, pol retry.Policy) (TransferStats, error) {
-	f, err := os.Create(localPath)
+	part := localPath + PartSuffix
+	f, err := os.OpenFile(part, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return TransferStats{}, err
 	}
-	stats, err := ReliableGet(ctx, connect, remotePath, f, pol)
+	var rs RangeSet
+	if info, serr := f.Stat(); serr == nil && info.Size() > 0 {
+		resumePartial(ctx, connect, remotePath, f, info.Size(), &rs)
+	}
+	stats, err := reliableGet(ctx, connect, remotePath, f, &rs, pol)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
+		// Keep the partial file: it is the restart marker a future
+		// attempt resumes from (and recovery quarantines if orphaned).
 		return stats, err
 	}
 	cl, err := connect(ctx)
@@ -930,10 +986,53 @@ func ReliableGetFile(ctx context.Context, connect func(context.Context) (*Client
 		return stats, err
 	}
 	defer cl.Close()
-	if err := cl.verifyLocal(remotePath, localPath); err != nil {
+	if err := cl.verifyLocal(remotePath, part); err != nil {
+		// The staged bytes failed end-to-end verification; drop them so
+		// the next attempt starts clean instead of resuming corruption.
+		os.Remove(part)
 		return stats, err
 	}
+	if err := os.Rename(part, localPath); err != nil {
+		return stats, err
+	}
+	syncDir(filepath.Dir(localPath))
 	return stats, nil
+}
+
+// resumePartial decides whether an existing staging file can seed a
+// resumed download. The prefix is trusted only when the server's range
+// checksum of [0, have) matches the local bytes; any doubt — remote
+// shrank, CKSM unsupported, checksum mismatch, read error — truncates
+// back to a full restart. Best-effort: a failure here never fails the
+// transfer, it only costs the resume.
+func resumePartial(ctx context.Context, connect func(context.Context) (*Client, error), remotePath string, f *os.File, have int64, rs *RangeSet) {
+	restart := func() {
+		f.Truncate(0)
+	}
+	cl, err := connect(ctx)
+	if err != nil {
+		restart()
+		return
+	}
+	defer cl.Close()
+	size, err := cl.Size(remotePath)
+	if err != nil || have > size {
+		restart()
+		return
+	}
+	want, err := cl.ChecksumRange(remotePath, 0, have)
+	if err != nil {
+		restart()
+		return
+	}
+	got, err := crcOfReader(f, have)
+	if err != nil || got != want {
+		cl.rec.ResumeRejected()
+		restart()
+		return
+	}
+	rs.Add(0, have)
+	cl.rec.Resumed(have)
 }
 
 // AutoTune performs the paper's "automatic negotiation of TCP buffer/window

@@ -1,0 +1,353 @@
+// Package journal is the crash-safe durability core of a GDMP site: an
+// append-only, fsync'd, record-checksummed write-ahead log paired with
+// compacting snapshots. The paper's recovery story (Section 4.1's
+// catalog-based failure recovery, Section 3.2's restartable transfers)
+// assumes a site can die at an arbitrary instruction and come back; this
+// package supplies the on-disk contract that makes the in-memory state
+// reconstructible after exactly such a death.
+//
+// Layout under the journal directory:
+//
+//	snapshot   — the latest compacted snapshot (replaced atomically)
+//	wal        — records appended since that snapshot
+//	wal.torn   — quarantined bytes from the last torn tail, for forensics
+//
+// Every record is framed as
+//
+//	u32 payload length | u32 IEEE CRC-32 of payload | payload
+//
+// and Append only returns after the bytes are written and fsync'd, so a
+// caller that journals a mutation before acknowledging it can never ack
+// state the disk does not hold. On Open the write-ahead log is replayed;
+// a torn or corrupt tail record — the signature of a crash mid-append —
+// is cut off at the last intact record, preserved in wal.torn, and the
+// log truncated so subsequent appends continue from a clean boundary.
+//
+// Snapshots use the same length+CRC framing behind a header line, are
+// written to a temporary file, fsync'd, and renamed into place, so a
+// crash during compaction leaves either the old snapshot or the new one,
+// never a hybrid.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gdmp/internal/obs"
+)
+
+// MetricsPrefix prefixes every journal metric.
+const MetricsPrefix = "gdmp_journal"
+
+// Names of the files managed inside the journal directory.
+const (
+	snapshotName = "snapshot"
+	walName      = "wal"
+	tornName     = "wal.torn"
+)
+
+// snapshotHeader guards against loading a foreign file as a snapshot.
+const snapshotHeader = "gdmp-journal-snapshot v1\n"
+
+// MaxRecord bounds a single record (and the snapshot payload is bounded
+// by the same framing arithmetic); anything larger is rejected at Append
+// and treated as corruption at replay.
+const MaxRecord = 64 << 20
+
+// ErrCorruptSnapshot reports a snapshot that fails its checksum or
+// framing. Unlike a torn WAL tail — which is expected after a crash and
+// recovered from silently — a broken snapshot means the atomic-rename
+// contract was violated (disk fault, manual edit) and needs an operator.
+var ErrCorruptSnapshot = errors.New("journal: corrupt snapshot")
+
+// Options tunes a Journal.
+type Options struct {
+	// NoSync skips the fsync after every append. Throughput harnesses
+	// may set it; durable deployments must not.
+	NoSync bool
+
+	// Registry receives the gdmp_journal_* metrics (obs.Default when nil).
+	Registry *obs.Registry
+}
+
+// Recovery is what Open reconstructed from disk.
+type Recovery struct {
+	// Snapshot is the latest compacted snapshot payload, nil when the
+	// journal had none.
+	Snapshot []byte
+
+	// Records are the intact WAL records appended after the snapshot, in
+	// append order.
+	Records [][]byte
+
+	// TornBytes is how many trailing bytes were cut from the WAL because
+	// they did not form an intact record (crash mid-append). They are
+	// preserved in wal.torn.
+	TornBytes int64
+}
+
+// metrics bundles the journal's collectors.
+type metrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	compactions *obs.Counter
+	walBytes    *obs.Gauge
+	walRecords  *obs.Gauge
+	tornTails   *obs.Counter
+}
+
+func metricsFor(r *obs.Registry) *metrics {
+	if r == nil {
+		r = obs.Default
+	}
+	return &metrics{
+		appends: r.Counter(MetricsPrefix+"_appends_total",
+			"Records appended (and fsync'd) to the write-ahead log."),
+		appendBytes: r.Counter(MetricsPrefix+"_append_bytes_total",
+			"Payload bytes appended to the write-ahead log."),
+		compactions: r.Counter(MetricsPrefix+"_compactions_total",
+			"Snapshot compactions that truncated the write-ahead log."),
+		walBytes: r.Gauge(MetricsPrefix+"_wal_bytes",
+			"Current size of the write-ahead log in bytes."),
+		walRecords: r.Gauge(MetricsPrefix+"_wal_records",
+			"Records in the write-ahead log since the last compaction."),
+		tornTails: r.Counter(MetricsPrefix+"_torn_tails_total",
+			"Torn or corrupt WAL tails truncated and quarantined at open."),
+	}
+}
+
+// Journal is an open write-ahead log plus its snapshot. Methods are not
+// safe for concurrent use; callers serialize (a site journals under the
+// same lock that guards the state being journaled).
+type Journal struct {
+	dir  string
+	opts Options
+	wal  *os.File
+	size int64 // current WAL size in bytes
+	recs int   // records since last compaction
+	met  *metrics
+}
+
+// Open opens (creating if needed) the journal in dir and replays it.
+func Open(dir string, opts Options) (*Journal, Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	j := &Journal{dir: dir, opts: opts, met: metricsFor(opts.Registry)}
+
+	var rec Recovery
+	snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	rec.Snapshot = snap
+
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	records, good, torn, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, Recovery{}, err
+	}
+	if len(torn) > 0 {
+		// Preserve the tail for forensics, then cut the log back to the
+		// last intact record so appends resume from a clean boundary.
+		if err := os.WriteFile(filepath.Join(dir, tornName), torn, 0o644); err != nil {
+			f.Close()
+			return nil, Recovery{}, err
+		}
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, Recovery{}, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, Recovery{}, err
+		}
+		rec.TornBytes = int64(len(torn))
+		j.met.tornTails.Inc()
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, Recovery{}, err
+	}
+	rec.Records = records
+	j.wal = f
+	j.size = good
+	j.recs = len(records)
+	j.met.walBytes.Set(j.size)
+	j.met.walRecords.Set(int64(j.recs))
+	return j, rec, nil
+}
+
+// readSnapshot loads and verifies the snapshot file; a missing snapshot
+// returns (nil, nil).
+func readSnapshot(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	h := []byte(snapshotHeader)
+	if len(b) < len(h)+8 || string(b[:len(h)]) != snapshotHeader {
+		return nil, fmt.Errorf("%w: bad header in %s", ErrCorruptSnapshot, path)
+	}
+	b = b[len(h):]
+	n := binary.BigEndian.Uint32(b[0:4])
+	sum := binary.BigEndian.Uint32(b[4:8])
+	if uint64(n) != uint64(len(b)-8) {
+		return nil, fmt.Errorf("%w: length %d of %d payload bytes in %s",
+			ErrCorruptSnapshot, n, len(b)-8, path)
+	}
+	payload := b[8:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch in %s", ErrCorruptSnapshot, path)
+	}
+	return payload, nil
+}
+
+// scanWAL reads intact records and returns them, the offset of the first
+// byte past the last intact record, and any torn tail bytes after it.
+func scanWAL(f *os.File) (records [][]byte, good int64, torn []byte, err error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	off := 0
+	for {
+		if len(b)-off < 8 {
+			break // short header: torn
+		}
+		n := binary.BigEndian.Uint32(b[off : off+4])
+		sum := binary.BigEndian.Uint32(b[off+4 : off+8])
+		if n > MaxRecord || len(b)-off-8 < int(n) {
+			break // impossible or short payload: torn
+		}
+		payload := b[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record: everything from here is suspect
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += 8 + int(n)
+	}
+	if off < len(b) {
+		torn = append([]byte(nil), b[off:]...)
+	}
+	return records, int64(off), torn, nil
+}
+
+// Append frames, writes, and fsyncs one record. It returns only after the
+// bytes are durable (unless Options.NoSync), so callers may acknowledge
+// the journaled mutation the moment Append returns.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds %d", len(payload), MaxRecord)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := j.wal.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.wal.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	j.size += int64(len(buf))
+	j.recs++
+	j.met.appends.Inc()
+	j.met.appendBytes.Add(int64(len(payload)))
+	j.met.walBytes.Set(j.size)
+	j.met.walRecords.Set(int64(j.recs))
+	return nil
+}
+
+// Records reports how many records the WAL holds since the last
+// compaction (replayed ones included); sites use it to decide when to
+// compact.
+func (j *Journal) Records() int { return j.recs }
+
+// Compact atomically replaces the snapshot with the given payload and
+// truncates the write-ahead log. A crash at any point leaves either the
+// old snapshot + old WAL or the new snapshot (+ old-or-empty WAL, whose
+// records then merely re-apply state the snapshot already holds — callers
+// must make replay idempotent, which state-replacement records are).
+func (j *Journal) Compact(snapshot []byte) error {
+	path := filepath.Join(j.dir, snapshotName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, len(snapshotHeader)+8+len(snapshot))
+	copy(buf, snapshotHeader)
+	binary.BigEndian.PutUint32(buf[len(snapshotHeader):], uint32(len(snapshot)))
+	binary.BigEndian.PutUint32(buf[len(snapshotHeader)+4:], crc32.ChecksumIEEE(snapshot))
+	copy(buf[len(snapshotHeader)+8:], snapshot)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(j.dir)
+	// The snapshot is durable; the WAL records it subsumes can go.
+	if err := j.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	j.size = 0
+	j.recs = 0
+	j.met.compactions.Inc()
+	j.met.walBytes.Set(0)
+	j.met.walRecords.Set(0)
+	return nil
+}
+
+// Close closes the write-ahead log file.
+func (j *Journal) Close() error {
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename within it is durable;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,237 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdmp/internal/obs"
+)
+
+func openT(t *testing.T, dir string) (*Journal, Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rec
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openT(t, dir)
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", rec)
+	}
+	var want [][]byte
+	for i := 0; i < 25; i++ {
+		r := []byte(fmt.Sprintf("record-%d", i))
+		want = append(want, r)
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Empty records must survive too.
+	want = append(want, []byte{})
+	if err := j.Append(nil); err != nil {
+		t.Fatalf("Append empty: %v", err)
+	}
+	j.Close()
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if rec.TornBytes != 0 {
+		t.Fatalf("clean log reported %d torn bytes", rec.TornBytes)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r, want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+	// Appends after a replay continue the same log.
+	if err := j2.Append([]byte("after-reopen")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	j2.Close()
+	_, rec = openT(t, dir)
+	if got := len(rec.Records); got != len(want)+1 {
+		t.Fatalf("after reopen append: %d records, want %d", got, len(want)+1)
+	}
+}
+
+func TestCompactReplacesSnapshotAndTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact([]byte("state-at-10")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if j.Records() != 0 {
+		t.Fatalf("Records() = %d after compaction", j.Records())
+	}
+	if err := j.Append([]byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if string(rec.Snapshot) != "state-at-10" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "post-compact" {
+		t.Fatalf("records after compaction = %q", rec.Records)
+	}
+}
+
+// tornCase appends good records, then mangles the tail; replay must
+// recover every intact record, quarantine the rest, and leave the log
+// appendable.
+func tornCase(t *testing.T, mangle func(t *testing.T, walPath string)) {
+	t.Helper()
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	mangle(t, filepath.Join(dir, walName))
+
+	j2, rec := openT(t, dir)
+	if len(rec.Records) != 5 {
+		t.Fatalf("recovered %d records, want the 5 intact ones", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if string(r) != fmt.Sprintf("good-%d", i) {
+			t.Fatalf("record %d = %q", i, r)
+		}
+	}
+	if rec.TornBytes == 0 {
+		t.Fatalf("torn tail not reported")
+	}
+	if _, err := os.Stat(filepath.Join(dir, tornName)); err != nil {
+		t.Fatalf("torn tail not quarantined: %v", err)
+	}
+	// The truncated log must accept appends and replay cleanly again.
+	if err := j2.Append([]byte("after-torn")); err != nil {
+		t.Fatalf("Append after torn recovery: %v", err)
+	}
+	j2.Close()
+	_, rec = openT(t, dir)
+	if rec.TornBytes != 0 {
+		t.Fatalf("second open still torn: %d bytes", rec.TornBytes)
+	}
+	if len(rec.Records) != 6 || string(rec.Records[5]) != "after-torn" {
+		t.Fatalf("post-recovery log replayed %q", rec.Records)
+	}
+}
+
+func TestTornTailTruncatedMidPayload(t *testing.T) {
+	tornCase(t, func(t *testing.T, wal string) {
+		// A crash mid-append: a full header plus half a payload.
+		f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte{0, 0, 0, 200, 0xde, 0xad, 0xbe, 0xef, 'h', 'a', 'l', 'f'})
+		f.Close()
+	})
+}
+
+func TestTornTailShortHeader(t *testing.T) {
+	tornCase(t, func(t *testing.T, wal string) {
+		f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte{0, 0, 0}) // 3 of 8 header bytes
+		f.Close()
+	})
+}
+
+func TestTornTailCorruptChecksum(t *testing.T) {
+	tornCase(t, func(t *testing.T, wal string) {
+		// Append one fully-framed record, then flip a payload bit: a
+		// checksum mismatch must quarantine it and everything after.
+		f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte{0, 0, 0, 4, 0x11, 0x22, 0x33, 0x44, 'j', 'u', 'n', 'k'})
+		f.Close()
+	})
+}
+
+func TestCorruptMiddleRecordQuarantinesSuffix(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	wal := filepath.Join(dir, walName)
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the third record (records are 8+5 bytes).
+	b[2*13+8] ^= 0xff
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records, want the 2 before the corruption", len(rec.Records))
+	}
+	if rec.TornBytes != int64(3*13) {
+		t.Fatalf("torn bytes = %d, want %d", rec.TornBytes, 3*13)
+	}
+}
+
+func TestCorruptSnapshotIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	if err := j.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, snapshotName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Registry: obs.NewRegistry()}); err == nil {
+		t.Fatal("corrupt snapshot opened without error")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	defer j.Close()
+	if err := j.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}

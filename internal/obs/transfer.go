@@ -60,6 +60,10 @@ type TransferRecorder struct {
 	crcFails  *Counter
 	bandwidth *Histogram
 	inFlight  *Gauge
+
+	resumes        *Counter
+	resumedBytes   *Counter
+	resumeRejected *Counter
 }
 
 // NewTransferRecorder creates (or rebinds to) the transfer metric family
@@ -83,6 +87,12 @@ func NewTransferRecorder(r *Registry, prefix string) *TransferRecorder {
 			"Effective per-transfer bandwidth in Mbps.", bandwidthBuckets),
 		inFlight: r.Gauge(prefix+"_in_flight",
 			"Transfers currently in progress."),
+		resumes: r.Counter(prefix+"_resumes_total",
+			"Downloads resumed from a verified partial file."),
+		resumedBytes: r.Counter(prefix+"_resumed_bytes_total",
+			"Bytes skipped by resuming downloads from a verified prefix."),
+		resumeRejected: r.Counter(prefix+"_resume_rejected_total",
+			"Partial files whose prefix checksum failed, forcing a full restart."),
 	}
 }
 
@@ -128,6 +138,23 @@ func (t *TransferRecorder) Striped(hosts int) { t.stripes.Observe(float64(hosts)
 
 // CRCFailure counts one end-to-end checksum mismatch.
 func (t *TransferRecorder) CRCFailure() { t.crcFails.Inc() }
+
+// Resumed records one download resumed from a verified partial file of
+// the given length (the bytes the resume did not have to move again).
+func (t *TransferRecorder) Resumed(bytes int64) {
+	t.resumes.Inc()
+	t.resumedBytes.Add(bytes)
+}
+
+// ResumeRejected counts a partial file whose prefix checksum did not
+// match the source, forcing a restart from byte 0.
+func (t *TransferRecorder) ResumeRejected() { t.resumeRejected.Inc() }
+
+// Resumes returns the resumed-download count (test hook).
+func (t *TransferRecorder) Resumes() int64 { return t.resumes.Value() }
+
+// ResumedBytes returns the bytes skipped by resumes (test hook).
+func (t *TransferRecorder) ResumedBytes() int64 { return t.resumedBytes.Value() }
 
 // Transfers returns the count for a direction/outcome pair (test hook).
 func (t *TransferRecorder) Transfers(direction, outcome string) int64 {

@@ -36,7 +36,8 @@ type Grid struct {
 
 	Sites map[string]*core.Site
 
-	baseDir string
+	baseDir  string
+	siteOpts map[string]SiteOptions
 }
 
 // SiteOptions configures one site added to the grid.
@@ -98,6 +99,18 @@ type SiteOptions struct {
 	// Metrics gives the site a private instrumentation registry, keeping
 	// test assertions isolated from obs.Default.
 	Metrics *obs.Registry
+
+	// Durable gives the site a state directory (under the grid's base
+	// dir), enabling the crash-safe journal. Combined with Kill and
+	// RestartSite this is the crash/restart test surface.
+	Durable bool
+
+	// GDMPListen and FTPListen pin the site's two servers to fixed
+	// addresses; empty picks ephemeral ports. RestartSite pins them
+	// automatically so a reborn site keeps its identity (PFNs in the
+	// replica catalog and subscriber registrations embed the addresses).
+	GDMPListen string
+	FTPListen  string
 }
 
 // NewGrid creates the trust domain and the central replica catalog.
@@ -133,6 +146,7 @@ func NewGrid(baseDir string) (*Grid, error) {
 		CatalogAddr: ln.Addr().String(),
 		Sites:       make(map[string]*core.Site),
 		baseDir:     baseDir,
+		siteOpts:    make(map[string]SiteOptions),
 	}, nil
 }
 
@@ -158,6 +172,8 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 	cfg := core.Config{
 		Name:                   name,
 		DataDir:                dataDir,
+		GDMPListen:             opts.GDMPListen,
+		FTPListen:              opts.FTPListen,
 		Cred:                   cred,
 		TrustRoots:             g.Roots,
 		ACL:                    g.ACL,
@@ -174,6 +190,9 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		PerSourceLimit:         opts.PerSourceLimit,
 		Select:                 opts.Select,
 		Metrics:                opts.Metrics,
+	}
+	if opts.Durable {
+		cfg.StateDir = filepath.Join(siteDir, "state")
 	}
 	if opts.WithMSS {
 		capacity := opts.MSSCapacity
@@ -201,11 +220,31 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		return nil, err
 	}
 	g.Sites[name] = site
+	g.siteOpts[name] = opts
 	return site, nil
 }
 
 // Site returns a site by name.
 func (g *Grid) Site(name string) *core.Site { return g.Sites[name] }
+
+// RestartSite simulates a crash-and-reboot of a site: the running
+// instance is killed abruptly (no graceful drain, no final journal
+// snapshot), and a new instance starts over the same data and state
+// directories, pinned to the same control and data addresses so its
+// catalog PFNs and subscriber registrations stay valid. The caller may
+// also have killed the site already; Kill is idempotent.
+func (g *Grid) RestartSite(name string) (*core.Site, error) {
+	old, ok := g.Sites[name]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown site %q", name)
+	}
+	opts := g.siteOpts[name]
+	opts.GDMPListen = old.Addr()
+	opts.FTPListen = old.DataAddr()
+	old.Kill()
+	delete(g.Sites, name)
+	return g.AddSite(name, opts)
+}
 
 // Close shuts down every site and the catalog server.
 func (g *Grid) Close() {

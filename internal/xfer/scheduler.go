@@ -28,10 +28,16 @@ package xfer
 import (
 	"container/heap"
 	"context"
+	"errors"
+	"sort"
 	"sync"
 
 	"gdmp/internal/obs"
 )
+
+// ErrDraining is returned by tickets for submissions rejected because the
+// scheduler is draining for shutdown.
+var ErrDraining = errors.New("xfer: scheduler draining")
 
 // MetricsPrefix prefixes every scheduler metric.
 const MetricsPrefix = "gdmp_xfer"
@@ -198,6 +204,7 @@ const (
 	outcomeError     = "error"
 	outcomeCanceled  = "canceled"
 	outcomeAbandoned = "abandoned"
+	outcomeRejected  = "rejected"
 )
 
 // Scheduler runs jobs on a bounded worker pool with dedup and priorities.
@@ -214,6 +221,7 @@ type Scheduler struct {
 	inflight map[string]*Ticket // queued or running tickets by key
 	seq      uint64
 	closed   bool
+	draining bool
 
 	srcMu sync.Mutex
 	srcs  map[string]chan struct{} // per-source slot semaphores
@@ -252,6 +260,8 @@ func (s *Scheduler) Submit(key string, priority int, fn Job) *Ticket {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.inflight[key]; ok {
+		// Joining an already-admitted job adds no new work, so it stays
+		// legal while draining.
 		t.waiters++
 		s.met.dedups.Inc()
 		return t
@@ -264,6 +274,10 @@ func (s *Scheduler) Submit(key string, priority int, fn Job) *Ticket {
 	}
 	if s.closed {
 		s.finishLocked(t, context.Canceled, outcomeCanceled)
+		return t
+	}
+	if s.draining {
+		s.finishLocked(t, ErrDraining, outcomeRejected)
 		return t
 	}
 	s.inflight[key] = t
@@ -283,6 +297,11 @@ func (s *Scheduler) finishLocked(t *Ticket, err error, outcome string) {
 	delete(s.inflight, t.key)
 	s.met.jobs.WithLabelValues(outcome).Inc()
 	close(t.done)
+	if len(s.inflight) == 0 {
+		// Wake any Drain waiting for the last job. Workers woken
+		// spuriously re-check their queue condition and sleep again.
+		s.cond.Broadcast()
+	}
 }
 
 // worker pops and runs jobs until Close.
@@ -376,6 +395,61 @@ func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queue.Len()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain moves the scheduler into shutdown admission control: new
+// submissions fail immediately with ErrDraining while queued and running
+// jobs are allowed to finish. It returns when the last admitted job
+// completes, or when ctx expires — in which case it reports the dedup
+// keys of the jobs it abandoned (still queued or mid-transfer) alongside
+// ctx's error, so the caller can persist them as unfinished work. Drain
+// does not stop the workers or cancel anything; follow with Close.
+func (s *Scheduler) Drain(ctx context.Context) (abandoned []string, err error) {
+	s.mu.Lock()
+	s.draining = true
+	if len(s.inflight) == 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	abort := false // guarded by s.mu
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for len(s.inflight) > 0 && !abort {
+			s.cond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+		return nil, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		abort = true
+		for k := range s.inflight {
+			abandoned = append(abandoned, k)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-done
+		if len(abandoned) == 0 {
+			// The last job finished in the race between completion and
+			// ctx expiry: that is a clean drain.
+			return nil, nil
+		}
+		sort.Strings(abandoned)
+		return abandoned, ctx.Err()
+	}
 }
 
 // Close cancels running jobs, fails queued ones with context.Canceled,
