@@ -185,6 +185,7 @@ func run(p params) error {
 	var rcSrv *replica.Server
 	var rcCatalog *replica.Catalog
 	rcSnapshot := ""
+	var snapStop, snapStopped chan struct{}
 	if p.rcServe != "" {
 		rcCatalog = replica.NewCatalog()
 		if p.stateDir != "" {
@@ -212,10 +213,19 @@ func run(p params) error {
 			p.rcAddr = rcLn.Addr().String()
 		}
 		if rcSnapshot != "" && p.rcSaveEvery > 0 {
+			snapStop, snapStopped = make(chan struct{}), make(chan struct{})
 			go func() {
-				for range time.Tick(p.rcSaveEvery) {
-					if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
-						log.Printf("embedded catalog snapshot: %v", err)
+				defer close(snapStopped)
+				t := time.NewTicker(p.rcSaveEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-t.C:
+						if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
+							log.Printf("embedded catalog snapshot: %v", err)
+						}
+					case <-snapStop:
+						return
 					}
 				}
 			}()
@@ -301,6 +311,12 @@ func run(p params) error {
 	} else {
 		log.Printf("received %v, shutting down", s)
 		err2 = site.Close()
+	}
+	// Stop (and join) the periodic snapshot goroutine before the final
+	// save, so two SaveFile calls never race on the same path.
+	if snapStop != nil {
+		close(snapStop)
+		<-snapStopped
 	}
 	if rcCatalog != nil && rcSnapshot != "" {
 		if err := rcCatalog.SaveFile(rcSnapshot); err != nil {

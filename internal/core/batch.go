@@ -34,7 +34,9 @@ func (s *Site) PublishAll(relPaths []string, opts PublishOptions) ([]PublishedFi
 		}
 	}
 	if len(infos) > 0 {
-		s.notifySubscribers(infos)
+		if err := s.notifySubscribers(infos); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return published, firstErr
 }
@@ -93,7 +95,9 @@ func (s *Site) RebuildLocalCatalog() (int, error) {
 			State:    state,
 		}
 		s.local.put(fi)
-		s.persist.putFile(fi)
+		if err := s.persist.putFile(fi); err != nil {
+			return restored, err
+		}
 		restored++
 	}
 	return restored, nil

@@ -76,8 +76,7 @@ func (s *Site) RemoveLocal(lfn string) error {
 		return err
 	}
 	s.local.remove(lfn)
-	s.persist.removeFile(lfn)
-	return nil
+	return s.persist.removeFile(lfn)
 }
 
 // DeleteLogical removes the logical file entirely from the Grid: local
@@ -96,7 +95,9 @@ func (s *Site) DeleteLogical(lfn string) error {
 			s.storage.Drop(fi.Path)
 		}
 		s.local.remove(lfn)
-		s.persist.removeFile(lfn)
+		if err := s.persist.removeFile(lfn); err != nil {
+			return err
+		}
 	}
 	return s.rc.client.Delete(s.ctx, lfn)
 }

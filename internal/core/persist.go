@@ -21,10 +21,11 @@ const RecoveryMetricsPrefix = "gdmp_recovery"
 // Journal record tags. Every mutation of durable site state — the local
 // file catalog, the subscriber registry with its undelivered notification
 // queues, and the set of notified-but-unfinished pulls — is one tagged
-// record, applied to the persistence mirror before it is appended, and
-// re-applied in order at replay. Records are deltas, so their per-key
-// ordering matters; each is journaled under the same site lock that
-// guards the in-memory state it describes.
+// record, appended to the journal and then applied to the persistence
+// mirror, and re-applied in order at replay. Records are deltas, so
+// their per-key ordering matters; the journal's per-generation WAL
+// guarantees a record is only ever replayed against the snapshot it was
+// appended after, never double-applied.
 const (
 	recPutFile uint8 = iota + 1
 	recRemoveFile
@@ -103,32 +104,43 @@ func openPersistence(stateDir string, reg *obs.Registry, logger *log.Logger) (p 
 	return p, rec.TornBytes, nil
 }
 
-// commit applies one record to the mirror and appends it to the journal,
+// commit appends one record to the journal and applies it to the mirror,
 // compacting when the WAL has grown past the threshold. It returns only
 // after the record is fsync'd, so callers may acknowledge the mutation
-// the moment commit returns.
-func (p *sitePersistence) commit(rec []byte) {
+// the moment commit returns nil — and must refuse to acknowledge when it
+// errors: an append failure (disk full, I/O fault) latches the journal
+// failed, the record never reaches the mirror, and the error surfaces so
+// the mutating operation fails instead of silently losing durability.
+func (p *sitePersistence) commit(rec []byte) error {
 	if p == nil {
-		return
+		return nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.commitLocked(rec)
+}
+
+// commitLocked is commit with p.mu already held (pull hooks take the lock
+// earlier so their existing-record checks and the append are one atomic
+// step).
+func (p *sitePersistence) commitLocked(rec []byte) error {
 	if p.closed {
-		return
-	}
-	if err := p.st.apply(rec); err != nil {
-		p.logger.Printf("gdmp: journal record rejected by mirror: %v", err)
-		return
+		return nil
 	}
 	if err := p.j.Append(rec); err != nil {
-		p.logger.Printf("gdmp: journal append failed: %v", err)
-		return
+		return err
+	}
+	if err := p.st.apply(rec); err != nil {
+		// The record is our own encoding, already durable; a mirror
+		// rejection is a bug, not an I/O condition.
+		p.logger.Printf("gdmp: journal record rejected by mirror: %v", err)
 	}
 	if p.j.Records() >= compactThreshold {
 		if err := p.j.Compact(p.st.encode()); err != nil {
 			p.logger.Printf("gdmp: journal compaction failed: %v", err)
 		}
 	}
+	return nil
 }
 
 // close shuts the journal down. A graceful close folds the final state
@@ -154,123 +166,123 @@ func (p *sitePersistence) close(graceful bool) {
 
 // --- record constructors (the site's journaling hooks) ---------------------
 
-func (p *sitePersistence) putFile(fi FileInfo) {
+func (p *sitePersistence) putFile(fi FileInfo) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recPutFile)
 	encodeFileInfo(&e, fi)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) removeFile(lfn string) {
+func (p *sitePersistence) removeFile(lfn string) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recRemoveFile)
 	e.String(lfn)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) setState(lfn string, st FileState) {
+func (p *sitePersistence) setState(lfn string, st FileState) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recSetState)
 	e.String(lfn)
 	e.String(string(st))
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) subscribe(name, addr string) {
+func (p *sitePersistence) subscribe(name, addr string) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recSubscribe)
 	e.String(name)
 	e.String(addr)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) unsubscribe(name string) {
+func (p *sitePersistence) unsubscribe(name string) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recUnsubscribe)
 	e.String(name)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) notifyQueue(name string, files []FileInfo) {
+func (p *sitePersistence) notifyQueue(name string, files []FileInfo) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recNotifyQueue)
 	e.String(name)
 	encodeFileInfos(&e, files)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) notifyAck(name string, n int) {
+func (p *sitePersistence) notifyAck(name string, n int) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recNotifyAck)
 	e.String(name)
 	e.Uint32(uint32(n))
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
-func (p *sitePersistence) notifyDrop(name string) {
+func (p *sitePersistence) notifyDrop(name string) error {
 	if p == nil {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recNotifyDrop)
 	e.String(name)
-	p.commit(e.Bytes())
+	return p.commit(e.Bytes())
 }
 
 // pullQueued records an unfinished pull. It is idempotent by LFN and
 // never downgrades: a record that already carries the file's path is not
-// replaced by a bare-LFN admission for the same file.
-func (p *sitePersistence) pullQueued(fi FileInfo) {
+// replaced by a bare-LFN admission for the same file. The check and the
+// commit happen under one lock hold, so a concurrent bare admission can
+// never slip in after a path-bearing record was checked and overwrite it.
+func (p *sitePersistence) pullQueued(fi FileInfo) error {
 	if p == nil {
-		return
-	}
-	p.mu.Lock()
-	existing, ok := p.st.pulls[fi.LFN]
-	p.mu.Unlock()
-	if ok && (existing.Path != "" || fi.Path == "") {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recPullQueued)
 	encodeFileInfo(&e, fi)
-	p.commit(e.Bytes())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.st.pulls[fi.LFN]; ok && (existing.Path != "" || fi.Path == "") {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
 }
 
-func (p *sitePersistence) pullDone(lfn string) {
+func (p *sitePersistence) pullDone(lfn string) error {
 	if p == nil {
-		return
-	}
-	p.mu.Lock()
-	_, ok := p.st.pulls[lfn]
-	p.mu.Unlock()
-	if !ok {
-		return
+		return nil
 	}
 	var e rpc.Encoder
 	e.Uint8(recPullDone)
 	e.String(lfn)
-	p.commit(e.Bytes())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.st.pulls[lfn]; !ok {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
 }
 
 // incompletePulls returns the recovered unfinished-pull set (replay hook).
@@ -557,7 +569,9 @@ func (s *Site) reconcileDataDir(rs *RecoveryStats) error {
 			s.logger.Printf("gdmp[%s]: recovery: %s has no bytes at %s, dropping catalog entry",
 				s.cfg.Name, fi.LFN, fi.Path)
 			s.local.remove(fi.LFN)
-			s.persist.removeFile(fi.LFN)
+			if err := s.persist.removeFile(fi.LFN); err != nil {
+				return err
+			}
 			rs.MissingFiles++
 			continue
 		}
@@ -571,7 +585,9 @@ func (s *Site) reconcileDataDir(rs *RecoveryStats) error {
 				rs.Quarantined++
 			}
 			s.local.remove(fi.LFN)
-			s.persist.removeFile(fi.LFN)
+			if err := s.persist.removeFile(fi.LFN); err != nil {
+				return err
+			}
 		}
 	}
 

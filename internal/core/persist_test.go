@@ -83,8 +83,13 @@ func TestPersistGracefulCloseSnapshots(t *testing.T) {
 	p.subscribe("anl.gov", "127.0.0.1:1000")
 	p.close(true)
 
-	wal, err := os.Stat(filepath.Join(dir, "journal", "wal"))
-	if err == nil && wal.Size() != 0 {
+	// The graceful close compacted into generation 1: its WAL must exist
+	// and be empty.
+	wal, err := os.Stat(filepath.Join(dir, "journal", "wal.1"))
+	if err != nil {
+		t.Fatalf("graceful close left no generation-1 WAL: %v", err)
+	}
+	if wal.Size() != 0 {
 		t.Fatalf("graceful close left %d WAL bytes uncompacted", wal.Size())
 	}
 	q, _, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
@@ -107,7 +112,7 @@ func TestPersistTornTailRecovered(t *testing.T) {
 	p.putFile(FileInfo{LFN: "torn", Path: "t.db", Size: 9})
 	p.close(false)
 
-	walPath := filepath.Join(dir, "journal", "wal")
+	walPath := filepath.Join(dir, "journal", "wal.0")
 	info, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +202,34 @@ func TestPersistSubscriberTransitions(t *testing.T) {
 	p.subscribe("anl.gov", "127.0.0.1:3000")
 	if sub := p.st.subs["anl.gov"]; sub.suspect {
 		t.Fatal("re-subscribe did not heal suspicion")
+	}
+}
+
+// TestPersistAppendFailurePropagates pins the journal-before-ack
+// contract's failure half: when the WAL cannot take the record, the hook
+// must return the error (so the mutating RPC fails) instead of
+// acknowledging a mutation the disk does not hold — and the mirror must
+// not apply it, staying consistent with disk.
+func TestPersistAppendFailurePropagates(t *testing.T) {
+	p := testPersist(t, t.TempDir())
+	if err := p.putFile(FileInfo{LFN: "ok", Path: "ok.db"}); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	p.j.Close() // sever the WAL underneath: every later append must fail loudly
+	if err := p.putFile(FileInfo{LFN: "lost", Path: "lost.db"}); err == nil {
+		t.Fatal("putFile on a severed journal acked")
+	}
+	if err := p.subscribe("anl.gov", "127.0.0.1:1000"); err == nil {
+		t.Fatal("subscribe on a severed journal acked")
+	}
+	if err := p.pullQueued(FileInfo{LFN: "pull"}); err == nil {
+		t.Fatal("pullQueued on a severed journal acked")
+	}
+	if _, ok := p.st.files["lost"]; ok {
+		t.Fatal("mirror applied a record the WAL rejected")
+	}
+	if len(p.st.subs) != 0 || len(p.st.pulls) != 0 {
+		t.Fatalf("mirror diverged from disk: %+v", p.st)
 	}
 }
 

@@ -584,7 +584,11 @@ func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOpti
 		CRC32: crcHex, FileType: ftName, State: StateDisk,
 	}
 	s.local.put(fi)
-	s.persist.putFile(fi)
+	if err := s.persist.putFile(fi); err != nil {
+		// The journal-before-ack contract: a publication that cannot be
+		// made durable must fail rather than ack.
+		return PublishedFile{}, fmt.Errorf("core: journal publish %s: %w", lfn, err)
+	}
 	if s.storage != nil {
 		if err := s.storage.AddToPool(pfn.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, pfn.Path, err)
@@ -592,7 +596,9 @@ func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOpti
 	}
 
 	if notify {
-		s.notifySubscribers([]FileInfo{fi})
+		if err := s.notifySubscribers([]FileInfo{fi}); err != nil {
+			return PublishedFile{}, err
+		}
 	}
 	return PublishedFile{LFN: lfn, PFN: pfn, Size: info.Size(), CRC: crcHex}, nil
 }
@@ -612,18 +618,25 @@ type subscriberState struct {
 // subscriber and kicks each subscriber's drain goroutine. Delivery is
 // asynchronous and retried with backoff; a subscriber that keeps failing
 // turns suspect and reconciles later via the catalog transfer (Recover).
-func (s *Site) notifySubscribers(files []FileInfo) {
+// A journal failure keeps the notice out of the in-memory queue too and
+// is returned, so Publish fails rather than acks a notice that would not
+// survive a crash.
+func (s *Site) notifySubscribers(files []FileInfo) error {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
+	var errs []error
 	for _, st := range s.subscribers {
 		if st.suspect {
 			s.met.notifySkipped.Inc()
 			continue
 		}
-		st.queue = append(st.queue, files...)
 		// Journaled before Publish returns: an acknowledged publication's
 		// notices survive a crash and redeliver after restart.
-		s.persist.notifyQueue(st.name, files)
+		if err := s.persist.notifyQueue(st.name, files); err != nil {
+			errs = append(errs, fmt.Errorf("core: journal notice for %s: %w", st.name, err))
+			continue
+		}
+		st.queue = append(st.queue, files...)
 		if !st.draining {
 			st.draining = true
 			s.notifyWG.Add(1)
@@ -631,6 +644,7 @@ func (s *Site) notifySubscribers(files []FileInfo) {
 		}
 	}
 	s.updateNotifyGaugesLocked()
+	return errors.Join(errs...)
 }
 
 // updateNotifyGaugesLocked refreshes the queue-depth and suspect gauges;
@@ -675,7 +689,11 @@ func (s *Site) drainSubscriber(st *subscriberState) {
 			// New notices may have been queued while the send ran; keep them.
 			st.queue = st.queue[len(batch):]
 			st.failures = 0
-			s.persist.notifyAck(st.name, len(batch))
+			// Best-effort: a failed ack record redelivers the batch after a
+			// restart, and consumers dedup by LFN.
+			if err := s.persist.notifyAck(st.name, len(batch)); err != nil {
+				s.logger.Printf("gdmp[%s]: journal notify-ack for %s: %v", s.cfg.Name, st.name, err)
+			}
 			s.updateNotifyGaugesLocked()
 			s.subMu.Unlock()
 			continue
@@ -686,7 +704,9 @@ func (s *Site) drainSubscriber(st *subscriberState) {
 			st.suspect = true
 			st.draining = false
 			st.queue = nil
-			s.persist.notifyDrop(st.name)
+			if err := s.persist.notifyDrop(st.name); err != nil {
+				s.logger.Printf("gdmp[%s]: journal notify-drop for %s: %v", s.cfg.Name, st.name, err)
+			}
 			s.updateNotifyGaugesLocked()
 			s.subMu.Unlock()
 			s.logger.Printf("gdmp[%s]: subscriber %s (%s) suspect after %d failures: %v",
@@ -908,20 +928,33 @@ func (s *Site) GetCtx(ctx context.Context, lfn string) error {
 func (s *Site) submitGet(lfn string, priority int) *xfer.Ticket {
 	// Admission is durable: a crash between here and replication requeues
 	// the pull at restart (no-op when the LFN is already journaled with
-	// richer detail from its notification).
-	s.persist.pullQueued(FileInfo{LFN: lfn})
+	// richer detail from its notification). A journal failure degrades the
+	// pull to memory-only — the caller still holds the ticket and no ack
+	// has gone to anyone yet, so losing it in a crash is safe.
+	if err := s.persist.pullQueued(FileInfo{LFN: lfn}); err != nil {
+		s.logger.Printf("gdmp[%s]: journal pull admission %s: %v", s.cfg.Name, lfn, err)
+	}
 	return s.sched.Submit(lfn, priority, func(jobCtx context.Context) error {
 		if s.HasFile(lfn) {
-			s.persist.pullDone(lfn)
+			s.journalPullDone(lfn)
 			return nil
 		}
 		err := s.replicate(jobCtx, lfn)
 		s.met.replications.WithLabelValues(outcomeOf(err)).Inc()
 		if err == nil {
-			s.persist.pullDone(lfn)
+			s.journalPullDone(lfn)
 		}
 		return err
 	})
+}
+
+// journalPullDone retires a pull's journal record. Best-effort: a record
+// that outlives its pull merely requeues at the next restart, where the
+// already-present file retires it for good.
+func (s *Site) journalPullDone(lfn string) {
+	if err := s.persist.pullDone(lfn); err != nil {
+		s.logger.Printf("gdmp[%s]: journal pull-done %s: %v", s.cfg.Name, lfn, err)
+	}
 }
 
 func (s *Site) replicate(ctx context.Context, lfn string) error {
@@ -1026,7 +1059,9 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		CRC32: entry.Attrs[replica.AttrCRC], FileType: ftName, State: StateDisk,
 	}
 	s.local.put(fi)
-	s.persist.putFile(fi)
+	if err := s.persist.putFile(fi); err != nil {
+		return fmt.Errorf("core: journal replica %s: %w", lfn, err)
+	}
 	if s.storage != nil {
 		if err := s.storage.AddToPool(myPFN.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
@@ -1219,7 +1254,7 @@ func (s *Site) pullAll(ctx context.Context, files []FileInfo, priority int, op s
 	for _, fi := range files {
 		if s.HasFile(fi.LFN) {
 			// Already here: any journaled pull intent for it is satisfied.
-			s.persist.pullDone(fi.LFN)
+			s.journalPullDone(fi.LFN)
 			continue
 		}
 		pulls = append(pulls, pull{fi, s.submitGet(fi.LFN, priority)})
@@ -1337,11 +1372,16 @@ func (s *Site) registerHandlers() {
 			s.subscribers[name] = &subscriberState{name: name, addr: addr}
 		}
 		// Journaled before the RPC acks: a subscription that the consumer
-		// believes registered survives a producer crash.
-		s.persist.subscribe(name, addr)
+		// believes registered survives a producer crash. A journal failure
+		// fails the RPC so the consumer retries instead of trusting an
+		// ack the disk does not back.
+		err := s.persist.subscribe(name, addr)
 		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: journal subscribe %s: %w", name, err)
+		}
 		s.logger.Printf("gdmp[%s]: %s subscribed as %s (%s)", s.cfg.Name, peer.Base, name, addr)
 		return nil
 	})
@@ -1352,10 +1392,13 @@ func (s *Site) registerHandlers() {
 		}
 		s.subMu.Lock()
 		delete(s.subscribers, name)
-		s.persist.unsubscribe(name)
+		err := s.persist.unsubscribe(name)
 		s.met.subscribers.Set(int64(len(s.subscribers)))
 		s.updateNotifyGaugesLocked()
 		s.subMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: journal unsubscribe %s: %w", name, err)
+		}
 		return nil
 	})
 	s.gdmpSrv.Handle(MethodNotify, func(ctx context.Context, peer *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
@@ -1377,9 +1420,12 @@ func (s *Site) registerHandlers() {
 		}
 		// Journal every accepted notice before this handler returns: once
 		// the producer sees the ack and dequeues, this site owns the pull,
-		// so it must survive a crash here.
+		// so it must survive a crash here. A journal failure fails the RPC
+		// and the producer keeps the notice queued for redelivery.
 		for _, fi := range fresh {
-			s.persist.pullQueued(fi)
+			if err := s.persist.pullQueued(fi); err != nil {
+				return fmt.Errorf("core: journal notice %s: %w", fi.LFN, err)
+			}
 		}
 		if s.cfg.AutoReplicate {
 			// Submit the batch to the pull scheduler instead of spawning
@@ -1437,8 +1483,7 @@ func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 		if err := s.local.setState(lfn, StateDisk); err != nil {
 			return err
 		}
-		s.persist.setState(lfn, StateDisk)
-		return nil
+		return s.persist.setState(lfn, StateDisk)
 	}
 	if s.storage == nil {
 		return fmt.Errorf("core: %q missing on disk and no MSS configured", lfn)
@@ -1452,8 +1497,7 @@ func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 	if err := s.local.setState(lfn, StateDisk); err != nil {
 		return err
 	}
-	s.persist.setState(lfn, StateDisk)
-	return nil
+	return s.persist.setState(lfn, StateDisk)
 }
 
 // ArchiveLocal pushes a published file's bytes to tape and (optionally)

@@ -8,9 +8,10 @@
 //
 // Layout under the journal directory:
 //
-//	snapshot   — the latest compacted snapshot (replaced atomically)
-//	wal        — records appended since that snapshot
-//	wal.torn   — quarantined bytes from the last torn tail, for forensics
+//	snapshot    — the latest compacted snapshot (replaced atomically),
+//	              stamped with its generation number
+//	wal.<gen>   — records appended since the generation-<gen> snapshot
+//	wal.torn    — quarantined bytes from the last torn tail, for forensics
 //
 // Every record is framed as
 //
@@ -26,7 +27,12 @@
 // Snapshots use the same length+CRC framing behind a header line, are
 // written to a temporary file, fsync'd, and renamed into place, so a
 // crash during compaction leaves either the old snapshot or the new one,
-// never a hybrid.
+// never a hybrid. Each compaction advances the generation and starts a
+// fresh wal.<gen>; Open replays only the WAL whose generation matches the
+// snapshot it loaded and deletes the rest, so a crash between the
+// snapshot rename and the old log's removal can never double-apply
+// records the snapshot already contains (records may therefore be deltas,
+// not just state replacements).
 package journal
 
 import (
@@ -37,6 +43,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"gdmp/internal/obs"
 )
@@ -47,12 +55,18 @@ const MetricsPrefix = "gdmp_journal"
 // Names of the files managed inside the journal directory.
 const (
 	snapshotName = "snapshot"
-	walName      = "wal"
+	walPrefix    = "wal."
 	tornName     = "wal.torn"
 )
 
+// walFileName is the write-ahead log of one snapshot generation.
+func walFileName(gen uint64) string {
+	return fmt.Sprintf("%s%d", walPrefix, gen)
+}
+
 // snapshotHeader guards against loading a foreign file as a snapshot.
-const snapshotHeader = "gdmp-journal-snapshot v1\n"
+// v2 added the generation stamp that ties a snapshot to its WAL.
+const snapshotHeader = "gdmp-journal-snapshot v2\n"
 
 // MaxRecord bounds a single record (and the snapshot payload is bounded
 // by the same framing arithmetic); anything larger is rejected at Append
@@ -128,8 +142,10 @@ type Journal struct {
 	dir  string
 	opts Options
 	wal  *os.File
-	size int64 // current WAL size in bytes
-	recs int   // records since last compaction
+	gen  uint64 // snapshot generation the open WAL belongs to
+	size int64  // current WAL size in bytes
+	recs int    // records since last compaction
+	fail error  // sticky append failure: a partial frame may be on disk
 	met  *metrics
 }
 
@@ -141,13 +157,22 @@ func Open(dir string, opts Options) (*Journal, Recovery, error) {
 	j := &Journal{dir: dir, opts: opts, met: metricsFor(opts.Registry)}
 
 	var rec Recovery
-	snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	snap, gen, err := readSnapshot(filepath.Join(dir, snapshotName))
 	if err != nil {
 		return nil, Recovery{}, err
 	}
 	rec.Snapshot = snap
+	j.gen = gen
 
-	walPath := filepath.Join(dir, walName)
+	// Sweep leftovers of an interrupted compaction: a stale previous-
+	// generation WAL (crash after the snapshot rename but before the old
+	// log's removal) or an orphaned next-generation WAL and snapshot temp
+	// (crash before the rename). Replaying a foreign-generation WAL onto
+	// this snapshot would re-apply records the snapshot already contains.
+	removeForeignWALs(dir, gen)
+	os.Remove(filepath.Join(dir, snapshotName+".tmp"))
+
+	walPath := filepath.Join(dir, walFileName(gen))
 	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, Recovery{}, err
@@ -188,32 +213,52 @@ func Open(dir string, opts Options) (*Journal, Recovery, error) {
 	return j, rec, nil
 }
 
-// readSnapshot loads and verifies the snapshot file; a missing snapshot
-// returns (nil, nil).
-func readSnapshot(path string) ([]byte, error) {
+// readSnapshot loads and verifies the snapshot file, returning its
+// payload and generation; a missing snapshot returns (nil, 0, nil).
+func readSnapshot(path string) ([]byte, uint64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	h := []byte(snapshotHeader)
-	if len(b) < len(h)+8 || string(b[:len(h)]) != snapshotHeader {
-		return nil, fmt.Errorf("%w: bad header in %s", ErrCorruptSnapshot, path)
+	if len(b) < len(h)+16 || string(b[:len(h)]) != snapshotHeader {
+		return nil, 0, fmt.Errorf("%w: bad header in %s", ErrCorruptSnapshot, path)
 	}
 	b = b[len(h):]
-	n := binary.BigEndian.Uint32(b[0:4])
-	sum := binary.BigEndian.Uint32(b[4:8])
-	if uint64(n) != uint64(len(b)-8) {
-		return nil, fmt.Errorf("%w: length %d of %d payload bytes in %s",
-			ErrCorruptSnapshot, n, len(b)-8, path)
+	gen := binary.BigEndian.Uint64(b[0:8])
+	n := binary.BigEndian.Uint32(b[8:12])
+	sum := binary.BigEndian.Uint32(b[12:16])
+	if uint64(n) != uint64(len(b)-16) {
+		return nil, 0, fmt.Errorf("%w: length %d of %d payload bytes in %s",
+			ErrCorruptSnapshot, n, len(b)-16, path)
 	}
-	payload := b[8:]
+	payload := b[16:]
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch in %s", ErrCorruptSnapshot, path)
+		return nil, 0, fmt.Errorf("%w: checksum mismatch in %s", ErrCorruptSnapshot, path)
 	}
-	return payload, nil
+	return payload, gen, nil
+}
+
+// removeForeignWALs deletes every wal.<n> whose generation differs from
+// gen; best-effort (a file that survives is removed at the next open).
+func removeForeignWALs(dir string, gen uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == walFileName(gen) || !strings.HasPrefix(name, walPrefix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(name[len(walPrefix):], 10, 64); err != nil {
+			continue // wal.torn and friends
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
 }
 
 // scanWAL reads intact records and returns them, the offset of the first
@@ -248,8 +293,14 @@ func scanWAL(f *os.File) (records [][]byte, good int64, torn []byte, err error) 
 
 // Append frames, writes, and fsyncs one record. It returns only after the
 // bytes are durable (unless Options.NoSync), so callers may acknowledge
-// the journaled mutation the moment Append returns.
+// the journaled mutation the moment Append returns — and must refuse to
+// acknowledge when it errors. A write or fsync failure latches the
+// journal failed: a partial frame may already be on disk, and appending
+// past it would bury every later record behind a corrupt one at replay.
 func (j *Journal) Append(payload []byte) error {
+	if j.fail != nil {
+		return j.fail
+	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: record of %d bytes exceeds %d", len(payload), MaxRecord)
 	}
@@ -258,11 +309,13 @@ func (j *Journal) Append(payload []byte) error {
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[8:], payload)
 	if _, err := j.wal.Write(buf); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+		j.fail = fmt.Errorf("journal: append: %w", err)
+		return j.fail
 	}
 	if !j.opts.NoSync {
 		if err := j.wal.Sync(); err != nil {
-			return fmt.Errorf("journal: fsync: %w", err)
+			j.fail = fmt.Errorf("journal: fsync: %w", err)
+			return j.fail
 		}
 	}
 	j.size += int64(len(buf))
@@ -279,23 +332,29 @@ func (j *Journal) Append(payload []byte) error {
 // compact.
 func (j *Journal) Records() int { return j.recs }
 
-// Compact atomically replaces the snapshot with the given payload and
-// truncates the write-ahead log. A crash at any point leaves either the
-// old snapshot + old WAL or the new snapshot (+ old-or-empty WAL, whose
-// records then merely re-apply state the snapshot already holds — callers
-// must make replay idempotent, which state-replacement records are).
+// Compact atomically replaces the snapshot with the given payload,
+// advances the generation, and retires the old write-ahead log for a
+// fresh empty one. A crash at any point leaves either the old snapshot
+// with its own WAL intact, or the new snapshot with an empty (or absent)
+// wal.<gen+1>; Open never replays a WAL from a different generation than
+// the snapshot it loaded, so records are free to be deltas.
 func (j *Journal) Compact(snapshot []byte) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	newGen := j.gen + 1
 	path := filepath.Join(j.dir, snapshotName)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, len(snapshotHeader)+8+len(snapshot))
+	buf := make([]byte, len(snapshotHeader)+16+len(snapshot))
 	copy(buf, snapshotHeader)
-	binary.BigEndian.PutUint32(buf[len(snapshotHeader):], uint32(len(snapshot)))
-	binary.BigEndian.PutUint32(buf[len(snapshotHeader)+4:], crc32.ChecksumIEEE(snapshot))
-	copy(buf[len(snapshotHeader)+8:], snapshot)
+	binary.BigEndian.PutUint64(buf[len(snapshotHeader):], newGen)
+	binary.BigEndian.PutUint32(buf[len(snapshotHeader)+8:], uint32(len(snapshot)))
+	binary.BigEndian.PutUint32(buf[len(snapshotHeader)+12:], crc32.ChecksumIEEE(snapshot))
+	copy(buf[len(snapshotHeader)+16:], snapshot)
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		os.Remove(tmp)
@@ -310,23 +369,38 @@ func (j *Journal) Compact(snapshot []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	// The new generation's (empty) WAL exists durably before the rename:
+	// whichever side of the rename a crash lands on, the WAL matching the
+	// surviving snapshot holds no foreign records.
+	newWALPath := filepath.Join(j.dir, walFileName(newGen))
+	nw, err := os.OpenFile(newWALPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := nw.Sync(); err != nil {
+		nw.Close()
+		os.Remove(newWALPath)
 		os.Remove(tmp)
 		return err
 	}
 	syncDir(j.dir)
-	// The snapshot is durable; the WAL records it subsumes can go.
-	if err := j.wal.Truncate(0); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
+		nw.Close()
+		os.Remove(newWALPath)
+		os.Remove(tmp)
 		return err
 	}
-	if _, err := j.wal.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	if err := j.wal.Sync(); err != nil {
-		return err
-	}
+	syncDir(j.dir)
+	// The new snapshot is durable; retire the old generation's log.
+	oldWAL, oldGen := j.wal, j.gen
+	j.wal = nw
+	j.gen = newGen
 	j.size = 0
 	j.recs = 0
+	oldWAL.Close()
+	os.Remove(filepath.Join(j.dir, walFileName(oldGen)))
+	syncDir(j.dir)
 	j.met.compactions.Inc()
 	j.met.walBytes.Set(0)
 	j.met.walRecords.Set(0)

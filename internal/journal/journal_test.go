@@ -106,7 +106,7 @@ func tornCase(t *testing.T, mangle func(t *testing.T, walPath string)) {
 		}
 	}
 	j.Close()
-	mangle(t, filepath.Join(dir, walName))
+	mangle(t, filepath.Join(dir, walFileName(0)))
 
 	j2, rec := openT(t, dir)
 	if len(rec.Records) != 5 {
@@ -182,7 +182,7 @@ func TestCorruptMiddleRecordQuarantinesSuffix(t *testing.T) {
 		}
 	}
 	j.Close()
-	wal := filepath.Join(dir, walName)
+	wal := filepath.Join(dir, walFileName(0))
 	b, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +224,91 @@ func TestCorruptSnapshotIsFatal(t *testing.T) {
 	}
 	if _, _, err := Open(dir, Options{Registry: obs.NewRegistry()}); err == nil {
 		t.Fatal("corrupt snapshot opened without error")
+	}
+}
+
+// TestStaleWALNotReplayedAcrossGenerations reconstructs the disk image of
+// a crash between the snapshot rename and the old WAL's removal: the
+// pre-compaction log, whose records the new snapshot already subsumes,
+// reappears next to it. Open must replay none of those records — deltas
+// double-applied onto the snapshot would corrupt the state — and sweep
+// the stale file.
+func TestStaleWALNotReplayedAcrossGenerations(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("delta-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preCompaction, err := os.ReadFile(filepath.Join(dir, walFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact([]byte("state-with-deltas-applied")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	j.Close()
+	// Resurrect the generation-0 log, as the crash would have left it.
+	if err := os.WriteFile(filepath.Join(dir, walFileName(0)), preCompaction, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if string(rec.Snapshot) != "state-with-deltas-applied" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("stale prior-generation WAL replayed %d records: %q", len(rec.Records), rec.Records)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName(0))); !os.IsNotExist(err) {
+		t.Fatalf("stale wal.0 not swept: %v", err)
+	}
+}
+
+// TestOrphanNextGenWALIgnored covers the other crash window: compaction
+// died after creating wal.<gen+1> but before the snapshot rename. The old
+// snapshot and WAL are still the truth; the orphan must not shadow them.
+func TestOrphanNextGenWALIgnored(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	if err := j.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, walFileName(1)), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	defer j2.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "kept" {
+		t.Fatalf("records = %q, want the generation-0 record", rec.Records)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
+		t.Fatalf("orphan wal.1 not swept: %v", err)
+	}
+}
+
+// TestAppendFailureLatches pins the sticky-failure contract: once a write
+// to the WAL errors, every later Append and Compact must keep failing
+// rather than append past a possible partial frame.
+func TestAppendFailureLatches(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	if err := j.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	j.wal.Close() // sever the log underneath the journal
+	if err := j.Append([]byte("lost")); err == nil {
+		t.Fatal("append to a severed WAL succeeded")
+	}
+	if err := j.Append([]byte("still-lost")); err == nil {
+		t.Fatal("append after a failed append succeeded")
+	}
+	if err := j.Compact([]byte("snap")); err == nil {
+		t.Fatal("compaction on a failed journal succeeded")
 	}
 }
 
