@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull chaos crash
+.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub
 
 all: build
 
@@ -63,3 +63,12 @@ crash:
 	@echo "crash seed: $(CRASH_SEED)"
 	CRASH_SEED=$(CRASH_SEED) CRASH_ARTIFACT_DIR=$(CRASH_ARTIFACT_DIR) \
 		$(GO) test -race -v -run 'TestCrashRestart' .
+
+# Self-healing suite: bit-rot injection, anti-entropy convergence, and
+# quarantine retention, race detector on. The seed is logged by every
+# test; replay a run with `make scrub SCRUB_SEED=7`.
+SCRUB_SEED ?= 20260805
+scrub:
+	@echo "scrub seed: $(SCRUB_SEED)"
+	SCRUB_SEED=$(SCRUB_SEED) $(GO) test -race -v \
+		-run 'TestSelfHeal|TestAntiEntropyConvergence|TestQuarantineRetention' .

@@ -9,6 +9,7 @@
 //	status      <site-ctl-addr>                  transfer counters of a site
 //	stats       <site-ctl-addr>                  full metrics dump of a site
 //	catalog     <site-ctl-addr>                  dump a site's file catalog
+//	fsck        <site-ctl-addr>                  full on-demand integrity scrub
 //	subscribe   <producer-ctl> <myname> <myctl>  subscribe a site to a producer
 //	unsubscribe <producer-ctl> <myname>
 //	stage       <site-ctl-addr> <lfn>            stage a file onto disk
@@ -197,6 +198,7 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		requeued := d.Uint64()
 		quarantined := d.Uint64()
 		notices := d.Uint64()
+		journal := d.String()
 		if err := d.Finish(); err != nil {
 			return err
 		}
@@ -207,6 +209,31 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 			fmt.Printf("last restart: %d files restored, %d pulls requeued, %d notices requeued, %d quarantined\n",
 				restored, requeued, notices, quarantined)
 		}
+		if journal != "" {
+			fmt.Printf("journal: %s\n", journal)
+		}
+		return nil
+
+	case "fsck":
+		// fsck <site-ctl-addr>: run a full scrub pass on the site and
+		// report what it found and repaired.
+		if len(args) != 2 {
+			return fmt.Errorf("usage: fsck <site-ctl-addr>")
+		}
+		d, err := call(args[1], core.MethodFsck, nil)
+		if err != nil {
+			return err
+		}
+		scanned := d.Uint64()
+		bytes := d.Int64()
+		corrupt := d.Uint64()
+		missing := d.Uint64()
+		repairs := d.Uint64()
+		if err := d.Finish(); err != nil {
+			return err
+		}
+		fmt.Printf("fsck %s: %d files scanned (%d bytes), %d corrupt, %d missing, %d repairs queued\n",
+			args[1], scanned, bytes, corrupt, missing, repairs)
 		return nil
 
 	case "stats":

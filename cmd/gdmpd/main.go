@@ -13,7 +13,10 @@
 //	      [-tape /tape -pool-capacity 1073741824] [-federation] \
 //	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap] \
 //	      [-retry-attempts 3 -retry-base 50ms -retry-max 2s] \
-//	      [-transfer-attempts 3] [-notify-failures 3]
+//	      [-transfer-attempts 3] [-notify-failures 3] \
+//	      [-scrub-interval 1h -scrub-rate 8388608] \
+//	      [-anti-entropy-interval 6h] \
+//	      [-quarantine-max-age 168h -quarantine-max-count 1024]
 //
 // With -tape, the site runs a Mass Storage System: the pool acts as a cache
 // and files are staged from the tape directory on demand. With
@@ -31,6 +34,16 @@
 // drains gracefully: admissions stop, in-flight transfers get
 // -drain-timeout to finish, and whatever remains stays journaled for the
 // next start (SIGINT still shuts down immediately).
+//
+// With -scrub-interval, the site self-heals: a background scrubber
+// re-reads every cataloged replica at the -scrub-rate byte pace and
+// verifies its CRC, quarantining corrupt bytes and re-replicating from a
+// surviving location. With -anti-entropy-interval, the site periodically
+// swaps compact (LFN, size, CRC) digests with its producers and
+// subscribers, pulling files whose notifications were lost and
+// withdrawing dangling replica-catalog locations. -quarantine-max-age
+// and -quarantine-max-count bound the quarantine directory. `gdmp fsck`
+// triggers a full on-demand integrity pass.
 //
 // With -rc-serve, the daemon additionally hosts an embedded replica
 // catalog server on the given address — a one-process Grid for small
@@ -87,6 +100,11 @@ func main() {
 	pullWorkers := flag.Int("pull-workers", 4, "concurrent pull replications")
 	perSource := flag.Int("per-source", 0, "max concurrent transfers per source site (0 = unlimited)")
 	stateDir := flag.String("state-dir", "", "journal directory for crash-safe state (empty = no persistence)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background integrity-scrub period (0 = off)")
+	scrubRate := flag.Int64("scrub-rate", 8<<20, "scrubber disk-read cap in bytes/second (0 = unlimited)")
+	antiEntropy := flag.Duration("anti-entropy-interval", 0, "digest-exchange period with producers and subscribers (0 = off)")
+	quarMaxAge := flag.Duration("quarantine-max-age", 168*time.Hour, "sweep quarantined files older than this (0 = keep forever)")
+	quarMaxCount := flag.Int("quarantine-max-count", 1024, "keep at most this many quarantined files (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets in-flight transfers finish")
 	rcServe := flag.String("rc-serve", "", "also run an embedded replica catalog server on this address")
 	rcSaveEvery := flag.Duration("rc-save-every", time.Minute, "embedded catalog snapshot interval (with -rc-serve and -state-dir)")
@@ -107,6 +125,10 @@ func main() {
 		pullWorkers:    *pullWorkers, perSource: *perSource,
 		stateDir: *stateDir, drainTimeout: *drainTimeout,
 		rcServe: *rcServe, rcSaveEvery: *rcSaveEvery,
+		scrubInterval: *scrubInterval, scrubRate: *scrubRate,
+		antiEntropy:  *antiEntropy,
+		quarMaxAge:   *quarMaxAge,
+		quarMaxCount: *quarMaxCount,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -127,6 +149,10 @@ type params struct {
 	drainTimeout                         time.Duration
 	rcServe                              string
 	rcSaveEvery                          time.Duration
+	scrubInterval, antiEntropy           time.Duration
+	scrubRate                            int64
+	quarMaxAge                           time.Duration
+	quarMaxCount                         int
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -253,6 +279,12 @@ func run(p params) error {
 		NotifyFailureThreshold: p.notifyFailures,
 		PullWorkers:            p.pullWorkers,
 		PerSourceLimit:         p.perSource,
+
+		ScrubInterval:       p.scrubInterval,
+		ScrubRateBytes:      p.scrubRate,
+		AntiEntropyInterval: p.antiEntropy,
+		QuarantineMaxAge:    p.quarMaxAge,
+		QuarantineMaxCount:  p.quarMaxCount,
 	}
 	if p.tape != "" {
 		m, err := mss.New(mss.Config{

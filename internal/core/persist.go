@@ -37,6 +37,9 @@ const (
 	recNotifyDrop
 	recPullQueued
 	recPullDone
+	recProducerAdd
+	recProducerRemove
+	recScrubCursor
 )
 
 // compactThreshold is how many WAL records accumulate before the journal
@@ -58,13 +61,24 @@ type persistState struct {
 	files map[string]FileInfo
 	subs  map[string]*persistSub
 	pulls map[string]FileInfo // notified or admitted, not yet replicated
+
+	// producers are the ctl addresses of sites this site has subscribed
+	// to. Anti-entropy exchanges digests with them after a restart, so the
+	// set is durable.
+	producers map[string]bool
+
+	// scrubCursor is the last LFN the local scrubber verified in its
+	// current pass ("" = no pass in progress), letting a restart resume
+	// mid-scan instead of re-reading the files it already verified.
+	scrubCursor string
 }
 
 func newPersistState() persistState {
 	return persistState{
-		files: make(map[string]FileInfo),
-		subs:  make(map[string]*persistSub),
-		pulls: make(map[string]FileInfo),
+		files:     make(map[string]FileInfo),
+		subs:      make(map[string]*persistSub),
+		pulls:     make(map[string]FileInfo),
+		producers: make(map[string]bool),
 	}
 }
 
@@ -285,6 +299,83 @@ func (p *sitePersistence) pullDone(lfn string) error {
 	return p.commitLocked(e.Bytes())
 }
 
+// producerAdd records that this site subscribed to a producer at addr.
+// Idempotent by address.
+func (p *sitePersistence) producerAdd(addr string) error {
+	if p == nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Uint8(recProducerAdd)
+	e.String(addr)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.producers[addr] {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
+}
+
+// producerRemove records an unsubscription from the producer at addr.
+func (p *sitePersistence) producerRemove(addr string) error {
+	if p == nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Uint8(recProducerRemove)
+	e.String(addr)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.st.producers[addr] {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
+}
+
+// producerAddrs returns the recovered producer set (replay hook).
+func (p *sitePersistence) producerAddrs() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.st.producers))
+	for addr := range p.st.producers {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// scrubCursor journals scrub-pass progress: lfn is the last catalog entry
+// verified ("" marks the pass complete). Best-effort durability is wrong
+// here in the other direction than acks: losing the cursor only costs
+// re-verification, but the caller still surfaces the error so a latched
+// journal is noticed.
+func (p *sitePersistence) scrubCursor(lfn string) error {
+	if p == nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Uint8(recScrubCursor)
+	e.String(lfn)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.scrubCursor == lfn {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
+}
+
+// recoveredScrubCursor returns the journaled scrub cursor (replay hook).
+func (p *sitePersistence) recoveredScrubCursor() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.scrubCursor
+}
+
 // incompletePulls returns the recovered unfinished-pull set (replay hook).
 func (p *sitePersistence) incompletePulls() []FileInfo {
 	if p == nil {
@@ -384,14 +475,26 @@ func (st *persistState) apply(rec []byte) error {
 		}
 	case recPullDone:
 		delete(st.pulls, d.String())
+	case recProducerAdd:
+		if addr := d.String(); d.Err() == nil {
+			st.producers[addr] = true
+		}
+	case recProducerRemove:
+		delete(st.producers, d.String())
+	case recScrubCursor:
+		if lfn := d.String(); d.Err() == nil {
+			st.scrubCursor = lfn
+		}
 	default:
 		return fmt.Errorf("unknown record tag %d", tag)
 	}
 	return d.Err()
 }
 
-// snapshotVersion guards the snapshot payload layout.
-const snapshotVersion = 1
+// snapshotVersion guards the snapshot payload layout. Version 2 appends
+// the producer set and the scrub cursor; version 1 snapshots (pre-scrub
+// sites) still decode, with both fields empty.
+const snapshotVersion = 2
 
 // encode serializes the mirror for a journal snapshot.
 func (st *persistState) encode() []byte {
@@ -412,13 +515,19 @@ func (st *persistState) encode() []byte {
 	for _, fi := range st.pulls {
 		encodeFileInfo(&e, fi)
 	}
+	e.Uint32(uint32(len(st.producers)))
+	for addr := range st.producers {
+		e.String(addr)
+	}
+	e.String(st.scrubCursor)
 	return e.Bytes()
 }
 
 // decode loads a snapshot payload into the (empty) mirror.
 func (st *persistState) decode(b []byte) error {
 	d := rpc.NewDecoder(b)
-	if v := d.Uint8(); v != snapshotVersion && d.Err() == nil {
+	v := d.Uint8()
+	if v != 1 && v != snapshotVersion && d.Err() == nil {
 		return fmt.Errorf("unsupported snapshot version %d", v)
 	}
 	for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
@@ -440,6 +549,14 @@ func (st *persistState) decode(b []byte) error {
 		if d.Err() == nil {
 			st.pulls[fi.LFN] = fi
 		}
+	}
+	if v >= 2 {
+		for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
+			if addr := d.String(); d.Err() == nil {
+				st.producers[addr] = true
+			}
+		}
+		st.scrubCursor = d.String()
 	}
 	return d.Finish()
 }
@@ -621,7 +738,7 @@ func (s *Site) reconcileDataDir(rs *RecoveryStats) error {
 // whether the move happened. The file keeps its base name, suffixed on
 // collision, so repeated recoveries never overwrite earlier evidence.
 func (s *Site) quarantine(path string) bool {
-	qdir := filepath.Join(s.cfg.StateDir, "quarantine")
+	qdir := s.quarantineDir()
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		s.logger.Printf("gdmp[%s]: quarantine dir: %v", s.cfg.Name, err)
 		return false

@@ -247,8 +247,62 @@ func TestPersistNilIsNoOp(t *testing.T) {
 	p.notifyDrop("s")
 	p.pullQueued(FileInfo{LFN: "x"})
 	p.pullDone("x")
+	p.producerAdd("a")
+	p.producerRemove("a")
+	p.scrubCursor("x")
 	p.close(true)
 	if got := p.incompletePulls(); got != nil {
 		t.Fatalf("nil persistence returned pulls: %v", got)
+	}
+	if got := p.producerAddrs(); got != nil {
+		t.Fatalf("nil persistence returned producers: %v", got)
+	}
+	if got := p.recoveredScrubCursor(); got != "" {
+		t.Fatalf("nil persistence returned a scrub cursor: %q", got)
+	}
+}
+
+// TestPersistProducersAndScrubCursor covers the self-healing records: the
+// producer set and the mid-pass scrub cursor must survive both a crash
+// (WAL replay) and a graceful close (v2 snapshot).
+func TestPersistProducersAndScrubCursor(t *testing.T) {
+	dir := t.TempDir()
+	p := testPersist(t, dir)
+	p.producerAdd("127.0.0.1:1000")
+	p.producerAdd("127.0.0.1:2000")
+	p.producerRemove("127.0.0.1:1000")
+	p.scrubCursor("lfn://cern.ch/run1/b.db")
+	p.close(false) // crash: replay from the WAL
+
+	q, torn, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if torn != 0 {
+		t.Fatalf("clean crash reported %d torn bytes", torn)
+	}
+	if got := q.producerAddrs(); len(got) != 1 || got[0] != "127.0.0.1:2000" {
+		t.Fatalf("replayed producers = %v, want [127.0.0.1:2000]", got)
+	}
+	if got := q.recoveredScrubCursor(); got != "lfn://cern.ch/run1/b.db" {
+		t.Fatalf("replayed scrub cursor = %q", got)
+	}
+	q.close(true) // graceful: fold into a snapshot
+
+	r, _, err := openPersistence(dir, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatalf("reopen after snapshot: %v", err)
+	}
+	defer r.close(false)
+	if got := r.producerAddrs(); len(got) != 1 || got[0] != "127.0.0.1:2000" {
+		t.Fatalf("snapshotted producers = %v, want [127.0.0.1:2000]", got)
+	}
+	if got := r.recoveredScrubCursor(); got != "lfn://cern.ch/run1/b.db" {
+		t.Fatalf("snapshotted scrub cursor = %q", got)
+	}
+	// Clearing the cursor at pass end must stick too.
+	r.scrubCursor("")
+	if got := r.recoveredScrubCursor(); got != "" {
+		t.Fatalf("cleared scrub cursor = %q", got)
 	}
 }

@@ -1,0 +1,543 @@
+package core
+
+// Self-healing: the site-specific verbs behind internal/scrub's three
+// loops. The scrubber walks the local catalog re-checksumming bytes, the
+// anti-entropy pass swaps digests with producers and subscribers, and
+// both feed the repair driver, which re-replicates through the ordinary
+// pull pipeline. The split mirrors internal/retry and internal/xfer:
+// package scrub owns pacing, diffing, queueing, and metrics; this file
+// owns what "verify", "quarantine", and "re-replicate" mean against a
+// live catalog and scheduler.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"gdmp/internal/gsi"
+	"gdmp/internal/rpc"
+	"gdmp/internal/scrub"
+)
+
+// Additional GDMP RPC methods for the self-healing layer.
+const (
+	// MethodDigest returns the site's integrity digest: its name, its
+	// GridFTP endpoint, and one (LFN, size, CRC) entry per local replica.
+	MethodDigest = "gdmp.digest"
+
+	// MethodFsck runs a full scrub pass on demand and returns its report.
+	MethodFsck = "gdmp.fsck"
+)
+
+// initScrub builds the self-healing runtime: metrics, rate limiter, and
+// the repair driver. Called from NewSite before the servers start (the
+// digest/fsck handlers need it); the background daemon starts later, once
+// recovery has resumed.
+func (s *Site) initScrub() {
+	s.scrubMet = scrub.NewMetrics(s.metrics)
+	s.scrubLim = scrub.NewLimiter(s.cfg.ScrubRateBytes)
+	s.producers = make(map[string]bool)
+	for _, addr := range s.persist.producerAddrs() {
+		s.producers[addr] = true
+	}
+	s.scrubCur = s.persist.recoveredScrubCursor()
+	s.repairer = scrub.NewRepairer(s.ctx, scrub.RepairConfig{
+		Do:      s.repairFile,
+		Policy:  s.retryPolicy("scrub.repair"),
+		Metrics: s.scrubMet,
+		Logger:  s.logger,
+	})
+}
+
+// startScrubDaemon launches the background loops per the site config.
+// Separate from initScrub so recovered pulls are already queued before
+// the first pass can run.
+func (s *Site) startScrubDaemon() {
+	if s.cfg.ScrubInterval <= 0 && s.cfg.AntiEntropyInterval <= 0 {
+		return
+	}
+	s.scrubDmn = scrub.NewDaemon(s.ctx, scrub.DaemonConfig{
+		ScrubEvery:       s.cfg.ScrubInterval,
+		AntiEntropyEvery: s.cfg.AntiEntropyInterval,
+	}, siteScrubOps{s}, s.logger)
+}
+
+// siteScrubOps adapts the Site to scrub.Ops without exporting the passes
+// twice.
+type siteScrubOps struct{ s *Site }
+
+func (o siteScrubOps) ScrubPass(ctx context.Context) (scrub.Report, error) {
+	return o.s.ScrubPass(ctx)
+}
+
+func (o siteScrubOps) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error) {
+	return o.s.AntiEntropyPass(ctx)
+}
+
+// repairFile is the Repairer's work function: one scheduler-admitted pull
+// through the full replication pipeline (selection, failover, CRC
+// verification, catalog insertion). Below-normal priority, so repairs
+// never starve notification-driven pulls.
+func (s *Site) repairFile(ctx context.Context, lfn string) error {
+	if s.HasFile(lfn) {
+		return nil
+	}
+	return s.submitGet(lfn, -1).Wait(ctx)
+}
+
+// queueRepair hands one withdrawn or missing replica to the repair driver.
+func (s *Site) queueRepair(lfn string) bool {
+	if s.repairer == nil {
+		return false
+	}
+	return s.repairer.Add(lfn)
+}
+
+// RepairQuiesce blocks until the repair queue is drained and the worker
+// idle (test barrier).
+func (s *Site) RepairQuiesce(ctx context.Context) error {
+	if s.repairer == nil {
+		return nil
+	}
+	return s.repairer.Quiesce(ctx)
+}
+
+// --- local scrubber ---------------------------------------------------------
+
+// setScrubCursor advances the journaled pass cursor. Best-effort: losing
+// it only costs re-verification after a crash.
+func (s *Site) setScrubCursor(lfn string) {
+	s.scrubCur = lfn
+	if err := s.persist.scrubCursor(lfn); err != nil {
+		s.logger.Printf("gdmp[%s]: journal scrub cursor: %v", s.cfg.Name, err)
+	}
+}
+
+// ScrubPass walks the local catalog once in LFN order, re-reading each
+// disk replica at the configured byte rate and comparing its CRC against
+// the cataloged value. Corrupt bytes are quarantined and the replica
+// withdrawn from both catalogs; missing bytes just withdraw. Every
+// withdrawal queues a repair. The cursor is journaled after each file, so
+// a crash mid-pass resumes where it stopped instead of re-reading the
+// verified prefix. One pass runs at a time.
+func (s *Site) ScrubPass(ctx context.Context) (scrub.Report, error) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	start := time.Now()
+
+	var rep scrub.Report
+	cursor := s.scrubCur
+	rep.Resumed = cursor != ""
+
+	// The snapshot is taken once; files published mid-pass are covered by
+	// the next pass. list() is LFN-sorted, so the cursor is a plain bound.
+	for _, fi := range s.local.list() {
+		if fi.LFN <= cursor {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		verdict, bytes := s.scrubOne(ctx, fi)
+		rep.Scanned++
+		rep.Bytes += bytes
+		s.scrubMet.ScrubScanned.Inc()
+		s.scrubMet.ScrubBytes.Add(bytes)
+		switch verdict {
+		case scrubCorrupt:
+			rep.Corrupt++
+			s.scrubMet.ScrubCorrupt.Inc()
+			if s.queueRepair(fi.LFN) {
+				rep.Repairs++
+			}
+		case scrubMissing:
+			rep.Missing++
+			s.scrubMet.ScrubMissing.Inc()
+			if s.queueRepair(fi.LFN) {
+				rep.Repairs++
+			}
+		case scrubAborted:
+			return rep, ctx.Err()
+		}
+		s.setScrubCursor(fi.LFN)
+	}
+	s.setScrubCursor("")
+	s.scrubMet.ScrubPasses.Inc()
+	s.scrubMet.ScrubPassSeconds.Observe(time.Since(start).Seconds())
+	s.sweepQuarantine()
+	return rep, nil
+}
+
+// Fsck is the on-demand full integrity check behind the gdmp fsck
+// subcommand: it abandons any journaled mid-pass cursor and scrubs the
+// whole catalog from the start.
+func (s *Site) Fsck(ctx context.Context) (scrub.Report, error) {
+	s.scrubMu.Lock()
+	s.setScrubCursor("")
+	s.scrubMu.Unlock()
+	rep, err := s.ScrubPass(ctx)
+	rep.Resumed = false
+	return rep, err
+}
+
+type scrubVerdict int
+
+const (
+	scrubOK scrubVerdict = iota
+	scrubCorrupt
+	scrubMissing
+	scrubSkipped
+	scrubAborted
+)
+
+// scrubOne verifies a single catalog entry's bytes. Tape-state files have
+// no disk bytes to check and are skipped.
+func (s *Site) scrubOne(ctx context.Context, fi FileInfo) (scrubVerdict, int64) {
+	if fi.State != StateDisk {
+		return scrubSkipped, 0
+	}
+	localPath, err := s.resolveLocal(fi.Path)
+	if err != nil {
+		return scrubSkipped, 0
+	}
+	crc, n, err := scrub.CRC32File(ctx, localPath, s.scrubLim)
+	switch {
+	case os.IsNotExist(err):
+		s.logger.Printf("gdmp[%s]: scrub: %s has no bytes at %s, withdrawing",
+			s.cfg.Name, fi.LFN, fi.Path)
+		s.withdrawReplica(ctx, fi, false)
+		return scrubMissing, 0
+	case ctx.Err() != nil:
+		return scrubAborted, n
+	case err != nil:
+		s.logger.Printf("gdmp[%s]: scrub: read %s: %v", s.cfg.Name, fi.LFN, err)
+		return scrubSkipped, n
+	}
+	if fi.CRC32 != "" && fmt.Sprintf("%08x", crc) != fi.CRC32 {
+		s.logger.Printf("gdmp[%s]: scrub: %s is corrupt (crc %08x, catalog %s), quarantining",
+			s.cfg.Name, fi.LFN, crc, fi.CRC32)
+		s.withdrawReplica(ctx, fi, true)
+		return scrubCorrupt, n
+	}
+	return scrubOK, n
+}
+
+// withdrawReplica removes a bad local replica from the world: optionally
+// quarantining its bytes, dropping the local catalog entry (journaled),
+// and withdrawing this site's location from the replica catalog so no
+// consumer is routed to it. Catalog errors are logged, not fatal — the
+// next pass retries the withdrawal.
+func (s *Site) withdrawReplica(ctx context.Context, fi FileInfo, quarantineBytes bool) {
+	if quarantineBytes {
+		if localPath, err := s.resolveLocal(fi.Path); err == nil {
+			s.quarantine(localPath)
+		}
+	}
+	s.local.remove(fi.LFN)
+	if err := s.persist.removeFile(fi.LFN); err != nil {
+		s.logger.Printf("gdmp[%s]: journal withdraw %s: %v", s.cfg.Name, fi.LFN, err)
+	}
+	if err := s.rc.removeReplica(ctx, fi.LFN, s.pfnFor(fi.Path)); err != nil && !isNotFound(err) {
+		s.logger.Printf("gdmp[%s]: withdraw %s from replica catalog: %v", s.cfg.Name, fi.LFN, err)
+	}
+}
+
+// --- quarantine retention ---------------------------------------------------
+
+// sweepQuarantine bounds <StateDir>/quarantine by age and count per the
+// site config (zero = unlimited). Oldest entries go first when the count
+// cap bites, so recent evidence survives.
+func (s *Site) sweepQuarantine() {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	qdir := s.quarantineDir()
+	ents, err := os.ReadDir(qdir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logger.Printf("gdmp[%s]: quarantine sweep: %v", s.cfg.Name, err)
+		}
+		s.scrubMet.QuarantineFiles.Set(0)
+		return
+	}
+	type qfile struct {
+		name string
+		mod  time.Time
+	}
+	files := make([]qfile, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{e.Name(), info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+
+	doomed := 0
+	if maxAge := s.cfg.QuarantineMaxAge; maxAge > 0 {
+		cutoff := time.Now().Add(-maxAge)
+		for doomed < len(files) && files[doomed].mod.Before(cutoff) {
+			doomed++
+		}
+	}
+	if maxCount := s.cfg.QuarantineMaxCount; maxCount > 0 && len(files)-doomed > maxCount {
+		doomed = len(files) - maxCount
+	}
+	for _, f := range files[:doomed] {
+		if err := os.Remove(s.quarantinePath(f.name)); err != nil {
+			s.logger.Printf("gdmp[%s]: quarantine sweep %s: %v", s.cfg.Name, f.name, err)
+			continue
+		}
+		s.scrubMet.QuarantineSwept.Inc()
+	}
+	s.scrubMet.QuarantineFiles.Set(int64(len(files) - doomed))
+}
+
+// --- anti-entropy exchange ---------------------------------------------------
+
+// addProducer durably records a producer this site subscribed to, making
+// it an anti-entropy peer across restarts.
+func (s *Site) addProducer(addr string) {
+	s.prodMu.Lock()
+	s.producers[addr] = true
+	s.prodMu.Unlock()
+	if err := s.persist.producerAdd(addr); err != nil {
+		s.logger.Printf("gdmp[%s]: journal producer %s: %v", s.cfg.Name, addr, err)
+	}
+}
+
+// removeProducer forgets a producer after unsubscription.
+func (s *Site) removeProducer(addr string) {
+	s.prodMu.Lock()
+	delete(s.producers, addr)
+	s.prodMu.Unlock()
+	if err := s.persist.producerRemove(addr); err != nil {
+		s.logger.Printf("gdmp[%s]: journal producer removal %s: %v", s.cfg.Name, addr, err)
+	}
+}
+
+// Producers lists the ctl addresses of sites this site subscribes to.
+func (s *Site) Producers() []string {
+	s.prodMu.Lock()
+	defer s.prodMu.Unlock()
+	out := make([]string, 0, len(s.producers))
+	for addr := range s.producers {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// localDigest snapshots the site's integrity digest.
+func (s *Site) localDigest() []scrub.Entry {
+	files := s.local.list()
+	out := make([]scrub.Entry, 0, len(files))
+	for _, fi := range files {
+		out = append(out, scrub.Entry{LFN: fi.LFN, Size: fi.Size, CRC32: fi.CRC32})
+	}
+	return out
+}
+
+// digestFrom fetches a peer's digest over the gdmp.digest verb.
+func (s *Site) digestFrom(ctx context.Context, addr string) (name, dataAddr string, entries []scrub.Entry, err error) {
+	cl, err := s.dialGDMP(ctx, addr)
+	if err != nil {
+		return "", "", nil, err
+	}
+	defer cl.Close()
+	d, err := cl.CallContext(ctx, MethodDigest, nil)
+	if err != nil {
+		return "", "", nil, err
+	}
+	name = d.String()
+	dataAddr = d.String()
+	n := d.Uint32()
+	entries = make([]scrub.Entry, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		entries = append(entries, scrub.Entry{LFN: d.String(), Size: d.Int64(), CRC32: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return "", "", nil, err
+	}
+	return name, dataAddr, entries, nil
+}
+
+// antiEntropyPeer describes one digest-exchange partner.
+type antiEntropyPeer struct {
+	addr     string
+	producer bool // we subscribe to it, so its files are owed to us
+}
+
+// antiEntropyPeers is the union of producers (sites we subscribed to) and
+// subscribers (sites subscribed to us). A site that is both is a producer
+// for pull purposes.
+func (s *Site) antiEntropyPeers() []antiEntropyPeer {
+	seen := make(map[string]bool)
+	var peers []antiEntropyPeer
+	s.prodMu.Lock()
+	for addr := range s.producers {
+		if !seen[addr] {
+			seen[addr] = true
+			peers = append(peers, antiEntropyPeer{addr: addr, producer: true})
+		}
+	}
+	s.prodMu.Unlock()
+	s.subMu.Lock()
+	for _, st := range s.subscribers {
+		if !seen[st.addr] {
+			seen[st.addr] = true
+			peers = append(peers, antiEntropyPeer{addr: st.addr})
+		}
+	}
+	s.subMu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].addr < peers[j].addr })
+	return peers
+}
+
+// AntiEntropyPass exchanges digests with every producer and subscriber
+// and converges on the differences:
+//
+//   - files a producer holds that we lack (lost notification, crash
+//     window) are queued as repairs — the subscription contract owes us
+//     those bytes;
+//   - entries whose size/CRC disagree with a peer make us re-verify our
+//     own bytes against our own cataloged CRC; if they fail, the replica
+//     is quarantined, withdrawn, and queued for repair (the peer's side
+//     heals on its own round);
+//   - replica-catalog locations that point at a peer which no longer
+//     holds the file — or at us for a file we lost — are withdrawn as
+//     dangling.
+//
+// Peer failures are counted and skipped: one dead site must not stop the
+// round.
+func (s *Site) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error) {
+	var rep scrub.ExchangeReport
+	s.scrubMet.AERounds.Inc()
+	for _, peer := range s.antiEntropyPeers() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		rep.Peers++
+		_, peerData, entries, err := s.digestFrom(ctx, peer.addr)
+		if err != nil {
+			rep.Failed++
+			s.scrubMet.AEPeers.WithLabelValues("error").Inc()
+			s.logger.Printf("gdmp[%s]: anti-entropy: digest from %s: %v", s.cfg.Name, peer.addr, err)
+			continue
+		}
+		s.scrubMet.AEPeers.WithLabelValues("ok").Inc()
+		diff := scrub.Compare(s.localDigest(), entries)
+
+		if peer.producer {
+			for _, e := range diff.Missing {
+				rep.Missing++
+				s.scrubMet.AEDiffs.WithLabelValues(scrub.DiffMissing).Inc()
+				if s.dropDanglingLocation(ctx, e.LFN, s.DataAddr()) {
+					rep.Dangling++
+				}
+				if s.queueRepair(e.LFN) {
+					rep.Repairs++
+				}
+			}
+		}
+		for _, e := range diff.Stale {
+			rep.Stale++
+			s.scrubMet.AEDiffs.WithLabelValues(scrub.DiffStale).Inc()
+			if fi, ok := s.local.get(e.LFN); ok {
+				if verdict, _ := s.scrubOne(ctx, fi); verdict == scrubCorrupt || verdict == scrubMissing {
+					if s.queueRepair(fi.LFN) {
+						rep.Repairs++
+					}
+				}
+			}
+		}
+		// A location pointing at the peer for a file its digest lacks is
+		// dangling: a consumer routed there would fail its pull.
+		for _, e := range diff.Extra {
+			if s.dropDanglingLocation(ctx, e.LFN, peerData) {
+				rep.Dangling++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// dropDanglingLocation withdraws the replica-catalog location of lfn at
+// dataAddr when present, reporting whether a withdrawal happened.
+func (s *Site) dropDanglingLocation(ctx context.Context, lfn, dataAddr string) bool {
+	locs, err := s.rc.locations(ctx, lfn)
+	if err != nil {
+		if !isNotFound(err) {
+			s.logger.Printf("gdmp[%s]: anti-entropy: locations of %s: %v", s.cfg.Name, lfn, err)
+		}
+		return false
+	}
+	for _, p := range locs {
+		if p.Addr != dataAddr {
+			continue
+		}
+		if err := s.rc.removeReplica(ctx, lfn, p); err != nil && !isNotFound(err) {
+			s.logger.Printf("gdmp[%s]: anti-entropy: withdraw dangling %s at %s: %v",
+				s.cfg.Name, lfn, dataAddr, err)
+			return false
+		}
+		s.scrubMet.AEDiffs.WithLabelValues(scrub.DiffDangling).Inc()
+		s.logger.Printf("gdmp[%s]: anti-entropy: withdrew dangling location of %s at %s",
+			s.cfg.Name, lfn, dataAddr)
+		return true
+	}
+	return false
+}
+
+// --- RPC handlers -----------------------------------------------------------
+
+// registerScrubHandlers wires the digest and fsck verbs into the Request
+// Manager (called from registerHandlers).
+func (s *Site) registerScrubHandlers() {
+	s.gdmpSrv.Handle(MethodDigest, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		entries := s.localDigest()
+		resp.String(s.cfg.Name)
+		resp.String(s.DataAddr())
+		resp.Uint32(uint32(len(entries)))
+		for _, e := range entries {
+			resp.String(e.LFN)
+			resp.Int64(e.Size)
+			resp.String(e.CRC32)
+		}
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodFsck, func(ctx context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		rep, err := s.Fsck(ctx)
+		if err != nil {
+			return err
+		}
+		resp.Uint64(uint64(rep.Scanned))
+		resp.Int64(rep.Bytes)
+		resp.Uint64(uint64(rep.Corrupt))
+		resp.Uint64(uint64(rep.Missing))
+		resp.Uint64(uint64(rep.Repairs))
+		return nil
+	})
+}
+
+// quarantineDir returns <StateDir>/quarantine.
+func (s *Site) quarantineDir() string {
+	return filepath.Join(s.cfg.StateDir, "quarantine")
+}
+
+func (s *Site) quarantinePath(name string) string {
+	return filepath.Join(s.quarantineDir(), name)
+}

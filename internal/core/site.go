@@ -23,6 +23,7 @@ import (
 	"gdmp/internal/replica"
 	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
+	"gdmp/internal/scrub"
 	"gdmp/internal/xfer"
 )
 
@@ -68,7 +69,7 @@ const (
 var Methods = []string{
 	MethodPing, MethodSubscribe, MethodUnsubscribe,
 	MethodNotify, MethodCatalog, MethodStage, MethodStatus,
-	MethodMetrics,
+	MethodMetrics, MethodDigest, MethodFsck,
 }
 
 // AllowSiteUseAll grants every authenticated identity the full GDMP and
@@ -162,6 +163,27 @@ type Config struct {
 	// when it re-subscribes.
 	NotifyFailureThreshold int
 
+	// ScrubInterval paces the background local scrubber: every interval,
+	// the site re-reads its cataloged replicas and verifies their CRCs,
+	// quarantining corrupt bytes and queueing repairs. Zero disables the
+	// loop (on-demand Fsck still works).
+	ScrubInterval time.Duration
+
+	// ScrubRateBytes caps the scrubber's disk-read rate in bytes/second,
+	// so integrity scans never starve live transfers (0 = unlimited).
+	ScrubRateBytes int64
+
+	// AntiEntropyInterval paces the digest exchange with producers and
+	// subscribers that catches missed notifications and dangling catalog
+	// locations. Zero disables the loop.
+	AntiEntropyInterval time.Duration
+
+	// QuarantineMaxAge and QuarantineMaxCount bound the growth of
+	// <StateDir>/quarantine: entries older than MaxAge are swept, and the
+	// oldest are removed beyond MaxCount. Zero means unlimited.
+	QuarantineMaxAge   time.Duration
+	QuarantineMaxCount int
+
 	// Select chooses among replicas (default FirstReplica).
 	Select ReplicaSelector
 
@@ -238,6 +260,21 @@ type Site struct {
 
 	metrics *obs.Registry
 	met     *siteMetrics
+
+	// Self-healing runtime (internal/scrub): metrics, the scan rate
+	// limiter, the repair driver, and the background daemon. scrubMu
+	// serializes passes and guards the in-memory cursor mirror.
+	scrubMet *scrub.Metrics
+	scrubLim *scrub.Limiter
+	repairer *scrub.Repairer
+	scrubDmn *scrub.Daemon
+	scrubMu  sync.Mutex
+	scrubCur string
+
+	// producers are the ctl addresses this site has subscribed to — its
+	// anti-entropy pull peers (journaled, so they survive restarts).
+	prodMu    sync.Mutex
+	producers map[string]bool
 
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
@@ -338,6 +375,11 @@ func NewSite(cfg Config) (*Site, error) {
 		}
 	}
 
+	// The self-healing runtime comes up before the servers: the digest
+	// and fsck handlers use it, and producer tracking restores from the
+	// journal replay above.
+	s.initScrub()
+
 	ftpSrv, err := gridftp.NewServer(gridftp.ServerConfig{
 		Root:       cfg.DataDir,
 		Cred:       cfg.Cred,
@@ -388,6 +430,10 @@ func NewSite(cfg Config) (*Site, error) {
 		// context, requeued pulls need the servers' addresses.
 		s.resumeRecovered()
 	}
+	// Startup retention sweep, then the background loops — after recovery,
+	// so the first pass sees a settled catalog.
+	s.sweepQuarantine()
+	s.startScrubDaemon()
 	return s, nil
 }
 
@@ -434,6 +480,15 @@ func (s *Site) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.cancel()
+		// The self-healing loops first: the daemon's in-flight pass and
+		// the repairer's in-flight pull both unblock on the canceled site
+		// context, and nothing may queue new work into a closing scheduler.
+		if s.scrubDmn != nil {
+			s.scrubDmn.Close()
+		}
+		if s.repairer != nil {
+			s.repairer.Close()
+		}
 		// Stop the pull pipeline: running transfers are canceled, queued
 		// jobs fail with context.Canceled, and the workers drain.
 		s.sched.Close()
@@ -769,8 +824,13 @@ func (s *Site) SubscribeToCtx(ctx context.Context, remoteAddr string) error {
 	var e rpc.Encoder
 	e.String(s.cfg.Name)
 	e.String(s.Addr())
-	_, err = cl.CallContext(ctx, MethodSubscribe, &e)
-	return err
+	if _, err = cl.CallContext(ctx, MethodSubscribe, &e); err != nil {
+		return err
+	}
+	// The producer is now an anti-entropy peer: its digest tells us about
+	// files whose notifications we miss.
+	s.addProducer(remoteAddr)
+	return nil
 }
 
 // UnsubscribeFrom removes this site from a producer's subscriber list.
@@ -787,8 +847,11 @@ func (s *Site) UnsubscribeFromCtx(ctx context.Context, remoteAddr string) error 
 	defer cl.Close()
 	var e rpc.Encoder
 	e.String(s.cfg.Name)
-	_, err = cl.CallContext(ctx, MethodUnsubscribe, &e)
-	return err
+	if _, err = cl.CallContext(ctx, MethodUnsubscribe, &e); err != nil {
+		return err
+	}
+	s.removeProducer(remoteAddr)
+	return nil
 }
 
 // Subscribers lists the currently subscribed consumer sites.
@@ -1464,6 +1527,7 @@ func (s *Site) registerHandlers() {
 		s.met.stageRequests.WithLabelValues(outcomeOf(err)).Inc()
 		return err
 	})
+	s.registerScrubHandlers()
 	s.registerStatusHandler()
 	s.registerMetricsHandler()
 }

@@ -84,6 +84,12 @@ type SiteStatus struct {
 	RequeuedPulls    int
 	QuarantinedFiles int
 	RequeuedNotices  int
+
+	// Journal is the durability health: "" for a site without a StateDir,
+	// "ok" while the journal accepts appends, "failed" once an
+	// append/fsync failure has latched it read-only — the site keeps
+	// serving but mutations no longer survive a crash.
+	Journal string
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -114,7 +120,21 @@ func (s *Site) Status() SiteStatus {
 		RequeuedPulls:    s.recovery.PullsRequeued,
 		QuarantinedFiles: s.recovery.Quarantined,
 		RequeuedNotices:  s.recovery.NoticesRequeued,
+		Journal:          s.journalHealth(),
 	}
+}
+
+// journalHealth maps the journal's latch state to the status string.
+func (s *Site) journalHealth() string {
+	if s.persist == nil {
+		return ""
+	}
+	s.persist.mu.Lock()
+	defer s.persist.mu.Unlock()
+	if s.persist.j.Failed() != nil {
+		return "failed"
+	}
+	return "ok"
 }
 
 // RemoteStatus fetches another site's status over the Request Manager.
@@ -140,6 +160,7 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 		RequeuedPulls:    int(d.Uint64()),
 		QuarantinedFiles: int(d.Uint64()),
 		RequeuedNotices:  int(d.Uint64()),
+		Journal:          d.String(),
 	}
 	return st, d.Finish()
 }
@@ -162,6 +183,7 @@ func (s *Site) registerStatusHandler() {
 		resp.Uint64(uint64(st.RequeuedPulls))
 		resp.Uint64(uint64(st.QuarantinedFiles))
 		resp.Uint64(uint64(st.RequeuedNotices))
+		resp.String(st.Journal)
 		return nil
 	})
 }

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// KindBitRot labels silent on-disk corruption injected by FlipBytes.
+const KindBitRot = "bitrot"
+
+// FlipBytes corrupts a landed replica in place: it flips one bit in each
+// of n distinct bytes of the file, chosen by a rand source seeded with
+// seed. The size and mtime-visible shape of the file are untouched — this
+// is the silent bit-rot a scrubber exists to catch, not a truncation a
+// size check would see. It returns the byte offsets flipped (sorted by
+// pick order) so tests can assert the corruption landed.
+//
+// Determinism: the same (seed, n, file size) always flips the same
+// offsets, so a failing scrub chaos run replays from its logged seed.
+func FlipBytes(path string, seed int64, n int) ([]int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("faults: bitrot: %s is empty", path)
+	}
+	if int64(n) > size {
+		n = int(size)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	picked := make(map[int64]bool, n)
+	offsets := make([]int64, 0, n)
+	for len(offsets) < n {
+		off := rng.Int63n(size)
+		if picked[off] {
+			continue
+		}
+		picked[off] = true
+		offsets = append(offsets, off)
+	}
+	one := make([]byte, 1)
+	for _, off := range offsets {
+		if _, err := f.ReadAt(one, off); err != nil {
+			return offsets, err
+		}
+		one[0] ^= 1 << uint(rng.Intn(8))
+		if _, err := f.WriteAt(one, off); err != nil {
+			return offsets, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return offsets, err
+	}
+	return offsets, nil
+}
+
+// FlipBytes is the Injector-bound form of the package-level FlipBytes: it
+// derives the corruption seed from the harness's seeded source (keeping
+// whole-run replayability from one logged seed) and counts the fault in
+// gdmp_faults_injected_total{kind="bitrot"}.
+func (in *Injector) FlipBytes(path string, n int) ([]int64, error) {
+	in.mu.Lock()
+	seed := in.rng.Int63()
+	in.mu.Unlock()
+	offs, err := FlipBytes(path, seed, n)
+	if err == nil {
+		in.count(KindBitRot)
+	}
+	return offs, err
+}

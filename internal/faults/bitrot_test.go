@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeBlob(t *testing.T, n int) string {
+	t.Helper()
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFlipBytesDeterministicAndSilent(t *testing.T) {
+	path := writeBlob(t, 4096)
+	before, _ := os.ReadFile(path)
+
+	offs, err := FlipBytes(path, 42, 3)
+	if err != nil {
+		t.Fatalf("FlipBytes: %v", err)
+	}
+	if len(offs) != 3 {
+		t.Fatalf("flipped %d offsets, want 3", len(offs))
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("size changed %d -> %d; bit-rot must be silent", len(before), len(after))
+	}
+	var diff int
+	for i := range before {
+		if before[i] != after[i] {
+			diff++
+		}
+	}
+	if diff != 3 {
+		t.Fatalf("%d bytes differ, want exactly 3", diff)
+	}
+
+	// Same seed on identical bytes corrupts identically.
+	path2 := writeBlob(t, 4096)
+	offs2, err := FlipBytes(path2, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(offs, offs2) {
+		t.Fatalf("offsets diverged for same seed: %v vs %v", offs, offs2)
+	}
+	after2, _ := os.ReadFile(path2)
+	if !bytes.Equal(after, after2) {
+		t.Fatal("same seed produced different corruption")
+	}
+
+	// A different seed corrupts differently.
+	path3 := writeBlob(t, 4096)
+	if _, err := FlipBytes(path3, 43, 3); err != nil {
+		t.Fatal(err)
+	}
+	after3, _ := os.ReadFile(path3)
+	if bytes.Equal(after, after3) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestFlipBytesEdgeCases(t *testing.T) {
+	// n larger than the file clamps to the file size.
+	path := writeBlob(t, 2)
+	offs, err := FlipBytes(path, 7, 100)
+	if err != nil {
+		t.Fatalf("FlipBytes on tiny file: %v", err)
+	}
+	if len(offs) != 2 {
+		t.Fatalf("flipped %d offsets, want 2 (clamped)", len(offs))
+	}
+
+	// Empty files cannot rot.
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipBytes(empty, 7, 1); err == nil {
+		t.Fatal("FlipBytes on empty file succeeded, want error")
+	}
+
+	if _, err := FlipBytes(filepath.Join(t.TempDir(), "absent"), 7, 1); err == nil {
+		t.Fatal("FlipBytes on absent file succeeded, want error")
+	}
+}
+
+func TestInjectorFlipBytesCounts(t *testing.T) {
+	in := New(99, nil)
+	path := writeBlob(t, 1024)
+	if _, err := in.FlipBytes(path, 2); err != nil {
+		t.Fatalf("Injector.FlipBytes: %v", err)
+	}
+	if got := in.Injected(KindBitRot); got != 1 {
+		t.Fatalf("Injected(bitrot) = %d, want 1", got)
+	}
+}

@@ -113,6 +113,7 @@ type metrics struct {
 	walBytes    *obs.Gauge
 	walRecords  *obs.Gauge
 	tornTails   *obs.Counter
+	failed      *obs.Gauge
 }
 
 func metricsFor(r *obs.Registry) *metrics {
@@ -132,6 +133,8 @@ func metricsFor(r *obs.Registry) *metrics {
 			"Records in the write-ahead log since the last compaction."),
 		tornTails: r.Counter(MetricsPrefix+"_torn_tails_total",
 			"Torn or corrupt WAL tails truncated and quarantined at open."),
+		failed: r.Gauge(MetricsPrefix+"_failed",
+			"1 when the journal has latched an append/fsync failure and refuses writes."),
 	}
 }
 
@@ -310,11 +313,13 @@ func (j *Journal) Append(payload []byte) error {
 	copy(buf[8:], payload)
 	if _, err := j.wal.Write(buf); err != nil {
 		j.fail = fmt.Errorf("journal: append: %w", err)
+		j.met.failed.Set(1)
 		return j.fail
 	}
 	if !j.opts.NoSync {
 		if err := j.wal.Sync(); err != nil {
 			j.fail = fmt.Errorf("journal: fsync: %w", err)
+			j.met.failed.Set(1)
 			return j.fail
 		}
 	}
@@ -331,6 +336,11 @@ func (j *Journal) Append(payload []byte) error {
 // compaction (replayed ones included); sites use it to decide when to
 // compact.
 func (j *Journal) Records() int { return j.recs }
+
+// Failed reports the latched append/fsync failure, if any. Once latched
+// the journal refuses every further write; callers surface this through
+// status RPCs so operators learn a site is running without durability.
+func (j *Journal) Failed() error { return j.fail }
 
 // Compact atomically replaces the snapshot with the given payload,
 // advances the generation, and retires the old write-ahead log for a

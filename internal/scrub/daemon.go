@@ -1,0 +1,99 @@
+package scrub
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// Ops are the site-side verbs the background daemon drives. internal/core
+// implements them against the live catalog, replica catalog client, and
+// pull scheduler.
+type Ops interface {
+	// ScrubPass walks the local catalog once (resuming from any journaled
+	// cursor), verifying each replica's bytes against its cataloged CRC.
+	ScrubPass(ctx context.Context) (Report, error)
+
+	// AntiEntropyPass exchanges digests with every peer and queues the
+	// repairs the differences call for.
+	AntiEntropyPass(ctx context.Context) (ExchangeReport, error)
+}
+
+// DaemonConfig paces the background loops. A zero interval disables that
+// loop (the on-demand paths — gdmp fsck, explicit passes — still work).
+type DaemonConfig struct {
+	ScrubEvery       time.Duration
+	AntiEntropyEvery time.Duration
+}
+
+// Daemon runs the scrub and anti-entropy loops on their intervals until
+// Close (or the construction context) stops it. The repair driver is not
+// the daemon's: repairs flow from the passes into the site's Repairer,
+// which drains continuously.
+type Daemon struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewDaemon starts the enabled loops under ctx. Each loop waits a full
+// interval before its first pass, so a restarting site finishes recovery
+// before it starts re-reading its disk.
+func NewDaemon(ctx context.Context, cfg DaemonConfig, ops Ops, logger *log.Logger) *Daemon {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	d := &Daemon{cancel: cancel}
+	if cfg.ScrubEvery > 0 {
+		d.loop(dctx, cfg.ScrubEvery, func() {
+			rep, err := ops.ScrubPass(dctx)
+			if err != nil {
+				logger.Printf("scrub: pass: %v", err)
+				return
+			}
+			if rep.Corrupt+rep.Missing > 0 {
+				logger.Printf("scrub: pass scanned %d files (%d bytes): %d corrupt, %d missing, %d repairs queued",
+					rep.Scanned, rep.Bytes, rep.Corrupt, rep.Missing, rep.Repairs)
+			}
+		})
+	}
+	if cfg.AntiEntropyEvery > 0 {
+		d.loop(dctx, cfg.AntiEntropyEvery, func() {
+			rep, err := ops.AntiEntropyPass(dctx)
+			if err != nil {
+				logger.Printf("scrub: anti-entropy: %v", err)
+				return
+			}
+			if rep.Missing+rep.Stale+rep.Dangling > 0 {
+				logger.Printf("scrub: anti-entropy round over %d peers (%d failed): %d missing, %d stale, %d dangling, %d repairs queued",
+					rep.Peers, rep.Failed, rep.Missing, rep.Stale, rep.Dangling, rep.Repairs)
+			}
+		})
+	}
+	return d
+}
+
+func (d *Daemon) loop(ctx context.Context, every time.Duration, pass func()) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				pass()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the loops and waits for any in-flight pass to observe the
+// cancellation and return.
+func (d *Daemon) Close() {
+	d.cancel()
+	d.wg.Wait()
+}

@@ -1,0 +1,181 @@
+package scrub
+
+import (
+	"context"
+	"log"
+	"sync"
+
+	"gdmp/internal/retry"
+)
+
+// RepairFunc re-replicates one logical file from a surviving location.
+// internal/core supplies it: a scheduler-admitted pull through the full
+// replication pipeline, CRC-verified against the replica catalog.
+type RepairFunc func(ctx context.Context, lfn string) error
+
+// RepairConfig assembles a Repairer.
+type RepairConfig struct {
+	// Do performs one repair attempt (required).
+	Do RepairFunc
+
+	// Policy is the per-file retry/backoff budget. Zero fields take the
+	// retry package defaults; the policy is labeled "scrub.repair".
+	Policy retry.Policy
+
+	// Metrics receives the gdmp_repair_* series (required).
+	Metrics *Metrics
+
+	// Logger receives diagnostics; nil discards.
+	Logger *log.Logger
+}
+
+// Repairer is the repair driver: a deduplicating queue of logical files
+// that need re-replication, drained by one background worker under a
+// retry/backoff policy. A repair that exhausts its budget is dropped and
+// counted — the file is still withdrawn from the catalog, so the next
+// scrub or anti-entropy round re-discovers and re-queues it; the loop,
+// not the queue, is what guarantees convergence.
+type Repairer struct {
+	cfg RepairConfig
+	ctx context.Context
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []string
+	queued map[string]bool // queued or being repaired right now
+	active string          // LFN the worker is on, "" when idle
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewRepairer starts a repair driver whose work runs under ctx (the
+// site's lifetime: canceling it aborts the in-flight repair and stops
+// the worker).
+func NewRepairer(ctx context.Context, cfg RepairConfig) *Repairer {
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(discard{}, "", 0)
+	}
+	cfg.Policy.Op = "scrub.repair"
+	r := &Repairer{cfg: cfg, ctx: ctx, queued: make(map[string]bool)}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(1)
+	go r.worker()
+	// Wake the worker when the site context dies so Close never hangs on
+	// an empty queue.
+	go func() {
+		<-ctx.Done()
+		r.cond.Broadcast()
+	}()
+	return r
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Add queues one logical file for re-replication. Files already queued
+// or mid-repair coalesce; it reports whether the file was newly queued.
+func (r *Repairer) Add(lfn string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.queued[lfn] {
+		return false
+	}
+	r.queued[lfn] = true
+	r.queue = append(r.queue, lfn)
+	r.cfg.Metrics.RepairDepth.Set(int64(len(r.queue)))
+	r.cond.Signal()
+	return true
+}
+
+// Pending reports how many files are queued (the in-flight one excluded).
+func (r *Repairer) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue)
+}
+
+// Quiesce blocks until the queue is empty and the worker idle, or ctx is
+// done. Convergence tests use it as the "round finished" barrier.
+func (r *Repairer) Quiesce(ctx context.Context) error {
+	done := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() { r.cond.Broadcast() })
+	defer stop()
+	go func() {
+		defer close(done)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for len(r.queue) > 0 || r.active != "" {
+			if ctx.Err() != nil || r.closed {
+				return
+			}
+			r.cond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-ctx.Done():
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the worker; the in-flight repair is abandoned only if the
+// construction ctx is already canceled (sites cancel before closing).
+func (r *Repairer) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Repairer) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed && r.ctx.Err() == nil {
+			r.cond.Wait()
+		}
+		if r.closed || r.ctx.Err() != nil {
+			r.active = ""
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+		lfn := r.queue[0]
+		r.queue = r.queue[1:]
+		r.active = lfn
+		r.cfg.Metrics.RepairDepth.Set(int64(len(r.queue)))
+		r.mu.Unlock()
+
+		pol := r.cfg.Policy
+		err := pol.Do(r.ctx, func(int) error {
+			r.cfg.Metrics.RepairAttempts.Inc()
+			return r.cfg.Do(r.ctx, lfn)
+		})
+		switch {
+		case err == nil:
+			r.cfg.Metrics.RepairSuccess.Inc()
+		case r.ctx.Err() != nil:
+			// Shutdown, not a verdict: the journal still holds the intent
+			// and the next scrub round re-discovers the gap.
+		default:
+			r.cfg.Metrics.RepairFailure.Inc()
+			r.cfg.Logger.Printf("scrub: repair %s abandoned: %v", lfn, err)
+		}
+
+		r.mu.Lock()
+		r.active = ""
+		delete(r.queued, lfn)
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}

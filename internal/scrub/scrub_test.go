@@ -1,0 +1,279 @@
+package scrub
+
+import (
+	"context"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"gdmp/internal/obs"
+	"gdmp/internal/retry"
+)
+
+func entryNames(es []Entry) []string {
+	var out []string
+	for _, e := range es {
+		out = append(out, e.LFN)
+	}
+	return out
+}
+
+func TestCompare(t *testing.T) {
+	local := []Entry{
+		{LFN: "a", Size: 1, CRC32: "11111111"},
+		{LFN: "c", Size: 3, CRC32: "33333333"},
+		{LFN: "d", Size: 4, CRC32: "44444444"},
+		{LFN: "e", Size: 5, CRC32: "55555555"},
+	}
+	remote := []Entry{
+		{LFN: "b", Size: 2, CRC32: "22222222"},
+		{LFN: "a", Size: 1, CRC32: "11111111"},
+		{LFN: "c", Size: 3, CRC32: "deadbeef"}, // CRC differs
+		{LFN: "d", Size: 9, CRC32: "44444444"}, // size differs
+	}
+	d := Compare(local, remote)
+	if got := entryNames(d.Missing); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Missing = %v, want [b]", got)
+	}
+	if got := entryNames(d.Stale); !reflect.DeepEqual(got, []string{"c", "d"}) {
+		t.Fatalf("Stale = %v, want [c d]", got)
+	}
+	if got := entryNames(d.Extra); !reflect.DeepEqual(got, []string{"e"}) {
+		t.Fatalf("Extra = %v, want [e]", got)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	d := Compare(nil, nil)
+	if len(d.Missing)+len(d.Stale)+len(d.Extra) != 0 {
+		t.Fatalf("empty digests produced diff %+v", d)
+	}
+}
+
+func TestLimiterPacing(t *testing.T) {
+	// 64 KiB/s with a 64 KiB burst: consuming 192 KiB must take at least
+	// ~2 s of simulated deficit. Use a generous lower bound to stay
+	// timing-robust under -race.
+	lim := NewLimiter(64 << 10)
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := lim.Wait(ctx, 64<<10); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if el := time.Since(start); el < 1200*time.Millisecond {
+		t.Fatalf("3x64KiB at 64KiB/s took %v, want >= 1.2s", el)
+	}
+}
+
+func TestLimiterNilAndCancel(t *testing.T) {
+	var nilLim *Limiter
+	if err := nilLim.Wait(context.Background(), 1<<30); err != nil {
+		t.Fatalf("nil limiter Wait: %v", err)
+	}
+	lim := NewLimiter(1) // 1 byte/s, 1-byte burst: a 10-byte debt blocks ~9s
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := lim.Wait(ctx, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under dead ctx = %v, want deadline", err)
+	}
+}
+
+func TestCRC32File(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	data := make([]byte, 3*scanChunk/2) // forces multiple chunks
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, n, err := CRC32File(context.Background(), path, nil)
+	if err != nil {
+		t.Fatalf("CRC32File: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("read %d bytes, want %d", n, len(data))
+	}
+	if want := crc32.ChecksumIEEE(data); sum != want {
+		t.Fatalf("crc = %08x, want %08x", sum, want)
+	}
+	if _, _, err := CRC32File(context.Background(), filepath.Join(dir, "absent"), nil); !os.IsNotExist(err) {
+		t.Fatalf("absent file err = %v, want not-exist", err)
+	}
+}
+
+func fastPolicy(attempts int) retry.Policy {
+	return retry.Policy{
+		Attempts:  attempts,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  2 * time.Millisecond,
+		Jitter:    0.01,
+	}
+}
+
+func newTestRepairer(t *testing.T, attempts int, do RepairFunc) (*Repairer, *Metrics) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMetrics(obs.NewRegistry())
+	r := NewRepairer(ctx, RepairConfig{Do: do, Policy: fastPolicy(attempts), Metrics: m})
+	t.Cleanup(func() { cancel(); r.Close() })
+	return r, m
+}
+
+func TestRepairerSuccessAndDedup(t *testing.T) {
+	started := make(chan string, 16)
+	release := make(chan struct{})
+	r, m := newTestRepairer(t, 3, func(ctx context.Context, lfn string) error {
+		started <- lfn
+		<-release
+		return nil
+	})
+	if !r.Add("f1") {
+		t.Fatal("first Add(f1) = false")
+	}
+	<-started // f1 in flight
+	if r.Add("f1") {
+		t.Fatal("Add of in-flight f1 = true, want coalesced")
+	}
+	if !r.Add("f2") || r.Add("f2") {
+		t.Fatal("f2 queue/dedup behaved wrong")
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	<-started // f2 ran too
+	if got := m.RepairSuccess.Value(); got != 2 {
+		t.Fatalf("repair_success = %d, want 2", got)
+	}
+	if got := m.RepairFailure.Value(); got != 0 {
+		t.Fatalf("repair_failure = %d, want 0", got)
+	}
+	// A completed file can be queued again.
+	if !r.Add("f1") {
+		t.Fatal("re-Add of completed f1 = false")
+	}
+	if err := r.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce 2: %v", err)
+	}
+}
+
+func TestRepairerRetryThenAbandon(t *testing.T) {
+	calls := 0
+	done := make(chan struct{})
+	r, m := newTestRepairer(t, 3, func(ctx context.Context, lfn string) error {
+		calls++
+		if calls == 3 {
+			defer close(done)
+		}
+		return errors.New("still broken")
+	})
+	r.Add("bad")
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("repair attempts never exhausted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Quiesce(ctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempts = %d, want 3", calls)
+	}
+	if got := m.RepairAttempts.Value(); got != 3 {
+		t.Fatalf("repair_attempts = %d, want 3", got)
+	}
+	if got := m.RepairFailure.Value(); got != 1 {
+		t.Fatalf("repair_failure = %d, want 1", got)
+	}
+	// Abandonment clears the dedup entry: the next round may re-queue.
+	if !r.Add("bad") {
+		t.Fatal("re-Add of abandoned file = false")
+	}
+}
+
+func TestRepairerShutdownNotAVerdict(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMetrics(obs.NewRegistry())
+	started := make(chan struct{})
+	r := NewRepairer(ctx, RepairConfig{
+		Do: func(c context.Context, lfn string) error {
+			close(started)
+			<-c.Done()
+			return c.Err()
+		},
+		Policy:  fastPolicy(5),
+		Metrics: m,
+	})
+	r.Add("f")
+	<-started
+	cancel()
+	r.Close()
+	if got := m.RepairFailure.Value(); got != 0 {
+		t.Fatalf("repair_failure after shutdown = %d, want 0", got)
+	}
+	if got := m.RepairSuccess.Value(); got != 0 {
+		t.Fatalf("repair_success after shutdown = %d, want 0", got)
+	}
+}
+
+type fakeOps struct {
+	scrubs chan struct{}
+	aes    chan struct{}
+}
+
+func (f *fakeOps) ScrubPass(ctx context.Context) (Report, error) {
+	select {
+	case f.scrubs <- struct{}{}:
+	default:
+	}
+	return Report{}, nil
+}
+
+func (f *fakeOps) AntiEntropyPass(ctx context.Context) (ExchangeReport, error) {
+	select {
+	case f.aes <- struct{}{}:
+	default:
+	}
+	return ExchangeReport{}, nil
+}
+
+func TestDaemonTicksAndStops(t *testing.T) {
+	ops := &fakeOps{scrubs: make(chan struct{}, 1), aes: make(chan struct{}, 1)}
+	d := NewDaemon(context.Background(), DaemonConfig{
+		ScrubEvery:       5 * time.Millisecond,
+		AntiEntropyEvery: 5 * time.Millisecond,
+	}, ops, nil)
+	waitTick := func(ch chan struct{}, what string) {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never ticked", what)
+		}
+	}
+	waitTick(ops.scrubs, "scrub")
+	waitTick(ops.aes, "anti-entropy")
+	d.Close()
+}
+
+func TestDaemonDisabledLoops(t *testing.T) {
+	ops := &fakeOps{scrubs: make(chan struct{}, 1), aes: make(chan struct{}, 1)}
+	d := NewDaemon(context.Background(), DaemonConfig{}, ops, nil)
+	select {
+	case <-ops.scrubs:
+		t.Fatal("disabled scrub loop ticked")
+	case <-time.After(30 * time.Millisecond):
+	}
+	d.Close()
+}

@@ -105,6 +105,18 @@ type SiteOptions struct {
 	// RestartSite this is the crash/restart test surface.
 	Durable bool
 
+	// ScrubInterval and AntiEntropyInterval enable the site's background
+	// self-healing loops (zero disables each); ScrubRateBytes paces the
+	// scrubber's disk reads.
+	ScrubInterval       time.Duration
+	AntiEntropyInterval time.Duration
+	ScrubRateBytes      int64
+
+	// QuarantineMaxAge and QuarantineMaxCount bound the quarantine
+	// directory's retention (zero = unlimited).
+	QuarantineMaxAge   time.Duration
+	QuarantineMaxCount int
+
 	// GDMPListen and FTPListen pin the site's two servers to fixed
 	// addresses; empty picks ephemeral ports. RestartSite pins them
 	// automatically so a reborn site keeps its identity (PFNs in the
@@ -190,6 +202,11 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		PerSourceLimit:         opts.PerSourceLimit,
 		Select:                 opts.Select,
 		Metrics:                opts.Metrics,
+		ScrubInterval:          opts.ScrubInterval,
+		AntiEntropyInterval:    opts.AntiEntropyInterval,
+		ScrubRateBytes:         opts.ScrubRateBytes,
+		QuarantineMaxAge:       opts.QuarantineMaxAge,
+		QuarantineMaxCount:     opts.QuarantineMaxCount,
 	}
 	if opts.Durable {
 		cfg.StateDir = filepath.Join(siteDir, "state")
