@@ -30,6 +30,11 @@ const (
 
 	// MethodFsck runs a full scrub pass on demand and returns its report.
 	MethodFsck = "gdmp.fsck"
+
+	// MethodHasFile point-queries whether a site currently holds an LFN
+	// in its local catalog. Anti-entropy uses it to re-verify a digest
+	// difference against live state before withdrawing a location.
+	MethodHasFile = "gdmp.hasfile"
 )
 
 // initScrub builds the self-healing runtime: metrics, rate limiter, and
@@ -161,6 +166,14 @@ func (s *Site) ScrubPass(ctx context.Context) (scrub.Report, error) {
 			}
 		case scrubAborted:
 			return rep, ctx.Err()
+		case scrubOK, scrubSkipped:
+			// Healthy (or tape-resident) replica: re-assert its location.
+			// addReplica is idempotent, so this is a no-op in the steady
+			// state, but it converges back any location a peer's
+			// anti-entropy round withdrew on a stale digest.
+			if err := s.rc.addReplica(ctx, fi.LFN, s.pfnFor(fi.Path)); err != nil && !isNotFound(err) {
+				s.logger.Printf("gdmp[%s]: scrub: re-assert location of %s: %v", s.cfg.Name, fi.LFN, err)
+			}
 		}
 		s.setScrubCursor(fi.LFN)
 	}
@@ -359,7 +372,9 @@ func (s *Site) digestFrom(ctx context.Context, addr string) (name, dataAddr stri
 	name = d.String()
 	dataAddr = d.String()
 	n := d.Uint32()
-	entries = make([]scrub.Entry, 0, n)
+	// n is wire-supplied: cap the preallocation so one malformed reply
+	// cannot trigger a multi-GB allocation; append grows past the cap.
+	entries = make([]scrub.Entry, 0, min(n, 4096))
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		entries = append(entries, scrub.Entry{LFN: d.String(), Size: d.Int64(), CRC32: d.String()})
 	}
@@ -367,6 +382,24 @@ func (s *Site) digestFrom(ctx context.Context, addr string) (name, dataAddr stri
 		return "", "", nil, err
 	}
 	return name, dataAddr, entries, nil
+}
+
+// peerHasFile asks a peer whether it holds lfn right now, the live
+// point-query behind every anti-entropy withdrawal.
+func (s *Site) peerHasFile(ctx context.Context, addr, lfn string) (bool, error) {
+	cl, err := s.dialGDMP(ctx, addr)
+	if err != nil {
+		return false, err
+	}
+	defer cl.Close()
+	var e rpc.Encoder
+	e.String(lfn)
+	d, err := cl.CallContext(ctx, MethodHasFile, &e)
+	if err != nil {
+		return false, err
+	}
+	has := d.Bool()
+	return has, d.Finish()
 }
 
 // antiEntropyPeer describes one digest-exchange partner.
@@ -439,10 +472,21 @@ func (s *Site) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error
 			for _, e := range diff.Missing {
 				rep.Missing++
 				s.scrubMet.AEDiffs.WithLabelValues(scrub.DiffMissing).Inc()
-				if s.dropDanglingLocation(ctx, e.LFN, s.DataAddr()) {
+				// Both digests in the diff are snapshots: a pull of this
+				// LFN may have landed since ours was taken. Re-check the
+				// live catalog immediately before acting, or a freshly
+				// registered location gets withdrawn as dangling and the
+				// replica turns invisible to the grid.
+				lfn := e.LFN
+				if s.HasFile(lfn) {
+					continue
+				}
+				if s.dropDanglingLocation(ctx, lfn, s.DataAddr(), func() bool {
+					return !s.HasFile(lfn)
+				}) {
 					rep.Dangling++
 				}
-				if s.queueRepair(e.LFN) {
+				if s.queueRepair(lfn) {
 					rep.Repairs++
 				}
 			}
@@ -450,6 +494,12 @@ func (s *Site) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error
 		for _, e := range diff.Stale {
 			rep.Stale++
 			s.scrubMet.AEDiffs.WithLabelValues(scrub.DiffStale).Inc()
+			// Serialized with the background scrubber: both paths
+			// quarantine and withdraw, and racing them on the same file
+			// double-counts corrupt/missing metrics. The entry is re-read
+			// under the lock so a replica the scrubber already withdrew
+			// is not withdrawn twice.
+			s.scrubMu.Lock()
 			if fi, ok := s.local.get(e.LFN); ok {
 				if verdict, _ := s.scrubOne(ctx, fi); verdict == scrubCorrupt || verdict == scrubMissing {
 					if s.queueRepair(fi.LFN) {
@@ -457,11 +507,26 @@ func (s *Site) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error
 					}
 				}
 			}
+			s.scrubMu.Unlock()
 		}
 		// A location pointing at the peer for a file its digest lacks is
-		// dangling: a consumer routed there would fail its pull.
+		// dangling: a consumer routed there would fail its pull. The
+		// digest may predate a pull that has since landed there, so the
+		// peer is point-queried right before the withdrawal and the
+		// location left alone unless it confirms the file is absent — a
+		// skipped withdrawal waits one round, a wrong one orphans a valid
+		// replica.
 		for _, e := range diff.Extra {
-			if s.dropDanglingLocation(ctx, e.LFN, peerData) {
+			lfn := e.LFN
+			if s.dropDanglingLocation(ctx, lfn, peerData, func() bool {
+				has, err := s.peerHasFile(ctx, peer.addr, lfn)
+				if err != nil {
+					s.logger.Printf("gdmp[%s]: anti-entropy: re-verify %s at %s: %v",
+						s.cfg.Name, lfn, peer.addr, err)
+					return false
+				}
+				return !has
+			}) {
 				rep.Dangling++
 			}
 		}
@@ -470,8 +535,12 @@ func (s *Site) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error
 }
 
 // dropDanglingLocation withdraws the replica-catalog location of lfn at
-// dataAddr when present, reporting whether a withdrawal happened.
-func (s *Site) dropDanglingLocation(ctx context.Context, lfn, dataAddr string) bool {
+// dataAddr when present, reporting whether a withdrawal happened. The
+// confirm hook runs only once a matching location is found, immediately
+// before its removal: it re-verifies the "dangling" verdict against live
+// state (the digests that produced it are snapshots) and vetoes the
+// withdrawal by returning false.
+func (s *Site) dropDanglingLocation(ctx context.Context, lfn, dataAddr string, confirm func() bool) bool {
 	locs, err := s.rc.locations(ctx, lfn)
 	if err != nil {
 		if !isNotFound(err) {
@@ -482,6 +551,9 @@ func (s *Site) dropDanglingLocation(ctx context.Context, lfn, dataAddr string) b
 	for _, p := range locs {
 		if p.Addr != dataAddr {
 			continue
+		}
+		if confirm != nil && !confirm() {
+			return false
 		}
 		if err := s.rc.removeReplica(ctx, lfn, p); err != nil && !isNotFound(err) {
 			s.logger.Printf("gdmp[%s]: anti-entropy: withdraw dangling %s at %s: %v",
@@ -514,6 +586,14 @@ func (s *Site) registerScrubHandlers() {
 			resp.Int64(e.Size)
 			resp.String(e.CRC32)
 		}
+		return nil
+	})
+	s.gdmpSrv.Handle(MethodHasFile, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		resp.Bool(s.HasFile(lfn))
 		return nil
 	})
 	s.gdmpSrv.Handle(MethodFsck, func(ctx context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {

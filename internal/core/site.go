@@ -1103,20 +1103,18 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		return fmt.Errorf("core: post-process %s: %w", lfn, err)
 	}
 
-	// Step 4: insert the new replica into the replica catalog, making it
-	// visible to the Grid.
-	myPFN := s.pfnFor(rel)
-	if err := s.rc.addReplica(ctx, lfn, myPFN); err != nil {
-		return err
-	}
-	if err := s.rc.setAttrs(ctx, lfn, map[string]string{ctlAttrPrefix + myPFN.Addr: s.Addr()}); err != nil {
-		return err
-	}
-
+	// Step 4: insert into the local catalog (journaled) first, then
+	// register the location with the replica catalog. The local catalog
+	// backs gdmp.digest, so this order means a crash or RC failure
+	// between the two leaves a local file without an RC entry — which
+	// the scrubber's location re-assertion heals — rather than an RC
+	// entry whose digest denies the file, which peers' anti-entropy
+	// rounds would withdraw as dangling.
 	info, err := os.Stat(localPath)
 	if err != nil {
 		return err
 	}
+	myPFN := s.pfnFor(rel)
 	fi := FileInfo{
 		LFN: lfn, Path: myPFN.Path, Size: info.Size(),
 		CRC32: entry.Attrs[replica.AttrCRC], FileType: ftName, State: StateDisk,
@@ -1129,6 +1127,12 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		if err := s.storage.AddToPool(myPFN.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
 		}
+	}
+	if err := s.rc.addReplica(ctx, lfn, myPFN); err != nil {
+		return err
+	}
+	if err := s.rc.setAttrs(ctx, lfn, map[string]string{ctlAttrPrefix + myPFN.Addr: s.Addr()}); err != nil {
+		return err
 	}
 	return nil
 }

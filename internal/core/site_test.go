@@ -224,7 +224,16 @@ func TestFanOutToMultipleSubscribers(t *testing.T) {
 			t.Fatalf("%s: %v", c.Name(), err)
 		}
 	}
-	locs, _ := g.Catalog.Locations(pf.LFN)
+	// Local visibility (WaitForFile) now precedes the replica-catalog
+	// registration in replicate(), so give the last addReplica a moment.
+	var locs []string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		locs, _ = g.Catalog.Locations(pf.LFN)
+		if len(locs) == 4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if len(locs) != 4 {
 		t.Fatalf("Locations = %v", locs)
 	}

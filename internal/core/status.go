@@ -160,7 +160,12 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 		RequeuedPulls:    int(d.Uint64()),
 		QuarantinedFiles: int(d.Uint64()),
 		RequeuedNotices:  int(d.Uint64()),
-		Journal:          d.String(),
+	}
+	// Journal is a trailing addition to the payload: tolerate its absence
+	// so status still decodes against a daemon from before the field
+	// existed (mixed-version grids during rolling upgrades).
+	if d.Remaining() > 0 {
+		st.Journal = d.String()
 	}
 	return st, d.Finish()
 }

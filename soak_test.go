@@ -98,11 +98,20 @@ func TestProductionSoak(t *testing.T) {
 	}
 
 	// Catalog invariants: every file has 5 replicas; the collection holds
-	// everything; no consumer recorded a failed transfer.
+	// everything; no consumer recorded a failed transfer. Local visibility
+	// (WaitForFile) precedes the replica-catalog registration in
+	// replicate(), so poll the count briefly.
 	for _, lfn := range all {
-		locs, err := g.Catalog.Locations(lfn)
-		if err != nil {
-			t.Fatal(err)
+		var locs []string
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			locs, err = g.Catalog.Locations(lfn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(locs) == 5 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 		if len(locs) != 5 {
 			t.Fatalf("%s has %d replicas", lfn, len(locs))
