@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub
+.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub cache
 
 all: build
 
@@ -72,3 +72,15 @@ scrub:
 	@echo "scrub seed: $(SCRUB_SEED)"
 	SCRUB_SEED=$(SCRUB_SEED) $(GO) test -race -v \
 		-run 'TestSelfHeal|TestAntiEntropyConvergence|TestQuarantineRetention' .
+
+# Disk-pool cache soak: a seeded Zipf trace drives two consumer sites
+# through a capacity-bounded pool, comparing LRU vs FIFO at two skews and
+# asserting hit-rate floors, capacity bounds, and eviction/RC-withdrawal
+# consistency. Results land in $(BENCH_CACHE_OUT). The seed is logged;
+# replay a run with `make cache CACHE_SEED=7`.
+CACHE_SEED ?= 20260805
+BENCH_CACHE_OUT ?= BENCH_cache.json
+cache:
+	@echo "cache seed: $(CACHE_SEED)"
+	CACHE_SEED=$(CACHE_SEED) BENCH_CACHE_OUT=$(BENCH_CACHE_OUT) \
+		$(GO) test -race -v -run 'TestCacheSoak|TestCachePrefetch' .

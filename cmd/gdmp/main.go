@@ -199,6 +199,16 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		quarantined := d.Uint64()
 		notices := d.Uint64()
 		journal := d.String()
+		// The pool-cache block trails the payload; an older daemon simply
+		// does not send it, so only decode what is actually there.
+		var poolUsed, poolCap, poolHits, poolMisses, poolEvictions int64
+		if d.Remaining() > 0 {
+			poolUsed = d.Int64()
+			poolCap = d.Int64()
+			poolHits = d.Int64()
+			poolMisses = d.Int64()
+			poolEvictions = d.Int64()
+		}
 		if err := d.Finish(); err != nil {
 			return err
 		}
@@ -211,6 +221,14 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		}
 		if journal != "" {
 			fmt.Printf("journal: %s\n", journal)
+		}
+		if poolCap > 0 {
+			rate := 0.0
+			if poolHits+poolMisses > 0 {
+				rate = float64(poolHits) / float64(poolHits+poolMisses)
+			}
+			fmt.Printf("pool: %d/%d bytes, %.1f%% hit rate (%d hits, %d misses), %d evictions\n",
+				poolUsed, poolCap, 100*rate, poolHits, poolMisses, poolEvictions)
 		}
 		return nil
 

@@ -10,7 +10,8 @@
 //	      [-listen :38000] [-ftp-listen :2811] [-metrics :9090] \
 //	      [-state-dir /var/lib/gdmp] [-drain-timeout 30s] \
 //	      [-rc-serve :39000 -rc-save-every 1m] \
-//	      [-tape /tape -pool-capacity 1073741824] [-federation] \
+//	      [-tape /tape -pool-capacity 1073741824 -pool-policy lru] \
+//	      [-prefetch 3] [-federation] \
 //	      [-auto] [-parallel 4] [-tcp-buffer 1048576] [-gridmap gridmap] \
 //	      [-retry-attempts 3 -retry-base 50ms -retry-max 2s] \
 //	      [-transfer-attempts 3] [-notify-failures 3] \
@@ -19,7 +20,9 @@
 //	      [-quarantine-max-age 168h -quarantine-max-count 1024]
 //
 // With -tape, the site runs a Mass Storage System: the pool acts as a cache
-// and files are staged from the tape directory on demand. With
+// and files are staged from the tape directory on demand; -pool-policy
+// picks the eviction order (lru or fifo) and -prefetch N warms a
+// collection's remaining members after N pool misses hit it. With
 // -federation, the site maintains an object database federation and can
 // replicate "objectivity" files (arrivals are attached automatically).
 // With -metrics, the daemon serves its instrumentation registry in the
@@ -85,6 +88,8 @@ func main() {
 	ftpListen := flag.String("ftp-listen", ":2811", "GridFTP data address")
 	tape := flag.String("tape", "", "tape directory (enables the MSS)")
 	poolCap := flag.Int64("pool-capacity", 1<<30, "disk pool capacity in bytes (with -tape)")
+	poolPolicy := flag.String("pool-policy", "lru", "disk pool eviction policy: lru or fifo (with -tape)")
+	prefetch := flag.Int("prefetch", 0, "pool misses per collection before prefetching the rest (0 = off)")
 	federation := flag.Bool("federation", false, "run an object database federation")
 	auto := flag.Bool("auto", false, "auto-replicate files on notification")
 	parallel := flag.Int("parallel", 2, "parallel TCP streams for transfers")
@@ -117,7 +122,8 @@ func main() {
 	if err := run(params{
 		name: *name, data: *data, rcAddr: *rcAddr, credPath: *credPath,
 		caPath: *caPath, listen: *listen, ftpListen: *ftpListen,
-		tape: *tape, poolCap: *poolCap, federation: *federation,
+		tape: *tape, poolCap: *poolCap, poolPolicy: *poolPolicy,
+		prefetch: *prefetch, federation: *federation,
 		auto: *auto, parallel: *parallel, tcpBuffer: *tcpBuffer,
 		autoTune: *autoTune, gridmap: *gridmap, metricsAddr: *metricsAddr,
 		retry: pol, transferAttempts: *transferAttempts,
@@ -140,6 +146,8 @@ type params struct {
 	listen, ftpListen, tape, gridmap     string
 	metricsAddr                          string
 	poolCap                              int64
+	poolPolicy                           string
+	prefetch                             int
 	federation, auto, autoTune           bool
 	parallel, tcpBuffer                  int
 	retry                                retry.Policy
@@ -286,11 +294,22 @@ func run(p params) error {
 		QuarantineMaxAge:    p.quarMaxAge,
 		QuarantineMaxCount:  p.quarMaxCount,
 	}
+	cfg.PrefetchThreshold = p.prefetch
 	if p.tape != "" {
+		var policy mss.EvictionPolicy
+		switch p.poolPolicy {
+		case "", "lru":
+			policy = mss.LRU
+		case "fifo":
+			policy = mss.FIFO
+		default:
+			return fmt.Errorf("unknown -pool-policy %q (want lru or fifo)", p.poolPolicy)
+		}
 		m, err := mss.New(mss.Config{
 			TapeDir:      p.tape,
 			PoolDir:      p.data,
 			PoolCapacity: p.poolCap,
+			Policy:       policy,
 		})
 		if err != nil {
 			return err

@@ -46,12 +46,14 @@ type FileInfo struct {
 type localCatalog struct {
 	mu      sync.RWMutex
 	byLFN   map[string]FileInfo
+	byPath  map[string]string        // site-relative path -> LFN
 	waiters map[string]chan struct{} // lfn -> closed when the entry appears
 }
 
 func newLocalCatalog() *localCatalog {
 	return &localCatalog{
 		byLFN:   make(map[string]FileInfo),
+		byPath:  make(map[string]string),
 		waiters: make(map[string]chan struct{}),
 	}
 }
@@ -59,7 +61,11 @@ func newLocalCatalog() *localCatalog {
 func (c *localCatalog) put(info FileInfo) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old, ok := c.byLFN[info.LFN]; ok && old.Path != info.Path {
+		delete(c.byPath, old.Path)
+	}
 	c.byLFN[info.LFN] = info
+	c.byPath[info.Path] = info.LFN
 	if ch, ok := c.waiters[info.LFN]; ok {
 		close(ch)
 		delete(c.waiters, info.LFN)
@@ -96,7 +102,24 @@ func (c *localCatalog) get(lfn string) (FileInfo, bool) {
 func (c *localCatalog) remove(lfn string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if info, ok := c.byLFN[lfn]; ok && c.byPath[info.Path] == lfn {
+		delete(c.byPath, info.Path)
+	}
 	delete(c.byLFN, lfn)
+}
+
+// getByPath resolves a site-relative path back to its catalog entry — the
+// reverse lookup the disk-pool eviction callback needs, since the pool
+// names files by path, not LFN.
+func (c *localCatalog) getByPath(p string) (FileInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lfn, ok := c.byPath[p]
+	if !ok {
+		return FileInfo{}, false
+	}
+	info, ok := c.byLFN[lfn]
+	return info, ok
 }
 
 func (c *localCatalog) setState(lfn string, st FileState) error {

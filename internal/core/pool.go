@@ -1,0 +1,129 @@
+package core
+
+// Disk-pool cache semantics over the MSS (Section 4.4: the pool is "a data
+// transfer cache for the Grid"). Staged and pulled replicas live in the
+// capacity-bounded pool; when the pool evicts one, this file decides what
+// the catalogs should say afterwards, and a small prefetcher brings hot
+// collections in ahead of demand.
+
+import (
+	"context"
+	"path"
+	"time"
+
+	"gdmp/internal/mss"
+	"gdmp/internal/obs"
+)
+
+// Pool returns the site's storage manager (nil without an MSS) — the
+// handle the soak and crash harnesses use to drive and inspect the pool.
+func (s *Site) Pool() *mss.MSS { return s.storage }
+
+// initPool wires the MSS into the replication core: the gdmp_pool_*
+// metric family and the eviction callback. Called from NewSite once both
+// servers are listening, because the eviction path builds PFNs from the
+// data address.
+func (s *Site) initPool() {
+	if s.storage == nil {
+		return
+	}
+	s.poolMet = obs.NewPoolMetrics(s.metrics)
+	s.storage.SetMetrics(s.poolMet)
+	s.poolDemand = make(map[string]int)
+	s.storage.SetOnEvict(s.onPoolEvict)
+}
+
+// onPoolEvict is the pool's eviction callback. The bytes are already gone
+// when it runs, so the catalogs must stop promising them. Two cases:
+//
+//   - A tape-backed file (a producer original staged out earlier) falls
+//     back to StateTape: its replica-catalog location stays valid because
+//     a stage request restores the bytes on demand — the paper's
+//     default-disk-location convention, and the reason the scrubber
+//     re-asserts locations for tape-resident entries.
+//   - A cache-only replica (pulled over the WAN, no tape copy) is
+//     withdrawn outright: the local catalog entry is removed and
+//     journaled first, then the replica-catalog location — so recovery
+//     and scrub agree with the disk even when the site dies between the
+//     two steps, and a peer's anti-entropy round heals the dangling
+//     location such a crash can leave.
+func (s *Site) onPoolEvict(name string, size int64) {
+	fi, ok := s.local.getByPath(name)
+	if !ok {
+		return // not a cataloged replica (scratch bytes, test files)
+	}
+	if _, err := s.storage.TapeSize(name); err == nil {
+		if err := s.local.setState(fi.LFN, StateTape); err == nil {
+			if jerr := s.persist.setState(fi.LFN, StateTape); jerr != nil {
+				s.logger.Printf("gdmp[%s]: journal eviction of %s to tape: %v", s.cfg.Name, fi.LFN, jerr)
+			}
+		}
+		s.logger.Printf("gdmp[%s]: pool evicted %s (%d bytes) to tape residency", s.cfg.Name, fi.LFN, size)
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.ctx, 30*time.Second)
+	defer cancel()
+	s.withdrawReplica(ctx, fi, false)
+	s.logger.Printf("gdmp[%s]: pool evicted %s (%d bytes), location withdrawn", s.cfg.Name, fi.LFN, size)
+}
+
+// notePoolDemand counts one cache miss against the file's collection (its
+// directory prefix). When a collection crosses the configured threshold
+// its remaining members are brought in ahead of demand: tape-resident
+// members staged back to disk, catalog-listed members this site lacks
+// pulled at background priority. Each collection prefetches once per
+// process lifetime — the counter is accumulated demand evidence, not a
+// sliding window.
+func (s *Site) notePoolDemand(rel string) {
+	if s.cfg.PrefetchThreshold <= 0 || s.storage == nil {
+		return
+	}
+	dir := path.Dir(rel)
+	if dir == "." || dir == "/" {
+		return
+	}
+	s.prefMu.Lock()
+	s.poolDemand[dir]++
+	fire := s.poolDemand[dir] == s.cfg.PrefetchThreshold
+	s.prefMu.Unlock()
+	if fire {
+		s.notifyWG.Add(1)
+		go func() {
+			defer s.notifyWG.Done()
+			s.prefetchCollection(dir)
+		}()
+	}
+}
+
+// prefetchCollection warms one collection: local members without disk
+// bytes are staged, and members of the matching replica-catalog
+// collection that this site lacks are pulled below notification priority
+// (a prefetch must never starve demand traffic). Failures are logged and
+// skipped — prefetching is an optimization, not a promise.
+func (s *Site) prefetchCollection(dir string) {
+	ctx := s.ctx
+	for _, fi := range s.local.list() {
+		if path.Dir(fi.Path) != dir || fi.State == StateDisk {
+			continue
+		}
+		if err := s.stageLocal(ctx, fi.LFN); err != nil {
+			s.logger.Printf("gdmp[%s]: prefetch stage %s: %v", s.cfg.Name, fi.LFN, err)
+			continue
+		}
+		s.poolMet.Prefetches.Inc()
+	}
+	lfns, err := s.rc.listCollection(ctx, dir)
+	if err != nil {
+		if !isNotFound(err) {
+			s.logger.Printf("gdmp[%s]: prefetch list collection %s: %v", s.cfg.Name, dir, err)
+		}
+		return
+	}
+	for _, lfn := range lfns {
+		if s.HasFile(lfn) {
+			continue
+		}
+		s.submitGet(lfn, -1) // fire and forget; the scheduler dedups by LFN
+		s.poolMet.Prefetches.Inc()
+	}
+}

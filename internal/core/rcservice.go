@@ -120,6 +120,10 @@ func (rc *rcService) lookup(ctx context.Context, lfn string) (*replica.LogicalFi
 }
 
 // setAttrs merges attributes into an entry.
+func (rc *rcService) listCollection(ctx context.Context, name string) ([]string, error) {
+	return rc.client.ListCollection(ctx, name)
+}
+
 func (rc *rcService) setAttrs(ctx context.Context, lfn string, attrs map[string]string) error {
 	return rc.client.SetAttrs(ctx, lfn, attrs)
 }

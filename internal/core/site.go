@@ -69,7 +69,7 @@ const (
 var Methods = []string{
 	MethodPing, MethodSubscribe, MethodUnsubscribe,
 	MethodNotify, MethodCatalog, MethodStage, MethodStatus,
-	MethodMetrics, MethodDigest, MethodFsck,
+	MethodMetrics, MethodDigest, MethodFsck, MethodHasFile,
 }
 
 // AllowSiteUseAll grants every authenticated identity the full GDMP and
@@ -119,6 +119,11 @@ type Config struct {
 
 	// MSS optionally provides tape staging behind the disk pool.
 	MSS *mss.MSS
+
+	// PrefetchThreshold makes the disk-pool prefetcher bring in the rest
+	// of a collection (directory prefix) once that many cache misses have
+	// hit it; 0 disables prefetching. Only meaningful with an MSS.
+	PrefetchThreshold int
 
 	// Federation optionally provides the local object database catalog,
 	// required to replicate "objectivity" files.
@@ -278,6 +283,12 @@ type Site struct {
 
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
+
+	// Disk-pool cache runtime: the gdmp_pool_* family and the
+	// per-collection demand counters behind the prefetcher (see pool.go).
+	poolMet    *obs.PoolMetrics
+	prefMu     sync.Mutex
+	poolDemand map[string]int
 }
 
 // NewSite builds and starts a site: both servers listen on ephemeral ports.
@@ -424,6 +435,11 @@ func NewSite(cfg Config) (*Site, error) {
 		return nil, err
 	}
 	go s.gdmpSrv.Serve(s.gdmpLn)
+
+	// The pool cache hooks in once both servers are up (evictions build
+	// PFNs from the data address) and before recovered pulls resume, so
+	// every eviction they trigger is already catalog-consistent.
+	s.initPool()
 
 	if s.persist != nil {
 		// Only now can recovered work run: delivery drains need the site
@@ -647,6 +663,11 @@ func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOpti
 	if s.storage != nil {
 		if err := s.storage.AddToPool(pfn.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, pfn.Path, err)
+		} else {
+			// Producer originals are never evicted: cache pressure from
+			// pulled replicas must not push locally produced data out of
+			// the pool before it is archived.
+			s.storage.Protect(pfn.Path)
 		}
 	}
 
@@ -981,6 +1002,16 @@ func (s *Site) Get(lfn string) error {
 // (dequeued if still pending, interrupted mid-transfer if running).
 func (s *Site) GetCtx(ctx context.Context, lfn string) error {
 	if s.HasFile(lfn) {
+		if s.storage != nil {
+			// A Get satisfied by a resident replica is a pool cache hit;
+			// the matching miss is counted when a pull lands (replicate).
+			// The hit also refreshes the replica's recency, or LRU would
+			// never see read traffic and degenerate to FIFO.
+			if fi, ok := s.local.get(lfn); ok {
+				s.storage.Touch(fi.Path)
+			}
+			s.storage.NoteAccess(true, 0)
+		}
 		return nil
 	}
 	return s.submitGet(lfn, 0).Wait(ctx)
@@ -1079,17 +1110,25 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		return err
 	}
 	size, _ := entry.Size()
+	var poolReserve func()
 	if s.storage != nil {
-		if release, err := s.storage.Reserve(size); err != nil {
-			return fmt.Errorf("core: reserve %d bytes for %s: %w", size, lfn, err)
-		} else {
-			defer release()
+		release, rerr := s.storage.Reserve(size)
+		if rerr != nil {
+			return fmt.Errorf("core: reserve %d bytes for %s: %w", size, lfn, rerr)
 		}
+		// The defer covers the error paths; the success path releases
+		// explicitly before AddToPool, because holding the reservation
+		// while the pool also counts the landed bytes would double-charge
+		// capacity and trigger spurious evictions. Release is once-only,
+		// so both firing is safe.
+		defer release()
+		poolReserve = release
 	}
 	pol := s.retryPolicy("core.replicate")
 	if pol.Attempts < len(order) {
 		pol.Attempts = len(order) // visit every replica at least once
 	}
+	fetchStart := time.Now()
 	err = pol.Do(ctx, func(attempt int) error {
 		src := order[(attempt-1)%len(order)]
 		return s.replicateFrom(ctx, entry, lfn, src, localPath)
@@ -1097,6 +1136,7 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 	if err != nil {
 		return fmt.Errorf("core: transfer %s: %w", lfn, err)
 	}
+	fetchElapsed := time.Since(fetchStart)
 
 	// Step 3: post-processing (e.g. attach to the federation).
 	if err := ft.PostProcess(s, lfn, localPath); err != nil {
@@ -1124,9 +1164,12 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		return fmt.Errorf("core: journal replica %s: %w", lfn, err)
 	}
 	if s.storage != nil {
+		poolReserve()
 		if err := s.storage.AddToPool(myPFN.Path); err != nil {
 			s.logger.Printf("gdmp[%s]: pool registration of %s: %v", s.cfg.Name, myPFN.Path, err)
 		}
+		s.storage.NoteAccess(false, fetchElapsed)
+		s.notePoolDemand(rel)
 	}
 	if err := s.rc.addReplica(ctx, lfn, myPFN); err != nil {
 		return err
@@ -1556,6 +1599,7 @@ func (s *Site) stageLocal(ctx context.Context, lfn string) error {
 	if s.storage == nil {
 		return fmt.Errorf("core: %q missing on disk and no MSS configured", lfn)
 	}
+	s.notePoolDemand(fi.Path)
 	if _, err := s.storage.StageContext(ctx, fi.Path); err != nil {
 		return err
 	}

@@ -90,6 +90,14 @@ type SiteStatus struct {
 	// append/fsync failure has latched it read-only — the site keeps
 	// serving but mutations no longer survive a crash.
 	Journal string
+
+	// Disk-pool cache summary (all zero for a site without an MSS).
+	// Hit rate is PoolHits / (PoolHits + PoolMisses).
+	PoolUsed      int64
+	PoolCapacity  int64
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -108,7 +116,7 @@ func (s *Site) Status() SiteStatus {
 	s.pendMu.Lock()
 	pending := len(s.pending)
 	s.pendMu.Unlock()
-	return SiteStatus{
+	st := SiteStatus{
 		Name:             s.cfg.Name,
 		LocalFiles:       s.local.len(),
 		Subscribers:      subs,
@@ -122,6 +130,15 @@ func (s *Site) Status() SiteStatus {
 		RequeuedNotices:  s.recovery.NoticesRequeued,
 		Journal:          s.journalHealth(),
 	}
+	if s.storage != nil {
+		ps := s.storage.Stats()
+		st.PoolUsed = s.storage.Used()
+		st.PoolCapacity = s.storage.Capacity()
+		st.PoolHits = int64(ps.Hits)
+		st.PoolMisses = int64(ps.Misses)
+		st.PoolEvictions = int64(ps.Evictions)
+	}
+	return st
 }
 
 // journalHealth maps the journal's latch state to the status string.
@@ -148,6 +165,39 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 	if err != nil {
 		return SiteStatus{}, err
 	}
+	st := decodeSiteStatus(d)
+	return st, d.Finish()
+}
+
+// encodeSiteStatus writes the status payload. Field order is the wire
+// contract: new fields only ever append, so older peers that stop reading
+// early still decode the prefix they know.
+func encodeSiteStatus(e *rpc.Encoder, st SiteStatus) {
+	e.String(st.Name)
+	e.Uint64(uint64(st.LocalFiles))
+	e.Uint64(uint64(st.Subscribers))
+	e.Uint64(uint64(st.TransfersOK))
+	e.Uint64(uint64(st.TransfersFailed))
+	e.Int64(st.BytesReplicated)
+	e.Uint64(uint64(st.PendingTransfers))
+	e.Uint64(uint64(st.RestoredFiles))
+	e.Uint64(uint64(st.RequeuedPulls))
+	e.Uint64(uint64(st.QuarantinedFiles))
+	e.Uint64(uint64(st.RequeuedNotices))
+	e.String(st.Journal)
+	e.Int64(st.PoolUsed)
+	e.Int64(st.PoolCapacity)
+	e.Int64(st.PoolHits)
+	e.Int64(st.PoolMisses)
+	e.Int64(st.PoolEvictions)
+}
+
+// decodeSiteStatus reads the status payload, tolerating truncation at
+// each trailing-field generation: the Journal field and the pool-cache
+// block were both appended after the original payload shipped, so a
+// status from an older daemon decodes to zero values for what it never
+// sent (mixed-version grids during rolling upgrades).
+func decodeSiteStatus(d *rpc.Decoder) SiteStatus {
 	st := SiteStatus{
 		Name:             d.String(),
 		LocalFiles:       int(d.Uint64()),
@@ -161,13 +211,17 @@ func (s *Site) RemoteStatus(remoteAddr string) (SiteStatus, error) {
 		QuarantinedFiles: int(d.Uint64()),
 		RequeuedNotices:  int(d.Uint64()),
 	}
-	// Journal is a trailing addition to the payload: tolerate its absence
-	// so status still decodes against a daemon from before the field
-	// existed (mixed-version grids during rolling upgrades).
 	if d.Remaining() > 0 {
 		st.Journal = d.String()
 	}
-	return st, d.Finish()
+	if d.Remaining() > 0 {
+		st.PoolUsed = d.Int64()
+		st.PoolCapacity = d.Int64()
+		st.PoolHits = d.Int64()
+		st.PoolMisses = d.Int64()
+		st.PoolEvictions = d.Int64()
+	}
+	return st
 }
 
 // registerStatusHandler wires MethodStatus into the Request Manager.
@@ -176,19 +230,7 @@ func (s *Site) registerStatusHandler() {
 		if err := args.Finish(); err != nil {
 			return err
 		}
-		st := s.Status()
-		resp.String(st.Name)
-		resp.Uint64(uint64(st.LocalFiles))
-		resp.Uint64(uint64(st.Subscribers))
-		resp.Uint64(uint64(st.TransfersOK))
-		resp.Uint64(uint64(st.TransfersFailed))
-		resp.Int64(st.BytesReplicated)
-		resp.Uint64(uint64(st.PendingTransfers))
-		resp.Uint64(uint64(st.RestoredFiles))
-		resp.Uint64(uint64(st.RequeuedPulls))
-		resp.Uint64(uint64(st.QuarantinedFiles))
-		resp.Uint64(uint64(st.RequeuedNotices))
-		resp.String(st.Journal)
+		encodeSiteStatus(resp, s.Status())
 		return nil
 	})
 }

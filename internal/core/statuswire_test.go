@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"gdmp/internal/rpc"
+)
+
+func TestSiteStatusWireRoundTrip(t *testing.T) {
+	want := SiteStatus{
+		Name:             "cern.ch",
+		LocalFiles:       12,
+		Subscribers:      3,
+		TransfersOK:      40,
+		TransfersFailed:  2,
+		BytesReplicated:  1 << 30,
+		PendingTransfers: 1,
+		RestoredFiles:    5,
+		RequeuedPulls:    2,
+		QuarantinedFiles: 1,
+		RequeuedNotices:  4,
+		Journal:          "ok",
+		PoolUsed:         700,
+		PoolCapacity:     1000,
+		PoolHits:         55,
+		PoolMisses:       11,
+		PoolEvictions:    7,
+	}
+	var e rpc.Encoder
+	encodeSiteStatus(&e, want)
+	d := rpc.NewDecoder(e.Bytes())
+	got := decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A status payload from an older daemon stops before the trailing field
+// generations; the decoder must fill zero values, not fail — the grid
+// upgrades one site at a time.
+func TestSiteStatusDecodeOlderGenerations(t *testing.T) {
+	full := SiteStatus{
+		Name: "fnal.gov", LocalFiles: 2, TransfersOK: 9, BytesReplicated: 512,
+		Journal: "ok", PoolUsed: 10, PoolCapacity: 100, PoolHits: 1,
+	}
+
+	// Generation 2: Journal present, pool block absent.
+	var e rpc.Encoder
+	e.String(full.Name)
+	e.Uint64(uint64(full.LocalFiles))
+	e.Uint64(uint64(full.Subscribers))
+	e.Uint64(uint64(full.TransfersOK))
+	e.Uint64(uint64(full.TransfersFailed))
+	e.Int64(full.BytesReplicated)
+	e.Uint64(uint64(full.PendingTransfers))
+	e.Uint64(uint64(full.RestoredFiles))
+	e.Uint64(uint64(full.RequeuedPulls))
+	e.Uint64(uint64(full.QuarantinedFiles))
+	e.Uint64(uint64(full.RequeuedNotices))
+	gen1 := append([]byte(nil), e.Bytes()...) // generation 1 ends here
+	e.String(full.Journal)
+
+	d := rpc.NewDecoder(e.Bytes())
+	got := decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode generation 2: %v", err)
+	}
+	if got.Journal != "ok" || got.PoolCapacity != 0 || got.PoolUsed != 0 {
+		t.Fatalf("generation 2 decode = %+v", got)
+	}
+
+	// Generation 1: neither Journal nor the pool block.
+	d = rpc.NewDecoder(gen1)
+	got = decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode generation 1: %v", err)
+	}
+	if got.Name != "fnal.gov" || got.TransfersOK != 9 || got.Journal != "" || got.PoolCapacity != 0 {
+		t.Fatalf("generation 1 decode = %+v", got)
+	}
+}
+
+// The pool block strictly appends to the payload: everything before it is
+// byte-identical whether the block carries zeros or data, which is what
+// lets an older peer stop reading early (field order is the wire ABI).
+func TestEncodePoolBlockStrictlyAppends(t *testing.T) {
+	zero := SiteStatus{Name: "x", Journal: "ok"}
+	data := zero
+	data.PoolUsed, data.PoolCapacity = 1, 2
+	data.PoolHits, data.PoolMisses, data.PoolEvictions = 3, 4, 5
+
+	var ez, ed rpc.Encoder
+	encodeSiteStatus(&ez, zero)
+	encodeSiteStatus(&ed, data)
+	bz, bd := ez.Bytes(), ed.Bytes()
+	if len(bd) < len(bz) {
+		t.Fatalf("payload with pool data (%d bytes) shorter than zeros (%d)", len(bd), len(bz))
+	}
+	// The block is five fixed-width Int64s at the very end; everything
+	// before it must be byte-identical across the two payloads.
+	n := len(bz) - 5*8
+	if string(bz[:n]) != string(bd[:n]) {
+		t.Fatal("pool block changed bytes before its own position")
+	}
+}

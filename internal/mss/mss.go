@@ -33,6 +33,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gdmp/internal/obs"
 )
 
 // sleepCtx waits for d or until ctx is done, so the simulated tape-drive
@@ -124,11 +126,12 @@ type Stats struct {
 
 // poolEntry tracks one disk-pool resident file.
 type poolEntry struct {
-	name   string
-	size   int64
-	pins   int
-	staged time.Time // for FIFO
-	lru    *list.Element
+	name      string
+	size      int64
+	pins      int
+	protected bool      // producer original: never evicted
+	staged    time.Time // for FIFO
+	lru       *list.Element
 }
 
 // MSS is the simulated hierarchical storage system at one site.
@@ -141,6 +144,8 @@ type MSS struct {
 	used     int64
 	reserved int64
 	stats    Stats
+	onEvict  func(name string, size int64)
+	met      *obs.PoolMetrics
 }
 
 // New creates an MSS over the configured directories, creating them if
@@ -199,6 +204,89 @@ func (m *MSS) TapeSize(name string) (int64, error) {
 	return info.Size(), nil
 }
 
+// SetOnEvict installs a callback invoked once per evicted file, after the
+// pool lock is released, with the pool-relative name and size of the
+// victim. The replication core uses it to retire the evicted replica's
+// catalog entries; the bytes are already gone when it runs, and the
+// callback may call back into the pool.
+func (m *MSS) SetOnEvict(fn func(name string, size int64)) {
+	m.mu.Lock()
+	m.onEvict = fn
+	m.mu.Unlock()
+}
+
+// SetMetrics points the pool at a gdmp_pool_* metric family and primes
+// the capacity and occupancy gauges.
+func (m *MSS) SetMetrics(pm *obs.PoolMetrics) {
+	m.mu.Lock()
+	m.met = pm
+	if pm != nil {
+		pm.Capacity.Set(m.cfg.PoolCapacity)
+	}
+	m.gaugesLocked()
+	m.mu.Unlock()
+}
+
+// Capacity returns the configured pool size in bytes.
+func (m *MSS) Capacity() int64 { return m.cfg.PoolCapacity }
+
+// Protect marks a pool entry as never evictable, regardless of pins — the
+// treatment producer originals get, so cache pressure from pulled
+// replicas cannot push locally produced data out of the pool.
+func (m *MSS) Protect(name string) {
+	m.mu.Lock()
+	if e, ok := m.entries[name]; ok {
+		e.protected = true
+	}
+	m.mu.Unlock()
+}
+
+// gaugesLocked refreshes the occupancy gauges; the caller holds m.mu.
+func (m *MSS) gaugesLocked() {
+	if m.met == nil {
+		return
+	}
+	m.met.Occupancy.Set(m.used)
+	m.met.Reserved.Set(m.reserved)
+}
+
+// NoteAccess records a pool-cache access the MSS did not itself mediate:
+// hit reports whether the requested replica was already pool-resident,
+// and a miss carries the latency of the fetch that brought the bytes in
+// (the WAN pull). The replication core calls this on its Get path so the
+// pool hit-rate covers remote pulls as well as tape stages.
+func (m *MSS) NoteAccess(hit bool, d time.Duration) {
+	m.mu.Lock()
+	met := m.met
+	if hit {
+		m.stats.Hits++
+	} else {
+		m.stats.Misses++
+		m.stats.StageTime += d
+	}
+	m.mu.Unlock()
+	if met != nil {
+		if hit {
+			met.Hits.Inc()
+		} else {
+			met.Misses.Inc()
+			met.StageSeconds.Observe(d.Seconds())
+		}
+	}
+}
+
+// Touch marks a pool-resident file as recently used without pinning it —
+// the recency signal for accesses the MSS does not itself mediate (a Get
+// satisfied by a resident replica). Without it every such hit is
+// invisible to LRU and the policy degenerates to FIFO.
+func (m *MSS) Touch(name string) {
+	m.mu.Lock()
+	if e, ok := m.entries[name]; ok {
+		m.touchLocked(e)
+	}
+	m.mu.Unlock()
+}
+
 // OnDisk reports whether the file is in the pool.
 func (m *MSS) OnDisk(name string) bool {
 	m.mu.Lock()
@@ -242,6 +330,9 @@ func (m *MSS) StageContext(ctx context.Context, name string) (string, error) {
 			e.pins++
 			m.touchLocked(e)
 			m.stats.Hits++
+			if m.met != nil {
+				m.met.Hits.Inc()
+			}
 			m.mu.Unlock()
 			return p, nil
 		}
@@ -250,6 +341,10 @@ func (m *MSS) StageContext(ctx context.Context, name string) (string, error) {
 		m.used -= e.size
 	}
 	m.stats.Misses++
+	if m.met != nil {
+		m.met.Misses.Inc()
+	}
+	m.gaugesLocked()
 	m.mu.Unlock()
 
 	size, err := m.TapeSize(name)
@@ -291,7 +386,26 @@ func (m *MSS) StageContext(ctx context.Context, name string) (string, error) {
 		return "", fmt.Errorf("mss: stage %s: %w", name, err)
 	}
 
+	elapsed := time.Since(start)
 	m.mu.Lock()
+	met := m.met
+	if e, ok := m.entries[name]; ok {
+		// A concurrent stage of the same file won the race and owns the
+		// pool entry; counting our copy too would double the usage
+		// accounting and orphan a recency-list element. Fold into the
+		// existing entry: drop our reservation, take our pin on theirs.
+		m.reserved -= size
+		e.pins++
+		m.touchLocked(e)
+		m.stats.BytesStaged += size
+		m.stats.StageTime += elapsed
+		m.gaugesLocked()
+		m.mu.Unlock()
+		if met != nil {
+			met.StageSeconds.Observe(elapsed.Seconds())
+		}
+		return dst, nil
+	}
 	// Convert the reservation into real usage; the release closure is
 	// deliberately never called on this path.
 	m.reserved -= size
@@ -300,8 +414,12 @@ func (m *MSS) StageContext(ctx context.Context, name string) (string, error) {
 	e.lru = m.lruList.PushFront(e)
 	m.entries[name] = e
 	m.stats.BytesStaged += size
-	m.stats.StageTime += time.Since(start)
+	m.stats.StageTime += elapsed
+	m.gaugesLocked()
 	m.mu.Unlock()
+	if met != nil {
+		met.StageSeconds.Observe(elapsed.Seconds())
+	}
 	return dst, nil
 }
 
@@ -327,19 +445,24 @@ func (m *MSS) AddToPool(name string) error {
 		return fmt.Errorf("mss: add to pool: %w", err)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.entries[name]; ok {
+		m.mu.Unlock()
 		return nil
 	}
-	if m.used+m.reserved+info.Size() > m.cfg.PoolCapacity {
-		if err := m.evictLocked(info.Size()); err != nil {
-			return err
-		}
+	victims, verr := m.evictLocked(info.Size())
+	if verr != nil {
+		m.gaugesLocked()
+		m.mu.Unlock()
+		m.notifyEvicted(victims)
+		return verr
 	}
 	e := &poolEntry{name: name, size: info.Size(), staged: time.Now()}
 	e.lru = m.lruList.PushFront(e)
 	m.entries[name] = e
 	m.used += info.Size()
+	m.gaugesLocked()
+	m.mu.Unlock()
+	m.notifyEvicted(victims)
 	return nil
 }
 
@@ -371,29 +494,47 @@ func (m *MSS) Reserve(size int64) (func(), error) {
 		return nil, errors.New("mss: negative reservation")
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.used+m.reserved+size > m.cfg.PoolCapacity {
-		if err := m.evictLocked(size); err != nil {
-			return nil, err
-		}
+	victims, err := m.evictLocked(size)
+	if err != nil {
+		m.gaugesLocked()
+		m.mu.Unlock()
+		// Victims evicted before the failure are really gone; their
+		// catalog entries must still be retired.
+		m.notifyEvicted(victims)
+		return nil, err
 	}
 	m.reserved += size
+	m.gaugesLocked()
+	m.mu.Unlock()
+	m.notifyEvicted(victims)
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			m.mu.Lock()
 			m.reserved -= size
+			m.gaugesLocked()
 			m.mu.Unlock()
 		})
 	}, nil
 }
 
-// evictLocked frees space until size fits, or fails.
-func (m *MSS) evictLocked(size int64) error {
+// evicted records one eviction for the post-unlock callback.
+type evicted struct {
+	name string
+	size int64
+}
+
+// evictLocked frees space until size fits, or fails after evicting
+// whatever it could. The victims' bytes are removed here; the caller must
+// pass the returned list to notifyEvicted after releasing m.mu, because
+// the callback re-enters the replication core, which may call back into
+// the pool.
+func (m *MSS) evictLocked(size int64) ([]evicted, error) {
+	var out []evicted
 	for m.used+m.reserved+size > m.cfg.PoolCapacity {
 		victim := m.pickVictimLocked()
 		if victim == nil {
-			return fmt.Errorf("%w: need %d, used %d, reserved %d, capacity %d",
+			return out, fmt.Errorf("%w: need %d, used %d, reserved %d, capacity %d",
 				ErrNoSpace, size, m.used, m.reserved, m.cfg.PoolCapacity)
 		}
 		p, err := safeJoin(m.cfg.PoolDir, victim.name)
@@ -404,8 +545,28 @@ func (m *MSS) evictLocked(size int64) error {
 		delete(m.entries, victim.name)
 		m.used -= victim.size
 		m.stats.Evictions++
+		if m.met != nil {
+			m.met.Evictions.Inc()
+		}
+		out = append(out, evicted{victim.name, victim.size})
 	}
-	return nil
+	return out, nil
+}
+
+// notifyEvicted runs the eviction callback for each victim, outside m.mu.
+func (m *MSS) notifyEvicted(victims []evicted) {
+	if len(victims) == 0 {
+		return
+	}
+	m.mu.Lock()
+	fn := m.onEvict
+	m.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, v := range victims {
+		fn(v.name, v.size)
+	}
 }
 
 // pickVictimLocked selects the next unpinned victim per policy.
@@ -414,7 +575,7 @@ func (m *MSS) pickVictimLocked() *poolEntry {
 	case FIFO:
 		var oldest *poolEntry
 		for _, e := range m.entries {
-			if e.pins > 0 {
+			if e.pins > 0 || e.protected {
 				continue
 			}
 			if oldest == nil || e.staged.Before(oldest.staged) {
@@ -425,7 +586,7 @@ func (m *MSS) pickVictimLocked() *poolEntry {
 	default: // LRU: scan from the back of the recency list
 		for el := m.lruList.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*poolEntry)
-			if e.pins == 0 {
+			if e.pins == 0 && !e.protected {
 				return e
 			}
 		}
@@ -454,6 +615,7 @@ func (m *MSS) Drop(name string) {
 	m.lruList.Remove(e.lru)
 	delete(m.entries, name)
 	m.used -= e.size
+	m.gaugesLocked()
 }
 
 // Used returns the bytes currently occupied in the pool.

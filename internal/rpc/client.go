@@ -142,6 +142,13 @@ func (c *Client) CallContext(ctx context.Context, method string, args *Encoder) 
 		c.closeLocked()
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr
+		} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			// The connection deadline and the context deadline are the
+			// same instant but tick on different timers: the read can
+			// time out a hair before ctx.Err() flips.
+			if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+				err = context.DeadlineExceeded
+			}
 		}
 		return nil, fmt.Errorf("rpc: %s %s: %w", stage, method, err)
 	}

@@ -62,6 +62,15 @@ type SiteOptions struct {
 	MountLatency time.Duration
 	TapeRateMBps float64
 
+	// MSSPolicy selects the disk-pool eviction policy when WithMSS is set
+	// (default LRU).
+	MSSPolicy mss.EvictionPolicy
+
+	// Prefetch enables the site's collection prefetcher: after this many
+	// pool misses in one collection the rest is brought in ahead of
+	// demand (0 disables). Only meaningful with WithMSS.
+	Prefetch int
+
 	// WithFederation gives the site an object database federation, making
 	// it able to replicate "objectivity" files.
 	WithFederation bool
@@ -207,6 +216,7 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		ScrubRateBytes:         opts.ScrubRateBytes,
 		QuarantineMaxAge:       opts.QuarantineMaxAge,
 		QuarantineMaxCount:     opts.QuarantineMaxCount,
+		PrefetchThreshold:      opts.Prefetch,
 	}
 	if opts.Durable {
 		cfg.StateDir = filepath.Join(siteDir, "state")
@@ -222,6 +232,7 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 			PoolCapacity: capacity,
 			MountLatency: opts.MountLatency,
 			TapeRateMBps: opts.TapeRateMBps,
+			Policy:       opts.MSSPolicy,
 		})
 		if err != nil {
 			return nil, err

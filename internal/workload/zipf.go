@@ -1,0 +1,156 @@
+// Zipf-popularity access traces: the skewed read traffic that decides
+// disk-pool cache behavior. Web-caching studies the paper cites [Bres99]
+// and grid operations experience (EU DataGrid, Magda) both report that a
+// small hot set draws most accesses; the cache-soak harness replays these
+// traces against MSS-backed consumer sites to measure hit rate and stage
+// latency under LRU and FIFO eviction at different skews.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"sort"
+)
+
+// TraceConfig parameterizes one access trace.
+type TraceConfig struct {
+	// Files is the catalog size: many small LFNs, ranked by popularity
+	// (rank 0 is the hottest).
+	Files int
+
+	// FileBytes is the payload size of every file.
+	FileBytes int
+
+	// S is the Zipf exponent: higher is more skewed (web traffic is
+	// commonly fit near 0.8–1.2).
+	S float64
+
+	// Requests is the total number of accesses across all sites.
+	Requests int
+
+	// Sites are the consumer sites issuing the accesses; each access picks
+	// a site uniformly at random.
+	Sites []string
+
+	// Collections spreads the files over this many collections
+	// (contiguous popularity-rank blocks, so collection 0 is the hottest);
+	// 0 or 1 puts everything in one collection.
+	Collections int
+
+	// Seed makes the trace deterministic: the same seed always yields the
+	// same accesses, which is what lets CACHE_SEED replay a soak run.
+	Seed int64
+}
+
+// Access is one trace step: a site requesting a file.
+type Access struct {
+	Site string
+	File int // popularity rank in [0, Files)
+}
+
+// Trace is a generated access sequence plus its configuration.
+type Trace struct {
+	Cfg      TraceConfig
+	Accesses []Access
+}
+
+// GenerateTrace builds a deterministic Zipf access trace. File choices
+// follow ZipfRanks(Files, S); site choices are uniform; both are drawn
+// from one seeded generator, so a (config, seed) pair fully determines
+// the trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	if cfg.Files <= 0 || cfg.Requests <= 0 {
+		return nil, errors.New("workload: trace wants Files > 0 and Requests > 0")
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, errors.New("workload: trace wants at least one site")
+	}
+	if cfg.S <= 0 {
+		return nil, errors.New("workload: trace wants a positive Zipf exponent")
+	}
+	w := ZipfRanks(cfg.Files, cfg.S)
+	cdf := make([]float64, cfg.Files)
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		cdf[i] = acc
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Cfg: cfg, Accesses: make([]Access, cfg.Requests)}
+	for i := range t.Accesses {
+		u := rng.Float64()
+		f := sort.SearchFloat64s(cdf, u)
+		if f >= cfg.Files { // cdf[last] can round below 1.0
+			f = cfg.Files - 1
+		}
+		t.Accesses[i] = Access{
+			Site: cfg.Sites[rng.Intn(len(cfg.Sites))],
+			File: f,
+		}
+	}
+	return t, nil
+}
+
+// collections returns the effective collection count.
+func (t *Trace) collections() int {
+	if t.Cfg.Collections <= 1 {
+		return 1
+	}
+	if t.Cfg.Collections > t.Cfg.Files {
+		return t.Cfg.Files
+	}
+	return t.Cfg.Collections
+}
+
+// Collection returns the collection name of file i. Files map to
+// collections in contiguous popularity blocks, so the members of a hot
+// file's collection are themselves hot — the locality a collection
+// prefetcher exploits.
+func (t *Trace) Collection(i int) string {
+	c := i * t.collections() / t.Cfg.Files
+	return fmt.Sprintf("zipf/c%02d", c)
+}
+
+// FileName returns the canonical site-relative path of file i, grouped
+// under its collection directory.
+func (t *Trace) FileName(i int) string {
+	return path.Join(t.Collection(i), fmt.Sprintf("f%04d.dat", i))
+}
+
+// TopShare reports the fraction of accesses that land on the k most
+// accessed files of the actual trace — the hit rate an oracle cache
+// holding exactly those k files would see, and therefore the natural
+// reference point for asserting hit-rate floors.
+func (t *Trace) TopShare(k int) float64 {
+	if k <= 0 || len(t.Accesses) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	for _, a := range t.Accesses {
+		counts[a.File]++
+	}
+	freq := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freq = append(freq, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	if k > len(freq) {
+		k = len(freq)
+	}
+	top := 0
+	for _, n := range freq[:k] {
+		top += n
+	}
+	return float64(top) / float64(len(t.Accesses))
+}
+
+// PerSite splits the access sequence by site, preserving order.
+func (t *Trace) PerSite() map[string][]int {
+	out := make(map[string][]int, len(t.Cfg.Sites))
+	for _, a := range t.Accesses {
+		out[a.Site] = append(out[a.Site], a.File)
+	}
+	return out
+}

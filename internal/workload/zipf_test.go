@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateTraceValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Files: 0, Requests: 10, S: 1, Sites: []string{"a"}},
+		{Files: 10, Requests: 0, S: 1, Sites: []string{"a"}},
+		{Files: 10, Requests: 10, S: 0, Sites: []string{"a"}},
+		{Files: 10, Requests: 10, S: 1, Sites: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateTrace(cfg); err == nil {
+			t.Errorf("config %d: want error, got none", i)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{
+		Files: 64, FileBytes: 4096, S: 1.1, Requests: 500,
+		Sites: []string{"anl.gov", "fnal.gov"}, Collections: 4, Seed: 42,
+	}
+	a, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Accesses, b.Accesses) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg.Seed = 43
+	c, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Accesses, c.Accesses) {
+		t.Fatal("different seeds produced the same trace")
+	}
+	for i, acc := range a.Accesses {
+		if acc.File < 0 || acc.File >= cfg.Files {
+			t.Fatalf("access %d: file %d out of range", i, acc.File)
+		}
+		if acc.Site != "anl.gov" && acc.Site != "fnal.gov" {
+			t.Fatalf("access %d: unknown site %q", i, acc.Site)
+		}
+	}
+}
+
+func TestGenerateTraceSkew(t *testing.T) {
+	sites := []string{"one"}
+	lo, err := GenerateTrace(TraceConfig{Files: 100, S: 0.8, Requests: 5000, Sites: sites, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := GenerateTrace(TraceConfig{Files: 100, S: 1.4, Requests: 5000, Sites: sites, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More skew concentrates more of the trace on the top files.
+	if hi.TopShare(10) <= lo.TopShare(10) {
+		t.Fatalf("TopShare(10): s=1.4 gives %v, s=0.8 gives %v; want higher at higher skew",
+			hi.TopShare(10), lo.TopShare(10))
+	}
+	// And in either case the hot set dominates a uniform draw (10%).
+	if lo.TopShare(10) < 0.2 {
+		t.Fatalf("TopShare(10) = %v at s=0.8; Zipf should beat uniform", lo.TopShare(10))
+	}
+}
+
+func TestTraceCollections(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{
+		Files: 40, S: 1, Requests: 10, Sites: []string{"x"}, Collections: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous popularity blocks: 10 files per collection, in rank order.
+	seen := make(map[string][]int)
+	for i := 0; i < 40; i++ {
+		c := tr.Collection(i)
+		seen[c] = append(seen[c], i)
+		if !strings.HasPrefix(tr.FileName(i), c+"/") {
+			t.Fatalf("FileName(%d) = %q not under its collection %q", i, tr.FileName(i), c)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("got %d collections, want 4", len(seen))
+	}
+	if got := tr.Collection(0); got != tr.Collection(9) || got == tr.Collection(10) {
+		t.Fatalf("collection blocks not contiguous: c(0)=%s c(9)=%s c(10)=%s",
+			tr.Collection(0), tr.Collection(9), tr.Collection(10))
+	}
+	// Single-collection and no-collection configs behave alike.
+	one, err := GenerateTrace(TraceConfig{Files: 5, S: 1, Requests: 1, Sites: []string{"x"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if one.Collection(i) != "zipf/c00" {
+			t.Fatalf("Collection(%d) = %q without Collections set", i, one.Collection(i))
+		}
+	}
+}
+
+func TestTracePerSite(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{
+		Files: 10, S: 1, Requests: 200, Sites: []string{"a", "b", "c"}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := tr.PerSite()
+	total := 0
+	for _, accs := range per {
+		total += len(accs)
+	}
+	if total != 200 {
+		t.Fatalf("per-site split covers %d accesses, want 200", total)
+	}
+	// Uniform site choice: no site should get everything.
+	for site, accs := range per {
+		if len(accs) == 0 || len(accs) == 200 {
+			t.Fatalf("site %s got %d of 200 accesses", site, len(accs))
+		}
+	}
+}
