@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub cache
+.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub parity cache
 
 all: build
 
@@ -72,6 +72,19 @@ scrub:
 	@echo "scrub seed: $(SCRUB_SEED)"
 	SCRUB_SEED=$(SCRUB_SEED) $(GO) test -race -v \
 		-run 'TestSelfHeal|TestAntiEntropyConvergence|TestQuarantineRetention' .
+
+# Erasure-coded repair suite: block-aligned corruption bursts against
+# parity sidecars — within-budget damage rebuilt locally with zero WAN
+# bytes, beyond-budget damage falling back to quarantine + re-pull, crash
+# recovery around sidecar writes, and sidecar retention. Race detector
+# on. The seed is logged by every test; replay a run with
+# `make parity PARITY_SEED=7`. State directories of failed crash tests
+# survive under $(CRASH_ARTIFACT_DIR) for inspection.
+PARITY_SEED ?= 20260805
+parity:
+	@echo "parity seed: $(PARITY_SEED)"
+	PARITY_SEED=$(PARITY_SEED) CRASH_ARTIFACT_DIR=$(CRASH_ARTIFACT_DIR) \
+		$(GO) test -race -v -run 'TestParity' .
 
 # Disk-pool cache soak: a seeded Zipf trace drives two consumer sites
 # through a capacity-bounded pool, comparing LRU vs FIFO at two skews and

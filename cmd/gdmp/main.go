@@ -209,6 +209,15 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 			poolMisses = d.Int64()
 			poolEvictions = d.Int64()
 		}
+		// The parity block is the newest trailing generation.
+		var paritySC, parityRebuilds, parityFallbacks, bytesLocal, bytesRepulled int64
+		if d.Remaining() > 0 {
+			paritySC = d.Int64()
+			parityRebuilds = d.Int64()
+			parityFallbacks = d.Int64()
+			bytesLocal = d.Int64()
+			bytesRepulled = d.Int64()
+		}
 		if err := d.Finish(); err != nil {
 			return err
 		}
@@ -230,6 +239,10 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 			fmt.Printf("pool: %d/%d bytes, %.1f%% hit rate (%d hits, %d misses), %d evictions\n",
 				poolUsed, poolCap, 100*rate, poolHits, poolMisses, poolEvictions)
 		}
+		if paritySC+parityRebuilds+parityFallbacks+bytesLocal+bytesRepulled > 0 {
+			fmt.Printf("parity: %d sidecars, %d local rebuilds (%d bytes), %d fallbacks, %d bytes re-pulled\n",
+				paritySC, parityRebuilds, bytesLocal, parityFallbacks, bytesRepulled)
+		}
 		return nil
 
 	case "fsck":
@@ -247,11 +260,21 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		corrupt := d.Uint64()
 		missing := d.Uint64()
 		repairs := d.Uint64()
+		// Parity counters trail the reply; an older daemon does not send
+		// them.
+		var rebuilt, fallbacks uint64
+		if d.Remaining() > 0 {
+			rebuilt = d.Uint64()
+			fallbacks = d.Uint64()
+		}
 		if err := d.Finish(); err != nil {
 			return err
 		}
 		fmt.Printf("fsck %s: %d files scanned (%d bytes), %d corrupt, %d missing, %d repairs queued\n",
 			args[1], scanned, bytes, corrupt, missing, repairs)
+		if rebuilt+fallbacks > 0 {
+			fmt.Printf("parity: %d rebuilt in place, %d fell back to re-pull\n", rebuilt, fallbacks)
+		}
 		return nil
 
 	case "stats":

@@ -17,7 +17,8 @@
 //	      [-transfer-attempts 3] [-notify-failures 3] \
 //	      [-scrub-interval 1h -scrub-rate 8388608] \
 //	      [-anti-entropy-interval 6h] \
-//	      [-quarantine-max-age 168h -quarantine-max-count 1024]
+//	      [-quarantine-max-age 168h -quarantine-max-count 1024] \
+//	      [-parity-k 8 -parity-m 2]
 //
 // With -tape, the site runs a Mass Storage System: the pool acts as a cache
 // and files are staged from the tape directory on demand; -pool-policy
@@ -47,6 +48,13 @@
 // withdrawing dangling replica-catalog locations. -quarantine-max-age
 // and -quarantine-max-count bound the quarantine directory. `gdmp fsck`
 // triggers a full on-demand integrity pass.
+//
+// With -parity-k/-parity-m, every published or landed replica gets an
+// erasure-coded parity sidecar (k data + m parity blocks, Reed-Solomon
+// over GF(2^8)): the scrubber then verifies block-by-block and rebuilds
+// up to m damaged blocks in place from local bytes, falling back to the
+// WAN re-pull only when the damage exceeds the parity budget or the
+// sidecar itself is unusable.
 //
 // With -rc-serve, the daemon additionally hosts an embedded replica
 // catalog server on the given address — a one-process Grid for small
@@ -110,6 +118,8 @@ func main() {
 	antiEntropy := flag.Duration("anti-entropy-interval", 0, "digest-exchange period with producers and subscribers (0 = off)")
 	quarMaxAge := flag.Duration("quarantine-max-age", 168*time.Hour, "sweep quarantined files older than this (0 = keep forever)")
 	quarMaxCount := flag.Int("quarantine-max-count", 1024, "keep at most this many quarantined files (0 = unlimited)")
+	parityK := flag.Int("parity-k", 0, "parity sidecar data blocks per file (0 = parity off)")
+	parityM := flag.Int("parity-m", 0, "parity blocks per file; scrub heals up to this many damaged blocks locally")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets in-flight transfers finish")
 	rcServe := flag.String("rc-serve", "", "also run an embedded replica catalog server on this address")
 	rcSaveEvery := flag.Duration("rc-save-every", time.Minute, "embedded catalog snapshot interval (with -rc-serve and -state-dir)")
@@ -135,6 +145,8 @@ func main() {
 		antiEntropy:  *antiEntropy,
 		quarMaxAge:   *quarMaxAge,
 		quarMaxCount: *quarMaxCount,
+		parityK:      *parityK,
+		parityM:      *parityM,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -161,6 +173,7 @@ type params struct {
 	scrubRate                            int64
 	quarMaxAge                           time.Duration
 	quarMaxCount                         int
+	parityK, parityM                     int
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -293,6 +306,8 @@ func run(p params) error {
 		AntiEntropyInterval: p.antiEntropy,
 		QuarantineMaxAge:    p.quarMaxAge,
 		QuarantineMaxCount:  p.quarMaxCount,
+		ParityK:             p.parityK,
+		ParityM:             p.parityM,
 	}
 	cfg.PrefetchThreshold = p.prefetch
 	if p.tape != "" {

@@ -40,6 +40,8 @@ const (
 	recProducerAdd
 	recProducerRemove
 	recScrubCursor
+	recParitySet
+	recParityDrop
 )
 
 // compactThreshold is how many WAL records accumulate before the journal
@@ -71,6 +73,14 @@ type persistState struct {
 	// current pass ("" = no pass in progress), letting a restart resume
 	// mid-scan instead of re-reading the files it already verified.
 	scrubCursor string
+
+	// parity maps LFN → hex CRC32 of that file's parity sidecar. A
+	// sidecar is journaled only after its bytes are durably renamed into
+	// place, so after a crash the registry and the disk can disagree in
+	// exactly one direction: a sidecar file with no record (crashed before
+	// commit — readopted or swept at recovery), never a record with
+	// unverifiable bytes.
+	parity map[string]string
 }
 
 func newPersistState() persistState {
@@ -79,6 +89,7 @@ func newPersistState() persistState {
 		subs:      make(map[string]*persistSub),
 		pulls:     make(map[string]FileInfo),
 		producers: make(map[string]bool),
+		parity:    make(map[string]string),
 	}
 }
 
@@ -366,6 +377,57 @@ func (p *sitePersistence) scrubCursor(lfn string) error {
 	return p.commitLocked(e.Bytes())
 }
 
+// paritySet records that lfn has a parity sidecar whose file bytes hash
+// to crcHex. Idempotent on identical (lfn, crc) pairs; a regenerated
+// sidecar just overwrites the entry.
+func (p *sitePersistence) paritySet(lfn, crcHex string) error {
+	if p == nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Uint8(recParitySet)
+	e.String(lfn)
+	e.String(crcHex)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.parity[lfn] == crcHex {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
+}
+
+// parityDrop forgets lfn's parity sidecar (file withdrawn, sidecar
+// invalid, or sidecar evicted with its file).
+func (p *sitePersistence) parityDrop(lfn string) error {
+	if p == nil {
+		return nil
+	}
+	var e rpc.Encoder
+	e.Uint8(recParityDrop)
+	e.String(lfn)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.st.parity[lfn]; !ok {
+		return nil
+	}
+	return p.commitLocked(e.Bytes())
+}
+
+// recoveredParity returns a copy of the journaled sidecar registry
+// (replay hook).
+func (p *sitePersistence) recoveredParity() map[string]string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.st.parity))
+	for lfn, crc := range p.st.parity {
+		out[lfn] = crc
+	}
+	return out
+}
+
 // recoveredScrubCursor returns the journaled scrub cursor (replay hook).
 func (p *sitePersistence) recoveredScrubCursor() string {
 	if p == nil {
@@ -485,6 +547,14 @@ func (st *persistState) apply(rec []byte) error {
 		if lfn := d.String(); d.Err() == nil {
 			st.scrubCursor = lfn
 		}
+	case recParitySet:
+		lfn := d.String()
+		crc := d.String()
+		if d.Err() == nil {
+			st.parity[lfn] = crc
+		}
+	case recParityDrop:
+		delete(st.parity, d.String())
 	default:
 		return fmt.Errorf("unknown record tag %d", tag)
 	}
@@ -492,9 +562,10 @@ func (st *persistState) apply(rec []byte) error {
 }
 
 // snapshotVersion guards the snapshot payload layout. Version 2 appends
-// the producer set and the scrub cursor; version 1 snapshots (pre-scrub
-// sites) still decode, with both fields empty.
-const snapshotVersion = 2
+// the producer set and the scrub cursor; version 3 appends the parity
+// sidecar registry. Older snapshots still decode, with the newer fields
+// empty.
+const snapshotVersion = 3
 
 // encode serializes the mirror for a journal snapshot.
 func (st *persistState) encode() []byte {
@@ -520,6 +591,11 @@ func (st *persistState) encode() []byte {
 		e.String(addr)
 	}
 	e.String(st.scrubCursor)
+	e.Uint32(uint32(len(st.parity)))
+	for lfn, crc := range st.parity {
+		e.String(lfn)
+		e.String(crc)
+	}
 	return e.Bytes()
 }
 
@@ -527,7 +603,7 @@ func (st *persistState) encode() []byte {
 func (st *persistState) decode(b []byte) error {
 	d := rpc.NewDecoder(b)
 	v := d.Uint8()
-	if v != 1 && v != snapshotVersion && d.Err() == nil {
+	if (v < 1 || v > snapshotVersion) && d.Err() == nil {
 		return fmt.Errorf("unsupported snapshot version %d", v)
 	}
 	for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
@@ -557,6 +633,15 @@ func (st *persistState) decode(b []byte) error {
 			}
 		}
 		st.scrubCursor = d.String()
+	}
+	if v >= 3 {
+		for i, n := uint32(0), d.Uint32(); i < n && d.Err() == nil; i++ {
+			lfn := d.String()
+			crc := d.String()
+			if d.Err() == nil {
+				st.parity[lfn] = crc
+			}
+		}
 	}
 	return d.Finish()
 }
@@ -664,6 +749,9 @@ func (s *Site) restoreFromJournal(tornBytes int64) error {
 	if err := s.reconcileDataDir(&rs); err != nil {
 		return err
 	}
+	// Parity reconciliation runs after the catalog has settled, so sidecar
+	// records for replicas the reconciliation just dropped are cleaned too.
+	s.recoverParity()
 	s.recovery = rs
 	return nil
 }

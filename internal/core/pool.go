@@ -58,6 +58,10 @@ func (s *Site) onPoolEvict(name string, size int64) {
 				s.logger.Printf("gdmp[%s]: journal eviction of %s to tape: %v", s.cfg.Name, fi.LFN, jerr)
 			}
 		}
+		// The attached sidecar's bytes left the pool with the file; forget
+		// the registry entry too. A re-stage regenerates parity on the next
+		// scrub pass.
+		s.dropParitySidecar(fi)
 		s.logger.Printf("gdmp[%s]: pool evicted %s (%d bytes) to tape residency", s.cfg.Name, fi.LFN, size)
 		return
 	}

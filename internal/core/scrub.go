@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gdmp/internal/gsi"
+	"gdmp/internal/parity"
 	"gdmp/internal/rpc"
 	"gdmp/internal/scrub"
 )
@@ -50,10 +51,11 @@ func (s *Site) initScrub() {
 	}
 	s.scrubCur = s.persist.recoveredScrubCursor()
 	s.repairer = scrub.NewRepairer(s.ctx, scrub.RepairConfig{
-		Do:      s.repairFile,
-		Policy:  s.retryPolicy("scrub.repair"),
-		Metrics: s.scrubMet,
-		Logger:  s.logger,
+		Do:          s.repairFile,
+		Reconstruct: s.reconstructLocal,
+		Policy:      s.retryPolicy("scrub.repair"),
+		Metrics:     s.scrubMet,
+		Logger:      s.logger,
 	})
 }
 
@@ -90,7 +92,15 @@ func (s *Site) repairFile(ctx context.Context, lfn string) error {
 	if s.HasFile(lfn) {
 		return nil
 	}
-	return s.submitGet(lfn, -1).Wait(ctx)
+	if err := s.submitGet(lfn, -1).Wait(ctx); err != nil {
+		return err
+	}
+	// Degraded-mode accounting: these bytes crossed the WAN again because
+	// local reconstruction was impossible (or parity is off).
+	if fi, ok := s.local.get(lfn); ok {
+		s.scrubMet.RepairBytesRepulled.Add(fi.Size)
+	}
+	return nil
 }
 
 // queueRepair hands one withdrawn or missing replica to the repair driver.
@@ -155,6 +165,12 @@ func (s *Site) ScrubPass(ctx context.Context) (scrub.Report, error) {
 		case scrubCorrupt:
 			rep.Corrupt++
 			s.scrubMet.ScrubCorrupt.Inc()
+			if s.parityParams().Enabled() {
+				// On a parity site every quarantine+re-pull is a fallback:
+				// the damage exceeded the parity budget or the sidecar was
+				// unusable.
+				rep.Fallbacks++
+			}
 			if s.queueRepair(fi.LFN) {
 				rep.Repairs++
 			}
@@ -166,6 +182,9 @@ func (s *Site) ScrubPass(ctx context.Context) (scrub.Report, error) {
 			}
 		case scrubAborted:
 			return rep, ctx.Err()
+		case scrubRepaired:
+			rep.Rebuilt++
+			fallthrough
 		case scrubOK, scrubSkipped:
 			// Healthy (or tape-resident) replica: re-assert its location.
 			// addReplica is idempotent, so this is a no-op in the steady
@@ -181,6 +200,7 @@ func (s *Site) ScrubPass(ctx context.Context) (scrub.Report, error) {
 	s.scrubMet.ScrubPasses.Inc()
 	s.scrubMet.ScrubPassSeconds.Observe(time.Since(start).Seconds())
 	s.sweepQuarantine()
+	s.sweepOrphanSidecars()
 	return rep, nil
 }
 
@@ -204,10 +224,16 @@ const (
 	scrubMissing
 	scrubSkipped
 	scrubAborted
+	scrubRepaired
 )
 
 // scrubOne verifies a single catalog entry's bytes. Tape-state files have
-// no disk bytes to check and are skipped.
+// no disk bytes to check and are skipped. On a parity-enabled site the
+// verification is block-granular: a usable sidecar's geometry drives a
+// per-block digest, and corruption is first rebuilt in place from the
+// surviving blocks plus parity (scrubRepaired). Only damage beyond the
+// parity budget — or a replica without a usable sidecar — takes the old
+// quarantine + WAN re-pull path.
 func (s *Site) scrubOne(ctx context.Context, fi FileInfo) (scrubVerdict, int64) {
 	if fi.State != StateDisk {
 		return scrubSkipped, 0
@@ -216,7 +242,15 @@ func (s *Site) scrubOne(ctx context.Context, fi FileInfo) (scrubVerdict, int64) 
 	if err != nil {
 		return scrubSkipped, 0
 	}
-	crc, n, err := scrub.CRC32File(ctx, localPath, s.scrubLim)
+	parityOn := s.parityParams().Enabled()
+	var sc *parity.Sidecar
+	var blockSize int64
+	if parityOn {
+		if sc = s.loadSidecar(fi, localPath); sc != nil {
+			blockSize = sc.BlockSize
+		}
+	}
+	crc, blocks, n, err := scrub.BlockCRC32File(ctx, localPath, blockSize, s.scrubLim)
 	switch {
 	case os.IsNotExist(err):
 		s.logger.Printf("gdmp[%s]: scrub: %s has no bytes at %s, withdrawing",
@@ -229,13 +263,35 @@ func (s *Site) scrubOne(ctx context.Context, fi FileInfo) (scrubVerdict, int64) 
 		s.logger.Printf("gdmp[%s]: scrub: read %s: %v", s.cfg.Name, fi.LFN, err)
 		return scrubSkipped, n
 	}
-	if fi.CRC32 != "" && fmt.Sprintf("%08x", crc) != fi.CRC32 {
-		s.logger.Printf("gdmp[%s]: scrub: %s is corrupt (crc %08x, catalog %s), quarantining",
-			s.cfg.Name, fi.LFN, crc, fi.CRC32)
-		s.withdrawReplica(ctx, fi, true)
-		return scrubCorrupt, n
+	if fi.CRC32 == "" || fmt.Sprintf("%08x", crc) == fi.CRC32 {
+		if parityOn && sc == nil {
+			// Healthy bytes without a usable sidecar (pre-parity replica,
+			// sidecar rot, or post-fallback re-pull): regenerate now, while
+			// the content is known good.
+			s.writeParitySidecar(fi)
+		}
+		return scrubOK, n
 	}
-	return scrubOK, n
+	if sc != nil {
+		damaged := sc.DamagedBlocks(blocks)
+		s.logger.Printf("gdmp[%s]: scrub: %s is corrupt (crc %08x, catalog %s; %d damaged blocks), attempting local rebuild",
+			s.cfg.Name, fi.LFN, crc, fi.CRC32, len(damaged))
+		if rerr := s.parityRebuild(fi, localPath, sc); rerr == nil {
+			return scrubRepaired, n
+		} else if ctx.Err() != nil {
+			return scrubAborted, n
+		} else {
+			s.logger.Printf("gdmp[%s]: scrub: local rebuild of %s failed: %v (falling back to re-pull)",
+				s.cfg.Name, fi.LFN, rerr)
+		}
+	}
+	if parityOn {
+		s.scrubMet.ParityFallbacks.Inc()
+	}
+	s.logger.Printf("gdmp[%s]: scrub: %s is corrupt (crc %08x, catalog %s), quarantining",
+		s.cfg.Name, fi.LFN, crc, fi.CRC32)
+	s.withdrawReplica(ctx, fi, true)
+	return scrubCorrupt, n
 }
 
 // withdrawReplica removes a bad local replica from the world: optionally
@@ -249,6 +305,9 @@ func (s *Site) withdrawReplica(ctx context.Context, fi FileInfo, quarantineBytes
 			s.quarantine(localPath)
 		}
 	}
+	// The sidecar never outlives its replica: whatever bytes survive are
+	// parity for content the catalogs no longer promise.
+	s.dropParitySidecar(fi)
 	s.local.remove(fi.LFN)
 	if err := s.persist.removeFile(fi.LFN); err != nil {
 		s.logger.Printf("gdmp[%s]: journal withdraw %s: %v", s.cfg.Name, fi.LFN, err)
@@ -609,6 +668,10 @@ func (s *Site) registerScrubHandlers() {
 		resp.Uint64(uint64(rep.Corrupt))
 		resp.Uint64(uint64(rep.Missing))
 		resp.Uint64(uint64(rep.Repairs))
+		// Appended after the parity layer shipped; older clients stop
+		// reading before these and still decode the reply.
+		resp.Uint64(uint64(rep.Rebuilt))
+		resp.Uint64(uint64(rep.Fallbacks))
 		return nil
 	})
 }

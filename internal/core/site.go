@@ -20,6 +20,7 @@ import (
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/obs"
+	"gdmp/internal/parity"
 	"gdmp/internal/replica"
 	"gdmp/internal/retry"
 	"gdmp/internal/rpc"
@@ -189,6 +190,16 @@ type Config struct {
 	QuarantineMaxAge   time.Duration
 	QuarantineMaxCount int
 
+	// ParityK and ParityM enable erasure-coded local repair: every
+	// published or pool-landed file gets a Reed-Solomon parity sidecar of
+	// ParityM parity blocks over ParityK data blocks, written next to the
+	// file and journaled. The scrubber then rebuilds up to ParityM damaged
+	// blocks locally instead of re-pulling the whole file over the WAN.
+	// Both zero (the default) disables parity; parity.DefaultK/DefaultM
+	// give the stock 8+2 geometry.
+	ParityK int
+	ParityM int
+
 	// Select chooses among replicas (default FirstReplica).
 	Select ReplicaSelector
 
@@ -281,6 +292,12 @@ type Site struct {
 	prodMu    sync.Mutex
 	producers map[string]bool
 
+	// paritySC mirrors the journaled parity-sidecar registry: LFN → hex
+	// CRC of the sidecar file last written for it. loadSidecar checks a
+	// sidecar against this before trusting it for a rebuild.
+	parityMu sync.Mutex
+	paritySC map[string]string
+
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
 
@@ -332,6 +349,9 @@ func NewSite(cfg Config) (*Site, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
+	if err := (parity.Params{K: cfg.ParityK, M: cfg.ParityM}).Validate(); err != nil {
+		return nil, err
+	}
 
 	dialOpts := []rpc.DialOption{rpc.WithTimeout(30 * time.Second)}
 	if cfg.DialFunc != nil {
@@ -355,6 +375,7 @@ func NewSite(cfg Config) (*Site, error) {
 		metrics:     cfg.Metrics,
 		met:         newSiteMetrics(cfg.Metrics),
 		tunedBuf:    make(map[string]int),
+		paritySC:    make(map[string]string),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.sched = xfer.New(xfer.Config{
@@ -670,6 +691,7 @@ func (s *Site) publishCore(ctx context.Context, relPath string, opts PublishOpti
 			s.storage.Protect(pfn.Path)
 		}
 	}
+	s.writeParitySidecar(fi)
 
 	if notify {
 		if err := s.notifySubscribers([]FileInfo{fi}); err != nil {
@@ -1171,6 +1193,7 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		s.storage.NoteAccess(false, fetchElapsed)
 		s.notePoolDemand(rel)
 	}
+	s.writeParitySidecar(fi)
 	if err := s.rc.addReplica(ctx, lfn, myPFN); err != nil {
 		return err
 	}

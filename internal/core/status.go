@@ -98,6 +98,15 @@ type SiteStatus struct {
 	PoolHits      int64
 	PoolMisses    int64
 	PoolEvictions int64
+
+	// Erasure-coded local repair summary (all zero with parity disabled).
+	// The two byte counters are the degraded-mode split: damage healed
+	// from local parity versus damage that had to cross the WAN again.
+	ParitySidecars      int64
+	ParityRebuilds      int64
+	ParityFallbacks     int64
+	RepairBytesLocal    int64
+	RepairBytesRepulled int64
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -137,6 +146,13 @@ func (s *Site) Status() SiteStatus {
 		st.PoolHits = int64(ps.Hits)
 		st.PoolMisses = int64(ps.Misses)
 		st.PoolEvictions = int64(ps.Evictions)
+	}
+	if s.scrubMet != nil {
+		st.ParitySidecars = s.scrubMet.ParitySidecars.Value()
+		st.ParityRebuilds = s.scrubMet.ParityRebuilds.Value()
+		st.ParityFallbacks = s.scrubMet.ParityFallbacks.Value()
+		st.RepairBytesLocal = s.scrubMet.RepairBytesLocal.Value()
+		st.RepairBytesRepulled = s.scrubMet.RepairBytesRepulled.Value()
 	}
 	return st
 }
@@ -190,6 +206,11 @@ func encodeSiteStatus(e *rpc.Encoder, st SiteStatus) {
 	e.Int64(st.PoolHits)
 	e.Int64(st.PoolMisses)
 	e.Int64(st.PoolEvictions)
+	e.Int64(st.ParitySidecars)
+	e.Int64(st.ParityRebuilds)
+	e.Int64(st.ParityFallbacks)
+	e.Int64(st.RepairBytesLocal)
+	e.Int64(st.RepairBytesRepulled)
 }
 
 // decodeSiteStatus reads the status payload, tolerating truncation at
@@ -220,6 +241,13 @@ func decodeSiteStatus(d *rpc.Decoder) SiteStatus {
 		st.PoolHits = d.Int64()
 		st.PoolMisses = d.Int64()
 		st.PoolEvictions = d.Int64()
+	}
+	if d.Remaining() > 0 {
+		st.ParitySidecars = d.Int64()
+		st.ParityRebuilds = d.Int64()
+		st.ParityFallbacks = d.Int64()
+		st.RepairBytesLocal = d.Int64()
+		st.RepairBytesRepulled = d.Int64()
 	}
 	return st
 }

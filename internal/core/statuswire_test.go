@@ -25,6 +25,12 @@ func TestSiteStatusWireRoundTrip(t *testing.T) {
 		PoolHits:         55,
 		PoolMisses:       11,
 		PoolEvictions:    7,
+
+		ParitySidecars:      9,
+		ParityRebuilds:      3,
+		ParityFallbacks:     1,
+		RepairBytesLocal:    4096,
+		RepairBytesRepulled: 1 << 20,
 	}
 	var e rpc.Encoder
 	encodeSiteStatus(&e, want)
@@ -81,6 +87,21 @@ func TestSiteStatusDecodeOlderGenerations(t *testing.T) {
 	if got.Name != "fnal.gov" || got.TransfersOK != 9 || got.Journal != "" || got.PoolCapacity != 0 {
 		t.Fatalf("generation 1 decode = %+v", got)
 	}
+
+	// Generation 3: pool block present, parity block absent.
+	e.Int64(full.PoolUsed)
+	e.Int64(full.PoolCapacity)
+	e.Int64(full.PoolHits)
+	e.Int64(0)
+	e.Int64(0)
+	d = rpc.NewDecoder(e.Bytes())
+	got = decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode generation 3: %v", err)
+	}
+	if got.PoolCapacity != 100 || got.ParitySidecars != 0 || got.RepairBytesRepulled != 0 {
+		t.Fatalf("generation 3 decode = %+v", got)
+	}
 }
 
 // The pool block strictly appends to the payload: everything before it is
@@ -99,10 +120,36 @@ func TestEncodePoolBlockStrictlyAppends(t *testing.T) {
 	if len(bd) < len(bz) {
 		t.Fatalf("payload with pool data (%d bytes) shorter than zeros (%d)", len(bd), len(bz))
 	}
-	// The block is five fixed-width Int64s at the very end; everything
-	// before it must be byte-identical across the two payloads.
-	n := len(bz) - 5*8
+	// The block is five fixed-width Int64s, followed only by the (here
+	// all-zero) five-Int64 parity block; everything before it must be
+	// byte-identical across the two payloads.
+	n := len(bz) - 10*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("pool block changed bytes before its own position")
+	}
+	if string(bz[len(bz)-5*8:]) != string(bd[len(bd)-5*8:]) {
+		t.Fatal("pool block changed bytes after its own position")
+	}
+}
+
+// Same contract for the parity block: it is the newest trailing
+// generation, so payloads with and without parity data are byte-identical
+// up to the block itself.
+func TestEncodeParityBlockStrictlyAppends(t *testing.T) {
+	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9}
+	data := zero
+	data.ParitySidecars, data.ParityRebuilds, data.ParityFallbacks = 1, 2, 3
+	data.RepairBytesLocal, data.RepairBytesRepulled = 4, 5
+
+	var ez, ed rpc.Encoder
+	encodeSiteStatus(&ez, zero)
+	encodeSiteStatus(&ed, data)
+	bz, bd := ez.Bytes(), ed.Bytes()
+	if len(bz) != len(bd) {
+		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
+	}
+	n := len(bz) - 5*8
+	if string(bz[:n]) != string(bd[:n]) {
+		t.Fatal("parity block changed bytes before its own position")
 	}
 }

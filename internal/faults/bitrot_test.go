@@ -99,6 +99,95 @@ func TestFlipBytesEdgeCases(t *testing.T) {
 	}
 }
 
+func TestFlipBlocksDamageIsBlockAligned(t *testing.T) {
+	const size, bs = 4096, 512
+	path := writeBlob(t, size)
+	before, _ := os.ReadFile(path)
+
+	damaged, err := FlipBlocks(path, 42, bs, 3)
+	if err != nil {
+		t.Fatalf("FlipBlocks: %v", err)
+	}
+	if len(damaged) != 3 {
+		t.Fatalf("damaged %d blocks, want 3", len(damaged))
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("size changed %d -> %d; block-rot must be silent", len(before), len(after))
+	}
+
+	// Every differing byte must fall inside a reported block, and every
+	// reported block must actually differ — the damage budget is exact.
+	want := make(map[int]bool, len(damaged))
+	for _, b := range damaged {
+		want[b] = true
+	}
+	hit := make(map[int]bool)
+	for i := range before {
+		if before[i] != after[i] {
+			blk := i / bs
+			if !want[blk] {
+				t.Fatalf("byte %d (block %d) differs outside the reported blocks %v", i, blk, damaged)
+			}
+			hit[blk] = true
+		}
+	}
+	if len(hit) != len(want) {
+		t.Fatalf("damaged blocks %v, but only %v actually differ", damaged, hit)
+	}
+
+	// Same seed on identical bytes damages identically.
+	path2 := writeBlob(t, size)
+	damaged2, err := FlipBlocks(path2, 42, bs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(damaged, damaged2) {
+		t.Fatalf("blocks diverged for same seed: %v vs %v", damaged, damaged2)
+	}
+	after2, _ := os.ReadFile(path2)
+	if !bytes.Equal(after, after2) {
+		t.Fatal("same seed produced different corruption")
+	}
+}
+
+func TestFlipBlocksEdgeCases(t *testing.T) {
+	// n larger than the block count clamps; the ragged tail block counts.
+	path := writeBlob(t, 1000) // blocks of 512: [0,512) and [512,1000)
+	damaged, err := FlipBlocks(path, 7, 512, 10)
+	if err != nil {
+		t.Fatalf("FlipBlocks: %v", err)
+	}
+	if len(damaged) != 2 {
+		t.Fatalf("damaged %d blocks, want 2 (clamped)", len(damaged))
+	}
+
+	if _, err := FlipBlocks(path, 7, 0, 1); err == nil {
+		t.Fatal("FlipBlocks with zero block size succeeded, want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipBlocks(empty, 7, 512, 1); err == nil {
+		t.Fatal("FlipBlocks on empty file succeeded, want error")
+	}
+}
+
+func TestInjectorFlipBlocksCounts(t *testing.T) {
+	in := New(99, nil)
+	path := writeBlob(t, 4096)
+	if _, err := in.FlipBlocks(path, 1024, 2); err != nil {
+		t.Fatalf("Injector.FlipBlocks: %v", err)
+	}
+	if got := in.Injected(KindBlockRot); got != 1 {
+		t.Fatalf("Injected(blockrot) = %d, want 1", got)
+	}
+}
+
 func TestInjectorFlipBytesCounts(t *testing.T) {
 	in := New(99, nil)
 	path := writeBlob(t, 1024)

@@ -126,12 +126,13 @@ type Stats struct {
 
 // poolEntry tracks one disk-pool resident file.
 type poolEntry struct {
-	name      string
-	size      int64
-	pins      int
-	protected bool      // producer original: never evicted
-	staged    time.Time // for FIFO
-	lru       *list.Element
+	name       string
+	size       int64
+	pins       int
+	protected  bool      // producer original: never evicted
+	attachedTo string    // data entry this one rides with (parity sidecar)
+	staged     time.Time // for FIFO
+	lru        *list.Element
 }
 
 // MSS is the simulated hierarchical storage system at one site.
@@ -237,6 +238,19 @@ func (m *MSS) Protect(name string) {
 	m.mu.Lock()
 	if e, ok := m.entries[name]; ok {
 		e.protected = true
+	}
+	m.mu.Unlock()
+}
+
+// Attach binds an auxiliary pool file (a parity sidecar) to the data file
+// it describes. The attachment still counts against pool capacity, but it
+// is never chosen as an eviction victim on its own, and when its data
+// file leaves the pool — evicted or dropped — the attachment's bytes and
+// accounting go with it. Unknown names are ignored.
+func (m *MSS) Attach(dataName, attachName string) {
+	m.mu.Lock()
+	if e, ok := m.entries[attachName]; ok {
+		e.attachedTo = dataName
 	}
 	m.mu.Unlock()
 }
@@ -549,8 +563,30 @@ func (m *MSS) evictLocked(size int64) ([]evicted, error) {
 			m.met.Evictions.Inc()
 		}
 		out = append(out, evicted{victim.name, victim.size})
+		out = append(out, m.detachLocked(victim.name)...)
 	}
 	return out, nil
+}
+
+// detachLocked removes every entry attached to dataName — the cascade
+// half of Attach. Attachment removals free capacity and are reported to
+// the eviction callback, but are not counted as cache evictions: they
+// are bookkeeping for their data file's departure, not victims.
+func (m *MSS) detachLocked(dataName string) []evicted {
+	var out []evicted
+	for name, e := range m.entries {
+		if e.attachedTo != dataName {
+			continue
+		}
+		if p, err := safeJoin(m.cfg.PoolDir, name); err == nil {
+			os.Remove(p)
+		}
+		m.lruList.Remove(e.lru)
+		delete(m.entries, name)
+		m.used -= e.size
+		out = append(out, evicted{name, e.size})
+	}
+	return out
 }
 
 // notifyEvicted runs the eviction callback for each victim, outside m.mu.
@@ -575,7 +611,7 @@ func (m *MSS) pickVictimLocked() *poolEntry {
 	case FIFO:
 		var oldest *poolEntry
 		for _, e := range m.entries {
-			if e.pins > 0 || e.protected {
+			if e.pins > 0 || e.protected || e.attachedTo != "" {
 				continue
 			}
 			if oldest == nil || e.staged.Before(oldest.staged) {
@@ -586,7 +622,7 @@ func (m *MSS) pickVictimLocked() *poolEntry {
 	default: // LRU: scan from the back of the recency list
 		for el := m.lruList.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*poolEntry)
-			if e.pins == 0 && !e.protected {
+			if e.pins == 0 && !e.protected && e.attachedTo == "" {
 				return e
 			}
 		}
@@ -601,7 +637,8 @@ func (m *MSS) touchLocked(e *poolEntry) {
 
 // Drop removes a file from the pool's accounting without touching tape.
 // Used when a replica is deliberately deleted from the pool (e.g. an
-// object-extraction file removed after its transfer).
+// object-extraction file removed after its transfer). Attachments bound
+// to the dropped file go with it.
 func (m *MSS) Drop(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -615,6 +652,7 @@ func (m *MSS) Drop(name string) {
 	m.lruList.Remove(e.lru)
 	delete(m.entries, name)
 	m.used -= e.size
+	m.detachLocked(name)
 	m.gaugesLocked()
 }
 

@@ -1,0 +1,185 @@
+// Package parity implements the erasure-coded local-repair layer: a pure-Go
+// systematic Reed-Solomon codec over GF(2^8) plus the checksummed parity
+// sidecar written next to every published or pool-landed file. The scrubber
+// uses a sidecar to rebuild up to m damaged blocks from the k surviving data
+// blocks and m parity blocks without contacting any peer — the par2cron
+// pattern from ROADMAP item 4 — and falls back to a WAN re-pull only when
+// damage exceeds the parity budget or the sidecar itself is corrupt.
+package parity
+
+// GF(2^8) arithmetic with the AES-adjacent primitive polynomial x^8 + x^4 +
+// x^3 + x^2 + 1 (0x11d), the polynomial every RS storage codec uses.
+// Multiplication goes through exp/log tables; the exp table is doubled so
+// gfMul needs no modular reduction of the summed logs.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x >= 256 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("parity: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	return gfDiv(1, a)
+}
+
+// gfMulSlice accumulates c*in into out (out[i] ^= c*in[i]) — the inner loop
+// of both encoding and reconstruction.
+func gfMulSlice(c byte, in, out []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, v := range in {
+			out[i] ^= v
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, v := range in {
+		if v != 0 {
+			out[i] ^= gfExp[logC+int(gfLog[v])]
+		}
+	}
+}
+
+// matrix is a dense byte matrix over GF(2^8), rows × cols.
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = make([]byte, cols)
+	}
+	return m
+}
+
+// identityMatrix returns the n×n identity.
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// mul returns a×b.
+func (a matrix) mul(b matrix) matrix {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < inner; k++ {
+			c := a[r][k]
+			if c == 0 {
+				continue
+			}
+			logC := int(gfLog[c])
+			for j := 0; j < cols; j++ {
+				if v := b[k][j]; v != 0 {
+					out[r][j] ^= gfExp[logC+int(gfLog[v])]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or singular=true when no inverse exists.
+func (a matrix) invert() (matrix, bool) {
+	n := len(a)
+	work := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], a[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, true
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if inv := gfInv(work[col][col]); inv != 1 {
+			for j := 0; j < 2*n; j++ {
+				work[col][j] = gfMul(work[col][j], inv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			c := work[r][col]
+			for j := 0; j < 2*n; j++ {
+				work[r][j] ^= gfMul(c, work[col][j])
+			}
+		}
+	}
+	out := make(matrix, n)
+	for i := 0; i < n; i++ {
+		out[i] = work[i][n : 2*n]
+	}
+	return out, false
+}
+
+// codingMatrix builds the systematic (k+m)×k encoding matrix: a Vandermonde
+// matrix row-reduced so the top k×k block is the identity. The Vandermonde
+// property survives the reduction, so every k×k submatrix formed from any k
+// of the k+m rows is invertible — which is exactly what lets reconstruction
+// pick an arbitrary set of k surviving blocks.
+func codingMatrix(k, m int) matrix {
+	vand := newMatrix(k+m, k)
+	for r := 0; r < k+m; r++ {
+		e := byte(1)
+		for c := 0; c < k; c++ {
+			vand[r][c] = e
+			e = gfMul(e, byte(r+1))
+		}
+	}
+	top := make(matrix, k)
+	copy(top, vand[:k])
+	inv, singular := top.invert()
+	if singular {
+		// Cannot happen: a k×k Vandermonde matrix with distinct
+		// evaluation points 1..k is always invertible.
+		panic("parity: singular Vandermonde top block")
+	}
+	return vand.mul(inv)
+}

@@ -1,0 +1,260 @@
+package parity
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// damage flips one bit somewhere inside each of the chosen data blocks.
+func damage(data []byte, sc *Sidecar, blocks []int, rng *rand.Rand) {
+	for _, b := range blocks {
+		off := int64(b) * sc.BlockSize
+		bl := blockLen(b, sc.BlockSize, sc.DataSize)
+		data[off+rng.Int63n(bl)] ^= 1 << uint(rng.Intn(8))
+	}
+}
+
+// pickBlocks chooses n distinct data-block indices that actually hold bytes.
+func pickBlocks(sc *Sidecar, n int, rng *rand.Rand) []int {
+	var nonEmpty []int
+	for i := 0; i < sc.K; i++ {
+		if blockLen(i, sc.BlockSize, sc.DataSize) > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	rng.Shuffle(len(nonEmpty), func(i, j int) { nonEmpty[i], nonEmpty[j] = nonEmpty[j], nonEmpty[i] })
+	if n > len(nonEmpty) {
+		n = len(nonEmpty)
+	}
+	return nonEmpty[:n]
+}
+
+// TestRebuildRoundTripProperty: for random geometry and content, ANY damage
+// to at most m data blocks round-trips back to the original bytes.
+func TestRebuildRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		size := 1 + rng.Intn(64<<10)
+		orig := make([]byte, size)
+		rng.Read(orig)
+		sc, err := Create(orig, k, m)
+		if err != nil {
+			t.Logf("seed %d: Create: %v", seed, err)
+			return false
+		}
+		corrupt := append([]byte(nil), orig...)
+		n := 1 + rng.Intn(m)
+		hit := pickBlocks(sc, n, rng)
+		damage(corrupt, sc, hit, rng)
+		fixed, rebuilt, err := sc.Rebuild(corrupt)
+		if err != nil {
+			t.Logf("seed %d (k=%d m=%d size=%d damaged=%v): Rebuild: %v", seed, k, m, size, hit, err)
+			return false
+		}
+		if !bytes.Equal(fixed, orig) {
+			t.Logf("seed %d: rebuilt content differs from original", seed)
+			return false
+		}
+		if len(rebuilt) != len(hit) {
+			t.Logf("seed %d: rebuilt %d blocks, damaged %d", seed, len(rebuilt), len(hit))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverBudgetDamageNeverSilentlyRepaired: damage to more than m blocks is
+// always detected — Rebuild must error, never hand back wrong bytes.
+func TestOverBudgetDamageNeverSilentlyRepaired(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		size := k*512 + rng.Intn(32<<10) // enough bytes that m+1 blocks exist
+		orig := make([]byte, size)
+		rng.Read(orig)
+		sc, err := Create(orig, k, m)
+		if err != nil {
+			t.Logf("seed %d: Create: %v", seed, err)
+			return false
+		}
+		corrupt := append([]byte(nil), orig...)
+		hit := pickBlocks(sc, m+1, rng)
+		if len(hit) <= m {
+			return true // geometry collapsed below m+1 usable blocks; vacuous
+		}
+		damage(corrupt, sc, hit, rng)
+		fixed, _, err := sc.Rebuild(corrupt)
+		if err == nil {
+			// Only acceptable if the "repair" is in fact the original —
+			// e.g. two bit flips cancelling is impossible here (distinct
+			// blocks), so this is a real failure.
+			if !bytes.Equal(fixed, orig) {
+				t.Logf("seed %d: over-budget damage silently mis-repaired", seed)
+				return false
+			}
+		}
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParityBlockRotCountsAsErasure: one rotted parity block plus m-1
+// damaged data blocks still rebuilds; plus m damaged data blocks must fail.
+func TestParityBlockRotCountsAsErasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	orig := make([]byte, 40_000)
+	rng.Read(orig)
+	sc, err := Create(orig, DefaultK, DefaultM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Parity[0][7] ^= 0xff // rot one parity block
+
+	corrupt := append([]byte(nil), orig...)
+	damage(corrupt, sc, []int{3}, rng) // m-1 = 1 data block
+	fixed, _, err := sc.Rebuild(corrupt)
+	if err != nil || !bytes.Equal(fixed, orig) {
+		t.Fatalf("1 parity + 1 data erasure should rebuild: %v", err)
+	}
+
+	corrupt = append([]byte(nil), orig...)
+	damage(corrupt, sc, []int{1, 5}, rng) // m = 2 data blocks + 1 parity = 3 erasures
+	if _, _, err := sc.Rebuild(corrupt); err == nil {
+		t.Fatal("3 erasures with m=2 must not rebuild")
+	}
+}
+
+func TestSidecarFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	orig := make([]byte, 12_345)
+	rng.Read(orig)
+	sc, err := Create(orig, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f.dat"+Suffix)
+	crcHex, err := sc.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCRC, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCRC != crcHex {
+		t.Fatalf("file CRC mismatch: wrote %s, loaded %s", crcHex, gotCRC)
+	}
+	if got.K != sc.K || got.M != sc.M || got.BlockSize != sc.BlockSize ||
+		got.DataSize != sc.DataSize || got.DataCRC != sc.DataCRC {
+		t.Fatalf("header mismatch: %+v vs %+v", got, sc)
+	}
+	for i := range sc.Parity {
+		if !bytes.Equal(got.Parity[i], sc.Parity[i]) {
+			t.Fatalf("parity shard %d mismatch", i)
+		}
+	}
+	if _, err := os.Stat(path + partSuffix); !os.IsNotExist(err) {
+		t.Fatalf("staging file left behind: %v", err)
+	}
+}
+
+// TestLoadRejectsCorruptHeader: a bit flip anywhere in the header makes Load
+// fail with ErrSidecarCorrupt rather than yielding a bogus sidecar.
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	orig := make([]byte, 9_000)
+	rng.Read(orig)
+	sc, err := Create(orig, DefaultK, DefaultM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f"+Suffix)
+	if _, err := sc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := 8 + 2 + 2 + 8 + 8 + 4 + 4*(sc.K+sc.M) + 4
+	for _, off := range []int{0, 9, 13, 21, 29, headerLen - 2} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path); err == nil {
+			t.Fatalf("corrupt header byte %d accepted", off)
+		}
+	}
+	// Truncated payload must also be rejected.
+	if err := os.WriteFile(path, enc[:len(enc)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("truncated parity payload accepted")
+	}
+}
+
+// TestRebuildTruncatedFile: losing the file's tail (a torn write) is block
+// damage like any other, repairable while within budget.
+func TestRebuildTruncatedFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	orig := make([]byte, 20_000)
+	rng.Read(orig)
+	sc, err := Create(orig, DefaultK, DefaultM) // blockSize 2500
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last two blocks: 2 erasures, exactly the budget.
+	fixed, rebuilt, err := sc.Rebuild(orig[:16_000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, orig) {
+		t.Fatal("truncated file not restored")
+	}
+	if len(rebuilt) != 2 {
+		t.Fatalf("expected 2 rebuilt blocks, got %v", rebuilt)
+	}
+	// Cutting three blocks exceeds the budget.
+	if _, _, err := sc.Rebuild(orig[:12_000]); err == nil {
+		t.Fatal("3-block truncation must not rebuild with m=2")
+	}
+}
+
+func TestDamagedBlocksMatchesDigest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := make([]byte, 10_000)
+	rng.Read(orig)
+	sc, err := Create(orig, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), orig...)
+	damage(corrupt, sc, []int{2}, rng)
+	crcs := make([]uint32, sc.K)
+	for i := 0; i < sc.K; i++ {
+		off := int64(i) * sc.BlockSize
+		crcs[i] = crc32.ChecksumIEEE(corrupt[off : off+blockLen(i, sc.BlockSize, sc.DataSize)])
+	}
+	bad := sc.DamagedBlocks(crcs)
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("expected damaged=[2], got %v", bad)
+	}
+}

@@ -1,0 +1,424 @@
+package parity
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// Suffix is appended to a data file's path to name its parity sidecar.
+const Suffix = ".gdmppar"
+
+// partSuffix stages an in-progress sidecar write; it matches the gridftp
+// transfer staging suffix on purpose, so the journal-recovery sweep that
+// already quarantines orphaned ".part" debris covers crashed sidecar writes
+// too.
+const partSuffix = ".part"
+
+// sidecarMagic opens every sidecar file; the trailing byte is the format
+// version.
+var sidecarMagic = [8]byte{'G', 'D', 'M', 'P', 'P', 'A', 'R', 1}
+
+var (
+	// ErrSidecarCorrupt means the sidecar file itself failed validation
+	// (bad magic, header checksum, or impossible geometry) and cannot be
+	// used for repair.
+	ErrSidecarCorrupt = errors.New("parity: sidecar corrupt")
+
+	// ErrTooDamaged means the file cannot be reconstructed locally: more
+	// than m blocks are damaged (counting lost parity blocks), or the
+	// reconstruction failed its end-to-end CRC check. Callers must fall
+	// back to a whole-file re-pull; a partial or unverified rebuild is
+	// never returned.
+	ErrTooDamaged = errors.New("parity: damage exceeds local repair budget")
+)
+
+// Params configures the erasure code: K data blocks protected by M parity
+// blocks. The zero value disables parity entirely.
+type Params struct {
+	K int
+	M int
+}
+
+// DefaultK and DefaultM are the stock geometry: 8 data blocks + 2 parity
+// blocks tolerates any 2-block damage for a 25% space overhead.
+const (
+	DefaultK = 8
+	DefaultM = 2
+)
+
+// Enabled reports whether parity sidecars should be generated at all.
+func (p Params) Enabled() bool { return p.K > 0 && p.M > 0 }
+
+// Validate rejects geometries the GF(2^8) code cannot express.
+func (p Params) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.K < 1 || p.M < 1 || p.K+p.M > 255 {
+		return fmt.Errorf("parity: invalid geometry k=%d m=%d (need k,m >= 1 and k+m <= 255)", p.K, p.M)
+	}
+	return nil
+}
+
+// SidecarPath names the parity sidecar that lives next to a data file.
+func SidecarPath(dataPath string) string { return dataPath + Suffix }
+
+// IsSidecar reports whether a file name is a parity sidecar.
+func IsSidecar(name string) bool { return strings.HasSuffix(name, Suffix) }
+
+// Sidecar is the in-memory form of a parity sidecar: the code geometry,
+// per-block CRCs for damage localisation, and the parity payload itself.
+//
+// On disk the layout is little-endian and self-checksummed:
+//
+//	magic+version  [8]byte  "GDMPPAR\x01"
+//	k, m           uint16 each
+//	blockSize      uint64
+//	dataSize       uint64
+//	dataCRC        uint32   IEEE CRC of the whole data file
+//	dataCRCs       k × uint32  per-block CRCs over the unpadded byte ranges
+//	parityCRCs     m × uint32  per-block CRCs over the parity payload
+//	headerCRC      uint32   IEEE CRC of all preceding bytes
+//	parity payload m × blockSize bytes
+//
+// Data block i covers file bytes [i·blockSize, min((i+1)·blockSize, size));
+// the last block is zero-padded only for the field arithmetic, never for the
+// CRCs, so the per-block CRCs compare directly against a streaming
+// block-digest of the raw file.
+type Sidecar struct {
+	K          int
+	M          int
+	BlockSize  int64
+	DataSize   int64
+	DataCRC    uint32
+	DataCRCs   []uint32
+	ParityCRCs []uint32
+	Parity     [][]byte
+}
+
+// Create computes the parity sidecar for a file's content. The content must
+// be non-empty: zero-byte files have nothing to protect and callers skip
+// them.
+func Create(data []byte, k, m int) (*Sidecar, error) {
+	p := Params{K: k, M: m}
+	if !p.Enabled() {
+		return nil, errors.New("parity: Create called with parity disabled")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("parity: cannot protect an empty file")
+	}
+	size := int64(len(data))
+	bs := (size + int64(k) - 1) / int64(k)
+	sc := &Sidecar{
+		K:          k,
+		M:          m,
+		BlockSize:  bs,
+		DataSize:   size,
+		DataCRC:    crc32.ChecksumIEEE(data),
+		DataCRCs:   make([]uint32, k),
+		ParityCRCs: make([]uint32, m),
+		Parity:     make([][]byte, m),
+	}
+	shards := dataShards(data, k, bs)
+	for i, sh := range shards {
+		sc.DataCRCs[i] = crc32.ChecksumIEEE(sh[:blockLen(i, bs, size)])
+	}
+	mat := codingMatrix(k, m)
+	for r := 0; r < m; r++ {
+		out := make([]byte, bs)
+		for c := 0; c < k; c++ {
+			gfMulSlice(mat[k+r][c], shards[c], out)
+		}
+		sc.Parity[r] = out
+		sc.ParityCRCs[r] = crc32.ChecksumIEEE(out)
+	}
+	return sc, nil
+}
+
+// CreateFile is Create over a file on disk.
+func CreateFile(dataPath string, k, m int) (*Sidecar, error) {
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	return Create(data, k, m)
+}
+
+// dataShards slices data into k shards of bs bytes, zero-padding the tail.
+func dataShards(data []byte, k int, bs int64) [][]byte {
+	shards := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		sh := make([]byte, bs)
+		off := int64(i) * bs
+		if off < int64(len(data)) {
+			copy(sh, data[off:])
+		}
+		shards[i] = sh
+	}
+	return shards
+}
+
+// blockLen is the unpadded length of data block i.
+func blockLen(i int, bs, size int64) int64 {
+	off := int64(i) * bs
+	if off >= size {
+		return 0
+	}
+	if off+bs > size {
+		return size - off
+	}
+	return bs
+}
+
+// encode renders the sidecar to its on-disk byte form.
+func (sc *Sidecar) encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(sidecarMagic[:])
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(sc.K))
+	buf.Write(tmp[:2])
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(sc.M))
+	buf.Write(tmp[:2])
+	binary.LittleEndian.PutUint64(tmp[:], uint64(sc.BlockSize))
+	buf.Write(tmp[:])
+	binary.LittleEndian.PutUint64(tmp[:], uint64(sc.DataSize))
+	buf.Write(tmp[:])
+	binary.LittleEndian.PutUint32(tmp[:4], sc.DataCRC)
+	buf.Write(tmp[:4])
+	for _, c := range sc.DataCRCs {
+		binary.LittleEndian.PutUint32(tmp[:4], c)
+		buf.Write(tmp[:4])
+	}
+	for _, c := range sc.ParityCRCs {
+		binary.LittleEndian.PutUint32(tmp[:4], c)
+		buf.Write(tmp[:4])
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(tmp[:4])
+	for _, sh := range sc.Parity {
+		buf.Write(sh)
+	}
+	return buf.Bytes()
+}
+
+// WriteFile persists the sidecar atomically (stage to ".part", fsync,
+// rename) and returns the hex CRC of the sidecar file itself, which the
+// caller journals so recovery can tell a current sidecar from a stale one.
+func (sc *Sidecar) WriteFile(path string) (string, error) {
+	enc := sc.encode()
+	tmp := path + partSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(enc)), nil
+}
+
+// Load reads and validates a sidecar file. It checks the magic, the header
+// checksum, the geometry, and the payload length; per-parity-block CRCs are
+// deliberately NOT enforced here — Rebuild treats a rotted parity block as
+// one more erasure rather than giving up on the whole sidecar. The returned
+// hex CRC is of the entire file, for comparison against the journalled
+// value.
+func Load(path string) (*Sidecar, string, error) {
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	fileCRC := fmt.Sprintf("%08x", crc32.ChecksumIEEE(enc))
+	const fixed = 8 + 2 + 2 + 8 + 8 + 4 // magic..dataCRC
+	if len(enc) < fixed+4 || !bytes.Equal(enc[:8], sidecarMagic[:]) {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	k := int(binary.LittleEndian.Uint16(enc[8:10]))
+	m := int(binary.LittleEndian.Uint16(enc[10:12]))
+	if err := (Params{K: k, M: m}).Validate(); err != nil || k == 0 || m == 0 {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	headerLen := fixed + 4*(k+m) + 4
+	if len(enc) < headerLen {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	gotSum := binary.LittleEndian.Uint32(enc[headerLen-4 : headerLen])
+	if crc32.ChecksumIEEE(enc[:headerLen-4]) != gotSum {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	sc := &Sidecar{
+		K:          k,
+		M:          m,
+		BlockSize:  int64(binary.LittleEndian.Uint64(enc[12:20])),
+		DataSize:   int64(binary.LittleEndian.Uint64(enc[20:28])),
+		DataCRC:    binary.LittleEndian.Uint32(enc[28:32]),
+		DataCRCs:   make([]uint32, k),
+		ParityCRCs: make([]uint32, m),
+		Parity:     make([][]byte, m),
+	}
+	wantBS := (sc.DataSize + int64(k) - 1) / int64(k)
+	if sc.DataSize <= 0 || sc.BlockSize != wantBS {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	off := fixed
+	for i := 0; i < k; i++ {
+		sc.DataCRCs[i] = binary.LittleEndian.Uint32(enc[off : off+4])
+		off += 4
+	}
+	for i := 0; i < m; i++ {
+		sc.ParityCRCs[i] = binary.LittleEndian.Uint32(enc[off : off+4])
+		off += 4
+	}
+	payload := enc[headerLen:]
+	if int64(len(payload)) != int64(m)*sc.BlockSize {
+		return nil, fileCRC, ErrSidecarCorrupt
+	}
+	for i := 0; i < m; i++ {
+		sc.Parity[i] = payload[int64(i)*sc.BlockSize : int64(i+1)*sc.BlockSize]
+	}
+	return sc, fileCRC, nil
+}
+
+// DamagedBlocks compares a streaming per-block digest of the data file (as
+// produced by scrub.BlockCRC32File with this sidecar's BlockSize) against
+// the recorded per-block CRCs and returns the damaged data-block indices.
+// A short digest slice marks every missing tail block damaged.
+func (sc *Sidecar) DamagedBlocks(blockCRCs []uint32) []int {
+	var bad []int
+	for i := 0; i < sc.K; i++ {
+		if blockLen(i, sc.BlockSize, sc.DataSize) == 0 {
+			// Degenerate geometry (more blocks than bytes): block i
+			// holds no data and cannot be damaged.
+			continue
+		}
+		if i >= len(blockCRCs) || blockCRCs[i] != sc.DataCRCs[i] {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// Rebuild reconstructs the original file content from the (possibly
+// damaged) on-disk bytes plus the sidecar's parity blocks. It localises the
+// damage itself from the per-block CRCs, counts rotted parity blocks as
+// erasures, and refuses (ErrTooDamaged) whenever more than M blocks are
+// gone or the reconstruction fails its end-to-end CRC — a wrong "repair" is
+// never returned. On success it returns the verified content plus the
+// indices of the data blocks it rebuilt.
+func (sc *Sidecar) Rebuild(data []byte) ([]byte, []int, error) {
+	k, m, bs := sc.K, sc.M, sc.BlockSize
+	if int64(len(data)) > sc.DataSize {
+		// Grown files are not bit-rot; nothing sane to rebuild.
+		return nil, nil, fmt.Errorf("%w: file grew past recorded size", ErrTooDamaged)
+	}
+	shards := dataShards(data, k, bs)
+	var missing []int
+	for i := 0; i < k; i++ {
+		bl := blockLen(i, bs, sc.DataSize)
+		if bl == 0 {
+			continue
+		}
+		ok := int64(len(data)) >= int64(i)*bs+bl &&
+			crc32.ChecksumIEEE(shards[i][:bl]) == sc.DataCRCs[i]
+		if !ok {
+			shards[i] = nil
+			missing = append(missing, i)
+		}
+	}
+	erasures := len(missing)
+	parityOK := make([]bool, m)
+	for r := 0; r < m; r++ {
+		parityOK[r] = crc32.ChecksumIEEE(sc.Parity[r]) == sc.ParityCRCs[r]
+		if !parityOK[r] {
+			erasures++
+		}
+	}
+	if erasures > m {
+		return nil, nil, fmt.Errorf("%w: %d damaged blocks > %d parity blocks", ErrTooDamaged, erasures, m)
+	}
+	if len(missing) > 0 {
+		if err := sc.reconstruct(shards, parityOK); err != nil {
+			return nil, nil, err
+		}
+	}
+	out := make([]byte, 0, sc.DataSize)
+	for i := 0; i < k; i++ {
+		bl := blockLen(i, bs, sc.DataSize)
+		if bl > 0 {
+			out = append(out, shards[i][:bl]...)
+		}
+	}
+	if crc32.ChecksumIEEE(out) != sc.DataCRC {
+		return nil, nil, fmt.Errorf("%w: rebuilt content failed end-to-end CRC", ErrTooDamaged)
+	}
+	return out, missing, nil
+}
+
+// reconstruct fills the nil entries of shards in place using the surviving
+// data shards plus the healthy parity shards. The decode matrix is the
+// inverse of the k surviving rows of the coding matrix.
+func (sc *Sidecar) reconstruct(shards [][]byte, parityOK []bool) error {
+	k, bs := sc.K, sc.BlockSize
+	mat := codingMatrix(k, sc.M)
+	rows := make([]int, 0, k)      // coding-matrix row index of each input
+	inputs := make([][]byte, 0, k) // the surviving shard for that row
+	for i := 0; i < k && len(rows) < k; i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+			inputs = append(inputs, shards[i])
+		}
+	}
+	for r := 0; r < sc.M && len(rows) < k; r++ {
+		if parityOK[r] {
+			rows = append(rows, k+r)
+			inputs = append(inputs, sc.Parity[r])
+		}
+	}
+	if len(rows) < k {
+		return fmt.Errorf("%w: only %d healthy blocks, need %d", ErrTooDamaged, len(rows), k)
+	}
+	sub := make(matrix, k)
+	for i, r := range rows {
+		sub[i] = mat[r]
+	}
+	dec, singular := sub.invert()
+	if singular {
+		// Cannot happen with the Vandermonde-derived coding matrix; treat
+		// it as damage rather than panicking on corrupt input.
+		return fmt.Errorf("%w: singular decode matrix", ErrTooDamaged)
+	}
+	for i := 0; i < k; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, bs)
+		for c := 0; c < k; c++ {
+			gfMulSlice(dec[i][c], inputs[c], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}

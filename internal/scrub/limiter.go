@@ -2,6 +2,7 @@ package scrub
 
 import (
 	"context"
+	"hash"
 	"hash/crc32"
 	"io"
 	"os"
@@ -73,31 +74,77 @@ const scanChunk = 256 << 10
 // returning the checksum and how many bytes were read. ctx aborts the
 // scan between chunks (shutdown must not wait out a long file).
 func CRC32File(ctx context.Context, path string, lim *Limiter) (uint32, int64, error) {
+	crc, _, n, err := blockCRC32File(ctx, path, 0, lim)
+	return crc, n, err
+}
+
+// BlockCRC32File is CRC32File's per-block digest mode: one paced pass
+// computes both the whole-file CRC and the CRC of every blockSize-sized
+// block (the last block covers only the remaining bytes). The parity layer
+// compares the block digests against a sidecar's recorded CRCs to localise
+// damage to individual blocks instead of condemning the whole file.
+func BlockCRC32File(ctx context.Context, path string, blockSize int64, lim *Limiter) (uint32, []uint32, int64, error) {
+	if blockSize <= 0 {
+		crc, n, err := CRC32File(ctx, path, lim)
+		return crc, nil, n, err
+	}
+	return blockCRC32File(ctx, path, blockSize, lim)
+}
+
+func blockCRC32File(ctx context.Context, path string, blockSize int64, lim *Limiter) (uint32, []uint32, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, nil, 0, err
 	}
 	defer f.Close()
 	h := crc32.NewIEEE()
+	var (
+		blocks  []uint32
+		bh      hash.Hash32
+		inBlock int64
+	)
+	if blockSize > 0 {
+		bh = crc32.NewIEEE()
+	}
 	buf := make([]byte, scanChunk)
 	var total int64
 	for {
 		if err := ctx.Err(); err != nil {
-			return 0, total, err
+			return 0, nil, total, err
 		}
 		n, err := f.Read(buf)
 		if n > 0 {
 			if werr := lim.Wait(ctx, n); werr != nil {
-				return 0, total, werr
+				return 0, nil, total, werr
 			}
 			h.Write(buf[:n])
+			if bh != nil {
+				chunk := buf[:n]
+				for len(chunk) > 0 {
+					take := blockSize - inBlock
+					if take > int64(len(chunk)) {
+						take = int64(len(chunk))
+					}
+					bh.Write(chunk[:take])
+					chunk = chunk[take:]
+					inBlock += take
+					if inBlock == blockSize {
+						blocks = append(blocks, bh.Sum32())
+						bh.Reset()
+						inBlock = 0
+					}
+				}
+			}
 			total += int64(n)
 		}
 		if err == io.EOF {
-			return h.Sum32(), total, nil
+			if bh != nil && inBlock > 0 {
+				blocks = append(blocks, bh.Sum32())
+			}
+			return h.Sum32(), blocks, total, nil
 		}
 		if err != nil {
-			return 0, total, err
+			return 0, nil, total, err
 		}
 	}
 }

@@ -9,6 +9,7 @@ const (
 	ScrubMetricsPrefix       = "gdmp_scrub"
 	AntiEntropyMetricsPrefix = "gdmp_antientropy"
 	RepairMetricsPrefix      = "gdmp_repair"
+	ParityMetricsPrefix      = "gdmp_parity"
 )
 
 // Diff kinds recorded in gdmp_antientropy_diff_total{kind}.
@@ -40,6 +41,15 @@ type Metrics struct {
 	RepairSuccess  *obs.Counter
 	RepairFailure  *obs.Counter
 	RepairDepth    *obs.Gauge
+
+	// Erasure-coded local repair. Local-vs-repulled bytes are the headline
+	// numbers: they separate damage healed from the site's own parity
+	// sidecars from damage that had to cross the WAN again.
+	ParitySidecars      *obs.Counter
+	ParityRebuilds      *obs.Counter
+	ParityFallbacks     *obs.Counter
+	RepairBytesLocal    *obs.Counter
+	RepairBytesRepulled *obs.Counter
 }
 
 // NewMetrics registers the self-healing series in r (obs.Default if nil).
@@ -78,5 +88,15 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Repairs abandoned after exhausting their retry budget."),
 		RepairDepth: r.Gauge(RepairMetricsPrefix+"_queue_depth",
 			"Logical files queued for re-replication."),
+		ParitySidecars: r.Counter(ParityMetricsPrefix+"_sidecars_total",
+			"Parity sidecars generated for published or landed replicas."),
+		ParityRebuilds: r.Counter(ParityMetricsPrefix+"_rebuilds_total",
+			"Corrupt replicas rebuilt in place from their parity sidecars."),
+		ParityFallbacks: r.Counter(ParityMetricsPrefix+"_fallbacks_total",
+			"Corrupt replicas whose damage exceeded the parity budget (or whose sidecar was unusable), forcing a WAN re-pull."),
+		RepairBytesLocal: r.Counter(RepairMetricsPrefix+"_bytes_local_total",
+			"Damaged bytes reconstructed locally from parity, with no network traffic."),
+		RepairBytesRepulled: r.Counter(RepairMetricsPrefix+"_bytes_repulled_total",
+			"Bytes re-fetched from remote replicas to replace irreparable local copies."),
 	}
 }

@@ -13,10 +13,23 @@ import (
 // replication pipeline, CRC-verified against the replica catalog.
 type RepairFunc func(ctx context.Context, lfn string) error
 
+// ReconstructFunc attempts an erasure-coded local rebuild of one logical
+// file from its parity sidecar. It reports whether the file is now healthy;
+// false (or an error) means the damage exceeded the parity budget or no
+// usable sidecar exists, and the caller falls through to the WAN pull.
+type ReconstructFunc func(ctx context.Context, lfn string) (bool, error)
+
 // RepairConfig assembles a Repairer.
 type RepairConfig struct {
 	// Do performs one repair attempt (required).
 	Do RepairFunc
+
+	// Reconstruct, when set, is tried before Do on every attempt: a
+	// parity rebuild from local bytes is strictly cheaper than a WAN
+	// re-pull, so the repair strategy is reconstruct-first. A failed
+	// reconstruction is not a repair failure — it just demotes the
+	// attempt to Do.
+	Reconstruct ReconstructFunc
 
 	// Policy is the per-file retry/backoff budget. Zero fields take the
 	// retry package defaults; the policy is labeled "scrub.repair".
@@ -159,6 +172,13 @@ func (r *Repairer) worker() {
 		pol := r.cfg.Policy
 		err := pol.Do(r.ctx, func(int) error {
 			r.cfg.Metrics.RepairAttempts.Inc()
+			if r.cfg.Reconstruct != nil {
+				if ok, rerr := r.cfg.Reconstruct(r.ctx, lfn); rerr == nil && ok {
+					return nil
+				} else if rerr != nil && r.ctx.Err() == nil {
+					r.cfg.Logger.Printf("scrub: local reconstruct %s: %v (falling back to re-pull)", lfn, rerr)
+				}
+			}
 			return r.cfg.Do(r.ctx, lfn)
 		})
 		switch {

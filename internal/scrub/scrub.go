@@ -109,6 +109,15 @@ type Report struct {
 	// Repairs is how many re-replications the pass queued.
 	Repairs int
 
+	// Rebuilt counts corrupt replicas repaired in place from their parity
+	// sidecars (no quarantine, no WAN traffic); Fallbacks counts corrupt
+	// replicas on a parity-enabled site whose damage exceeded the parity
+	// budget — or whose sidecar was missing or corrupt — and therefore
+	// took the quarantine + re-pull path. On a parity-enabled site,
+	// Corrupt == Fallbacks.
+	Rebuilt   int
+	Fallbacks int
+
 	// Resumed reports that the pass continued from a journaled cursor
 	// (restart mid-scan) rather than starting at the beginning.
 	Resumed bool

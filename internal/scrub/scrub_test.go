@@ -109,6 +109,50 @@ func TestCRC32File(t *testing.T) {
 	}
 }
 
+func TestBlockCRC32File(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	data := make([]byte, 3*scanChunk/2+777) // multiple chunks, ragged tail
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A block size that does not divide the chunk size, so block
+	// boundaries land mid-chunk.
+	const bs = 100_000
+	sum, blocks, n, err := BlockCRC32File(context.Background(), path, bs, nil)
+	if err != nil {
+		t.Fatalf("BlockCRC32File: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("read %d bytes, want %d", n, len(data))
+	}
+	if want := crc32.ChecksumIEEE(data); sum != want {
+		t.Fatalf("whole-file crc = %08x, want %08x", sum, want)
+	}
+	wantBlocks := (len(data) + bs - 1) / bs
+	if len(blocks) != wantBlocks {
+		t.Fatalf("got %d block digests, want %d", len(blocks), wantBlocks)
+	}
+	for i, got := range blocks {
+		lo := i * bs
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if want := crc32.ChecksumIEEE(data[lo:hi]); got != want {
+			t.Fatalf("block %d crc = %08x, want %08x", i, got, want)
+		}
+	}
+	// blockSize <= 0 degrades to the whole-file mode.
+	sum2, blocks2, _, err := BlockCRC32File(context.Background(), path, 0, nil)
+	if err != nil || sum2 != sum || blocks2 != nil {
+		t.Fatalf("blockSize=0: sum=%08x blocks=%v err=%v", sum2, blocks2, err)
+	}
+}
+
 func fastPolicy(attempts int) retry.Policy {
 	return retry.Policy{
 		Attempts:  attempts,
@@ -200,6 +244,51 @@ func TestRepairerRetryThenAbandon(t *testing.T) {
 	// Abandonment clears the dedup entry: the next round may re-queue.
 	if !r.Add("bad") {
 		t.Fatal("re-Add of abandoned file = false")
+	}
+}
+
+// TestRepairerReconstructFirst: a successful local reconstruction repairs
+// the file without ever invoking the WAN pull; a declined reconstruction
+// (no sidecar, too damaged) falls through to Do on the same attempt.
+func TestRepairerReconstructFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMetrics(obs.NewRegistry())
+	var pulls, rebuilds int
+	r := NewRepairer(ctx, RepairConfig{
+		Do: func(ctx context.Context, lfn string) error {
+			pulls++
+			return nil
+		},
+		Reconstruct: func(ctx context.Context, lfn string) (bool, error) {
+			rebuilds++
+			return lfn == "local.fix", nil
+		},
+		Policy:  fastPolicy(3),
+		Metrics: m,
+	})
+	t.Cleanup(func() { cancel(); r.Close() })
+
+	qctx, qcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer qcancel()
+	r.Add("local.fix")
+	if err := r.Quiesce(qctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if pulls != 0 || rebuilds != 1 {
+		t.Fatalf("after reconstructable repair: pulls=%d rebuilds=%d, want 0/1", pulls, rebuilds)
+	}
+	r.Add("wan.only")
+	if err := r.Quiesce(qctx); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if pulls != 1 || rebuilds != 2 {
+		t.Fatalf("after fallback repair: pulls=%d rebuilds=%d, want 1/2", pulls, rebuilds)
+	}
+	if got := m.RepairSuccess.Value(); got != 2 {
+		t.Fatalf("repair_success = %d, want 2", got)
+	}
+	if got := m.RepairAttempts.Value(); got != 2 {
+		t.Fatalf("repair_attempts = %d, want 2", got)
 	}
 }
 

@@ -126,6 +126,13 @@ type SiteOptions struct {
 	QuarantineMaxAge   time.Duration
 	QuarantineMaxCount int
 
+	// ParityK and ParityM enable erasure-coded local repair (zero
+	// disables): every published or landed replica gets a K+M parity
+	// sidecar, and scrub rebuilds ≤M damaged blocks locally instead of
+	// re-pulling over the WAN.
+	ParityK int
+	ParityM int
+
 	// GDMPListen and FTPListen pin the site's two servers to fixed
 	// addresses; empty picks ephemeral ports. RestartSite pins them
 	// automatically so a reborn site keeps its identity (PFNs in the
@@ -216,6 +223,8 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		ScrubRateBytes:         opts.ScrubRateBytes,
 		QuarantineMaxAge:       opts.QuarantineMaxAge,
 		QuarantineMaxCount:     opts.QuarantineMaxCount,
+		ParityK:                opts.ParityK,
+		ParityM:                opts.ParityM,
 		PrefetchThreshold:      opts.Prefetch,
 	}
 	if opts.Durable {
