@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull chaos crash scrub parity cache
+.PHONY: all build test check vet fmt race bench bench-pull bench-catalog chaos crash scrub parity cache catalog
 
 all: build
 
@@ -40,6 +40,28 @@ bench: bench-pull
 BENCH_PULL_OUT ?= BENCH_pull.json
 bench-pull:
 	BENCH_PULL_OUT=$(BENCH_PULL_OUT) $(GO) test -run TestPullSchedulerBenchmark -v .
+
+# Catalog RLS benchmark: loads 1M LFNs into the sharded LRC, sustains a
+# lookup storm (>=10k/sec floor), compares lookup throughput under
+# journaled write load against the single-mutex baseline (sharded must
+# win), and asserts the bloom digest's false-positive rate stays under
+# its bound. Results land in $(BENCH_CATALOG_OUT).
+BENCH_CATALOG_OUT ?= BENCH_catalog.json
+bench-catalog:
+	BENCH_CATALOG_OUT=$(BENCH_CATALOG_OUT) $(GO) test -run TestCatalogBenchmark -v .
+
+# RLS suite: the sharded-catalog + bloom-digest Replica Location Service
+# tests — shard rebalance and concurrency properties, RLI soft-state
+# semantics, journaled-store recovery, and the grid-level read-your-writes,
+# RLI-fallback, false-positive, and crash-convergence scenarios. Race
+# detector on. The seed is logged by every property test; replay a run
+# with `make catalog RLS_SEED=7`.
+RLS_SEED ?= 20260809
+catalog:
+	@echo "rls seed: $(RLS_SEED)"
+	RLS_SEED=$(RLS_SEED) $(GO) test -race -v \
+		-run 'TestRLS|TestRLI|TestShard|TestStore|TestBloom|TestReadEntry|TestConcurrentShardedMutation' \
+		./internal/replica .
 
 # Fault-injection suite: scripted fault schedules through internal/faults,
 # race detector on. The seed is logged by every test; override it to

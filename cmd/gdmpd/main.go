@@ -58,9 +58,20 @@
 //
 // With -rc-serve, the daemon additionally hosts an embedded replica
 // catalog server on the given address — a one-process Grid for small
-// deployments — persisting its snapshot under <state-dir>/rc.snap (or in
-// memory only, without -state-dir), loaded at startup and saved every
-// -rc-save-every and on shutdown.
+// deployments. With -state-dir, the embedded catalog is journaled under
+// <state-dir>/rc (every mutation write-ahead logged before the ack,
+// compacted into per-shard snapshots every -rc-save-every); a legacy
+// <state-dir>/rc.snap is imported once while the store is empty. Without
+// -state-dir it is memory only. -rc-shards sets its LFN shard count.
+//
+// With -digest-interval, the site joins the Replica Location Index: every
+// interval it condenses its local catalog into a bloom digest and pushes
+// it to the RLI co-hosted with the catalog server, where it lives as soft
+// state for -digest-ttl (default 3x the interval). Peers whose central
+// lookups come up empty then ask the RLI which sites might hold the file
+// and confirm with per-site LRC point queries (a digest false positive —
+// rate tuned by -digest-fp — costs one wasted query, never a wrong
+// answer).
 package main
 
 import (
@@ -122,7 +133,11 @@ func main() {
 	parityM := flag.Int("parity-m", 0, "parity blocks per file; scrub heals up to this many damaged blocks locally")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets in-flight transfers finish")
 	rcServe := flag.String("rc-serve", "", "also run an embedded replica catalog server on this address")
-	rcSaveEvery := flag.Duration("rc-save-every", time.Minute, "embedded catalog snapshot interval (with -rc-serve and -state-dir)")
+	rcSaveEvery := flag.Duration("rc-save-every", time.Minute, "embedded catalog snapshot/compaction interval (with -rc-serve and -state-dir)")
+	rcShards := flag.Int("rc-shards", replica.DefaultShards, "embedded catalog shard count (with -rc-serve; rounded up to a power of two)")
+	digestInterval := flag.Duration("digest-interval", 0, "RLI digest push period (0 = off)")
+	digestTTL := flag.Duration("digest-ttl", 0, "RLI digest soft-state lifetime (0 = 3x -digest-interval)")
+	digestFP := flag.Float64("digest-fp", 0, "bloom digest false-positive rate (0 = 0.01)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
@@ -140,7 +155,8 @@ func main() {
 		notifyFailures: *notifyFailures,
 		pullWorkers:    *pullWorkers, perSource: *perSource,
 		stateDir: *stateDir, drainTimeout: *drainTimeout,
-		rcServe: *rcServe, rcSaveEvery: *rcSaveEvery,
+		rcServe: *rcServe, rcSaveEvery: *rcSaveEvery, rcShards: *rcShards,
+		digestInterval: *digestInterval, digestTTL: *digestTTL, digestFP: *digestFP,
 		scrubInterval: *scrubInterval, scrubRate: *scrubRate,
 		antiEntropy:  *antiEntropy,
 		quarMaxAge:   *quarMaxAge,
@@ -169,6 +185,9 @@ type params struct {
 	drainTimeout                         time.Duration
 	rcServe                              string
 	rcSaveEvery                          time.Duration
+	rcShards                             int
+	digestInterval, digestTTL            time.Duration
+	digestFP                             float64
 	scrubInterval, antiEntropy           time.Duration
 	scrubRate                            int64
 	quarMaxAge                           time.Duration
@@ -231,21 +250,36 @@ func run(p params) error {
 	// dials it.
 	var rcSrv *replica.Server
 	var rcCatalog *replica.Catalog
-	rcSnapshot := ""
+	var rcStore *replica.Store
 	var snapStop, snapStopped chan struct{}
 	if p.rcServe != "" {
-		rcCatalog = replica.NewCatalog()
+		rcCatalog = replica.New(replica.Options{Shards: p.rcShards})
 		if p.stateDir != "" {
-			if err := os.MkdirAll(p.stateDir, 0o755); err != nil {
+			rcDir := filepath.Join(p.stateDir, "rc")
+			if err := os.MkdirAll(rcDir, 0o755); err != nil {
 				return err
 			}
-			rcSnapshot = filepath.Join(p.stateDir, "rc.snap")
-			if err := rcCatalog.LoadFile(rcSnapshot); err == nil {
-				st := rcCatalog.Stats()
-				log.Printf("embedded catalog: loaded %s (%d files, %d replicas)",
-					rcSnapshot, st.Files, st.Replicas)
-			} else if !os.IsNotExist(err) {
-				return fmt.Errorf("load embedded catalog snapshot: %w", err)
+			rcStore, err = replica.OpenStore(rcDir, rcCatalog, replica.StoreOptions{})
+			if err != nil {
+				return fmt.Errorf("open embedded catalog store: %w", err)
+			}
+			st := rcCatalog.Stats()
+			if legacy := filepath.Join(p.stateDir, "rc.snap"); st.Files+st.Collections == 0 {
+				// One-time import of the pre-store single-file snapshot;
+				// compaction adopts it into per-shard snapshots.
+				if err := rcCatalog.LoadFile(legacy); err == nil {
+					if err := rcStore.Compact(); err != nil {
+						return fmt.Errorf("adopt legacy catalog snapshot: %w", err)
+					}
+					st = rcCatalog.Stats()
+					log.Printf("embedded catalog: imported legacy %s (%d files, %d replicas)",
+						legacy, st.Files, st.Replicas)
+				} else if !os.IsNotExist(err) {
+					return fmt.Errorf("load embedded catalog snapshot: %w", err)
+				}
+			} else {
+				log.Printf("embedded catalog: recovered %s (%d files, %d replicas, %d shards)",
+					rcDir, st.Files, st.Replicas, rcCatalog.ShardCount())
 			}
 		}
 		rcSrv = replica.NewServer(rcCatalog, cred, []*gsi.Certificate{anchor}, acl)
@@ -255,11 +289,11 @@ func run(p params) error {
 		}
 		go rcSrv.Serve(rcLn)
 		defer rcSrv.Close()
-		log.Printf("embedded replica catalog on %s", rcLn.Addr())
+		log.Printf("embedded replica catalog on %s (%d shards)", rcLn.Addr(), rcCatalog.ShardCount())
 		if p.rcAddr == "" {
 			p.rcAddr = rcLn.Addr().String()
 		}
-		if rcSnapshot != "" && p.rcSaveEvery > 0 {
+		if rcStore != nil && p.rcSaveEvery > 0 {
 			snapStop, snapStopped = make(chan struct{}), make(chan struct{})
 			go func() {
 				defer close(snapStopped)
@@ -268,8 +302,8 @@ func run(p params) error {
 				for {
 					select {
 					case <-t.C:
-						if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
-							log.Printf("embedded catalog snapshot: %v", err)
+						if _, err := rcStore.MaybeCompact(); err != nil {
+							log.Printf("embedded catalog compact: %v", err)
 						}
 					case <-snapStop:
 						return
@@ -308,6 +342,10 @@ func run(p params) error {
 		QuarantineMaxCount:  p.quarMaxCount,
 		ParityK:             p.parityK,
 		ParityM:             p.parityM,
+
+		DigestInterval: p.digestInterval,
+		DigestTTL:      p.digestTTL,
+		DigestFPRate:   p.digestFP,
 	}
 	cfg.PrefetchThreshold = p.prefetch
 	if p.tape != "" {
@@ -378,17 +416,17 @@ func run(p params) error {
 		log.Printf("received %v, shutting down", s)
 		err2 = site.Close()
 	}
-	// Stop (and join) the periodic snapshot goroutine before the final
-	// save, so two SaveFile calls never race on the same path.
+	// Stop (and join) the periodic compaction goroutine before the final
+	// compact, so two never race on the same store.
 	if snapStop != nil {
 		close(snapStop)
 		<-snapStopped
 	}
-	if rcCatalog != nil && rcSnapshot != "" {
-		if err := rcCatalog.SaveFile(rcSnapshot); err != nil {
-			log.Printf("final embedded catalog snapshot: %v", err)
+	if rcStore != nil {
+		if err := rcStore.Close(); err != nil {
+			log.Printf("close embedded catalog store: %v", err)
 		} else {
-			log.Printf("embedded catalog persisted to %s", rcSnapshot)
+			log.Printf("embedded catalog compacted under %s", filepath.Join(p.stateDir, "rc"))
 		}
 	}
 	return err2

@@ -4,14 +4,26 @@
 // authenticated Request Manager. GDMP deployments run exactly one of these
 // per Grid, as the paper does with its single LDAP server.
 //
+// The catalog is LFN-sharded internally (-shards, rounded up to a power of
+// two) so concurrent lookups and mutations spread over per-shard locks,
+// and the server co-hosts the Replica Location Index: sites periodically
+// push bloom digests of their Local Replica Catalogs (soft state, expiring
+// after -rli-ttl without a refresh), and peers ask it which sites might
+// hold an LFN.
+//
 // Usage:
 //
 //	replicad -listen :39000 -cred certs/replicad.pem -ca certs/ca.pem \
+//	         [-state-dir /var/lib/replicad] [-shards 64] [-rli-ttl 5m] \
 //	         [-snapshot catalog.snap] [-gridmap gridmap] [-save-every 1m]
 //
-// With -snapshot, the catalog is loaded at startup (if the file exists) and
-// persisted periodically and on shutdown. Without -gridmap, every
-// authenticated identity may use the catalog.
+// With -state-dir, the catalog is journaled: every mutation is appended to
+// a write-ahead log before it is acknowledged, and compaction freezes the
+// state into per-shard snapshot generations. A -snapshot file from an
+// older deployment is imported once, when the journaled store is still
+// empty. Without -state-dir, -snapshot alone gives the legacy behavior:
+// load at startup, persist every -save-every and on shutdown. Without
+// -gridmap, every authenticated identity may use the catalog.
 package main
 
 import (
@@ -32,18 +44,21 @@ func main() {
 	listen := flag.String("listen", ":39000", "address to listen on")
 	credPath := flag.String("cred", "", "server credential file (required)")
 	caPath := flag.String("ca", "", "trust anchor certificate (required)")
-	snapshot := flag.String("snapshot", "", "catalog snapshot file (load + persist)")
+	stateDir := flag.String("state-dir", "", "journaled store directory (crash-safe persistence)")
+	shards := flag.Int("shards", replica.DefaultShards, "catalog shard count (rounded up to a power of two)")
+	rliTTL := flag.Duration("rli-ttl", replica.DefaultRLITTL, "RLI digest soft-state lifetime")
+	snapshot := flag.String("snapshot", "", "legacy catalog snapshot file (load + persist without -state-dir)")
 	gridmap := flag.String("gridmap", "", "authorization gridmap file (default: allow all)")
-	saveEvery := flag.Duration("save-every", time.Minute, "periodic snapshot interval")
+	saveEvery := flag.Duration("save-every", time.Minute, "legacy periodic snapshot interval")
 	flag.Parse()
 
-	if err := run(*listen, *credPath, *caPath, *snapshot, *gridmap, *saveEvery); err != nil {
+	if err := run(*listen, *credPath, *caPath, *stateDir, *snapshot, *gridmap, *shards, *rliTTL, *saveEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "replicad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, credPath, caPath, snapshot, gridmap string, saveEvery time.Duration) error {
+func run(listen, credPath, caPath, stateDir, snapshot, gridmap string, shards int, rliTTL, saveEvery time.Duration) error {
 	if credPath == "" || caPath == "" {
 		return fmt.Errorf("-cred and -ca are required")
 	}
@@ -72,8 +87,35 @@ func run(listen, credPath, caPath, snapshot, gridmap string, saveEvery time.Dura
 		replica.AllowCatalogUseAll(acl)
 	}
 
-	catalog := replica.NewCatalog()
-	if snapshot != "" {
+	catalog := replica.New(replica.Options{Shards: shards})
+	var store *replica.Store
+	if stateDir != "" {
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			return err
+		}
+		store, err = replica.OpenStore(stateDir, catalog, replica.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		st := catalog.Stats()
+		if st.Files+st.Collections == 0 && snapshot != "" {
+			// One-time import of a legacy single-file snapshot into the
+			// journaled store; compaction adopts it into shard snapshots.
+			if err := catalog.LoadFile(snapshot); err == nil {
+				if err := store.Compact(); err != nil {
+					return fmt.Errorf("adopt legacy snapshot: %w", err)
+				}
+				st = catalog.Stats()
+				log.Printf("imported legacy snapshot %s: %d files, %d replicas, %d collections",
+					snapshot, st.Files, st.Replicas, st.Collections)
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("load legacy snapshot: %w", err)
+			}
+		} else {
+			log.Printf("recovered store %s: %d files, %d replicas, %d collections (%d shards)",
+				stateDir, st.Files, st.Replicas, st.Collections, catalog.ShardCount())
+		}
+	} else if snapshot != "" {
 		if err := catalog.LoadFile(snapshot); err == nil {
 			st := catalog.Stats()
 			log.Printf("loaded snapshot %s: %d files, %d replicas, %d collections",
@@ -83,22 +125,40 @@ func run(listen, credPath, caPath, snapshot, gridmap string, saveEvery time.Dura
 		}
 	}
 
-	srv := replica.NewServer(catalog, cred, []*gsi.Certificate{root}, acl)
+	srv := replica.NewServerWithRLI(catalog, replica.NewRLI(rliTTL, nil), cred, []*gsi.Certificate{root}, acl)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("replica catalog %s listening on %s", cred.Identity(), ln.Addr())
+	log.Printf("replica catalog %s listening on %s (%d shards)",
+		cred.Identity(), ln.Addr(), catalog.ShardCount())
 
-	if snapshot != "" && saveEvery > 0 {
-		go func() {
-			for range time.Tick(saveEvery) {
-				if err := catalog.SaveFile(snapshot); err != nil {
-					log.Printf("snapshot: %v", err)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if saveEvery <= 0 {
+			return
+		}
+		t := time.NewTicker(saveEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if store != nil {
+					if _, err := store.MaybeCompact(); err != nil {
+						log.Printf("compact: %v", err)
+					}
+				} else if snapshot != "" {
+					if err := catalog.SaveFile(snapshot); err != nil {
+						log.Printf("snapshot: %v", err)
+					}
 				}
 			}
-		}()
-	}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -107,12 +167,21 @@ func run(listen, credPath, caPath, snapshot, gridmap string, saveEvery time.Dura
 
 	select {
 	case err := <-errCh:
+		close(stop)
+		<-done
 		return err
 	case s := <-sig:
 		log.Printf("received %v, shutting down", s)
 	}
 	srv.Close()
-	if snapshot != "" {
+	close(stop)
+	<-done
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("close store: %w", err)
+		}
+		log.Printf("catalog compacted into %s", stateDir)
+	} else if snapshot != "" {
 		if err := catalog.SaveFile(snapshot); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}

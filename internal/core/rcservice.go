@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"gdmp/internal/replica"
 	"gdmp/internal/rpc"
@@ -15,7 +17,40 @@ import (
 // adding search filters, sanity checks on input parameters, and automatic
 // creation of required entries (Section 4.2).
 type rcService struct {
+	mu     sync.RWMutex
 	client *replica.Client
+	// dial re-establishes the catalog connection after the server side
+	// restarted (the rpc client latches closed on I/O failure). Nil
+	// disables reconnection (embedded catalogs that die with the process).
+	dial func() (*replica.Client, error)
+}
+
+func (rc *rcService) cl() *replica.Client {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.client
+}
+
+// reconnect swaps in a freshly dialed client. Callers holding the old
+// client fail their in-flight call and retry at their own layer; the
+// soft-state digest pusher is the main consumer (an RLI restart must be
+// a non-event, not a permanently dark site).
+func (rc *rcService) reconnect() error {
+	if rc.dial == nil {
+		return fmt.Errorf("core: replica catalog reconnect not available")
+	}
+	cl, err := rc.dial()
+	if err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	old := rc.client
+	rc.client = cl
+	rc.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
 }
 
 // sanity checks applied to every name that enters the catalog.
@@ -49,20 +84,20 @@ func (rc *rcService) publishFile(ctx context.Context, lfn string, attrs map[stri
 	if err := checkCatalogName("logical file", lfn); err != nil {
 		return err
 	}
-	if err := rc.client.Register(ctx, lfn, attrs); err != nil {
+	if err := rc.cl().Register(ctx, lfn, attrs); err != nil {
 		if isExists(err) {
 			return fmt.Errorf("core: logical file name %q already taken (the catalog enforces a global namespace): %w", lfn, err)
 		}
 		return err
 	}
-	if err := rc.client.AddReplica(ctx, lfn, pfn.String()); err != nil {
+	if err := rc.cl().AddReplica(ctx, lfn, pfn.String()); err != nil {
 		return err
 	}
 	if collection != "" {
 		if err := rc.ensureCollection(ctx, collection); err != nil {
 			return err
 		}
-		if err := rc.client.AddToCollection(ctx, collection, lfn); err != nil {
+		if err := rc.cl().AddToCollection(ctx, collection, lfn); err != nil {
 			return err
 		}
 	}
@@ -71,7 +106,7 @@ func (rc *rcService) publishFile(ctx context.Context, lfn string, attrs map[stri
 
 // addReplica records an additional physical location for an existing file.
 func (rc *rcService) addReplica(ctx context.Context, lfn string, pfn PFN) error {
-	err := rc.client.AddReplica(ctx, lfn, pfn.String())
+	err := rc.cl().AddReplica(ctx, lfn, pfn.String())
 	if err != nil && isExists(err) {
 		return nil // idempotent: replica already recorded
 	}
@@ -80,7 +115,7 @@ func (rc *rcService) addReplica(ctx context.Context, lfn string, pfn PFN) error 
 
 // removeReplica drops one physical location.
 func (rc *rcService) removeReplica(ctx context.Context, lfn string, pfn PFN) error {
-	return rc.client.RemoveReplica(ctx, lfn, pfn.String())
+	return rc.cl().RemoveReplica(ctx, lfn, pfn.String())
 }
 
 // ensureCollection creates the collection if it does not exist yet —
@@ -89,7 +124,7 @@ func (rc *rcService) ensureCollection(ctx context.Context, name string) error {
 	if err := checkCatalogName("collection", name); err != nil {
 		return err
 	}
-	err := rc.client.CreateCollection(ctx, name)
+	err := rc.cl().CreateCollection(ctx, name)
 	if err != nil && isExists(err) {
 		return nil
 	}
@@ -98,7 +133,7 @@ func (rc *rcService) ensureCollection(ctx context.Context, name string) error {
 
 // locations returns the parsed physical locations of a logical file.
 func (rc *rcService) locations(ctx context.Context, lfn string) ([]PFN, error) {
-	raw, err := rc.client.Locations(ctx, lfn)
+	raw, err := rc.cl().Locations(ctx, lfn)
 	if err != nil {
 		return nil, err
 	}
@@ -116,22 +151,33 @@ func (rc *rcService) locations(ctx context.Context, lfn string) ([]PFN, error) {
 
 // lookup fetches a file entry's attributes.
 func (rc *rcService) lookup(ctx context.Context, lfn string) (*replica.LogicalFile, error) {
-	return rc.client.Lookup(ctx, lfn)
+	return rc.cl().Lookup(ctx, lfn)
 }
 
 // setAttrs merges attributes into an entry.
 func (rc *rcService) listCollection(ctx context.Context, name string) ([]string, error) {
-	return rc.client.ListCollection(ctx, name)
+	return rc.cl().ListCollection(ctx, name)
 }
 
 func (rc *rcService) setAttrs(ctx context.Context, lfn string, attrs map[string]string) error {
-	return rc.client.SetAttrs(ctx, lfn, attrs)
+	return rc.cl().SetAttrs(ctx, lfn, attrs)
 }
 
 // query runs a filter search, "to obtain the exact information that they
 // require" (Section 4.2).
 func (rc *rcService) query(ctx context.Context, filter string) ([]*replica.LogicalFile, error) {
-	return rc.client.Query(ctx, filter)
+	return rc.cl().Query(ctx, filter)
 }
 
-func (rc *rcService) close() error { return rc.client.Close() }
+// pushDigest forwards a site's bloom digest to the RLI tier co-hosted
+// with the catalog server.
+func (rc *rcService) pushDigest(ctx context.Context, site, addr string, gen uint64, b *replica.Bloom, ttl time.Duration) (string, uint64, error) {
+	return rc.cl().PushDigest(ctx, site, addr, gen, b, ttl)
+}
+
+// which asks the RLI which sites' LRCs might hold the LFN.
+func (rc *rcService) which(ctx context.Context, lfn string) ([]replica.Site, error) {
+	return rc.cl().Which(ctx, lfn)
+}
+
+func (rc *rcService) close() error { return rc.cl().Close() }

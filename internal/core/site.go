@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdmp/internal/gridftp"
@@ -71,6 +72,7 @@ var Methods = []string{
 	MethodPing, MethodSubscribe, MethodUnsubscribe,
 	MethodNotify, MethodCatalog, MethodStage, MethodStatus,
 	MethodMetrics, MethodDigest, MethodFsck, MethodHasFile,
+	MethodLRCQuery,
 }
 
 // AllowSiteUseAll grants every authenticated identity the full GDMP and
@@ -183,6 +185,23 @@ type Config struct {
 	// subscribers that catches missed notifications and dangling catalog
 	// locations. Zero disables the loop.
 	AntiEntropyInterval time.Duration
+
+	// DigestInterval paces the RLS digest pusher: every interval the site
+	// condenses its Local Replica Catalog into a bloom filter and pushes
+	// it to the Replica Location Index co-hosted with the replica catalog
+	// server, keeping itself routable for peers' lookups. Zero disables
+	// the loop (the site still answers LRC point queries).
+	DigestInterval time.Duration
+
+	// DigestTTL is the soft-state lifetime requested for pushed digests
+	// (default 3x DigestInterval, so one missed push never ages the site
+	// out of the index). The RLI caps it at its own TTL.
+	DigestTTL time.Duration
+
+	// DigestFPRate is the bloom digest's target false-positive rate
+	// (default 0.01). False positives cost peers one extra LRC point
+	// query; they never produce a wrong answer.
+	DigestFPRate float64
 
 	// QuarantineMaxAge and QuarantineMaxCount bound the growth of
 	// <StateDir>/quarantine: entries older than MaxAge are swept, and the
@@ -298,6 +317,14 @@ type Site struct {
 	parityMu sync.Mutex
 	paritySC map[string]string
 
+	// RLS runtime (rls.go): the digest pusher's generation counter and
+	// change-detection hash, plus its loop's join handle.
+	rlsMet         *rlsSiteMetrics
+	digestGen      atomic.Uint64
+	digestMu       sync.Mutex
+	lastDigestHash uint64
+	rlsWG          sync.WaitGroup
+
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
 
@@ -363,9 +390,11 @@ func NewSite(cfg Config) (*Site, error) {
 	}
 
 	s := &Site{
-		cfg:         cfg,
-		logger:      cfg.Logger,
-		rc:          &rcService{client: rcClient},
+		cfg:    cfg,
+		logger: cfg.Logger,
+		rc: &rcService{client: rcClient, dial: func() (*replica.Client, error) {
+			return replica.Dial(cfg.ReplicaCatalog, cfg.Cred, cfg.TrustRoots, dialOpts...)
+		}},
 		local:       newLocalCatalog(),
 		federation:  cfg.Federation,
 		storage:     cfg.MSS,
@@ -411,6 +440,7 @@ func NewSite(cfg Config) (*Site, error) {
 	// and fsck handlers use it, and producer tracking restores from the
 	// journal replay above.
 	s.initScrub()
+	s.initRLS()
 
 	ftpSrv, err := gridftp.NewServer(gridftp.ServerConfig{
 		Root:       cfg.DataDir,
@@ -471,6 +501,7 @@ func NewSite(cfg Config) (*Site, error) {
 	// so the first pass sees a settled catalog.
 	s.sweepQuarantine()
 	s.startScrubDaemon()
+	s.startDigestLoop()
 	return s, nil
 }
 
@@ -530,6 +561,7 @@ func (s *Site) Close() error {
 		// jobs fail with context.Canceled, and the workers drain.
 		s.sched.Close()
 		s.notifyWG.Wait()
+		s.rlsWG.Wait()
 		e1 := s.gdmpSrv.Close()
 		e2 := s.ftpSrv.Close()
 		e3 := s.rc.close()
@@ -1090,6 +1122,12 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 		}
 	}
 	if len(usable) == 0 {
+		// The central location table came up empty (withdrawal race,
+		// partial registration, foreign publisher): fall back to the RLI
+		// tier, confirming digest hints with LRC point queries.
+		usable = s.rliSources(ctx, entry, lfn)
+	}
+	if len(usable) == 0 {
 		return fmt.Errorf("core: no remote replica of %s", lfn)
 	}
 	// Failover order: the selector's pick first, then the remaining
@@ -1598,6 +1636,7 @@ func (s *Site) registerHandlers() {
 		return err
 	})
 	s.registerScrubHandlers()
+	s.registerRLSHandlers()
 	s.registerStatusHandler()
 	s.registerMetricsHandler()
 }

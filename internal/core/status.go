@@ -107,6 +107,15 @@ type SiteStatus struct {
 	ParityFallbacks     int64
 	RepairBytesLocal    int64
 	RepairBytesRepulled int64
+
+	// RLS summary: the site's digest-push soft state and RLI fallback
+	// activity (all zero from a daemon predating the RLS split).
+	DigestGen          int64 // current digest generation of this site's LRC
+	DigestPushes       int64 // pushes the RLI accepted
+	DigestLFNs         int64 // LFNs condensed into the last pushed digest
+	RLIQueries         int64 // which-queries issued to the RLI tier
+	RLIFalsePositives  int64 // candidates denied by the LRC confirm step
+	RLSLocateP99Micros int64 // p99 RLS locate latency, microseconds
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -153,6 +162,14 @@ func (s *Site) Status() SiteStatus {
 		st.ParityFallbacks = s.scrubMet.ParityFallbacks.Value()
 		st.RepairBytesLocal = s.scrubMet.RepairBytesLocal.Value()
 		st.RepairBytesRepulled = s.scrubMet.RepairBytesRepulled.Value()
+	}
+	if s.rlsMet != nil {
+		st.DigestGen = int64(s.digestGen.Load())
+		st.DigestPushes = s.rlsMet.pushesOK.Value()
+		st.DigestLFNs = s.rlsMet.lfns.Value()
+		st.RLIQueries = s.rlsMet.rliWhich.Value()
+		st.RLIFalsePositives = s.rlsMet.falsePos.Value()
+		st.RLSLocateP99Micros = s.LocateP99Micros()
 	}
 	return st
 }
@@ -211,6 +228,12 @@ func encodeSiteStatus(e *rpc.Encoder, st SiteStatus) {
 	e.Int64(st.ParityFallbacks)
 	e.Int64(st.RepairBytesLocal)
 	e.Int64(st.RepairBytesRepulled)
+	e.Int64(st.DigestGen)
+	e.Int64(st.DigestPushes)
+	e.Int64(st.DigestLFNs)
+	e.Int64(st.RLIQueries)
+	e.Int64(st.RLIFalsePositives)
+	e.Int64(st.RLSLocateP99Micros)
 }
 
 // decodeSiteStatus reads the status payload, tolerating truncation at
@@ -248,6 +271,14 @@ func decodeSiteStatus(d *rpc.Decoder) SiteStatus {
 		st.ParityFallbacks = d.Int64()
 		st.RepairBytesLocal = d.Int64()
 		st.RepairBytesRepulled = d.Int64()
+	}
+	if d.Remaining() > 0 {
+		st.DigestGen = d.Int64()
+		st.DigestPushes = d.Int64()
+		st.DigestLFNs = d.Int64()
+		st.RLIQueries = d.Int64()
+		st.RLIFalsePositives = d.Int64()
+		st.RLSLocateP99Micros = d.Int64()
 	}
 	return st
 }

@@ -31,6 +31,13 @@ func TestSiteStatusWireRoundTrip(t *testing.T) {
 		ParityFallbacks:     1,
 		RepairBytesLocal:    4096,
 		RepairBytesRepulled: 1 << 20,
+
+		DigestGen:          6,
+		DigestPushes:       20,
+		DigestLFNs:         12,
+		RLIQueries:         8,
+		RLIFalsePositives:  2,
+		RLSLocateP99Micros: 850,
 	}
 	var e rpc.Encoder
 	encodeSiteStatus(&e, want)
@@ -121,20 +128,20 @@ func TestEncodePoolBlockStrictlyAppends(t *testing.T) {
 		t.Fatalf("payload with pool data (%d bytes) shorter than zeros (%d)", len(bd), len(bz))
 	}
 	// The block is five fixed-width Int64s, followed only by the (here
-	// all-zero) five-Int64 parity block; everything before it must be
-	// byte-identical across the two payloads.
-	n := len(bz) - 10*8
+	// all-zero) five-Int64 parity and six-Int64 RLS blocks; everything
+	// before it must be byte-identical across the two payloads.
+	n := len(bz) - 16*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("pool block changed bytes before its own position")
 	}
-	if string(bz[len(bz)-5*8:]) != string(bd[len(bd)-5*8:]) {
+	if string(bz[len(bz)-11*8:]) != string(bd[len(bd)-11*8:]) {
 		t.Fatal("pool block changed bytes after its own position")
 	}
 }
 
-// Same contract for the parity block: it is the newest trailing
-// generation, so payloads with and without parity data are byte-identical
-// up to the block itself.
+// Same contract for the parity block: payloads with and without parity
+// data are byte-identical up to the block itself (only the six-Int64 RLS
+// block follows it).
 func TestEncodeParityBlockStrictlyAppends(t *testing.T) {
 	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9}
 	data := zero
@@ -148,8 +155,33 @@ func TestEncodeParityBlockStrictlyAppends(t *testing.T) {
 	if len(bz) != len(bd) {
 		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
 	}
-	n := len(bz) - 5*8
+	n := len(bz) - 11*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("parity block changed bytes before its own position")
+	}
+	if string(bz[len(bz)-6*8:]) != string(bd[len(bd)-6*8:]) {
+		t.Fatal("parity block changed bytes after its own position")
+	}
+}
+
+// Same contract for the RLS block: it is the newest trailing generation,
+// so payloads with and without RLS data are byte-identical up to the
+// block itself.
+func TestEncodeRLSBlockStrictlyAppends(t *testing.T) {
+	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9, ParitySidecars: 7}
+	data := zero
+	data.DigestGen, data.DigestPushes, data.DigestLFNs = 1, 2, 3
+	data.RLIQueries, data.RLIFalsePositives, data.RLSLocateP99Micros = 4, 5, 6
+
+	var ez, ed rpc.Encoder
+	encodeSiteStatus(&ez, zero)
+	encodeSiteStatus(&ed, data)
+	bz, bd := ez.Bytes(), ed.Bytes()
+	if len(bz) != len(bd) {
+		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
+	}
+	n := len(bz) - 6*8
+	if string(bz[:n]) != string(bd[:n]) {
+		t.Fatal("RLS block changed bytes before its own position")
 	}
 }

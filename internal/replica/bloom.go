@@ -1,0 +1,141 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is the compressed membership digest a site pushes to the RLI
+// tier: a standard bloom filter over its LFN set, so the index can
+// answer "which LRCs might hold LFN X" with false positives but no
+// false negatives. Uses double hashing (Kirsch–Mitzenmacher) over the
+// two halves of one FNV-64a pass, so Add/Test hash the key once.
+//
+// Not safe for concurrent mutation; build, then treat as read-only.
+type Bloom struct {
+	k    uint32   // hash functions
+	m    uint64   // bits
+	n    uint64   // items added
+	bits []uint64 // m bits, little-endian within each word
+}
+
+// bloomMaxBits caps digest size (128 MiB of bits) against hostile or
+// corrupt wire input; a 100M-LFN site at 0.1% FP needs ~1.4G bits, far
+// above any deployment this codebase targets.
+const bloomMaxBits = 1 << 30
+
+// NewBloom sizes a filter for the expected item count at the target
+// false-positive rate (clamped to sane bounds).
+func NewBloom(expected int, fpRate float64) *Bloom {
+	if expected < 1 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(expected) * math.Log(fpRate) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	if m > bloomMaxBits {
+		m = bloomMaxBits
+	}
+	k := uint32(math.Round(float64(m) / float64(expected) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Bloom{k: k, m: m, bits: make([]uint64, (m+63)/64)}
+}
+
+// bloomHash derives the two double-hashing bases from one FNV-64a pass.
+func bloomHash(s string) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	sum := h.Sum64()
+	h1 = sum
+	// Mix the upper half down for the stride; force it odd so the probe
+	// sequence cycles through all bit positions.
+	h2 = (sum>>32 | sum<<32) | 1
+	return h1, h2
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(s string) {
+	h1, h2 := bloomHash(s)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.m
+		b.bits[bit>>6] |= 1 << (bit & 63)
+	}
+	b.n++
+}
+
+// Test reports whether the key might be in the set (false positives
+// possible, false negatives not).
+func (b *Bloom) Test(s string) bool {
+	h1, h2 := bloomHash(s)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.m
+		if b.bits[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count reports how many keys were added.
+func (b *Bloom) Count() uint64 { return b.n }
+
+// EstimatedFPRate is the theoretical false-positive probability at the
+// current fill: (1 - e^(-kn/m))^k.
+func (b *Bloom) EstimatedFPRate() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(b.k)*float64(b.n)/float64(b.m)), float64(b.k))
+}
+
+// Filter wire format: magic, k, m, n, then the bit words. Carried as an
+// opaque byte blob inside the rli.push RPC.
+const bloomMagic = "GBF1"
+
+// Marshal serializes the filter for the digest-push wire.
+func (b *Bloom) Marshal() []byte {
+	out := make([]byte, 4+4+8+8+8*len(b.bits))
+	copy(out, bloomMagic)
+	binary.BigEndian.PutUint32(out[4:], b.k)
+	binary.BigEndian.PutUint64(out[8:], b.m)
+	binary.BigEndian.PutUint64(out[16:], b.n)
+	for i, w := range b.bits {
+		binary.BigEndian.PutUint64(out[24+8*i:], w)
+	}
+	return out
+}
+
+// UnmarshalBloom parses a filter previously produced by Marshal,
+// validating geometry against the payload length.
+func UnmarshalBloom(p []byte) (*Bloom, error) {
+	if len(p) < 24 || string(p[:4]) != bloomMagic {
+		return nil, fmt.Errorf("replica: bad bloom digest header")
+	}
+	k := binary.BigEndian.Uint32(p[4:])
+	m := binary.BigEndian.Uint64(p[8:])
+	n := binary.BigEndian.Uint64(p[16:])
+	if k < 1 || k > 64 || m < 1 || m > bloomMaxBits {
+		return nil, fmt.Errorf("replica: bloom digest geometry k=%d m=%d out of range", k, m)
+	}
+	words := int((m + 63) / 64)
+	if len(p) != 24+8*words {
+		return nil, fmt.Errorf("replica: bloom digest length %d != %d for m=%d", len(p), 24+8*words, m)
+	}
+	b := &Bloom{k: k, m: m, n: n, bits: make([]uint64, words)}
+	for i := range b.bits {
+		b.bits[i] = binary.BigEndian.Uint64(p[24+8*i:])
+	}
+	return b, nil
+}

@@ -18,8 +18,15 @@
 // names into collections and locations; listing; and "the heart of the
 // system, a function to return all physical locations of a logical file".
 // Queries accept LDAP-style search filters (see filter.go), standing in for
-// the LDAP backend of the Globus implementation. The GDMP paper deploys a
-// single central catalog per Grid; so does this package (see server.go).
+// the LDAP backend of the Globus implementation.
+//
+// The GDMP paper deploys a single central catalog per Grid. That shape
+// remains available (see server.go), but the package has since been split
+// RLS-style after the EU DataGrid retrospectives: the Catalog is an
+// LFN-sharded Local Replica Catalog (LRC) — hash-partitioned shards, each
+// with its own lock and journal hook — and rli.go adds the Replica
+// Location Index (RLI) tier that aggregates soft-state site membership
+// from periodically pushed bloom-filter digests (bloom.go).
 package replica
 
 import (
@@ -29,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdmp/internal/obs"
@@ -83,36 +91,72 @@ func (f *LogicalFile) Size() (int64, bool) {
 	return n, true
 }
 
-// Catalog is the in-memory replica catalog. It is safe for concurrent use;
-// the RPC server in this package serializes remote access to a single
-// central instance, exactly as the paper's single-LDAP-server deployment.
+// Catalog is an in-memory Local Replica Catalog: the file table is
+// hash-partitioned across shards (see shard.go), each guarded by its own
+// RWMutex, so operations on different LFNs proceed in parallel.
+// Collections group LFNs across shards and keep a separate lock. Safe
+// for concurrent use.
 type Catalog struct {
-	mu          sync.RWMutex
-	files       map[string]*LogicalFile
-	locations   map[string]map[string]bool // lfn -> set of PFNs
+	shards      []*catShard
+	collMu      sync.RWMutex
 	collections map[string]map[string]bool // collection -> set of LFNs
-	serial      uint64                     // for LFN auto-generation
+	collDirty   bool
+	serial      atomic.Uint64 // for LFN auto-generation
+	onMutate    func(Mutation) error
 	met         *catalogMetrics
+	rls         *rlsCatalogMetrics
+}
+
+// Options tunes a Catalog.
+type Options struct {
+	// Shards is the number of hash partitions; rounded up to a power of
+	// two, DefaultShards when zero. 1 degenerates to the historical
+	// single-mutex catalog (the bench baseline).
+	Shards int
+	// Registry receives catalog metrics (obs.Default when nil).
+	Registry *obs.Registry
+}
+
+// New creates an empty catalog with the given options.
+func New(opts Options) *Catalog {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard picks mask instead of mod.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	r := opts.Registry
+	if r == nil {
+		r = obs.Default
+	}
+	c := &Catalog{
+		shards:      make([]*catShard, p),
+		collections: make(map[string]map[string]bool),
+		met:         newCatalogMetrics(r),
+		rls:         newRLSCatalogMetrics(r, p),
+	}
+	for i := range c.shards {
+		c.shards[i] = newCatShard()
+	}
+	return c
 }
 
 // NewCatalog creates an empty catalog recording into obs.Default.
 func NewCatalog() *Catalog {
-	return NewCatalogWithMetrics(nil)
+	return New(Options{})
 }
 
 // NewCatalogWithMetrics creates an empty catalog recording operation
 // counts and latencies into the given registry (obs.Default when nil).
 func NewCatalogWithMetrics(r *obs.Registry) *Catalog {
-	if r == nil {
-		r = obs.Default
-	}
-	return &Catalog{
-		files:       make(map[string]*LogicalFile),
-		locations:   make(map[string]map[string]bool),
-		collections: make(map[string]map[string]bool),
-		met:         newCatalogMetrics(r),
-	}
+	return New(Options{Registry: r})
 }
+
+// ShardCount reports the number of hash partitions.
+func (c *Catalog) ShardCount() int { return len(c.shards) }
 
 func validName(n string) error {
 	if n == "" || strings.ContainsAny(n, "\n\r\t") {
@@ -131,18 +175,24 @@ func (c *Catalog) Register(name string, attrs map[string]string) (err error) {
 	if err := validName(name); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.files[name]; ok {
+	return c.register(name, attrs, 0)
+}
+
+func (c *Catalog) register(name string, attrs map[string]string, serial uint64) error {
+	sh, i := c.shardFor(name)
+	c.rls.update(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.files[name]; ok {
 		return fmt.Errorf("%w: logical file %q", ErrExists, name)
 	}
 	cp := make(map[string]string, len(attrs))
 	for k, v := range attrs {
 		cp[k] = v
 	}
-	c.files[name] = &LogicalFile{Name: name, Attrs: cp}
-	c.locations[name] = make(map[string]bool)
-	return nil
+	sh.files[name] = &LogicalFile{Name: name, Attrs: cp}
+	sh.locations[name] = make(map[string]bool)
+	return c.mutated(sh, Mutation{Op: MutRegister, Shard: i, LFN: name, Attrs: cp, Serial: serial})
 }
 
 // GenerateLFN reserves and registers an automatically generated unique
@@ -156,76 +206,108 @@ func (c *Catalog) GenerateLFN(site, base string, attrs map[string]string) (lfn s
 	if err := validName(base); err != nil {
 		return "", err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for {
-		c.serial++
-		name := fmt.Sprintf("lfn://%s/%s.%06d", site, base, c.serial)
-		if _, ok := c.files[name]; ok {
-			continue
+		serial := c.serial.Add(1)
+		name := fmt.Sprintf("lfn://%s/%s.%06d", site, base, serial)
+		err := c.register(name, attrs, serial)
+		if errors.Is(err, ErrExists) {
+			continue // serial restored below an already-used value; advance past it
 		}
-		cp := make(map[string]string, len(attrs))
-		for k, v := range attrs {
-			cp[k] = v
+		if err != nil {
+			return "", err
 		}
-		c.files[name] = &LogicalFile{Name: name, Attrs: cp}
-		c.locations[name] = make(map[string]bool)
 		return name, nil
 	}
 }
 
-// Lookup returns a copy of the logical file entry.
+// Lookup returns a copy of the logical file entry. Internal hot paths
+// that only need to read should prefer ReadEntry, which skips the deep
+// copy.
 func (c *Catalog) Lookup(name string) (f *LogicalFile, err error) {
 	defer c.met.record(opLookup, time.Now(), &err)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	f, ok := c.files[name]
+	defer c.rls.lookup(time.Now())
+	sh, i := c.shardFor(name)
+	c.rls.shardLookups[i].Inc()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	lf, ok := sh.files[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: logical file %q", ErrNotFound, name)
 	}
-	return f.clone(), nil
+	return lf.clone(), nil
+}
+
+// ReadEntry runs fn on the live logical-file entry under the shard read
+// lock, without cloning — the copy-free read path for internal callers
+// on the lookup hot path. The entry is only valid for the duration of
+// fn and must not be mutated or retained.
+func (c *Catalog) ReadEntry(name string, fn func(f *LogicalFile)) (err error) {
+	defer c.rls.lookup(time.Now())
+	sh, i := c.shardFor(name)
+	c.rls.shardLookups[i].Inc()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	lf, ok := sh.files[name]
+	if !ok {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, name)
+	}
+	fn(lf)
+	return nil
 }
 
 // SetAttrs merges attribute updates into an existing entry.
 func (c *Catalog) SetAttrs(name string, attrs map[string]string) (err error) {
 	defer c.met.record(opSetAttrs, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f, ok := c.files[name]
+	sh, i := c.shardFor(name)
+	c.rls.update(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.files[name]
 	if !ok {
 		return fmt.Errorf("%w: logical file %q", ErrNotFound, name)
 	}
 	for k, v := range attrs {
 		f.Attrs[k] = v
 	}
-	return nil
+	return c.mutated(sh, Mutation{Op: MutSetAttrs, Shard: i, LFN: name, Attrs: attrs})
 }
 
 // Delete removes a logical file entry, its replica locations, and its
 // membership in any collections.
 func (c *Catalog) Delete(name string) (err error) {
 	defer c.met.record(opDelete, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.files[name]; !ok {
+	sh, i := c.shardFor(name)
+	c.rls.update(i)
+	sh.mu.Lock()
+	if _, ok := sh.files[name]; !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: logical file %q", ErrNotFound, name)
 	}
-	delete(c.files, name)
-	delete(c.locations, name)
+	delete(sh.files, name)
+	delete(sh.locations, name)
+	err = c.mutated(sh, Mutation{Op: MutDelete, Shard: i, LFN: name})
+	sh.mu.Unlock()
+	// Collection membership cleanup happens outside the shard lock (shard
+	// locks and collMu are never held together; see AddToCollection). The
+	// delete mutation record implies it on replay.
+	c.collMu.Lock()
 	for _, set := range c.collections {
 		delete(set, name)
 	}
-	return nil
+	c.collMu.Unlock()
+	return err
 }
 
 // Files returns all logical file names, sorted.
 func (c *Catalog) Files() []string {
 	defer c.met.record(opFiles, time.Now(), nil)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.files))
-	for n := range c.files {
-		out = append(out, n)
+	var out []string
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for n := range sh.files {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -240,15 +322,31 @@ func (c *Catalog) Query(filter string) (out []*LogicalFile, err error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, lf := range c.files {
-		if f.Match(lf) {
-			out = append(out, lf.clone())
+	return c.queryFilter(f), nil
+}
+
+// QueryFilter evaluates an already-parsed filter: the matcher is
+// compiled once and reused across the shard fan-out (and across calls,
+// if the caller caches it), instead of re-parsing the expression per
+// query.
+func (c *Catalog) QueryFilter(f Filter) []*LogicalFile {
+	defer c.met.record(opQuery, time.Now(), nil)
+	return c.queryFilter(f)
+}
+
+func (c *Catalog) queryFilter(f Filter) []*LogicalFile {
+	var out []*LogicalFile
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, lf := range sh.files {
+			if f.Match(lf) {
+				out = append(out, lf.clone())
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
+	return out
 }
 
 // --- locations -----------------------------------------------------------
@@ -259,9 +357,11 @@ func (c *Catalog) AddReplica(lfn, pfn string) (err error) {
 	if err := validName(pfn); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	locs, ok := c.locations[lfn]
+	sh, i := c.shardFor(lfn)
+	c.rls.update(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	locs, ok := sh.locations[lfn]
 	if !ok {
 		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
 	}
@@ -269,15 +369,17 @@ func (c *Catalog) AddReplica(lfn, pfn string) (err error) {
 		return fmt.Errorf("%w: replica %q of %q", ErrExists, pfn, lfn)
 	}
 	locs[pfn] = true
-	return nil
+	return c.mutated(sh, Mutation{Op: MutAddReplica, Shard: i, LFN: lfn, PFN: pfn})
 }
 
 // RemoveReplica deletes one physical location of a logical file.
 func (c *Catalog) RemoveReplica(lfn, pfn string) (err error) {
 	defer c.met.record(opRemoveReplica, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	locs, ok := c.locations[lfn]
+	sh, i := c.shardFor(lfn)
+	c.rls.update(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	locs, ok := sh.locations[lfn]
 	if !ok {
 		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
 	}
@@ -285,16 +387,19 @@ func (c *Catalog) RemoveReplica(lfn, pfn string) (err error) {
 		return fmt.Errorf("%w: %q of %q", ErrNoSuchReplica, pfn, lfn)
 	}
 	delete(locs, pfn)
-	return nil
+	return c.mutated(sh, Mutation{Op: MutRemoveReplica, Shard: i, LFN: lfn, PFN: pfn})
 }
 
 // Locations returns all physical locations of a logical file, sorted — the
 // paper's "heart of the system".
 func (c *Catalog) Locations(lfn string) (out []string, err error) {
 	defer c.met.record(opLocations, time.Now(), &err)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	locs, ok := c.locations[lfn]
+	defer c.rls.lookup(time.Now())
+	sh, i := c.shardFor(lfn)
+	c.rls.shardLookups[i].Inc()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	locs, ok := sh.locations[lfn]
 	if !ok {
 		return nil, fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
 	}
@@ -314,21 +419,21 @@ func (c *Catalog) CreateCollection(name string) (err error) {
 	if err := validName(name); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
 	if _, ok := c.collections[name]; ok {
 		return fmt.Errorf("%w: collection %q", ErrExists, name)
 	}
 	c.collections[name] = make(map[string]bool)
-	return nil
+	return c.mutated(nil, Mutation{Op: MutCreateColl, Shard: -1, Coll: name})
 }
 
 // DeleteCollection removes a collection. It must be empty unless force is
 // set, protecting against accidental loss of dataset groupings.
 func (c *Catalog) DeleteCollection(name string, force bool) (err error) {
 	defer c.met.record(opDeleteCollection, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
 	set, ok := c.collections[name]
 	if !ok {
 		return fmt.Errorf("%w: collection %q", ErrNotFound, name)
@@ -337,30 +442,40 @@ func (c *Catalog) DeleteCollection(name string, force bool) (err error) {
 		return fmt.Errorf("%w: %q has %d members", ErrNotEmpty, name, len(set))
 	}
 	delete(c.collections, name)
-	return nil
+	return c.mutated(nil, Mutation{Op: MutDeleteColl, Shard: -1, Coll: name, Force: force})
 }
 
 // AddToCollection inserts a registered logical file into a collection.
 func (c *Catalog) AddToCollection(coll, lfn string) (err error) {
 	defer c.met.record(opAddToColl, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Existence check takes the shard read lock only, before collMu; shard
+	// locks and collMu are never held together (see Delete).
+	if !c.exists(lfn) {
+		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
+	}
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
 	set, ok := c.collections[coll]
 	if !ok {
 		return fmt.Errorf("%w: collection %q", ErrNotFound, coll)
 	}
-	if _, ok := c.files[lfn]; !ok {
-		return fmt.Errorf("%w: logical file %q", ErrNotFound, lfn)
-	}
 	set[lfn] = true
-	return nil
+	return c.mutated(nil, Mutation{Op: MutAddToColl, Shard: -1, Coll: coll, LFN: lfn})
+}
+
+func (c *Catalog) exists(lfn string) bool {
+	sh, _ := c.shardFor(lfn)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.files[lfn]
+	return ok
 }
 
 // RemoveFromCollection removes a logical file from a collection.
 func (c *Catalog) RemoveFromCollection(coll, lfn string) (err error) {
 	defer c.met.record(opRemoveFromColl, time.Now(), &err)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
 	set, ok := c.collections[coll]
 	if !ok {
 		return fmt.Errorf("%w: collection %q", ErrNotFound, coll)
@@ -369,14 +484,14 @@ func (c *Catalog) RemoveFromCollection(coll, lfn string) (err error) {
 		return fmt.Errorf("%w: %q not in collection %q", ErrNotFound, lfn, coll)
 	}
 	delete(set, lfn)
-	return nil
+	return c.mutated(nil, Mutation{Op: MutRemoveFromColl, Shard: -1, Coll: coll, LFN: lfn})
 }
 
 // ListCollection returns the sorted members of a collection.
 func (c *Catalog) ListCollection(name string) (out []string, err error) {
 	defer c.met.record(opListCollection, time.Now(), &err)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.collMu.RLock()
+	defer c.collMu.RUnlock()
 	set, ok := c.collections[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: collection %q", ErrNotFound, name)
@@ -392,8 +507,8 @@ func (c *Catalog) ListCollection(name string) (out []string, err error) {
 // Collections returns all collection names, sorted.
 func (c *Catalog) Collections() []string {
 	defer c.met.record(opCollections, time.Now(), nil)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.collMu.RLock()
+	defer c.collMu.RUnlock()
 	out := make([]string, 0, len(c.collections))
 	for n := range c.collections {
 		out = append(out, n)
@@ -412,13 +527,40 @@ type Stats struct {
 // Stats returns entry counts.
 func (c *Catalog) Stats() Stats {
 	defer c.met.record(opStats, time.Now(), nil)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s := Stats{Files: len(c.files), Collections: len(c.collections)}
-	for _, locs := range c.locations {
-		s.Replicas += len(locs)
+	var s Stats
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		s.Files += len(sh.files)
+		for _, locs := range sh.locations {
+			s.Replicas += len(locs)
+		}
+		sh.mu.RUnlock()
 	}
+	c.collMu.RLock()
+	s.Collections = len(c.collections)
+	c.collMu.RUnlock()
 	return s
+}
+
+// Digest builds a bloom filter over every LFN currently in the catalog,
+// sized for the given false-positive rate. Sites push these to the RLI
+// tier as their soft-state membership digest.
+func (c *Catalog) Digest(fpRate float64) *Bloom {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.files)
+		sh.mu.RUnlock()
+	}
+	b := NewBloom(n, fpRate)
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for name := range sh.files {
+			b.Add(name)
+		}
+		sh.mu.RUnlock()
+	}
+	return b
 }
 
 // Timestamp formats a time the way catalog attributes store it (RFC3339).

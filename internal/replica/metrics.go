@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"strconv"
 	"time"
 
 	"gdmp/internal/obs"
@@ -8,6 +9,10 @@ import (
 
 // CatalogMetricsPrefix prefixes every replica catalog metric.
 const CatalogMetricsPrefix = "gdmp_replica_catalog"
+
+// RLSMetricsPrefix prefixes every Replica Location Service metric (shard
+// engine, RLI tier, and the site-side digest pusher in internal/core).
+const RLSMetricsPrefix = "gdmp_rls"
 
 // Operation labels recorded by catalog instrumentation; one per public
 // catalog operation, including the filter-query path whose timings the
@@ -66,4 +71,56 @@ func (m *catalogMetrics) record(op string, start time.Time, errp *error) {
 // OpCount returns the count for an operation/outcome pair (test hook).
 func (c *Catalog) OpCount(op, outcome string) int64 {
 	return c.met.ops.WithLabelValues(op, outcome).Value()
+}
+
+// rlsCatalogMetrics instruments the shard engine: per-shard lookup and
+// update counters (the counters are resolved once at construction so the
+// hot path is a single atomic add, no label-map lookup) plus a
+// lookup-latency histogram whose Quantile backs the p99 surfaced in
+// gdmp status.
+type rlsCatalogMetrics struct {
+	shardLookups []*obs.Counter
+	shardUpdates []*obs.Counter
+	lookupSec    *obs.Histogram
+}
+
+func newRLSCatalogMetrics(r *obs.Registry, shards int) *rlsCatalogMetrics {
+	m := &rlsCatalogMetrics{
+		shardLookups: make([]*obs.Counter, shards),
+		shardUpdates: make([]*obs.Counter, shards),
+		lookupSec: r.Histogram(RLSMetricsPrefix+"_lookup_seconds",
+			"LRC lookup latency (Lookup/ReadEntry/Locations) across all shards.", nil),
+	}
+	lv := r.CounterVec(RLSMetricsPrefix+"_shard_lookups_total",
+		"LRC lookups by shard.", "shard")
+	uv := r.CounterVec(RLSMetricsPrefix+"_shard_updates_total",
+		"LRC mutations by shard.", "shard")
+	for i := 0; i < shards; i++ {
+		s := strconv.Itoa(i)
+		m.shardLookups[i] = lv.WithLabelValues(s)
+		m.shardUpdates[i] = uv.WithLabelValues(s)
+	}
+	return m
+}
+
+func (m *rlsCatalogMetrics) update(shard int) { m.shardUpdates[shard].Inc() }
+
+func (m *rlsCatalogMetrics) lookup(start time.Time) {
+	m.lookupSec.ObserveDuration(time.Since(start))
+}
+
+// LookupQuantile reports the q-quantile (0..1) of LRC lookup latency in
+// seconds, from the gdmp_rls_lookup_seconds histogram.
+func (c *Catalog) LookupQuantile(q float64) float64 { return c.rls.lookupSec.Quantile(q) }
+
+// ShardOpCounts returns per-shard (lookups, updates) counters (test and
+// status hook).
+func (c *Catalog) ShardOpCounts() (lookups, updates []int64) {
+	lookups = make([]int64, len(c.rls.shardLookups))
+	updates = make([]int64, len(c.rls.shardUpdates))
+	for i := range lookups {
+		lookups[i] = c.rls.shardLookups[i].Value()
+		updates[i] = c.rls.shardUpdates[i].Value()
+	}
+	return lookups, updates
 }

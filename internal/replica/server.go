@@ -3,6 +3,7 @@ package replica
 import (
 	"context"
 	"net"
+	"time"
 
 	"gdmp/internal/gsi"
 	"gdmp/internal/rpc"
@@ -28,6 +29,12 @@ const (
 	MethodListCollection   = "rc.list_collection"
 	MethodCollections      = "rc.collections"
 	MethodStats            = "rc.stats"
+
+	// RLI tier: sites push bloom digests of their LRC contents and query
+	// which sites might hold an LFN (see rli.go).
+	MethodRLIPush  = "rli.push"
+	MethodRLIWhich = "rli.which"
+	MethodRLISites = "rli.sites"
 )
 
 // Methods lists every RPC method the catalog server exposes.
@@ -37,6 +44,7 @@ var Methods = []string{
 	MethodRemoveReplica, MethodLocations, MethodCreateCollection,
 	MethodDeleteCollection, MethodAddToCollection, MethodRemoveFromColl,
 	MethodListCollection, MethodCollections, MethodStats,
+	MethodRLIPush, MethodRLIWhich, MethodRLISites,
 }
 
 // AllowCatalogUse grants an identity every catalog operation.
@@ -79,20 +87,33 @@ func decodeAttrs(d *rpc.Decoder) map[string]string {
 	return attrs
 }
 
-// Server exposes a Catalog over the Request Manager RPC layer. This is the
-// deployment shape of the paper: one central Replica Catalog service per
-// Grid, reached by every GDMP site.
+// Server exposes a Catalog over the Request Manager RPC layer, together
+// with the RLI index tier. The paper's deployment shape — one central
+// Replica Catalog service per Grid — still works, but the served catalog
+// is now just the central site's LRC, and the co-hosted RLI routes
+// lookups to every other site's LRC via pushed digests.
 type Server struct {
 	catalog *Catalog
+	rli     *RLI
 	rpc     *rpc.Server
 }
 
-// NewServer wraps catalog in an authenticated RPC server.
+// NewServer wraps catalog in an authenticated RPC server, co-hosting an
+// RLI with the default soft-state TTL.
 func NewServer(catalog *Catalog, cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Server {
-	s := &Server{catalog: catalog, rpc: rpc.NewServer(cred, roots, acl)}
+	return NewServerWithRLI(catalog, NewRLI(0, nil), cred, roots, acl)
+}
+
+// NewServerWithRLI is NewServer with a caller-configured index tier
+// (custom TTL or metrics registry).
+func NewServerWithRLI(catalog *Catalog, rli *RLI, cred *gsi.Credential, roots []*gsi.Certificate, acl *gsi.ACL) *Server {
+	s := &Server{catalog: catalog, rli: rli, rpc: rpc.NewServer(cred, roots, acl)}
 	s.register()
 	return s
 }
+
+// RLI returns the co-hosted index tier.
+func (s *Server) RLI() *RLI { return s.rli }
 
 // Serve accepts connections on ln until Close.
 func (s *Server) Serve(ln net.Listener) error { return s.rpc.Serve(ln) }
@@ -131,12 +152,11 @@ func (s *Server) register() {
 		if err := args.Finish(); err != nil {
 			return err
 		}
-		f, err := s.catalog.Lookup(name)
-		if err != nil {
-			return err
-		}
-		encodeAttrs(resp, f.Attrs)
-		return nil
+		// Copy-free read path: encode straight from the live entry under
+		// the shard read lock instead of cloning it first.
+		return s.catalog.ReadEntry(name, func(f *LogicalFile) {
+			encodeAttrs(resp, f.Attrs)
+		})
 	})
 	s.rpc.Handle(MethodSetAttrs, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
 		name := args.String()
@@ -262,6 +282,59 @@ func (s *Server) register() {
 		resp.Uint64(uint64(st.Files))
 		resp.Uint64(uint64(st.Replicas))
 		resp.Uint64(uint64(st.Collections))
+		return nil
+	})
+	s.rpc.Handle(MethodRLIPush, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		site := args.String()
+		addr := args.String()
+		gen := args.Uint64()
+		blob := args.Bytes32()
+		ttlMs := args.Int64()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		filter, err := UnmarshalBloom(blob)
+		if err != nil {
+			return err
+		}
+		outcome, idxGen := s.rli.Update(site, addr, gen, filter, time.Duration(ttlMs)*time.Millisecond)
+		resp.String(outcome)
+		// Trailing indexed generation: a stale-rejected pusher adopts it so
+		// its next push supersedes the stale entry (restart convergence).
+		resp.Uint64(idxGen)
+		return nil
+	})
+	s.rpc.Handle(MethodRLIWhich, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		lfn := args.String()
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		sites := s.rli.MightHold(lfn)
+		resp.Uint32(uint32(len(sites)))
+		for _, st := range sites {
+			resp.String(st.Name)
+			resp.String(st.Addr)
+		}
+		// Trailing generation block: appended after the v1 payload so
+		// older decoders ignore it and newer ones guard with Remaining().
+		for _, st := range sites {
+			resp.Uint64(st.Gen)
+		}
+		return nil
+	})
+	s.rpc.Handle(MethodRLISites, func(_ context.Context, _ *gsi.Peer, args *rpc.Decoder, resp *rpc.Encoder) error {
+		if err := args.Finish(); err != nil {
+			return err
+		}
+		sites := s.rli.Sites()
+		resp.Uint32(uint32(len(sites)))
+		for _, st := range sites {
+			resp.String(st.Name)
+			resp.String(st.Addr)
+			resp.Uint64(st.Gen)
+			resp.Uint64(st.Count)
+			resp.Int64(st.ExpiresIn.Milliseconds())
+		}
 		return nil
 	})
 }

@@ -5,17 +5,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // Snapshot persistence. The Globus Replica Catalog stores its state in an
-// LDAP database; this implementation persists the catalog as a plain,
-// line-oriented text snapshot, which also serves GDMP's failure-recovery
+// LDAP database; this implementation persists the catalog as plain,
+// line-oriented text snapshots, which also serve GDMP's failure-recovery
 // path ("obtaining a remote site's file catalog for failure recovery").
 //
-// Format (all strings Go-quoted):
+// Two layouts exist:
+//
+//   - the single-file v1 format (Save/Load), kept for compatibility and
+//     for export/import;
+//   - the per-shard layout (SaveShards/LoadShards): one meta file with
+//     the serial and collections plus one file per dirty shard, so a
+//     large catalog's periodic snapshot rewrites only the partitions
+//     that changed. Shard files record which partition of how many they
+//     were written as, but loading re-hashes every entry into the
+//     current shard layout — changing the shard count is a rebalance,
+//     not a migration.
+//
+// Single-file format (all strings Go-quoted):
 //
 //	gdmp-replica-catalog v1
 //	serial <n>
@@ -24,43 +37,89 @@ import (
 //	loc <pfn>                   # belongs to the preceding file
 //	coll <name>
 //	member <lfn>                # belongs to the preceding coll
-
 const snapshotHeader = "gdmp-replica-catalog v1"
 
-// Save writes a snapshot of the entire catalog.
-func (c *Catalog) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, snapshotHeader)
-	fmt.Fprintf(bw, "serial %d\n", c.serial)
+// Per-shard layout headers and names.
+const (
+	metaHeader    = "gdmp-replica-rls-meta v1"
+	shardHeader   = "gdmp-replica-shard v1"
+	metaFileName  = "meta"
+	shardFileGlob = "shard-*.snap"
+)
 
-	names := make([]string, 0, len(c.files))
-	for n := range c.files {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		f := c.files[n]
-		fmt.Fprintf(bw, "file %s\n", strconv.Quote(n))
-		keys := make([]string, 0, len(f.Attrs))
-		for k := range f.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(bw, "attr %s %s\n", strconv.Quote(k), strconv.Quote(f.Attrs[k]))
-		}
-		pfns := make([]string, 0, len(c.locations[n]))
-		for p := range c.locations[n] {
-			pfns = append(pfns, p)
-		}
-		sort.Strings(pfns)
-		for _, p := range pfns {
-			fmt.Fprintf(bw, "loc %s\n", strconv.Quote(p))
-		}
-	}
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.snap", i) }
 
+// loaded is the parse result both Load paths build before installing.
+type loaded struct {
+	files       map[string]*LogicalFile
+	locations   map[string]map[string]bool
+	collections map[string]map[string]bool
+	serial      uint64
+}
+
+func newLoaded() *loaded {
+	return &loaded{
+		files:       make(map[string]*LogicalFile),
+		locations:   make(map[string]map[string]bool),
+		collections: make(map[string]map[string]bool),
+	}
+}
+
+// install replaces the catalog contents, re-hashing every entry into the
+// current shard layout.
+func (c *Catalog) install(l *loaded) {
+	fresh := make([]*catShard, len(c.shards))
+	for i := range fresh {
+		fresh[i] = newCatShard()
+	}
+	for name, f := range l.files {
+		i := shardIndex(name, len(fresh))
+		fresh[i].files[name] = f
+		locs := l.locations[name]
+		if locs == nil {
+			locs = make(map[string]bool)
+		}
+		fresh[i].locations[name] = locs
+	}
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		sh.files = fresh[i].files
+		sh.locations = fresh[i].locations
+		sh.dirty = true
+		sh.mu.Unlock()
+	}
+	c.collMu.Lock()
+	c.collections = l.collections
+	c.collDirty = true
+	c.collMu.Unlock()
+	c.serial.Store(l.serial)
+}
+
+// writeFileEntry emits one file's lines (file/attr/loc) to w.
+func writeFileEntry(bw *bufio.Writer, f *LogicalFile, locs map[string]bool) {
+	fmt.Fprintf(bw, "file %s\n", strconv.Quote(f.Name))
+	keys := make([]string, 0, len(f.Attrs))
+	for k := range f.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "attr %s %s\n", strconv.Quote(k), strconv.Quote(f.Attrs[k]))
+	}
+	pfns := make([]string, 0, len(locs))
+	for p := range locs {
+		pfns = append(pfns, p)
+	}
+	sort.Strings(pfns)
+	for _, p := range pfns {
+		fmt.Fprintf(bw, "loc %s\n", strconv.Quote(p))
+	}
+}
+
+// writeCollections emits coll/member lines to w.
+func (c *Catalog) writeCollections(bw *bufio.Writer) {
+	c.collMu.RLock()
+	defer c.collMu.RUnlock()
 	colls := make([]string, 0, len(c.collections))
 	for n := range c.collections {
 		colls = append(colls, n)
@@ -77,129 +136,179 @@ func (c *Catalog) Save(w io.Writer) error {
 			fmt.Fprintf(bw, "member %s\n", strconv.Quote(m))
 		}
 	}
+}
+
+// Save writes a single-file snapshot of the entire catalog. Shards are
+// read one at a time, so concurrent mutations may straddle the snapshot;
+// crash consistency for live catalogs comes from the journaled Store,
+// which compacts through this same writer while holding the WAL.
+func (c *Catalog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotHeader)
+	fmt.Fprintf(bw, "serial %d\n", c.serial.Load())
+
+	names := c.Files()
+	for _, n := range names {
+		sh, _ := c.shardFor(n)
+		sh.mu.RLock()
+		if f, ok := sh.files[n]; ok {
+			writeFileEntry(bw, f, sh.locations[n])
+		}
+		sh.mu.RUnlock()
+	}
+	c.writeCollections(bw)
 	return bw.Flush()
 }
 
-// Load replaces the catalog contents with a snapshot previously written by
-// Save.
-func (c *Catalog) Load(r io.Reader) error {
-	files := make(map[string]*LogicalFile)
-	locations := make(map[string]map[string]bool)
-	collections := make(map[string]map[string]bool)
-	var serial uint64
+// snapParser parses snapshot lines into a loaded state. Each layout
+// wraps it with its own header check and verb whitelist.
+type snapParser struct {
+	l      *loaded
+	lineNo int
+	cur    string // current file (file layout) or collection (coll layout)
+	inColl bool
+}
 
+func (p *snapParser) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("replica: snapshot line %d: %s", p.lineNo, fmt.Sprintf(format, args...))
+}
+
+func (p *snapParser) unquote(s string) (string, error) {
+	v, err := strconv.Unquote(s)
+	if err != nil {
+		return "", p.fail("bad quoting in %q", s)
+	}
+	return v, nil
+}
+
+// line consumes one snapshot body line. allowFiles/allowColls gate which
+// verbs the calling layout accepts.
+func (p *snapParser) line(text string, allowFiles, allowColls bool) error {
+	line := strings.TrimSpace(text)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
+	case "serial":
+		n, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return p.fail("bad serial %q", rest)
+		}
+		p.l.serial = n
+	case "file":
+		if !allowFiles {
+			return p.fail("verb %q not allowed here", verb)
+		}
+		name, err := p.unquote(rest)
+		if err != nil {
+			return err
+		}
+		if _, dup := p.l.files[name]; dup {
+			return p.fail("duplicate file %q", name)
+		}
+		p.l.files[name] = &LogicalFile{Name: name, Attrs: make(map[string]string)}
+		p.l.locations[name] = make(map[string]bool)
+		p.cur, p.inColl = name, false
+	case "attr":
+		if p.cur == "" || p.inColl {
+			return p.fail("attr before file")
+		}
+		kq, vq, ok := cutQuoted(rest)
+		if !ok {
+			return p.fail("malformed attr %q", rest)
+		}
+		k, err := p.unquote(kq)
+		if err != nil {
+			return err
+		}
+		v, err := p.unquote(vq)
+		if err != nil {
+			return err
+		}
+		p.l.files[p.cur].Attrs[k] = v
+	case "loc":
+		if p.cur == "" || p.inColl {
+			return p.fail("loc before file")
+		}
+		pfn, err := p.unquote(rest)
+		if err != nil {
+			return err
+		}
+		p.l.locations[p.cur][pfn] = true
+	case "coll":
+		if !allowColls {
+			return p.fail("verb %q not allowed here", verb)
+		}
+		name, err := p.unquote(rest)
+		if err != nil {
+			return err
+		}
+		if _, dup := p.l.collections[name]; dup {
+			return p.fail("duplicate collection %q", name)
+		}
+		p.l.collections[name] = make(map[string]bool)
+		p.cur, p.inColl = name, true
+	case "member":
+		if p.cur == "" || !p.inColl {
+			return p.fail("member before coll")
+		}
+		lfn, err := p.unquote(rest)
+		if err != nil {
+			return err
+		}
+		p.l.collections[p.cur][lfn] = true
+	default:
+		return p.fail("unknown verb %q", verb)
+	}
+	return nil
+}
+
+func scanInto(r io.Reader, header string, p *snapParser, allowFiles, allowColls bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	lineNo := 0
-	var curFile string
-	var curColl string
-
-	fail := func(format string, args ...interface{}) error {
-		return fmt.Errorf("replica: snapshot line %d: %s", lineNo, fmt.Sprintf(format, args...))
-	}
-	unquote := func(s string) (string, error) {
-		v, err := strconv.Unquote(s)
-		if err != nil {
-			return "", fail("bad quoting in %q", s)
-		}
-		return v, nil
-	}
-
 	if !sc.Scan() {
 		return fmt.Errorf("replica: empty snapshot")
 	}
-	lineNo++
-	if strings.TrimSpace(sc.Text()) != snapshotHeader {
+	p.lineNo++
+	if strings.TrimSpace(sc.Text()) != header {
 		return fmt.Errorf("replica: bad snapshot header %q", sc.Text())
 	}
-
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		verb, rest, _ := strings.Cut(line, " ")
-		switch verb {
-		case "serial":
-			n, err := strconv.ParseUint(rest, 10, 64)
-			if err != nil {
-				return fail("bad serial %q", rest)
-			}
-			serial = n
-		case "file":
-			name, err := unquote(rest)
-			if err != nil {
-				return err
-			}
-			if _, dup := files[name]; dup {
-				return fail("duplicate file %q", name)
-			}
-			files[name] = &LogicalFile{Name: name, Attrs: make(map[string]string)}
-			locations[name] = make(map[string]bool)
-			curFile, curColl = name, ""
-		case "attr":
-			if curFile == "" {
-				return fail("attr before file")
-			}
-			kq, vq, ok := cutQuoted(rest)
-			if !ok {
-				return fail("malformed attr %q", rest)
-			}
-			k, err := unquote(kq)
-			if err != nil {
-				return err
-			}
-			v, err := unquote(vq)
-			if err != nil {
-				return err
-			}
-			files[curFile].Attrs[k] = v
-		case "loc":
-			if curFile == "" {
-				return fail("loc before file")
-			}
-			pfn, err := unquote(rest)
-			if err != nil {
-				return err
-			}
-			locations[curFile][pfn] = true
-		case "coll":
-			name, err := unquote(rest)
-			if err != nil {
-				return err
-			}
-			if _, dup := collections[name]; dup {
-				return fail("duplicate collection %q", name)
-			}
-			collections[name] = make(map[string]bool)
-			curColl, curFile = name, ""
-		case "member":
-			if curColl == "" {
-				return fail("member before coll")
-			}
-			lfn, err := unquote(rest)
-			if err != nil {
-				return err
-			}
-			if _, ok := files[lfn]; !ok {
-				return fail("member %q references unknown file", lfn)
-			}
-			collections[curColl][lfn] = true
-		default:
-			return fail("unknown verb %q", verb)
+		p.lineNo++
+		if err := p.line(sc.Text(), allowFiles, allowColls); err != nil {
+			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("replica: read snapshot: %w", err)
 	}
+	return nil
+}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.files = files
-	c.locations = locations
-	c.collections = collections
-	c.serial = serial
+// checkMembers verifies collection members reference loaded files.
+func checkMembers(l *loaded) error {
+	for coll, set := range l.collections {
+		for lfn := range set {
+			if _, ok := l.files[lfn]; !ok {
+				return fmt.Errorf("replica: snapshot: collection %q member %q references unknown file", coll, lfn)
+			}
+		}
+	}
+	return nil
+}
+
+// Load replaces the catalog contents with a snapshot previously written by
+// Save.
+func (c *Catalog) Load(r io.Reader) error {
+	p := &snapParser{l: newLoaded()}
+	if err := scanInto(r, snapshotHeader, p, true, true); err != nil {
+		return err
+	}
+	if err := checkMembers(p.l); err != nil {
+		return err
+	}
+	c.install(p.l)
 	return nil
 }
 
@@ -222,14 +331,14 @@ func cutQuoted(s string) (a, b string, ok bool) {
 	return "", "", false
 }
 
-// SaveFile atomically writes a snapshot to path.
-func (c *Catalog) SaveFile(path string) error {
+// writeAtomic writes data produced by fill to path via tmp+rename.
+func writeAtomic(path string, fill func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := c.Save(f); err != nil {
+	if err := fill(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -241,7 +350,12 @@ func (c *Catalog) SaveFile(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// LoadFile loads a snapshot from path.
+// SaveFile atomically writes a single-file snapshot to path.
+func (c *Catalog) SaveFile(path string) error {
+	return writeAtomic(path, c.Save)
+}
+
+// LoadFile loads a single-file snapshot from path.
 func (c *Catalog) LoadFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -249,4 +363,96 @@ func (c *Catalog) LoadFile(path string) error {
 	}
 	defer f.Close()
 	return c.Load(f)
+}
+
+// SaveShards writes the per-shard snapshot layout into dir (created if
+// needed): the meta file (serial + collections) plus one file per shard.
+// Shards whose file already exists and that have not been mutated since
+// their last save are skipped, so steady-state periodic snapshots of a
+// big catalog rewrite only what changed. Every write is atomic
+// (tmp+rename).
+func (c *Catalog) SaveShards(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, sh := range c.shards {
+		path := filepath.Join(dir, shardFileName(i))
+		sh.mu.RLock()
+		skip := !sh.dirty
+		sh.mu.RUnlock()
+		if skip {
+			if _, err := os.Stat(path); err == nil {
+				continue
+			}
+		}
+		err := writeAtomic(path, func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			fmt.Fprintln(bw, shardHeader)
+			fmt.Fprintf(bw, "# shard %d of %d\n", i, len(c.shards))
+			sh.mu.RLock()
+			names := make([]string, 0, len(sh.files))
+			for n := range sh.files {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				writeFileEntry(bw, sh.files[n], sh.locations[n])
+			}
+			sh.mu.RUnlock()
+			return bw.Flush()
+		})
+		if err != nil {
+			return err
+		}
+		sh.mu.Lock()
+		sh.dirty = false
+		sh.mu.Unlock()
+	}
+	return writeAtomic(filepath.Join(dir, metaFileName), func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		fmt.Fprintln(bw, metaHeader)
+		fmt.Fprintf(bw, "serial %d\n", c.serial.Load())
+		fmt.Fprintf(bw, "# shards %d\n", len(c.shards))
+		c.writeCollections(bw)
+		return bw.Flush()
+	})
+}
+
+// LoadShards replaces the catalog contents with a per-shard snapshot set
+// previously written by SaveShards. Entries are re-hashed into the
+// current shard layout, so the snapshot may have been written under a
+// different shard count — the load is a rebalance.
+func (c *Catalog) LoadShards(dir string) error {
+	p := &snapParser{l: newLoaded()}
+	mf, err := os.Open(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return err
+	}
+	err = scanInto(mf, metaHeader, p, false, true)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	shardFiles, err := filepath.Glob(filepath.Join(dir, shardFileGlob))
+	if err != nil {
+		return err
+	}
+	sort.Strings(shardFiles)
+	for _, path := range shardFiles {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sp := &snapParser{l: p.l}
+		err = scanInto(f, shardHeader, sp, true, false)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", filepath.Base(path), err)
+		}
+	}
+	if err := checkMembers(p.l); err != nil {
+		return err
+	}
+	c.install(p.l)
+	return nil
 }

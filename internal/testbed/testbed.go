@@ -133,6 +133,15 @@ type SiteOptions struct {
 	ParityK int
 	ParityM int
 
+	// DigestInterval enables the site's RLS digest pusher: every interval
+	// the site condenses its Local Replica Catalog into a bloom digest and
+	// pushes it to the catalog server's Replica Location Index (zero
+	// disables the loop). DigestTTL and DigestFPRate tune the soft-state
+	// lifetime and bloom false-positive rate.
+	DigestInterval time.Duration
+	DigestTTL      time.Duration
+	DigestFPRate   float64
+
 	// GDMPListen and FTPListen pin the site's two servers to fixed
 	// addresses; empty picks ephemeral ports. RestartSite pins them
 	// automatically so a reborn site keeps its identity (PFNs in the
@@ -226,6 +235,9 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		ParityK:                opts.ParityK,
 		ParityM:                opts.ParityM,
 		PrefetchThreshold:      opts.Prefetch,
+		DigestInterval:         opts.DigestInterval,
+		DigestTTL:              opts.DigestTTL,
+		DigestFPRate:           opts.DigestFPRate,
 	}
 	if opts.Durable {
 		cfg.StateDir = filepath.Join(siteDir, "state")
