@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull bench-catalog chaos crash scrub parity cache catalog
+.PHONY: all build test check vet fmt race bench bench-pull bench-catalog chaos crash scrub parity cache catalog partition
 
 all: build
 
@@ -85,6 +85,20 @@ crash:
 	@echo "crash seed: $(CRASH_SEED)"
 	CRASH_SEED=$(CRASH_SEED) CRASH_ARTIFACT_DIR=$(CRASH_ARTIFACT_DIR) \
 		$(GO) test -race -v -run 'TestCrashRestart' .
+
+# Partition chaos suite: a seeded asymmetric partition wedges the
+# primary replica source mid-stream; every pull must still complete from
+# the secondary via a hedged transfer that resumes the CRC-verified
+# .part prefix cross-source, the dead peer's circuit breaker must shed
+# all load until its reopen probe, and breaker transitions, hedge
+# outcomes, and wasted bytes are asserted exactly. Race detector on. The
+# seed is logged by every test; replay a run with
+# `make partition PARTITION_SEED=7`.
+PARTITION_SEED ?= 20260809
+partition:
+	@echo "partition seed: $(PARTITION_SEED)"
+	PARTITION_SEED=$(PARTITION_SEED) $(GO) test -race -v \
+		-run 'TestPartition' .
 
 # Self-healing suite: bit-rot injection, anti-entropy convergence, and
 # quarantine retention, race detector on. The seed is logged by every

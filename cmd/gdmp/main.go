@@ -219,7 +219,6 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 			bytesLocal = d.Int64()
 			bytesRepulled = d.Int64()
 		}
-		// The RLS block is the newest trailing generation.
 		var digestGen, digestPushes, digestLFNs, rliQueries, rliFPs, locateP99 int64
 		if d.Remaining() > 0 {
 			digestGen = d.Int64()
@@ -228,6 +227,25 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 			rliQueries = d.Int64()
 			rliFPs = d.Int64()
 			locateP99 = d.Int64()
+		}
+		// The per-peer health block is the newest trailing generation: a
+		// count word, then one row per peer the site has pulled from or
+		// dialed.
+		type peerRow struct {
+			peer, breaker        string
+			fails, bwKbps, latUs int64
+			transition           int64
+		}
+		var peers []peerRow
+		if d.Remaining() > 0 {
+			n := int(d.Uint64())
+			for i := 0; i < n && d.Remaining() > 0; i++ {
+				peers = append(peers, peerRow{
+					peer: d.String(), breaker: d.String(),
+					fails: d.Int64(), bwKbps: d.Int64(),
+					latUs: d.Int64(), transition: d.Int64(),
+				})
+			}
 		}
 		if err := d.Finish(); err != nil {
 			return err
@@ -257,6 +275,25 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 		if digestGen+digestPushes+rliQueries > 0 {
 			fmt.Printf("rls: digest gen %d (%d LFNs, %d pushes), %d RLI queries (%d false positives), locate p99 %dus\n",
 				digestGen, digestLFNs, digestPushes, rliQueries, rliFPs, locateP99)
+		}
+		if len(peers) > 0 {
+			fmt.Printf("peer health:\n")
+			for _, p := range peers {
+				line := fmt.Sprintf("  %s: breaker %s", p.peer, p.breaker)
+				if p.fails > 0 {
+					line += fmt.Sprintf(", %d consecutive failures", p.fails)
+				}
+				if p.bwKbps > 0 {
+					line += fmt.Sprintf(", %.1f Mbps", float64(p.bwKbps)/1000)
+				}
+				if p.latUs > 0 {
+					line += fmt.Sprintf(", rtt %dus", p.latUs)
+				}
+				if p.transition != 0 {
+					line += ", since " + time.Unix(0, p.transition).Format(time.RFC3339)
+				}
+				fmt.Println(line)
+			}
 		}
 		return nil
 

@@ -89,6 +89,7 @@ import (
 
 	"gdmp/internal/core"
 	"gdmp/internal/gsi"
+	"gdmp/internal/health"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/objrep"
@@ -138,6 +139,11 @@ func main() {
 	digestInterval := flag.Duration("digest-interval", 0, "RLI digest push period (0 = off)")
 	digestTTL := flag.Duration("digest-ttl", 0, "RLI digest soft-state lifetime (0 = 3x -digest-interval)")
 	digestFP := flag.Float64("digest-fp", 0, "bloom digest false-positive rate (0 = 0.01)")
+	hedgeDeadline := flag.Duration("hedge-deadline", 0, "cold-start stall deadline before a pull hedges to a second replica (0 = 10s, negative = off)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that open a peer's circuit breaker (0 = 3)")
+	breakerReopen := flag.Duration("breaker-reopen", 0, "base delay before an open breaker admits a probe (0 = 2s)")
+	breakerReopenMax := flag.Duration("breaker-reopen-max", 0, "ceiling on the decorrelated reopen delay (0 = 60s)")
+	breakerProbes := flag.Int("breaker-probes", 0, "probe successes that close a half-open breaker (0 = 1)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
@@ -163,6 +169,13 @@ func main() {
 		quarMaxCount: *quarMaxCount,
 		parityK:      *parityK,
 		parityM:      *parityM,
+		hedgeDeadline: *hedgeDeadline,
+		health: health.Config{
+			FailureThreshold: *breakerFailures,
+			ReopenBase:       *breakerReopen,
+			ReopenMax:        *breakerReopenMax,
+			ProbeSuccesses:   *breakerProbes,
+		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -193,6 +206,8 @@ type params struct {
 	quarMaxAge                           time.Duration
 	quarMaxCount                         int
 	parityK, parityM                     int
+	hedgeDeadline                        time.Duration
+	health                               health.Config
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -346,6 +361,9 @@ func run(p params) error {
 		DigestInterval: p.digestInterval,
 		DigestTTL:      p.digestTTL,
 		DigestFPRate:   p.digestFP,
+
+		Health:        p.health,
+		HedgeDeadline: p.hedgeDeadline,
 	}
 	cfg.PrefetchThreshold = p.prefetch
 	if p.tape != "" {

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gdmp/internal/gridftp"
+	"gdmp/internal/health"
+	"gdmp/internal/obs"
+	"gdmp/internal/replica"
+)
+
+// This file is the pull path's partition armor: replica sources are ranked
+// by the per-peer health scoreboard, peers behind open circuit breakers are
+// shed, and a transfer whose byte stream stalls past the source's
+// p99-derived deadline is hedged — a second replica is warmed up in the
+// background and, if the first source stays wedged, takes over the
+// CRC-verified .part prefix instead of restarting from zero.
+
+// HedgeMetricsPrefix namespaces the hedged-pull counters.
+const HedgeMetricsPrefix = "gdmp_xfer_hedge"
+
+// errStalled marks a pull leg whose byte stream went quiet past the stall
+// deadline. It is deliberately a plain (retryable) error: the leg was
+// canceled by our own watchdog, and surfacing the underlying
+// context.Canceled would stop the outer failover loop dead.
+var errStalled = errors.New("core: transfer stalled")
+
+// errBreakerOpen marks a source refused by its circuit breaker. Retryable:
+// the next attempt re-ranks and picks a different replica.
+var errBreakerOpen = errors.New("core: source circuit breaker open")
+
+type hedgeMetrics struct {
+	started *obs.Counter
+	wins    *obs.CounterVec
+	wasted  *obs.Counter
+}
+
+func newHedgeMetrics(reg *obs.Registry) *hedgeMetrics {
+	return &hedgeMetrics{
+		started: reg.Counter(HedgeMetricsPrefix+"_started_total",
+			"Hedged pull legs started after the active source stalled."),
+		wins: reg.CounterVec(HedgeMetricsPrefix+"_wins_total",
+			"Pulls that had a hedge in flight, by which leg delivered the file.", "winner"),
+		wasted: reg.Counter(HedgeMetricsPrefix+"_wasted_bytes_total",
+			"Bytes moved by losing legs that the winner could not reuse."),
+	}
+}
+
+// healthOrder ranks replica sources by scoreboard health (probe-due peers
+// first, so live traffic carries reopen probes; then closed breakers by
+// descending EWMA bandwidth) and filters out peers whose breakers refuse
+// traffic. When every candidate is gated, the full ranked list returns with
+// forced=true: a single-replica grid must not deadlock behind its only
+// peer, so the attempt is admitted as an early reopen probe instead.
+func (s *Site) healthOrder(order []PFN) (avail []PFN, forced bool) {
+	ranked := append([]PFN(nil), order...)
+	// Snapshot scores once: the comparator must not see a peer change
+	// state mid-sort.
+	scores := make([]health.Score, len(ranked))
+	for i := range ranked {
+		scores[i] = s.health.ScoreOf(ranked[i].Addr)
+	}
+	idx := make([]int, len(ranked))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return health.Healthier(scores[idx[a]], scores[idx[b]])
+	})
+	out := make([]PFN, 0, len(ranked))
+	for _, i := range idx {
+		out = append(out, ranked[i])
+	}
+	avail = out[:0:0]
+	for _, p := range out {
+		if s.health.Usable(p.Addr) {
+			avail = append(avail, p)
+		}
+	}
+	if len(avail) > 0 {
+		return avail, false
+	}
+	return out, true
+}
+
+// hedgeDeadline is the stall deadline for a pull from addr: the
+// scoreboard's p99-derived value once the peer has history, the configured
+// cold-start default before that, 0 when hedging is disabled.
+func (s *Site) hedgeDeadline(addr string) time.Duration {
+	if s.cfg.HedgeDeadline < 0 {
+		return 0
+	}
+	if d := s.health.StallDeadline(addr); d > 0 {
+		return d
+	}
+	return s.cfg.HedgeDeadline
+}
+
+type legResult struct {
+	stats gridftp.TransferStats
+	err   error
+}
+
+// replicateFromHedged runs one replication attempt with breaker admission
+// and stall hedging. The primary leg runs under a watchdog armed with the
+// source's stall deadline; if the byte stream goes quiet, a backup replica
+// is warmed up (stage request + control-channel dial + size probe) while
+// the primary gets one grace window to recover. If it does not, the
+// primary is canceled, waited out — there is never a second writer on the
+// .part file — and the backup resumes the verified prefix cross-source.
+func (s *Site) replicateFromHedged(ctx context.Context, entry *replica.LogicalFile, lfn string, primary PFN, backup *PFN, localPath string, forced bool) error {
+	begin := s.health.Begin
+	if forced {
+		begin = s.health.BeginForced
+	}
+	end, ok := begin(primary.Addr)
+	if !ok {
+		return fmt.Errorf("%w: %s", errBreakerOpen, primary.Addr)
+	}
+
+	legCtx, cancelLeg := context.WithCancel(ctx)
+	defer cancelLeg()
+
+	// The stall clock starts at leg start and advances on every byte the
+	// transfer lands, so a source that dies mid-stream is caught as surely
+	// as one that never answers.
+	var lastProgress atomic.Int64
+	lastProgress.Store(time.Now().UnixNano())
+	progress := func(int64) { lastProgress.Store(time.Now().UnixNano()) }
+
+	resCh := make(chan legResult, 1)
+	go func() {
+		stats, err := s.replicateFrom(legCtx, entry, lfn, primary, localPath, progress)
+		resCh <- legResult{stats, err}
+	}()
+
+	deadline := s.hedgeDeadline(primary.Addr)
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if deadline > 0 {
+		timer = time.NewTimer(deadline)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	hedgeCtx, cancelHedge := context.WithCancel(ctx)
+	defer cancelHedge()
+	var prepCh chan error
+	stalled := false
+
+	finishPrimary := func(res legResult) error {
+		err := res.err
+		if stalled && err != nil && ctx.Err() == nil {
+			// The watchdog canceled the leg; report the stall, not the
+			// cancellation, so the caller's retry policy keeps going.
+			err = fmt.Errorf("%w: %s moved no bytes for %v pulling %s",
+				errStalled, primary.Addr, deadline, lfn)
+		}
+		end(res.stats.Bytes, res.stats.Elapsed, err)
+		return err
+	}
+
+	for {
+		select {
+		case res := <-resCh:
+			err := finishPrimary(res)
+			if prepCh == nil {
+				return err
+			}
+			cancelHedge()
+			if err == nil {
+				// The primary recovered inside the hedge's warm-up window:
+				// it wins, the hedge is abandoned before moving data.
+				s.hedgeMet.wins.WithLabelValues("primary").Inc()
+				return nil
+			}
+			// The primary died with a hedge already warming up: wait for
+			// the prep verdict and take over if the backup is reachable.
+			if perr := <-prepCh; perr != nil {
+				return errors.Join(err, perr)
+			}
+			return s.hedgeTakeover(ctx, entry, lfn, *backup, localPath, res.stats, progress)
+		case <-timerC:
+			idle := time.Since(time.Unix(0, lastProgress.Load()))
+			if idle < deadline {
+				timer.Reset(deadline - idle)
+				continue
+			}
+			stalled = true
+			s.health.ObserveStall(primary.Addr)
+			if backup == nil {
+				// No second replica to race: cancel the wedged leg so the
+				// outer failover loop retries instead of hanging on a
+				// black-holed connection.
+				cancelLeg()
+				timerC = nil
+				continue
+			}
+			s.hedgeMet.started.Inc()
+			b := *backup
+			prepCh = make(chan error, 1)
+			go func() { prepCh <- s.hedgePrep(hedgeCtx, entry, lfn, b) }()
+			timerC = nil
+		case perr := <-prepCh:
+			// The hedge is ready before the primary recovered: cancel the
+			// stalled leg and wait for it to release the .part file.
+			prepCh = nil
+			cancelLeg()
+			res := <-resCh
+			err := finishPrimary(res)
+			if err == nil {
+				// It squeaked in during the cancel race after all.
+				s.hedgeMet.wins.WithLabelValues("primary").Inc()
+				return nil
+			}
+			if perr != nil {
+				return errors.Join(err, perr)
+			}
+			return s.hedgeTakeover(ctx, entry, lfn, *backup, localPath, res.stats, progress)
+		case <-ctx.Done():
+			cancelLeg()
+			finishPrimary(<-resCh)
+			return ctx.Err()
+		}
+	}
+}
+
+// hedgePrep warms up the hedge source while the stalled primary gets its
+// grace window: the stage request and control-channel dial happen now, so
+// a takeover starts with the expensive handshakes already paid.
+func (s *Site) hedgePrep(ctx context.Context, entry *replica.LogicalFile, lfn string, backup PFN) error {
+	if ctl := entry.Attrs[ctlAttrPrefix+backup.Addr]; ctl != "" {
+		if err := s.requestStage(ctx, ctl, lfn); err != nil {
+			return fmt.Errorf("core: hedge stage %s at %s: %w", lfn, backup.Addr, err)
+		}
+	}
+	cl, err := s.ftpConnect(backup)(ctx)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if _, err := cl.Size(backup.Path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hedgeTakeover runs the backup leg after the primary has been canceled
+// and drained. ReliableGetFile resumes the primary's CRC-verified .part
+// prefix against the new source (re-verifying it via the source's range
+// checksum first), so on the happy path zero already-verified bytes cross
+// the wire again. The wasted-bytes ledger charges whatever the loser moved
+// that the winner could not reuse.
+func (s *Site) hedgeTakeover(ctx context.Context, entry *replica.LogicalFile, lfn string, backup PFN, localPath string, primaryStats gridftp.TransferStats, progress func(int64)) error {
+	end, ok := s.health.Begin(backup.Addr)
+	if !ok {
+		return fmt.Errorf("%w: hedge source %s", errBreakerOpen, backup.Addr)
+	}
+	stats, err := s.replicateFrom(ctx, entry, lfn, backup, localPath, progress)
+	end(stats.Bytes, stats.Elapsed, err)
+	if err != nil {
+		return err
+	}
+	s.hedgeMet.wins.WithLabelValues("hedge").Inc()
+	wasted := primaryStats.Bytes - stats.ResumedBytes
+	if stats.DiscardedBytes > wasted {
+		// The prefix handshake failed and the staged bytes were thrown
+		// away; charge the larger of the two views of the same loss.
+		wasted = stats.DiscardedBytes
+	}
+	if wasted > 0 {
+		s.hedgeMet.wasted.Add(wasted)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gdmp/internal/obs"
+)
+
+// TestHedgeMetricsGolden pins the full gdmp_xfer_hedge_* exposition for a
+// deterministic hedge history: two hedges started, one won by the hedge
+// leg and one by a recovering primary, and 128 KiB moved by a losing leg
+// that the winner could not reuse.
+func TestHedgeMetricsGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newHedgeMetrics(reg)
+	m.started.Inc()
+	m.wins.WithLabelValues("hedge").Inc()
+	m.wasted.Add(128 << 10)
+	m.started.Inc()
+	m.wins.WithLabelValues("primary").Inc()
+
+	want := strings.Join([]string{
+		`# HELP gdmp_xfer_hedge_started_total Hedged pull legs started after the active source stalled.`,
+		`# TYPE gdmp_xfer_hedge_started_total counter`,
+		`gdmp_xfer_hedge_started_total 2`,
+		`# HELP gdmp_xfer_hedge_wasted_bytes_total Bytes moved by losing legs that the winner could not reuse.`,
+		`# TYPE gdmp_xfer_hedge_wasted_bytes_total counter`,
+		`gdmp_xfer_hedge_wasted_bytes_total 131072`,
+		`# HELP gdmp_xfer_hedge_wins_total Pulls that had a hedge in flight, by which leg delivered the file.`,
+		`# TYPE gdmp_xfer_hedge_wins_total counter`,
+		`gdmp_xfer_hedge_wins_total{winner="hedge"} 1`,
+		`gdmp_xfer_hedge_wins_total{winner="primary"} 1`,
+		``,
+	}, "\n")
+	if got := reg.Text(); got != want {
+		t.Fatalf("hedge exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"gdmp/internal/gridftp"
 	"gdmp/internal/gsi"
+	"gdmp/internal/health"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/obs"
@@ -219,6 +220,20 @@ type Config struct {
 	ParityK int
 	ParityM int
 
+	// Health tunes the per-peer health scoreboard and circuit breakers
+	// that gate every pull source (zero fields take the health package
+	// defaults). The Registry field is managed by the site; set Seed for
+	// replayable reopen jitter in tests.
+	Health health.Config
+
+	// HedgeDeadline is the stall deadline for pulls from sources the
+	// scoreboard has no history for: a transfer moving no bytes for this
+	// long starts (or fails over to) a second replica, resuming the
+	// verified .part prefix cross-source. Once a source has history its
+	// p99-derived deadline wins. Zero takes the default (10s); negative
+	// disables stall detection and hedging.
+	HedgeDeadline time.Duration
+
 	// Select chooses among replicas (default FirstReplica).
 	Select ReplicaSelector
 
@@ -325,6 +340,11 @@ type Site struct {
 	lastDigestHash uint64
 	rlsWG          sync.WaitGroup
 
+	// health is the per-peer scoreboard and circuit-breaker bank gating
+	// the pull path; hedgeMet counts hedged-pull outcomes (hedge.go).
+	health   *health.Board
+	hedgeMet *hedgeMetrics
+
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
 
@@ -376,6 +396,9 @@ func NewSite(cfg Config) (*Site, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
+	if cfg.HedgeDeadline == 0 {
+		cfg.HedgeDeadline = 10 * time.Second
+	}
 	if err := (parity.Params{K: cfg.ParityK, M: cfg.ParityM}).Validate(); err != nil {
 		return nil, err
 	}
@@ -406,6 +429,10 @@ func NewSite(cfg Config) (*Site, error) {
 		tunedBuf:    make(map[string]int),
 		paritySC:    make(map[string]string),
 	}
+	hcfg := cfg.Health
+	hcfg.Registry = cfg.Metrics
+	s.health = health.New(hcfg)
+	s.hedgeMet = newHedgeMetrics(cfg.Metrics)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.sched = xfer.New(xfer.Config{
 		Workers:   cfg.PullWorkers,
@@ -1033,7 +1060,12 @@ func (s *Site) dialGDMP(ctx context.Context, addr string) (*rpc.Client, error) {
 	pol := s.retryPolicy("core.dial")
 	err := pol.Do(ctx, func(int) error {
 		var derr error
+		start := time.Now()
 		cl, derr = rpc.DialContext(ctx, addr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
+		// Every control-plane dial feeds the scoreboard: latency on
+		// success, a breaker strike on failure. Control endpoints are
+		// their own peer keys, separate from data endpoints.
+		s.health.Observe(addr, time.Since(start), derr)
 		return derr
 	})
 	return cl, err
@@ -1190,8 +1222,22 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 	}
 	fetchStart := time.Now()
 	err = pol.Do(ctx, func(attempt int) error {
-		src := order[(attempt-1)%len(order)]
-		return s.replicateFrom(ctx, entry, lfn, src, localPath)
+		// Each attempt re-ranks the replicas by live health: open-breaker
+		// peers are shed (unless every peer is gated, in which case the
+		// attempt doubles as a forced reopen probe), probe-due peers go
+		// first so traffic closes breakers, and the healthiest remaining
+		// usable peer stands by as the hedge target.
+		avail, forced := s.healthOrder(order)
+		src := avail[(attempt-1)%len(avail)]
+		var backup *PFN
+		for i := range avail {
+			if avail[i].Addr != src.Addr && s.health.Usable(avail[i].Addr) {
+				b := avail[i]
+				backup = &b
+				break
+			}
+		}
+		return s.replicateFromHedged(ctx, entry, lfn, src, backup, localPath, forced)
 	})
 	if err != nil {
 		return fmt.Errorf("core: transfer %s: %w", lfn, err)
@@ -1246,13 +1292,15 @@ func (s *Site) replicate(ctx context.Context, lfn string) error {
 // published CRC (not only the source's current content, which guards
 // against catalog/file drift). A CRC mismatch removes the local file and
 // returns a retryable error so the caller fails over to another replica.
-func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lfn string, src PFN, localPath string) error {
+// The returned stats are reported even on failure — the hedge driver's
+// breaker feed and wasted-bytes ledger need the partial byte counts.
+func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lfn string, src PFN, localPath string, progress func(int64)) (gridftp.TransferStats, error) {
 	// The source is only known here, after replica selection, so the
 	// per-source concurrency cap is enforced at this layer rather than at
 	// admission. Blocking counts against the job, not the queue.
 	release, err := s.sched.AcquireSource(ctx, src.Addr)
 	if err != nil {
-		return err
+		return gridftp.TransferStats{}, err
 	}
 	defer release()
 	if ctl := entry.Attrs[ctlAttrPrefix+src.Addr]; ctl != "" {
@@ -1262,10 +1310,10 @@ func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lf
 				LFN: lfn, Source: src.Addr, When: time.Now(),
 				Failed: true, Error: err.Error(),
 			})
-			return err
+			return gridftp.TransferStats{}, err
 		}
 	}
-	stats, err := s.fetch(ctx, src, localPath)
+	stats, err := s.fetch(ctx, src, localPath, progress)
 	record := TransferRecord{
 		LFN: lfn, Source: src.Addr, Bytes: stats.Bytes,
 		Elapsed: stats.Elapsed, Attempts: stats.Attempts,
@@ -1275,7 +1323,7 @@ func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lf
 		record.Failed = true
 		record.Error = err.Error()
 		s.xferLog.add(record)
-		return err
+		return stats, err
 	}
 	s.xferLog.add(record)
 	s.logger.Printf("gdmp[%s]: replicated %s from %s (%d bytes, %d attempts, %.2f Mbps)",
@@ -1284,21 +1332,34 @@ func (s *Site) replicateFrom(ctx context.Context, entry *replica.LogicalFile, lf
 	if want := entry.Attrs[replica.AttrCRC]; want != "" {
 		got, err := gridftp.CRC32File(localPath)
 		if err != nil {
-			return retry.Permanent(err)
+			return stats, retry.Permanent(err)
 		}
 		if fmt.Sprintf("%08x", got) != want {
 			os.Remove(localPath)
-			return fmt.Errorf("%w: %s catalog=%s local=%08x", gridftp.ErrChecksum, lfn, want, got)
+			return stats, fmt.Errorf("%w: %s catalog=%s local=%08x", gridftp.ErrChecksum, lfn, want, got)
 		}
 	}
-	return nil
+	return stats, nil
 }
 
 // fetch is the Data Mover service: a secure, restartable, CRC-verified
 // GridFTP retrieval (Section 4.3), with optional per-source buffer
-// auto-tuning.
-func (s *Site) fetch(ctx context.Context, src PFN, localPath string) (gridftp.TransferStats, error) {
-	connect := func(ctx context.Context) (*gridftp.Client, error) {
+// auto-tuning. progress, when set, fires with the cumulative byte count as
+// data lands — the hedge driver's stall watchdog listens to it.
+func (s *Site) fetch(ctx context.Context, src PFN, localPath string, progress func(int64)) (gridftp.TransferStats, error) {
+	pol := s.retryPolicy("gridftp.get")
+	pol.Attempts = s.cfg.TransferAttempts
+	pol.Retryable = nil // transfer failures are all retryable
+	return gridftp.ReliableGetFileOpts(ctx, s.ftpConnect(src), src.Path, localPath, pol,
+		gridftp.GetFileOptions{Progress: progress})
+}
+
+// ftpConnect builds the dial closure for one source's GridFTP endpoint:
+// session options, per-source buffer tuning, and a scoreboard latency
+// sample per successful dial. Both the data mover and the hedge warm-up
+// path use it, so a hedge probe pays the same handshake a takeover will.
+func (s *Site) ftpConnect(src PFN) func(ctx context.Context) (*gridftp.Client, error) {
+	return func(ctx context.Context) (*gridftp.Client, error) {
 		opts := []gridftp.ClientOption{
 			gridftp.WithParallelism(s.cfg.Parallelism),
 			gridftp.WithTimeout(30 * time.Second),
@@ -1310,10 +1371,12 @@ func (s *Site) fetch(ctx context.Context, src PFN, localPath string) (gridftp.Tr
 		if s.cfg.DialFunc != nil {
 			opts = append(opts, gridftp.WithDialFunc(s.cfg.DialFunc))
 		}
+		start := time.Now()
 		cl, err := gridftp.DialContext(ctx, src.Addr, s.cfg.Cred, s.cfg.TrustRoots, opts...)
 		if err != nil {
 			return nil, err
 		}
+		s.health.ObserveLatency(src.Addr, time.Since(start))
 		if s.cfg.AutoTuneBuffers && s.cfg.BufferBytes == 0 && s.bufferFor(src.Addr) == 0 {
 			// First contact with this source: run the negotiation once
 			// and remember the outcome (the paper computes the optimum
@@ -1331,10 +1394,6 @@ func (s *Site) fetch(ctx context.Context, src PFN, localPath string) (gridftp.Tr
 		}
 		return cl, nil
 	}
-	pol := s.retryPolicy("gridftp.get")
-	pol.Attempts = s.cfg.TransferAttempts
-	pol.Retryable = nil // transfer failures are all retryable
-	return gridftp.ReliableGetFile(ctx, connect, src.Path, localPath, pol)
 }
 
 // bufferFor returns the socket buffer to use against a source: the static

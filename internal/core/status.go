@@ -116,6 +116,22 @@ type SiteStatus struct {
 	RLIQueries         int64 // which-queries issued to the RLI tier
 	RLIFalsePositives  int64 // candidates denied by the LRC confirm step
 	RLSLocateP99Micros int64 // p99 RLS locate latency, microseconds
+
+	// HealthPeers is the per-peer scoreboard: breaker state and EWMA link
+	// quality for every peer this site has pulled from or dialed (empty
+	// from a daemon predating circuit breakers).
+	HealthPeers []PeerHealthStatus
+}
+
+// PeerHealthStatus is one scoreboard row in a site's status: a peer's
+// circuit-breaker state and EWMA link quality as of the snapshot.
+type PeerHealthStatus struct {
+	Peer           string
+	Breaker        string // "closed", "half_open", or "open"
+	ConsecFails    int64
+	BandwidthKbps  int64
+	LatencyMicros  int64
+	LastTransition time.Time // zero until the breaker first changes state
 }
 
 // TransferHistory returns the site's recent replication records.
@@ -170,6 +186,16 @@ func (s *Site) Status() SiteStatus {
 		st.RLIQueries = s.rlsMet.rliWhich.Value()
 		st.RLIFalsePositives = s.rlsMet.falsePos.Value()
 		st.RLSLocateP99Micros = s.LocateP99Micros()
+	}
+	for _, ph := range s.health.Snapshot() {
+		st.HealthPeers = append(st.HealthPeers, PeerHealthStatus{
+			Peer:           ph.Peer,
+			Breaker:        ph.State,
+			ConsecFails:    ph.ConsecFails,
+			BandwidthKbps:  ph.BandwidthKbps,
+			LatencyMicros:  ph.LatencyMicros,
+			LastTransition: ph.LastTransition,
+		})
 	}
 	return st
 }
@@ -234,6 +260,21 @@ func encodeSiteStatus(e *rpc.Encoder, st SiteStatus) {
 	e.Int64(st.RLIQueries)
 	e.Int64(st.RLIFalsePositives)
 	e.Int64(st.RLSLocateP99Micros)
+	e.Uint64(uint64(len(st.HealthPeers)))
+	for _, p := range st.HealthPeers {
+		e.String(p.Peer)
+		e.String(p.Breaker)
+		e.Int64(p.ConsecFails)
+		e.Int64(p.BandwidthKbps)
+		e.Int64(p.LatencyMicros)
+		// The zero time crosses the wire as 0, not its (negative)
+		// UnixNano, so it round-trips to a zero value.
+		if p.LastTransition.IsZero() {
+			e.Int64(0)
+		} else {
+			e.Int64(p.LastTransition.UnixNano())
+		}
+	}
 }
 
 // decodeSiteStatus reads the status payload, tolerating truncation at
@@ -279,6 +320,22 @@ func decodeSiteStatus(d *rpc.Decoder) SiteStatus {
 		st.RLIQueries = d.Int64()
 		st.RLIFalsePositives = d.Int64()
 		st.RLSLocateP99Micros = d.Int64()
+	}
+	if d.Remaining() > 0 {
+		n := int(d.Uint64())
+		for i := 0; i < n && d.Remaining() > 0; i++ {
+			p := PeerHealthStatus{
+				Peer:          d.String(),
+				Breaker:       d.String(),
+				ConsecFails:   d.Int64(),
+				BandwidthKbps: d.Int64(),
+				LatencyMicros: d.Int64(),
+			}
+			if ns := d.Int64(); ns != 0 {
+				p.LastTransition = time.Unix(0, ns)
+			}
+			st.HealthPeers = append(st.HealthPeers, p)
+		}
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package core_test
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func TestTransferHistoryAndStatus(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RemoteStatus: %v", err)
 	}
-	if remote != st {
+	if !reflect.DeepEqual(remote, st) {
 		t.Fatalf("remote status %+v != local %+v", remote, st)
 	}
 }

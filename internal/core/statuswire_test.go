@@ -1,7 +1,9 @@
 package core
 
 import (
+	"reflect"
 	"testing"
+	"time"
 
 	"gdmp/internal/rpc"
 )
@@ -38,6 +40,17 @@ func TestSiteStatusWireRoundTrip(t *testing.T) {
 		RLIQueries:         8,
 		RLIFalsePositives:  2,
 		RLSLocateP99Micros: 850,
+
+		HealthPeers: []PeerHealthStatus{
+			{
+				Peer: "127.0.0.1:2811", Breaker: "open", ConsecFails: 3,
+				BandwidthKbps: 80000, LatencyMicros: 1500,
+				// time.Unix carries no monotonic reading, so the wire
+				// round trip is value-exact.
+				LastTransition: time.Unix(0, 1723200000000000000),
+			},
+			{Peer: "127.0.0.1:2812", Breaker: "closed", BandwidthKbps: 912000},
+		},
 	}
 	var e rpc.Encoder
 	encodeSiteStatus(&e, want)
@@ -46,7 +59,7 @@ func TestSiteStatusWireRoundTrip(t *testing.T) {
 	if err := d.Finish(); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
 	}
 }
@@ -128,13 +141,14 @@ func TestEncodePoolBlockStrictlyAppends(t *testing.T) {
 		t.Fatalf("payload with pool data (%d bytes) shorter than zeros (%d)", len(bd), len(bz))
 	}
 	// The block is five fixed-width Int64s, followed only by the (here
-	// all-zero) five-Int64 parity and six-Int64 RLS blocks; everything
-	// before it must be byte-identical across the two payloads.
-	n := len(bz) - 16*8
+	// all-zero) five-Int64 parity block, six-Int64 RLS block, and the
+	// empty health block's count word; everything before it must be
+	// byte-identical across the two payloads.
+	n := len(bz) - 17*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("pool block changed bytes before its own position")
 	}
-	if string(bz[len(bz)-11*8:]) != string(bd[len(bd)-11*8:]) {
+	if string(bz[len(bz)-12*8:]) != string(bd[len(bd)-12*8:]) {
 		t.Fatal("pool block changed bytes after its own position")
 	}
 }
@@ -155,18 +169,18 @@ func TestEncodeParityBlockStrictlyAppends(t *testing.T) {
 	if len(bz) != len(bd) {
 		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
 	}
-	n := len(bz) - 11*8
+	n := len(bz) - 12*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("parity block changed bytes before its own position")
 	}
-	if string(bz[len(bz)-6*8:]) != string(bd[len(bd)-6*8:]) {
+	if string(bz[len(bz)-7*8:]) != string(bd[len(bd)-7*8:]) {
 		t.Fatal("parity block changed bytes after its own position")
 	}
 }
 
-// Same contract for the RLS block: it is the newest trailing generation,
-// so payloads with and without RLS data are byte-identical up to the
-// block itself.
+// Same contract for the RLS block: payloads with and without RLS data are
+// byte-identical up to the block itself (only the health block's count
+// word follows it).
 func TestEncodeRLSBlockStrictlyAppends(t *testing.T) {
 	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9, ParitySidecars: 7}
 	data := zero
@@ -180,8 +194,56 @@ func TestEncodeRLSBlockStrictlyAppends(t *testing.T) {
 	if len(bz) != len(bd) {
 		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
 	}
-	n := len(bz) - 6*8
+	n := len(bz) - 7*8
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("RLS block changed bytes before its own position")
+	}
+}
+
+// Same contract for the health block, the newest trailing generation: it
+// strictly appends, and a payload that stops before it (an older daemon)
+// decodes with no peer rows rather than failing.
+func TestEncodeHealthBlockStrictlyAppendsAndOlderDecodes(t *testing.T) {
+	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9, DigestGen: 4}
+	data := zero
+	data.HealthPeers = []PeerHealthStatus{
+		{Peer: "127.0.0.1:2811", Breaker: "half_open", ConsecFails: 2,
+			BandwidthKbps: 300, LatencyMicros: 40,
+			LastTransition: time.Unix(0, 1723200000000000000)},
+	}
+
+	var ez, ed rpc.Encoder
+	encodeSiteStatus(&ez, zero)
+	encodeSiteStatus(&ed, data)
+	bz, bd := ez.Bytes(), ed.Bytes()
+	// Everything before the count word is byte-identical; the payload with
+	// a peer row is strictly longer.
+	n := len(bz) - 8
+	if len(bd) <= len(bz) {
+		t.Fatalf("payload with a peer row (%d bytes) not longer than without (%d)", len(bd), len(bz))
+	}
+	if string(bz[:n]) != string(bd[:n]) {
+		t.Fatal("health block changed bytes before its own position")
+	}
+
+	// An older daemon's payload ends at the RLS block: chop the health
+	// block off entirely and decode.
+	d := rpc.NewDecoder(bz[:n])
+	got := decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode pre-health generation: %v", err)
+	}
+	if got.HealthPeers != nil || got.DigestGen != 4 || got.PoolCapacity != 9 {
+		t.Fatalf("pre-health generation decode = %+v", got)
+	}
+
+	// And the full payload round-trips the peer row.
+	d = rpc.NewDecoder(bd)
+	got = decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode health generation: %v", err)
+	}
+	if !reflect.DeepEqual(got.HealthPeers, data.HealthPeers) {
+		t.Fatalf("health row round trip:\n got %+v\nwant %+v", got.HealthPeers, data.HealthPeers)
 	}
 }

@@ -2,7 +2,9 @@
 // deterministic, seedable net.Conn / net.Listener / dialer wrapper that
 // injects the partial-failure modes that dominate wide-area Data Grid
 // operation — added latency, stalled peers, mid-stream connection resets
-// after an exact byte count, partial writes, and refused dials.
+// after an exact byte count, partial writes, refused dials, and
+// asymmetric partitions that black-hole one direction mid-stream while
+// the other keeps flowing.
 //
 // Faults are scripted per connection: an Injector hands every new
 // connection (dialed or accepted) to the Script along with a ConnInfo
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -39,6 +42,7 @@ const (
 	KindReset        = "reset"
 	KindStall        = "stall"
 	KindPartialWrite = "partial_write"
+	KindPartition    = "partition"
 )
 
 // ErrInjected is the root of every error the harness injects; test code
@@ -99,6 +103,25 @@ type Plan struct {
 	// MaxWriteBytes truncates the connection's first oversized Write to
 	// this many bytes and returns ErrPartialWrite; 0 disables.
 	MaxWriteBytes int
+
+	// PartitionReadsAfterBytes emulates an asymmetric network partition:
+	// the dial succeeds and the write direction keeps flowing, but once
+	// this many bytes have been read, further Reads black-hole — they
+	// block indefinitely, returning only when a deadline set on the
+	// connection fires or the connection is closed. 0 disables.
+	PartitionReadsAfterBytes int64
+
+	// PartitionWritesAfterBytes black-holes the write direction instead:
+	// once this many bytes have been written, further Writes report
+	// success but the bytes are silently dropped. 0 disables.
+	PartitionWritesAfterBytes int64
+}
+
+// Partition returns a Plan emulating the classic asymmetric WAN
+// partition: the dial succeeds, n bytes arrive, and then the read
+// direction black-holes while writes still flow.
+func Partition(n int64) Plan {
+	return Plan{PartitionReadsAfterBytes: n}
 }
 
 // Script decides the Plan for each new connection.
@@ -274,10 +297,14 @@ type conn struct {
 
 	mu           sync.Mutex
 	bytes        int64
-	tripped      bool // reset threshold crossed
-	stalled      bool // stall already served
+	readBytes    int64 // read direction only, for partition thresholds
+	writeBytes   int64 // write direction only, for partition thresholds
+	tripped      bool  // reset threshold crossed
+	stalled      bool  // stall already served
 	latencyNoted bool
 	partialDone  bool
+	partitioned  bool // partition fault counted
+	closed       bool
 	deadline     time.Time
 }
 
@@ -352,6 +379,36 @@ func (c *conn) stallWait() {
 	}
 }
 
+// notePartition counts the partition fault once per connection.
+func (c *conn) notePartition() {
+	c.mu.Lock()
+	first := !c.partitioned
+	c.partitioned = true
+	c.mu.Unlock()
+	if first {
+		c.in.count(KindPartition)
+	}
+}
+
+// blackhole blocks like a partitioned link: nothing ever arrives, and
+// the call returns only when a deadline set on the connection fires or
+// the connection is closed (a context cancel severing tracked
+// connections unblocks a reader wedged here).
+func (c *conn) blackhole() error {
+	for {
+		c.mu.Lock()
+		closed, dl := c.closed, c.deadline
+		c.mu.Unlock()
+		if closed {
+			return net.ErrClosed
+		}
+		if !dl.IsZero() && time.Now().After(dl) {
+			return os.ErrDeadlineExceeded
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func (c *conn) Read(p []byte) (int, error) {
 	n, err := c.admit(len(p))
 	if err != nil {
@@ -359,6 +416,18 @@ func (c *conn) Read(p []byte) (int, error) {
 	}
 	if n == 0 && len(p) > 0 {
 		return 0, nil
+	}
+	if c.plan.PartitionReadsAfterBytes > 0 {
+		c.mu.Lock()
+		left := c.plan.PartitionReadsAfterBytes - c.readBytes
+		c.mu.Unlock()
+		if left <= 0 {
+			c.notePartition()
+			return 0, c.blackhole()
+		}
+		if int64(n) > left {
+			n = int(left)
+		}
 	}
 	if c.plan.Latency > 0 {
 		c.mu.Lock()
@@ -371,6 +440,9 @@ func (c *conn) Read(p []byte) (int, error) {
 		time.Sleep(c.plan.Latency)
 	}
 	got, err := c.Conn.Read(p[:n])
+	c.mu.Lock()
+	c.readBytes += int64(got)
+	c.mu.Unlock()
 	c.account(got)
 	return got, err
 }
@@ -379,6 +451,24 @@ func (c *conn) Write(p []byte) (int, error) {
 	n, err := c.admit(len(p))
 	if err != nil {
 		return 0, err
+	}
+	if c.plan.PartitionWritesAfterBytes > 0 {
+		c.mu.Lock()
+		left := c.plan.PartitionWritesAfterBytes - c.writeBytes
+		c.mu.Unlock()
+		if left <= 0 {
+			// The link swallows the bytes: report success, send nothing.
+			c.notePartition()
+			return len(p), nil
+		}
+		if int64(n) > left {
+			wrote, err := c.writeReal(p[:int(left)])
+			if err != nil {
+				return wrote, err
+			}
+			c.notePartition()
+			return len(p), nil
+		}
 	}
 	partial := false
 	if c.plan.MaxWriteBytes > 0 && n > c.plan.MaxWriteBytes {
@@ -390,8 +480,7 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 		c.mu.Unlock()
 	}
-	wrote, err := c.Conn.Write(p[:n])
-	c.account(wrote)
+	wrote, err := c.writeReal(p[:n])
 	if err != nil {
 		return wrote, err
 	}
@@ -410,6 +499,25 @@ func (c *conn) Write(p []byte) (int, error) {
 		return wrote, ErrReset
 	}
 	return wrote, nil
+}
+
+// writeReal sends bytes on the underlying connection with per-direction
+// and combined byte accounting (shared by the normal write path and the
+// partition boundary write).
+func (c *conn) writeReal(p []byte) (int, error) {
+	wrote, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.writeBytes += int64(wrote)
+	c.mu.Unlock()
+	c.account(wrote)
+	return wrote, err
+}
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
 }
 
 func (c *conn) SetDeadline(t time.Time) error {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -284,5 +285,118 @@ func TestZeroPlanPassesThrough(t *testing.T) {
 	}
 	if in.Connections() != 1 {
 		t.Fatalf("connections = %d", in.Connections())
+	}
+}
+
+func TestPartitionBlackHolesReadsAfterExactBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	reg := obs.NewRegistry()
+	in := New(1, func(ConnInfo) Plan { return Partition(10) }, WithMetrics(reg))
+	c, err := in.Dialer(nil)("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Writes keep flowing: the partition is asymmetric.
+	if _, err := c.Write(bytes.Repeat([]byte("x"), 32)); err != nil {
+		t.Fatalf("write across partition: %v", err)
+	}
+	// Exactly 10 echoed bytes arrive, then the read direction black-holes.
+	got := make([]byte, 0, 10)
+	buf := make([]byte, 32)
+	for len(got) < 10 {
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("read before partition threshold: %v (got %d bytes)", err, len(got))
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d bytes past the partition threshold", len(got))
+	}
+
+	// A deadline fires even while the link black-holes.
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	n, err := c.Read(buf)
+	if n != 0 || !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("black-holed read = (%d, %v), want (0, deadline exceeded)", n, err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("black-holed read returned too early (%v)", time.Since(start))
+	}
+
+	// Closing the connection unblocks a reader wedged in the black hole
+	// (this is what a context cancel severing tracked conns relies on).
+	c.SetReadDeadline(time.Time{})
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := c.Read(buf)
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("read after close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock the black-holed reader")
+	}
+
+	if got := in.Injected(KindPartition); got != 1 {
+		t.Fatalf("partition faults counted = %d, want 1", got)
+	}
+	if !strings.Contains(reg.Text(), `gdmp_faults_injected_total{kind="partition"} 1`) {
+		t.Fatalf("metrics missing partition kind:\n%s", reg.Text())
+	}
+}
+
+func TestPartitionSwallowsWritesAfterExactBytes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		b, _ := io.ReadAll(c)
+		received <- b
+	}()
+
+	in := New(1, func(ConnInfo) Plan {
+		return Plan{PartitionWritesAfterBytes: 10}
+	})
+	c, err := in.Dialer(nil)("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 bytes written: the first 10 cross, the rest black-hole, yet the
+	// writer sees total success (the partitioned peer cannot tell).
+	if n, err := c.Write([]byte("0123456789abcdef")); n != 16 || err != nil {
+		t.Fatalf("write = (%d, %v), want (16, nil)", n, err)
+	}
+	if n, err := c.Write([]byte("more")); n != 4 || err != nil {
+		t.Fatalf("write after partition = (%d, %v), want (4, nil)", n, err)
+	}
+	c.Close()
+	select {
+	case b := <-received:
+		if string(b) != "0123456789" {
+			t.Fatalf("peer received %q, want exactly the first 10 bytes", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never finished reading")
+	}
+	if got := in.Injected(KindPartition); got != 1 {
+		t.Fatalf("partition faults counted = %d, want 1", got)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"gdmp/internal/faults"
@@ -185,4 +187,158 @@ func TestReliableGetFileInterruptThenResume(t *testing.T) {
 		t.Fatalf("resume not recorded: resumes=%d bytes=%d", rec.Resumes(), rec.ResumedBytes())
 	}
 	t.Logf("resumed from offset %d of %d", rec.ResumedBytes(), len(want))
+}
+
+// TestReliableGetFileCrossSourceResumeAgreement is the hedged-pull
+// takeover happy path: a prefix downloaded from source A is resumed
+// against source B holding identical content. B's CKSM range vouches for
+// the prefix, so zero already-verified bytes are re-downloaded.
+func TestReliableGetFileCrossSourceResumeAgreement(t *testing.T) {
+	addrA, rootA := startServer(t, nil)
+	addrB, rootB := startServer(t, nil)
+	// Same seed: both replicas hold the same bytes, as catalog replicas do.
+	makeFile(t, rootA, "x.db", 500_000, 21)
+	_, want := makeFile(t, rootB, "x.db", 500_000, 21)
+	reg := obs.NewRegistry()
+	dest := filepath.Join(t.TempDir(), "x.db")
+
+	// Source A dies mid-stream after 200k bytes: staged prefix, no dest.
+	inj := faults.New(1, func(c faults.ConnInfo) faults.Plan {
+		return faults.Plan{ResetAfterBytes: 200_000}
+	}, faults.WithMetrics(reg))
+	if _, err := ReliableGetFile(context.Background(), connector(t, addrA, reg, inj),
+		"x.db", dest, fastPolicy(1)); err == nil {
+		t.Fatal("interrupted transfer reported success")
+	}
+	info, err := os.Stat(dest + PartSuffix)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("no staged prefix to take over: %v", err)
+	}
+	prefix := info.Size()
+
+	// Take over from source B: the prefix must be verified via B's CKSM
+	// and reused, not re-downloaded.
+	stats, err := ReliableGetFile(context.Background(), connector(t, addrB, reg, nil),
+		"x.db", dest, fastPolicy(3))
+	if err != nil {
+		t.Fatalf("cross-source ReliableGetFile: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after cross-source resume")
+	}
+	if stats.ResumedBytes != prefix || stats.DiscardedBytes != 0 {
+		t.Fatalf("resumed/discarded = %d/%d, want %d/0",
+			stats.ResumedBytes, stats.DiscardedBytes, prefix)
+	}
+	if stats.Bytes != 500_000-prefix {
+		t.Fatalf("re-downloaded %d bytes, want only the missing %d",
+			stats.Bytes, 500_000-prefix)
+	}
+}
+
+// TestReliableGetFileCrossSourcePrefixDisagreement covers the takeover
+// unhappy path: the new source holds *different* content under the same
+// name, so its CKSM range disagrees with the staged prefix. The transfer
+// must restart from zero against that source — counting the discarded
+// prefix as wasted — and must never quarantine or strand the local
+// .part (the staging file is reused in place and consumed by the rename).
+func TestReliableGetFileCrossSourcePrefixDisagreement(t *testing.T) {
+	addrA, rootA := startServer(t, nil)
+	addrB, rootB := startServer(t, nil)
+	makeFile(t, rootA, "y.db", 400_000, 31)
+	_, want := makeFile(t, rootB, "y.db", 400_000, 32) // different bytes
+	reg := obs.NewRegistry()
+	destDir := t.TempDir()
+	dest := filepath.Join(destDir, "y.db")
+
+	inj := faults.New(1, func(c faults.ConnInfo) faults.Plan {
+		return faults.Plan{ResetAfterBytes: 150_000}
+	}, faults.WithMetrics(reg))
+	if _, err := ReliableGetFile(context.Background(), connector(t, addrA, reg, inj),
+		"y.db", dest, fastPolicy(1)); err == nil {
+		t.Fatal("interrupted transfer reported success")
+	}
+	info, err := os.Stat(dest + PartSuffix)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("no staged prefix: %v", err)
+	}
+	prefix := info.Size()
+
+	stats, err := ReliableGetFile(context.Background(), connector(t, addrB, reg, nil),
+		"y.db", dest, fastPolicy(3))
+	if err != nil {
+		t.Fatalf("cross-source ReliableGetFile after disagreement: %v", err)
+	}
+	got, _ := os.ReadFile(dest)
+	if !bytes.Equal(got, want) {
+		t.Fatal("destination does not match the source that completed the pull")
+	}
+	// The disagreeing prefix was discarded, never resumed.
+	if stats.ResumedBytes != 0 || stats.DiscardedBytes != prefix {
+		t.Fatalf("resumed/discarded = %d/%d, want 0/%d",
+			stats.ResumedBytes, stats.DiscardedBytes, prefix)
+	}
+	if stats.Bytes != 400_000 {
+		t.Fatalf("transferred %d bytes, want the full 400000 after restart", stats.Bytes)
+	}
+	rec := obs.NewTransferRecorder(reg, ClientMetricsPrefix)
+	if rec.Resumes() != 0 {
+		t.Fatalf("disagreeing prefix was resumed (%d resumes)", rec.Resumes())
+	}
+	if !strings.Contains(reg.Text(), ClientMetricsPrefix+"_resume_rejected_total 1") {
+		t.Fatalf("prefix rejection not recorded:\n%s", reg.Text())
+	}
+	// No quarantine, no stray staging file: exactly the destination left.
+	entries, err := os.ReadDir(destDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "y.db" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("unexpected files alongside destination: %v", names)
+	}
+}
+
+// TestReliableGetFileProgressCallback checks the liveness signal hedged
+// pulls watch: cumulative byte progress, monotonic, seeded with the
+// resumed prefix, ending at the full file size.
+func TestReliableGetFileProgressCallback(t *testing.T) {
+	addr, root := startServer(t, nil)
+	_, want := makeFile(t, root, "p.db", 300_000, 41)
+	dest := filepath.Join(t.TempDir(), "p.db")
+	// A verified prefix is already staged: progress must start from it.
+	if err := os.WriteFile(dest+PartSuffix, want[:100_000], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int64
+	opt := GetFileOptions{Progress: func(total int64) {
+		mu.Lock()
+		seen = append(seen, total)
+		mu.Unlock()
+	}}
+	if _, err := ReliableGetFileOpts(context.Background(), connector(t, addr, obs.NewRegistry(), nil),
+		"p.db", dest, fastPolicy(3), opt); err != nil {
+		t.Fatalf("ReliableGetFileOpts: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if seen[0] != 100_000 {
+		t.Fatalf("first progress report = %d, want the resumed prefix 100000", seen[0])
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("progress went backwards: %d after %d", seen[i], seen[i-1])
+		}
+	}
+	if last := seen[len(seen)-1]; last != 300_000 {
+		t.Fatalf("final progress = %d, want 300000", last)
+	}
 }

@@ -41,6 +41,14 @@ type TransferStats struct {
 	PerStream []int64 // bytes moved by each stream
 	Markers   []Marker
 	Attempts  int // >1 when a reliable transfer had to restart
+
+	// ResumedBytes counts staged-prefix bytes reused instead of
+	// re-downloaded after the source confirmed their CKSM range;
+	// DiscardedBytes counts staged bytes thrown away because the source
+	// disagreed (or could not be asked) — the wasted-work ledger hedged
+	// pulls report.
+	ResumedBytes   int64
+	DiscardedBytes int64
 }
 
 // RateMbps returns the achieved rate in megabits per second.
@@ -960,16 +968,58 @@ func reliableGet(ctx context.Context, connect func(context.Context) (*Client, er
 //     prefix CRC against the server (CKSM of [0, len)); a mismatched or
 //     oversized prefix falls back to a full restart from byte 0.
 func ReliableGetFile(ctx context.Context, connect func(context.Context) (*Client, error), remotePath, localPath string, pol retry.Policy) (TransferStats, error) {
+	return ReliableGetFileOpts(ctx, connect, remotePath, localPath, pol, GetFileOptions{})
+}
+
+// GetFileOptions tunes ReliableGetFileOpts beyond the policy.
+type GetFileOptions struct {
+	// Progress, when non-nil, is called as payload lands with the
+	// cumulative number of bytes present in the staging file (a verified
+	// resumed prefix counts). Calls arrive from transfer goroutines; the
+	// callback must be cheap and safe for concurrent use. Hedged pulls
+	// use it as the liveness signal their stall watchdog watches.
+	Progress func(total int64)
+}
+
+// progressWriterAt reports cumulative bytes written through it.
+type progressWriterAt struct {
+	dst   io.WriterAt
+	total atomic.Int64
+	fn    func(int64)
+}
+
+func (p *progressWriterAt) WriteAt(b []byte, off int64) (int, error) {
+	n, err := p.dst.WriteAt(b, off)
+	if n > 0 {
+		p.fn(p.total.Add(int64(n)))
+	}
+	return n, err
+}
+
+// ReliableGetFileOpts is ReliableGetFile with options.
+func ReliableGetFileOpts(ctx context.Context, connect func(context.Context) (*Client, error), remotePath, localPath string, pol retry.Policy, opt GetFileOptions) (TransferStats, error) {
 	part := localPath + PartSuffix
 	f, err := os.OpenFile(part, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return TransferStats{}, err
 	}
 	var rs RangeSet
+	var resumed, discarded int64
 	if info, serr := f.Stat(); serr == nil && info.Size() > 0 {
-		resumePartial(ctx, connect, remotePath, f, info.Size(), &rs)
+		resumed, discarded = resumePartial(ctx, connect, remotePath, f, info.Size(), &rs)
 	}
-	stats, err := reliableGet(ctx, connect, remotePath, f, &rs, pol)
+	dst := io.WriterAt(f)
+	if opt.Progress != nil {
+		pw := &progressWriterAt{dst: f, fn: opt.Progress}
+		pw.total.Store(resumed)
+		if resumed > 0 {
+			opt.Progress(resumed)
+		}
+		dst = pw
+	}
+	stats, err := reliableGet(ctx, connect, remotePath, dst, &rs, pol)
+	stats.ResumedBytes = resumed
+	stats.DiscardedBytes = discarded
 	if err == nil {
 		err = f.Sync()
 	}
@@ -1003,36 +1053,43 @@ func ReliableGetFile(ctx context.Context, connect func(context.Context) (*Client
 // resumed download. The prefix is trusted only when the server's range
 // checksum of [0, have) matches the local bytes; any doubt — remote
 // shrank, CKSM unsupported, checksum mismatch, read error — truncates
-// back to a full restart. Best-effort: a failure here never fails the
-// transfer, it only costs the resume.
-func resumePartial(ctx context.Context, connect func(context.Context) (*Client, error), remotePath string, f *os.File, have int64, rs *RangeSet) {
+// back to a full restart. Because connect targets whatever source the
+// caller is currently using, this is also the cross-source handshake: a
+// prefix downloaded from one replica is re-verified against the new
+// source before a single byte is appended, and a disagreeing source
+// costs the prefix (never the transfer, and never a quarantine — the
+// staging file is simply restarted from zero). Best-effort: a failure
+// here never fails the transfer, it only costs the resume. Returns how
+// many prefix bytes were kept and how many were thrown away.
+func resumePartial(ctx context.Context, connect func(context.Context) (*Client, error), remotePath string, f *os.File, have int64, rs *RangeSet) (resumed, discarded int64) {
 	restart := func() {
 		f.Truncate(0)
 	}
 	cl, err := connect(ctx)
 	if err != nil {
 		restart()
-		return
+		return 0, have
 	}
 	defer cl.Close()
 	size, err := cl.Size(remotePath)
 	if err != nil || have > size {
 		restart()
-		return
+		return 0, have
 	}
 	want, err := cl.ChecksumRange(remotePath, 0, have)
 	if err != nil {
 		restart()
-		return
+		return 0, have
 	}
 	got, err := crcOfReader(f, have)
 	if err != nil || got != want {
 		cl.rec.ResumeRejected()
 		restart()
-		return
+		return 0, have
 	}
 	rs.Add(0, have)
 	cl.rec.Resumed(have)
+	return have, 0
 }
 
 // AutoTune performs the paper's "automatic negotiation of TCP buffer/window

@@ -17,6 +17,7 @@ import (
 	"gdmp/internal/core"
 	"gdmp/internal/faults"
 	"gdmp/internal/gsi"
+	"gdmp/internal/health"
 	"gdmp/internal/mss"
 	"gdmp/internal/objectstore"
 	"gdmp/internal/obs"
@@ -148,6 +149,15 @@ type SiteOptions struct {
 	// replica catalog and subscriber registrations embed the addresses).
 	GDMPListen string
 	FTPListen  string
+
+	// Health tunes the site's per-peer scoreboard and circuit breakers;
+	// zero fields take the health package defaults. Set Seed for
+	// replayable reopen jitter.
+	Health health.Config
+
+	// HedgeDeadline sets the cold-start stall deadline for hedged pulls
+	// (0 = the core default, negative disables hedging).
+	HedgeDeadline time.Duration
 }
 
 // NewGrid creates the trust domain and the central replica catalog.
@@ -238,6 +248,8 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		DigestInterval:         opts.DigestInterval,
 		DigestTTL:              opts.DigestTTL,
 		DigestFPRate:           opts.DigestFPRate,
+		Health:                 opts.Health,
+		HedgeDeadline:          opts.HedgeDeadline,
 	}
 	if opts.Durable {
 		cfg.StateDir = filepath.Join(siteDir, "state")

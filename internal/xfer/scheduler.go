@@ -164,7 +164,15 @@ func (t *Ticket) abandon() {
 		s.met.queueDepth.Set(int64(s.queue.Len()))
 		s.finishLocked(t, context.Canceled, outcomeAbandoned)
 	case stateRunning:
-		t.cancel() // the worker reports the outcome
+		// The job has given up — every waiter walked away and the cancel
+		// is in flight — so it must stop occupying the dedup index: a
+		// later submission of the same key starts a fresh job instead of
+		// coalescing onto this one's cancellation. The worker still
+		// reports this ticket's outcome when the job body returns.
+		if cur, ok := s.inflight[t.key]; ok && cur == t {
+			delete(s.inflight, t.key)
+		}
+		t.cancel()
 	}
 }
 
@@ -294,7 +302,12 @@ func (s *Scheduler) finishLocked(t *Ticket, err error, outcome string) {
 	}
 	t.state = stateDone
 	t.err = err
-	delete(s.inflight, t.key)
+	// Abandoned running jobs were already evicted from the index, and the
+	// key may since have been reused by a fresh submission — only remove
+	// the entry if it is still this ticket's.
+	if cur, ok := s.inflight[t.key]; ok && cur == t {
+		delete(s.inflight, t.key)
+	}
 	s.met.jobs.WithLabelValues(outcome).Inc()
 	close(t.done)
 	if len(s.inflight) == 0 {

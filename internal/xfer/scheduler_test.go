@@ -327,3 +327,104 @@ func TestMetricsAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestResubmitAfterAbandonedRunningJobStartsFresh is the regression test
+// for the dedup index across given-up jobs: once every waiter has
+// abandoned a running job (it is canceled and merely draining), a
+// re-submission of the same key must start a fresh job — not coalesce
+// onto the dying one and inherit its cancellation.
+func TestResubmitAfterAbandonedRunningJobStartsFresh(t *testing.T) {
+	s := New(Config{Workers: 1, Registry: obs.NewRegistry()})
+	defer s.Close()
+
+	started := make(chan struct{})
+	exit := make(chan struct{})
+	t1 := s.Submit("lfn://hot", 0, func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done() // canceled by abandon
+		<-exit       // ... but slow to actually wind down
+		return ctx.Err()
+	})
+	<-started
+
+	// The only waiter gives up: the running job is canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := t1.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning wait: err = %v", err)
+	}
+
+	// Re-queue the same LFN while the abandoned job is still draining.
+	var ran atomic.Bool
+	t2 := s.Submit("lfn://hot", 0, func(ctx context.Context) error {
+		ran.Store(true)
+		return nil
+	})
+	if t2 == t1 {
+		t.Fatal("re-submission coalesced onto the abandoned job")
+	}
+	close(exit)
+	if err := t2.Wait(context.Background()); err != nil {
+		t.Fatalf("fresh job after abandon: %v", err)
+	}
+	if !ran.Load() {
+		t.Fatal("fresh job never ran")
+	}
+	// The old ticket still reports its own cancellation.
+	<-t1.Done()
+	if !errors.Is(t1.Err(), context.Canceled) {
+		t.Fatalf("abandoned job outcome = %v, want canceled", t1.Err())
+	}
+}
+
+// TestAbandonedJobCompletionDoesNotEvictSuccessor pins the other half of
+// the fix: when the abandoned job finally exits after the key has been
+// reused, its completion must not remove the fresh job from the dedup
+// index (a third submission must still coalesce onto the live job).
+func TestAbandonedJobCompletionDoesNotEvictSuccessor(t *testing.T) {
+	s := New(Config{Workers: 2, Registry: obs.NewRegistry()})
+	defer s.Close()
+
+	started := make(chan struct{})
+	exit := make(chan struct{})
+	t1 := s.Submit("lfn://hot", 0, func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		<-exit
+		return ctx.Err()
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t1.Wait(ctx) // abandon the running job
+
+	started2 := make(chan struct{})
+	release2 := make(chan struct{})
+	var runs atomic.Int32
+	job2 := func(ctx context.Context) error {
+		runs.Add(1)
+		close(started2)
+		<-release2
+		return nil
+	}
+	t2 := s.Submit("lfn://hot", 0, job2)
+	<-started2
+
+	// Let the abandoned job finish now, while the successor is running.
+	close(exit)
+	<-t1.Done()
+
+	// A third submission must coalesce onto the live successor.
+	t3 := s.Submit("lfn://hot", 0, job2)
+	if t3 != t2 {
+		t.Fatal("successor was evicted from the dedup index by the abandoned job's completion")
+	}
+	close(release2)
+	if err := t3.Wait(context.Background()); err != nil {
+		t.Fatalf("successor: %v", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("successor ran %d times, want 1", got)
+	}
+}
