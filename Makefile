@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-pull bench-catalog chaos crash scrub parity cache catalog partition
+.PHONY: all build test check vet fmt race bench bench-pull bench-catalog chaos crash scrub parity cache catalog partition overload
 
 all: build
 
@@ -99,6 +99,21 @@ partition:
 	@echo "partition seed: $(PARTITION_SEED)"
 	PARTITION_SEED=$(PARTITION_SEED) $(GO) test -race -v \
 		-run 'TestPartition' .
+
+# Overload chaos suite: a ~10x offered load plus a synchronized retry
+# storm against the admission controller — goodput and p99 admission
+# wait must hold their floors, zero requests may execute past their
+# wire-propagated deadline, brownout must shed background work and lift
+# after the storm, draining must refuse queued work while in-flight work
+# finishes, an injected ENOSPC must release its pool reservation without
+# orphans or quarantine, and mixed-version wire interop is proven both
+# directions. Race detector on. The seed is logged by every test; replay
+# a run with `make overload OVERLOAD_SEED=7`.
+OVERLOAD_SEED ?= 20260809
+overload:
+	@echo "overload seed: $(OVERLOAD_SEED)"
+	OVERLOAD_SEED=$(OVERLOAD_SEED) $(GO) test -race -v \
+		-run 'TestOverload' .
 
 # Self-healing suite: bit-rot injection, anti-entropy convergence, and
 # quarantine retention, race detector on. The seed is logged by every

@@ -247,6 +247,20 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 				})
 			}
 		}
+		// The overload-protection block trails the health rows.
+		var brownoutActive bool
+		var loadMilli, admAdmitted, admRejected, admExpired, admShed int64
+		var brownEntered, brownDeferred int64
+		if d.Remaining() > 0 {
+			brownoutActive = d.Uint8() != 0
+			loadMilli = d.Int64()
+			admAdmitted = d.Int64()
+			admRejected = d.Int64()
+			admExpired = d.Int64()
+			admShed = d.Int64()
+			brownEntered = d.Int64()
+			brownDeferred = d.Int64()
+		}
 		if err := d.Finish(); err != nil {
 			return err
 		}
@@ -293,6 +307,18 @@ func run(ctx context.Context, credPath, caPath, rcAddr string, parallel, pullWor
 					line += ", since " + time.Unix(0, p.transition).Format(time.RFC3339)
 				}
 				fmt.Println(line)
+			}
+		}
+		if admAdmitted+admRejected > 0 || brownoutActive {
+			mode := "normal"
+			if brownoutActive {
+				mode = "brownout"
+			}
+			fmt.Printf("admission: %s (load %.1f%%), %d admitted, %d rejected (%d expired, %d shed)\n",
+				mode, float64(loadMilli)/10, admAdmitted, admRejected, admExpired, admShed)
+			if brownEntered > 0 {
+				fmt.Printf("brownout: entered %d times, %d background work units deferred\n",
+					brownEntered, brownDeferred)
 			}
 		}
 		return nil

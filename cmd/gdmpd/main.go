@@ -87,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"gdmp/internal/admission"
 	"gdmp/internal/core"
 	"gdmp/internal/gsi"
 	"gdmp/internal/health"
@@ -144,6 +145,13 @@ func main() {
 	breakerReopen := flag.Duration("breaker-reopen", 0, "base delay before an open breaker admits a probe (0 = 2s)")
 	breakerReopenMax := flag.Duration("breaker-reopen-max", 0, "ceiling on the decorrelated reopen delay (0 = 60s)")
 	breakerProbes := flag.Int("breaker-probes", 0, "probe successes that close a half-open breaker (0 = 1)")
+	rpcMaxConns := flag.Int("rpc-max-conns", 0, "max concurrent GDMP server connections (0 = unlimited)")
+	admitControl := flag.Int("admit-control", 0, "concurrent control-plane RPCs admitted (0 = 64)")
+	admitBulk := flag.Int("admit-bulk", 0, "concurrent bulk data operations admitted (0 = 8)")
+	admitBackground := flag.Int("admit-background", 0, "concurrent background RPCs admitted (0 = 2)")
+	brownoutEnter := flag.Float64("brownout-enter", 0, "load signal that enters brownout, 0..1 (0 = 0.75)")
+	brownoutExit := flag.Float64("brownout-exit", 0, "load signal that exits brownout (0 = enter/3)")
+	maxQueuedPulls := flag.Int("max-queued-pulls", 0, "pull queue depth cap with priority-aware rejection (0 = unbounded)")
 	flag.Parse()
 
 	pol := retry.DefaultPolicy()
@@ -164,11 +172,11 @@ func main() {
 		rcServe: *rcServe, rcSaveEvery: *rcSaveEvery, rcShards: *rcShards,
 		digestInterval: *digestInterval, digestTTL: *digestTTL, digestFP: *digestFP,
 		scrubInterval: *scrubInterval, scrubRate: *scrubRate,
-		antiEntropy:  *antiEntropy,
-		quarMaxAge:   *quarMaxAge,
-		quarMaxCount: *quarMaxCount,
-		parityK:      *parityK,
-		parityM:      *parityM,
+		antiEntropy:   *antiEntropy,
+		quarMaxAge:    *quarMaxAge,
+		quarMaxCount:  *quarMaxCount,
+		parityK:       *parityK,
+		parityM:       *parityM,
 		hedgeDeadline: *hedgeDeadline,
 		health: health.Config{
 			FailureThreshold: *breakerFailures,
@@ -176,6 +184,15 @@ func main() {
 			ReopenMax:        *breakerReopenMax,
 			ProbeSuccesses:   *breakerProbes,
 		},
+		admission: admission.Config{
+			ControlSlots:    *admitControl,
+			BulkSlots:       *admitBulk,
+			BackgroundSlots: *admitBackground,
+			BrownoutEnter:   *brownoutEnter,
+			BrownoutExit:    *brownoutExit,
+		},
+		rpcMaxConns:    *rpcMaxConns,
+		maxQueuedPulls: *maxQueuedPulls,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gdmpd:", err)
 		os.Exit(1)
@@ -208,6 +225,9 @@ type params struct {
 	parityK, parityM                     int
 	hedgeDeadline                        time.Duration
 	health                               health.Config
+	admission                            admission.Config
+	rpcMaxConns                          int
+	maxQueuedPulls                       int
 }
 
 // serveMetrics exposes a registry at /metrics on addr, Prometheus-style.
@@ -364,6 +384,10 @@ func run(p params) error {
 
 		Health:        p.health,
 		HedgeDeadline: p.hedgeDeadline,
+
+		Admission:      p.admission,
+		RPCMaxConns:    p.rpcMaxConns,
+		MaxQueuedPulls: p.maxQueuedPulls,
 	}
 	cfg.PrefetchThreshold = p.prefetch
 	if p.tape != "" {

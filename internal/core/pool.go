@@ -105,6 +105,12 @@ func (s *Site) notePoolDemand(rel string) {
 // (a prefetch must never starve demand traffic). Failures are logged and
 // skipped — prefetching is an optimization, not a promise.
 func (s *Site) prefetchCollection(dir string) {
+	if !s.admit.Allow("prefetch") {
+		// Brownout: ahead-of-demand warming is the first thing to go.
+		// The demand counter stays latched, so the collection is not
+		// re-armed — a deliberate trade: prefetch is an optimization.
+		return
+	}
 	ctx := s.ctx
 	for _, fi := range s.local.list() {
 		if path.Dir(fi.Path) != dir || fi.State == StateDisk {

@@ -116,6 +116,11 @@ func (s *Site) startDigestLoop() {
 }
 
 func (s *Site) pushDigestLogged() {
+	if !s.admit.Allow("digest") {
+		// Brownout: skip this round; the soft-state TTL absorbs a missed
+		// heartbeat and the next tick retries.
+		return
+	}
 	if _, err := s.PushDigest(s.ctx); err != nil && s.ctx.Err() == nil {
 		s.logger.Printf("gdmp[%s]: digest push: %v", s.cfg.Name, err)
 	}

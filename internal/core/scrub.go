@@ -76,11 +76,21 @@ func (s *Site) startScrubDaemon() {
 // twice.
 type siteScrubOps struct{ s *Site }
 
+// The daemon's periodic passes yield to brownout: under overload the
+// next interval tries again, so integrity work is deferred, never lost.
+// On-demand Fsck is not gated — an operator asking for a scan gets one.
+
 func (o siteScrubOps) ScrubPass(ctx context.Context) (scrub.Report, error) {
+	if !o.s.admit.Allow("scrub") {
+		return scrub.Report{}, nil
+	}
 	return o.s.ScrubPass(ctx)
 }
 
 func (o siteScrubOps) AntiEntropyPass(ctx context.Context) (scrub.ExchangeReport, error) {
+	if !o.s.admit.Allow("antientropy") {
+		return scrub.ExchangeReport{}, nil
+	}
 	return o.s.AntiEntropyPass(ctx)
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gdmp/internal/admission"
 	"gdmp/internal/gridftp"
 	"gdmp/internal/gsi"
 	"gdmp/internal/health"
@@ -83,6 +84,20 @@ func AllowSiteUseAll(acl *gsi.ACL) {
 		acl.AllowAll(gsi.Operation(m))
 	}
 	acl.AllowAll(gridftp.OpRead, gridftp.OpWrite)
+}
+
+// classifyMethod maps each RPC method onto an admission class: staging
+// moves bytes (bulk), integrity and digest work can always wait
+// (background), and everything else is cheap control-plane traffic.
+func classifyMethod(method string) admission.Class {
+	switch method {
+	case MethodStage:
+		return admission.Bulk
+	case MethodFsck, MethodDigest:
+		return admission.Background
+	default:
+		return admission.Control
+	}
 }
 
 // ReplicaSelector picks which physical replica to fetch. The paper leaves
@@ -255,6 +270,27 @@ type Config struct {
 	// Metrics is the registry the site (and its GridFTP and Request
 	// Manager servers) records instrumentation into; nil uses obs.Default.
 	Metrics *obs.Registry
+
+	// Admission tunes the site's overload-protection controller: per-class
+	// concurrency limits with bounded deadline-aware wait queues for the
+	// RPC and GridFTP servers, plus the brownout load signal that defers
+	// background work under pressure. Zero fields take the admission
+	// package defaults; the Registry field is managed by the site.
+	Admission admission.Config
+
+	// RPCMaxConns caps how many GDMP server connections may be open at
+	// once; excess connections are closed at accept (0 = unlimited).
+	RPCMaxConns int
+
+	// MaxQueuedPulls caps the pull scheduler's queue depth. At the cap a
+	// new submission displaces the lowest-priority queued pull only when
+	// it strictly outranks it; otherwise the newcomer is rejected with
+	// xfer.ErrQueueFull. Zero leaves the queue unbounded.
+	MaxQueuedPulls int
+
+	// StageWriter, when non-nil, wraps the staging-file writer of every
+	// replica pull (fault-injection harnesses emulate disk-full with it).
+	StageWriter func(io.WriterAt) io.WriterAt
 }
 
 // PublishedFile reports one file made visible to the Grid.
@@ -345,6 +381,11 @@ type Site struct {
 	health   *health.Board
 	hedgeMet *hedgeMetrics
 
+	// admit is the overload-protection controller shared by the GDMP RPC
+	// server (per-method classes), the GridFTP server (bulk class), and
+	// the background loops (brownout gating).
+	admit *admission.Controller
+
 	tuneMu   sync.Mutex
 	tunedBuf map[string]int // source data addr -> negotiated buffer
 
@@ -434,9 +475,13 @@ func NewSite(cfg Config) (*Site, error) {
 	s.health = health.New(hcfg)
 	s.hedgeMet = newHedgeMetrics(cfg.Metrics)
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	acfg := cfg.Admission
+	acfg.Registry = cfg.Metrics
+	s.admit = admission.New(acfg)
 	s.sched = xfer.New(xfer.Config{
 		Workers:   cfg.PullWorkers,
 		PerSource: cfg.PerSourceLimit,
+		MaxQueue:  cfg.MaxQueuedPulls,
 		Registry:  cfg.Metrics,
 	})
 	if s.federation != nil {
@@ -476,6 +521,11 @@ func NewSite(cfg Config) (*Site, error) {
 		ACL:        cfg.ACL,
 		Logger:     cfg.Logger,
 		Metrics:    cfg.Metrics,
+		Admit: func(string) (func(), error) {
+			// Data-moving verbs share the bulk class with stage RPCs, so
+			// one admission budget bounds all disk-to-disk movement.
+			return s.admit.Admit(s.ctx, admission.Bulk, admission.Request{})
+		},
 	})
 	if err != nil {
 		s.persist.close(false)
@@ -503,6 +553,8 @@ func NewSite(cfg Config) (*Site, error) {
 	}
 	s.gdmpSrv = rpc.NewServer(cfg.Cred, cfg.TrustRoots, cfg.ACL)
 	s.gdmpSrv.SetMetrics(cfg.Metrics)
+	s.gdmpSrv.SetAdmission(s.admit, classifyMethod)
+	s.gdmpSrv.MaxConns = cfg.RPCMaxConns
 	s.registerHandlers()
 	s.gdmpLn, err = net.Listen("tcp", gdmpListen)
 	if err != nil {
@@ -621,6 +673,10 @@ func (s *Site) Kill() {
 // unfinished work and is requeued on the next start. It returns the
 // dedup keys (LFNs) of the pulls it had to abandon.
 func (s *Site) Drain(ctx context.Context) (abandoned []string, err error) {
+	// Admission first: every queued request is rejected with ErrDraining
+	// and no new work is admitted, so the scheduler drain below only has
+	// to wait out transfers that were already running.
+	s.admit.Drain()
 	abandoned, derr := s.sched.Drain(ctx)
 	if derr != nil {
 		s.logger.Printf("gdmp[%s]: drain abandoned %d pulls: %v", s.cfg.Name, len(abandoned), derr)
@@ -981,8 +1037,14 @@ func (s *Site) retryPolicy(op string) retry.Policy {
 
 // transientRPC retries transport failures but not application-level
 // errors: a *rpc.RemoteError means the exchange worked and the remote
-// handler rejected the request, which a redial will not change.
+// handler rejected the request, which a redial will not change. A typed
+// overload rejection IS retryable — the server is explicitly asking the
+// caller to come back later, and retry.Do floors its backoff at the
+// server-suggested retry-after.
 func transientRPC(err error) bool {
+	if errors.Is(err, admission.ErrOverloaded) {
+		return true
+	}
 	var re *rpc.RemoteError
 	if errors.As(err, &re) {
 		return false
@@ -1351,7 +1413,7 @@ func (s *Site) fetch(ctx context.Context, src PFN, localPath string, progress fu
 	pol.Attempts = s.cfg.TransferAttempts
 	pol.Retryable = nil // transfer failures are all retryable
 	return gridftp.ReliableGetFileOpts(ctx, s.ftpConnect(src), src.Path, localPath, pol,
-		gridftp.GetFileOptions{Progress: progress})
+		gridftp.GetFileOptions{Progress: progress, WrapWriter: s.cfg.StageWriter})
 }
 
 // ftpConnect builds the dial closure for one source's GridFTP endpoint:
@@ -1413,7 +1475,7 @@ func (s *Site) bufferFor(addr string) int {
 // already succeeded once so a fresh session is cheap.
 func (s *Site) requestStage(ctx context.Context, ctlAddr, lfn string) error {
 	pol := s.retryPolicy("core.stage")
-	return pol.Do(ctx, func(int) error {
+	return pol.Do(ctx, func(attempt int) error {
 		cl, err := rpc.DialContext(ctx, ctlAddr, s.cfg.Cred, s.cfg.TrustRoots, s.rpcDialOpts()...)
 		if err != nil {
 			return err
@@ -1421,9 +1483,22 @@ func (s *Site) requestStage(ctx context.Context, ctlAddr, lfn string) error {
 		defer cl.Close()
 		var e rpc.Encoder
 		e.String(lfn)
-		_, err = cl.CallContext(ctx, MethodStage, &e)
+		// The wire carries the retry attempt so an overloaded source can
+		// shed the hottest retriers first.
+		_, err = cl.CallContext(rpc.WithAttempt(ctx, attempt), MethodStage, &e)
+		s.observeOverload(ctlAddr, err)
 		return err
 	})
+}
+
+// observeOverload records a typed overload rejection from addr on the
+// health scoreboard, cooling the peer for the server-suggested
+// retry-after so queued work stops hammering it.
+func (s *Site) observeOverload(addr string, err error) {
+	if err == nil || !errors.Is(err, admission.ErrOverloaded) {
+		return
+	}
+	s.health.ObserveOverload(addr, retry.RetryAfterOf(err))
 }
 
 func (s *Site) rpcDialOpts() []rpc.DialOption {

@@ -121,6 +121,18 @@ type SiteStatus struct {
 	// quality for every peer this site has pulled from or dialed (empty
 	// from a daemon predating circuit breakers).
 	HealthPeers []PeerHealthStatus
+
+	// Overload-protection summary (all zero from a daemon predating
+	// admission control). The load signal is reported in milli-units
+	// (0-1000) so it crosses the wire as an integer.
+	BrownoutActive    bool
+	BrownoutLoadMilli int64
+	AdmissionAdmitted int64
+	AdmissionRejected int64 // every rejection, expiry, shed, and drain
+	AdmissionExpired  int64
+	AdmissionShed     int64
+	BrownoutEntered   int64
+	BrownoutDeferred  int64
 }
 
 // PeerHealthStatus is one scoreboard row in a site's status: a peer's
@@ -186,6 +198,17 @@ func (s *Site) Status() SiteStatus {
 		st.RLIQueries = s.rlsMet.rliWhich.Value()
 		st.RLIFalsePositives = s.rlsMet.falsePos.Value()
 		st.RLSLocateP99Micros = s.LocateP99Micros()
+	}
+	if s.admit != nil {
+		as := s.admit.Snap()
+		st.BrownoutActive = as.BrownoutActive
+		st.BrownoutLoadMilli = int64(as.Load * 1000)
+		st.AdmissionAdmitted = as.Admitted
+		st.AdmissionRejected = as.Rejected
+		st.AdmissionExpired = as.Expired
+		st.AdmissionShed = as.Shed
+		st.BrownoutEntered = as.BrownoutEntered
+		st.BrownoutDeferred = as.BrownoutDeferred
 	}
 	for _, ph := range s.health.Snapshot() {
 		st.HealthPeers = append(st.HealthPeers, PeerHealthStatus{
@@ -275,6 +298,18 @@ func encodeSiteStatus(e *rpc.Encoder, st SiteStatus) {
 			e.Int64(p.LastTransition.UnixNano())
 		}
 	}
+	if st.BrownoutActive {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+	e.Int64(st.BrownoutLoadMilli)
+	e.Int64(st.AdmissionAdmitted)
+	e.Int64(st.AdmissionRejected)
+	e.Int64(st.AdmissionExpired)
+	e.Int64(st.AdmissionShed)
+	e.Int64(st.BrownoutEntered)
+	e.Int64(st.BrownoutDeferred)
 }
 
 // decodeSiteStatus reads the status payload, tolerating truncation at
@@ -336,6 +371,16 @@ func decodeSiteStatus(d *rpc.Decoder) SiteStatus {
 			}
 			st.HealthPeers = append(st.HealthPeers, p)
 		}
+	}
+	if d.Remaining() > 0 {
+		st.BrownoutActive = d.Uint8() != 0
+		st.BrownoutLoadMilli = d.Int64()
+		st.AdmissionAdmitted = d.Int64()
+		st.AdmissionRejected = d.Int64()
+		st.AdmissionExpired = d.Int64()
+		st.AdmissionShed = d.Int64()
+		st.BrownoutEntered = d.Int64()
+		st.BrownoutDeferred = d.Int64()
 	}
 	return st
 }

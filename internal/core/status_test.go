@@ -58,6 +58,13 @@ func TestTransferHistoryAndStatus(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RemoteStatus: %v", err)
 	}
+	// The status RPC itself passes admission control, so the remote
+	// snapshot counts exactly one more admitted request than the local
+	// snapshot taken before the call.
+	if remote.AdmissionAdmitted != st.AdmissionAdmitted+1 {
+		t.Fatalf("remote AdmissionAdmitted = %d, want %d", remote.AdmissionAdmitted, st.AdmissionAdmitted+1)
+	}
+	remote.AdmissionAdmitted = st.AdmissionAdmitted
 	if !reflect.DeepEqual(remote, st) {
 		t.Fatalf("remote status %+v != local %+v", remote, st)
 	}

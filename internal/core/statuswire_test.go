@@ -8,6 +8,10 @@ import (
 	"gdmp/internal/rpc"
 )
 
+// brownoutBlockLen is the trailing overload-protection generation: one
+// Uint8 flag plus seven fixed-width Int64s.
+const brownoutBlockLen = 1 + 7*8
+
 func TestSiteStatusWireRoundTrip(t *testing.T) {
 	want := SiteStatus{
 		Name:             "cern.ch",
@@ -51,6 +55,15 @@ func TestSiteStatusWireRoundTrip(t *testing.T) {
 			},
 			{Peer: "127.0.0.1:2812", Breaker: "closed", BandwidthKbps: 912000},
 		},
+
+		BrownoutActive:    true,
+		BrownoutLoadMilli: 812,
+		AdmissionAdmitted: 4000,
+		AdmissionRejected: 37,
+		AdmissionExpired:  5,
+		AdmissionShed:     9,
+		BrownoutEntered:   2,
+		BrownoutDeferred:  14,
 	}
 	var e rpc.Encoder
 	encodeSiteStatus(&e, want)
@@ -141,14 +154,14 @@ func TestEncodePoolBlockStrictlyAppends(t *testing.T) {
 		t.Fatalf("payload with pool data (%d bytes) shorter than zeros (%d)", len(bd), len(bz))
 	}
 	// The block is five fixed-width Int64s, followed only by the (here
-	// all-zero) five-Int64 parity block, six-Int64 RLS block, and the
-	// empty health block's count word; everything before it must be
-	// byte-identical across the two payloads.
-	n := len(bz) - 17*8
+	// all-zero) five-Int64 parity block, six-Int64 RLS block, the empty
+	// health block's count word, and the brownout block; everything
+	// before it must be byte-identical across the two payloads.
+	n := len(bz) - 17*8 - brownoutBlockLen
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("pool block changed bytes before its own position")
 	}
-	if string(bz[len(bz)-12*8:]) != string(bd[len(bd)-12*8:]) {
+	if string(bz[len(bz)-12*8-brownoutBlockLen:]) != string(bd[len(bd)-12*8-brownoutBlockLen:]) {
 		t.Fatal("pool block changed bytes after its own position")
 	}
 }
@@ -169,11 +182,11 @@ func TestEncodeParityBlockStrictlyAppends(t *testing.T) {
 	if len(bz) != len(bd) {
 		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
 	}
-	n := len(bz) - 12*8
+	n := len(bz) - 12*8 - brownoutBlockLen
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("parity block changed bytes before its own position")
 	}
-	if string(bz[len(bz)-7*8:]) != string(bd[len(bd)-7*8:]) {
+	if string(bz[len(bz)-7*8-brownoutBlockLen:]) != string(bd[len(bd)-7*8-brownoutBlockLen:]) {
 		t.Fatal("parity block changed bytes after its own position")
 	}
 }
@@ -194,7 +207,7 @@ func TestEncodeRLSBlockStrictlyAppends(t *testing.T) {
 	if len(bz) != len(bd) {
 		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
 	}
-	n := len(bz) - 7*8
+	n := len(bz) - 7*8 - brownoutBlockLen
 	if string(bz[:n]) != string(bd[:n]) {
 		t.Fatal("RLS block changed bytes before its own position")
 	}
@@ -218,7 +231,7 @@ func TestEncodeHealthBlockStrictlyAppendsAndOlderDecodes(t *testing.T) {
 	bz, bd := ez.Bytes(), ed.Bytes()
 	// Everything before the count word is byte-identical; the payload with
 	// a peer row is strictly longer.
-	n := len(bz) - 8
+	n := len(bz) - 8 - brownoutBlockLen
 	if len(bd) <= len(bz) {
 		t.Fatalf("payload with a peer row (%d bytes) not longer than without (%d)", len(bd), len(bz))
 	}
@@ -245,5 +258,53 @@ func TestEncodeHealthBlockStrictlyAppendsAndOlderDecodes(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.HealthPeers, data.HealthPeers) {
 		t.Fatalf("health row round trip:\n got %+v\nwant %+v", got.HealthPeers, data.HealthPeers)
+	}
+}
+
+// Same contract for the brownout block, the newest trailing generation:
+// it strictly appends, and a payload that stops before it (a daemon
+// predating admission control) decodes with zero overload counters.
+func TestEncodeBrownoutBlockStrictlyAppendsAndOlderDecodes(t *testing.T) {
+	zero := SiteStatus{Name: "x", Journal: "ok", PoolCapacity: 9, DigestGen: 4}
+	data := zero
+	data.BrownoutActive = true
+	data.BrownoutLoadMilli = 900
+	data.AdmissionAdmitted, data.AdmissionRejected = 100, 7
+	data.AdmissionExpired, data.AdmissionShed = 2, 3
+	data.BrownoutEntered, data.BrownoutDeferred = 1, 6
+
+	var ez, ed rpc.Encoder
+	encodeSiteStatus(&ez, zero)
+	encodeSiteStatus(&ed, data)
+	bz, bd := ez.Bytes(), ed.Bytes()
+	if len(bz) != len(bd) {
+		t.Fatalf("payload lengths differ: %d vs %d", len(bz), len(bd))
+	}
+	n := len(bz) - brownoutBlockLen
+	if string(bz[:n]) != string(bd[:n]) {
+		t.Fatal("brownout block changed bytes before its own position")
+	}
+
+	// An older daemon's payload ends before the brownout block.
+	d := rpc.NewDecoder(bd[:n])
+	got := decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode pre-brownout generation: %v", err)
+	}
+	if got.BrownoutActive || got.AdmissionAdmitted != 0 || got.BrownoutDeferred != 0 {
+		t.Fatalf("pre-brownout generation decode = %+v", got)
+	}
+	if got.DigestGen != 4 || got.PoolCapacity != 9 {
+		t.Fatalf("pre-brownout generation lost earlier fields: %+v", got)
+	}
+
+	// And the full payload round-trips every overload counter.
+	d = rpc.NewDecoder(bd)
+	got = decodeSiteStatus(d)
+	if err := d.Finish(); err != nil {
+		t.Fatalf("decode brownout generation: %v", err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Fatalf("brownout round trip:\n got %+v\nwant %+v", got, data)
 	}
 }

@@ -22,10 +22,12 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"gdmp/internal/obs"
@@ -43,6 +45,7 @@ const (
 	KindStall        = "stall"
 	KindPartialWrite = "partial_write"
 	KindPartition    = "partition"
+	KindNoSpace      = "enospc"
 )
 
 // ErrInjected is the root of every error the harness injects; test code
@@ -57,6 +60,12 @@ var ErrReset = fmt.Errorf("%w: connection reset", ErrInjected)
 
 // ErrPartialWrite is returned by a Write truncated by MaxWriteBytes.
 var ErrPartialWrite = fmt.Errorf("%w: partial write", ErrInjected)
+
+// ErrNoSpace is returned by a NoSpaceWriter once its byte budget is
+// exhausted. It wraps both ErrInjected (so harnesses can tell it from a
+// real disk-full) and syscall.ENOSPC (so production error handling that
+// classifies disk-full via errors.Is takes the same path either way).
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
 
 // ConnInfo identifies one connection as it is created, so a Script can
 // target it deterministically.
@@ -198,6 +207,51 @@ func (in *Injector) Connections() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.seq
+}
+
+// NoSpaceWriter returns a staging-writer wrapper that emulates the disk
+// filling up mid-stage: writes land normally until the file would grow
+// past limit bytes, after which every write fails with ErrNoSpace (a
+// write straddling the limit persists the part that fits first, exactly
+// like a real ENOSPC). Each tripped writer counts one "enospc" injection.
+func (in *Injector) NoSpaceWriter(limit int64) func(io.WriterAt) io.WriterAt {
+	return func(w io.WriterAt) io.WriterAt {
+		return &noSpaceWriter{in: in, w: w, limit: limit}
+	}
+}
+
+type noSpaceWriter struct {
+	in      *Injector
+	w       io.WriterAt
+	limit   int64
+	mu      sync.Mutex
+	tripped bool
+}
+
+func (n *noSpaceWriter) WriteAt(p []byte, off int64) (int, error) {
+	if off >= n.limit {
+		n.trip()
+		return 0, ErrNoSpace
+	}
+	if off+int64(len(p)) > n.limit {
+		wrote, err := n.w.WriteAt(p[:n.limit-off], off)
+		if err != nil {
+			return wrote, err
+		}
+		n.trip()
+		return wrote, ErrNoSpace
+	}
+	return n.w.WriteAt(p, off)
+}
+
+func (n *noSpaceWriter) trip() {
+	n.mu.Lock()
+	first := !n.tripped
+	n.tripped = true
+	n.mu.Unlock()
+	if first {
+		n.in.count(KindNoSpace)
+	}
 }
 
 func (in *Injector) count(kind string) {

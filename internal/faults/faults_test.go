@@ -400,3 +400,42 @@ func TestPartitionSwallowsWritesAfterExactBytes(t *testing.T) {
 		t.Fatalf("partition faults counted = %d, want 1", got)
 	}
 }
+
+func TestNoSpaceWriterTripsAtLimit(t *testing.T) {
+	in := New(7, func(ConnInfo) Plan { return Plan{} }, WithMetrics(obs.NewRegistry()))
+	f, err := os.CreateTemp(t.TempDir(), "stage-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := in.NoSpaceWriter(10)(f)
+
+	if _, err := w.WriteAt([]byte("12345"), 0); err != nil {
+		t.Fatalf("write under limit: %v", err)
+	}
+	// A straddling write persists the part that fits, then fails.
+	wrote, err := w.WriteAt([]byte("6789AB"), 5)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("straddling write err = %v, want ErrNoSpace", err)
+	}
+	if wrote != 5 {
+		t.Fatalf("straddling write wrote %d bytes, want 5", wrote)
+	}
+	// The injected error must classify both as injected and as disk-full.
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("ErrNoSpace must wrap ErrInjected")
+	}
+	if _, err := w.WriteAt([]byte("x"), 12); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write past limit err = %v, want ErrNoSpace", err)
+	}
+	if got := in.Injected(KindNoSpace); got != 1 {
+		t.Fatalf("Injected(enospc) = %d, want 1 (counted once per tripped writer)", got)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "123456789A" {
+		t.Fatalf("file contents = %q, want exactly the bytes that fit", data)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gdmp/internal/gsi"
@@ -618,7 +619,7 @@ func (c *Client) getRangeBody(path string, r Range, dst io.WriterAt, track *Rang
 	}
 	stats.Elapsed = time.Since(start)
 	if dataErr != nil {
-		return stats, fmt.Errorf("%w: %v", ErrTransferFailed, dataErr)
+		return stats, fmt.Errorf("%w: %w", ErrTransferFailed, dataErr)
 	}
 	if finalCode != codeComplete {
 		return stats, fmt.Errorf("%w: %d %s", ErrTransferFailed, finalCode, finalText)
@@ -774,7 +775,7 @@ func (c *Client) putRangesLocked(verb, path string, src io.ReaderAt, ranges []Ra
 	}
 	stats.Elapsed = time.Since(start)
 	if dataErr != nil {
-		return stats, fmt.Errorf("%w: %v", ErrTransferFailed, dataErr)
+		return stats, fmt.Errorf("%w: %w", ErrTransferFailed, dataErr)
 	}
 	if finalCode != codeComplete {
 		return stats, fmt.Errorf("%w: %d %s", ErrTransferFailed, finalCode, finalText)
@@ -979,6 +980,12 @@ type GetFileOptions struct {
 	// callback must be cheap and safe for concurrent use. Hedged pulls
 	// use it as the liveness signal their stall watchdog watches.
 	Progress func(total int64)
+
+	// WrapWriter, when non-nil, wraps the staging-file writer before any
+	// payload lands. Fault-injection harnesses use it to emulate storage
+	// failures (e.g. faults.Injector.NoSpaceWriter) without touching the
+	// real filesystem behavior.
+	WrapWriter func(io.WriterAt) io.WriterAt
 }
 
 // progressWriterAt reports cumulative bytes written through it.
@@ -1009,8 +1016,11 @@ func ReliableGetFileOpts(ctx context.Context, connect func(context.Context) (*Cl
 		resumed, discarded = resumePartial(ctx, connect, remotePath, f, info.Size(), &rs)
 	}
 	dst := io.WriterAt(f)
+	if opt.WrapWriter != nil {
+		dst = opt.WrapWriter(dst)
+	}
 	if opt.Progress != nil {
-		pw := &progressWriterAt{dst: f, fn: opt.Progress}
+		pw := &progressWriterAt{dst: dst, fn: opt.Progress}
 		pw.total.Store(resumed)
 		if resumed > 0 {
 			opt.Progress(resumed)
@@ -1027,6 +1037,14 @@ func ReliableGetFileOpts(ctx context.Context, connect func(context.Context) (*Cl
 		err = cerr
 	}
 	if err != nil {
+		if errors.Is(err, syscall.ENOSPC) {
+			// The disk is full: the partial file is worthless as a restart
+			// marker (resuming onto a full disk fails the same way) and
+			// holding it only deepens the space crisis and leaves a .part
+			// orphan for the sweep. Give the bytes back.
+			os.Remove(part)
+			return stats, err
+		}
 		// Keep the partial file: it is the restart marker a future
 		// attempt resumes from (and recovery quarantines if orphaned).
 		return stats, err

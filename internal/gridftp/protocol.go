@@ -69,6 +69,7 @@ const (
 	codeBadArgs   = 501
 	codeDenied    = 530
 	codeNoFile    = 550
+	codeBusy      = 450 // transient overload: retry later
 	codeProtoErr  = 425 // cannot open data connection
 	codeLocalErr  = 451 // local processing error
 	codeInterrupt = 426 // transfer aborted

@@ -92,6 +92,13 @@ type ServerConfig struct {
 	// Metrics receives the server's integrated instrumentation; nil uses
 	// obs.Default.
 	Metrics *obs.Registry
+
+	// Admit, when non-nil, gates the data-moving verbs (RETR, ERET, STOR,
+	// ESTO) through an admission controller: it returns a release func to
+	// call when the transfer finishes, or an error if the server is too
+	// loaded to take the transfer now. Rejections get a transient 450
+	// reply, so clients back off and retry rather than failing the pull.
+	Admit func(verb string) (release func(), err error)
 }
 
 // Server is a GridFTP server instance.
@@ -291,6 +298,16 @@ func (se *session) resolve(p string) (string, error) {
 }
 
 func (se *session) dispatch(verb, args string) error {
+	switch verb {
+	case "RETR", "ERET", "STOR", "ESTO":
+		if se.srv.cfg.Admit != nil {
+			release, err := se.srv.cfg.Admit(verb)
+			if err != nil {
+				return se.reply(codeBusy, "server overloaded, retry later: %v", err)
+			}
+			defer release()
+		}
+	}
 	switch verb {
 	case "NOOP":
 		return se.reply(codeOK, "ok")

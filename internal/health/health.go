@@ -156,6 +156,7 @@ type metrics struct {
 	sheds       *obs.CounterVec // {peer}: legs refused by an open breaker
 	probes      *obs.CounterVec // {peer, outcome}: reopen probe results
 	stalls      *obs.CounterVec // {peer}: transfers declared stalled
+	overloads   *obs.CounterVec // {peer}: typed overload rejections recorded
 }
 
 func metricsFor(r *obs.Registry) *metrics {
@@ -176,6 +177,8 @@ func metricsFor(r *obs.Registry) *metrics {
 			"Reopen probe legs admitted through an open breaker, by outcome.", "peer", "outcome"),
 		stalls: r.CounterVec(MetricsPrefix+"_stalls_total",
 			"Transfers declared stalled past the peer's hedge deadline.", "peer"),
+		overloads: r.CounterVec(MetricsPrefix+"_overloads_total",
+			"Typed overload rejections recorded against a peer.", "peer"),
 	}
 }
 
@@ -206,6 +209,11 @@ type peer struct {
 	// many consecutive probe successes have accumulated.
 	probeInFlight bool
 	probeOKs      int
+
+	// coolUntil holds the peer out of rotation after a typed overload
+	// rejection: the peer is not failing, it is shedding, so the breaker
+	// does not advance — the peer just rests for the suggested interval.
+	coolUntil time.Time
 }
 
 // Board is the per-peer scoreboard; safe for concurrent use.
@@ -332,6 +340,9 @@ func (b *Board) Usable(addr string) bool {
 	if !ok {
 		return true
 	}
+	if b.cfg.Now().Before(p.coolUntil) {
+		return false
+	}
 	switch p.state {
 	case StateOpen:
 		return !b.cfg.Now().Before(p.reopenAt)
@@ -410,6 +421,25 @@ func (b *Board) noteBandwidthLocked(p *peer, bps float64) {
 		p.bw = (1-a)*p.bw + a*bps
 	}
 	b.met.bandwidth.WithLabelValues(p.addr).Set(int64(p.bw * 8 / 1000))
+}
+
+// ObserveOverload records a typed overload rejection from addr. An
+// overloaded peer is shedding, not failing, so the breaker does not
+// advance; instead the peer is held out of rotation (Usable reports
+// false) for the server-suggested retry-after, letting the storm cool
+// instead of amplifying while healthier replicas carry the load.
+// retryAfter <= 0 falls back to the breaker's reopen base delay.
+func (b *Board) ObserveOverload(addr string, retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = b.cfg.ReopenBase
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peerLocked(addr)
+	if until := b.cfg.Now().Add(retryAfter); until.After(p.coolUntil) {
+		p.coolUntil = until
+	}
+	b.met.overloads.WithLabelValues(addr).Inc()
 }
 
 // ObserveLatency folds one dial round-trip into a peer's latency EWMA
@@ -583,10 +613,10 @@ func (b *Board) Snapshot() []PeerHealth {
 	out := make([]PeerHealth, 0, len(b.peers))
 	for _, p := range b.peers {
 		out = append(out, PeerHealth{
-			Peer:           p.addr,
-			State:          p.state.String(),
-			ConsecFails:    int64(p.consecFails),
-			BandwidthKbps:  int64(p.bw * 8 / 1000),
+			Peer:          p.addr,
+			State:         p.state.String(),
+			ConsecFails:   int64(p.consecFails),
+			BandwidthKbps: int64(p.bw * 8 / 1000),
 			LatencyMicros: int64(p.latMean * 1e6),
 			// Round(0) strips the monotonic reading: the snapshot crosses
 			// the status wire as wall-clock nanoseconds, and a local copy

@@ -395,6 +395,8 @@ func TestHealthMetricsGolden(t *testing.T) {
 		`# HELP gdmp_health_ewma_latency_micros EWMA dial latency observed against a peer, microseconds.`,
 		`# TYPE gdmp_health_ewma_latency_micros gauge`,
 		`gdmp_health_ewma_latency_micros{peer="site-a"} 5000`,
+		`# HELP gdmp_health_overloads_total Typed overload rejections recorded against a peer.`,
+		`# TYPE gdmp_health_overloads_total counter`,
 		`# HELP gdmp_health_probes_total Reopen probe legs admitted through an open breaker, by outcome.`,
 		`# TYPE gdmp_health_probes_total counter`,
 		`gdmp_health_probes_total{peer="site-b",outcome="ok"} 1`,
@@ -444,5 +446,50 @@ func TestBoardConcurrencySmoke(t *testing.T) {
 	wg.Wait()
 	if got := len(b.Snapshot()); got != 3 {
 		t.Fatalf("snapshot peers = %d, want 3", got)
+	}
+}
+
+func TestObserveOverloadCoolsPeerWithoutBreakerAdvance(t *testing.T) {
+	ck := newClock()
+	reg := obs.NewRegistry()
+	b := New(Config{Registry: reg, Now: ck.Now, Seed: 1})
+	const addr = "b.example:2811"
+
+	succeed(t, b, addr, 1<<20, time.Second)
+	if !b.Usable(addr) {
+		t.Fatal("peer should start usable")
+	}
+	b.ObserveOverload(addr, 500*time.Millisecond)
+	if b.Usable(addr) {
+		t.Fatal("peer should be cooling after a typed overload rejection")
+	}
+	if got := b.StateOf(addr); got != StateClosed {
+		t.Fatalf("state = %v, want closed (overload must not advance the breaker)", got)
+	}
+	if got := b.ConsecutiveFailures(addr); got != 0 {
+		t.Fatalf("consecutive failures = %d, want 0", got)
+	}
+	ck.Advance(600 * time.Millisecond)
+	if !b.Usable(addr) {
+		t.Fatal("cooldown should have expired")
+	}
+	if got := reg.CounterVec(MetricsPrefix+"_overloads_total", "", "peer").
+		WithLabelValues(addr).Value(); got != 1 {
+		t.Fatalf("overloads counter = %d, want 1", got)
+	}
+}
+
+func TestObserveOverloadDefaultsToReopenBase(t *testing.T) {
+	ck := newClock()
+	b := New(Config{Registry: obs.NewRegistry(), Now: ck.Now, ReopenBase: 2 * time.Second, Seed: 1})
+	const addr = "c.example:2811"
+	b.ObserveOverload(addr, 0)
+	ck.Advance(1900 * time.Millisecond)
+	if b.Usable(addr) {
+		t.Fatal("peer should still be cooling for the reopen base delay")
+	}
+	ck.Advance(200 * time.Millisecond)
+	if !b.Usable(addr) {
+		t.Fatal("cooldown should have expired after the reopen base delay")
 	}
 }

@@ -171,6 +171,7 @@ type metrics struct {
 	attempts *obs.CounterVec // {op, outcome}
 	ops      *obs.CounterVec // {op, outcome}
 	backoffs *obs.CounterVec // {op}
+	floors   *obs.CounterVec // {op}
 	sleep    *obs.Histogram
 }
 
@@ -187,6 +188,8 @@ func metricsFor(r *obs.Registry) *metrics {
 			"op", "outcome"),
 		backoffs: r.CounterVec(MetricsPrefix+"_backoffs_total",
 			"Backoff sleeps taken between attempts, by operation.", "op"),
+		floors: r.CounterVec(MetricsPrefix+"_retry_after_floors_total",
+			"Backoffs raised to a server-suggested retry-after, by operation.", "op"),
 		sleep: r.Histogram(MetricsPrefix+"_backoff_seconds",
 			"Backoff sleep durations.", nil),
 	}
@@ -228,6 +231,18 @@ func (p Policy) Delay(retries int) time.Duration {
 		}
 	}
 	return time.Duration(d)
+}
+
+// RetryAfterOf extracts a server-suggested retry-after hint from err: any
+// error in the chain exposing RetryAfter() time.Duration (such as the
+// admission package's typed overload rejection) supplies it; zero means
+// no hint. Do honors the hint as a floor under the computed backoff.
+func RetryAfterOf(err error) time.Duration {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		return ra.RetryAfter()
+	}
+	return 0
 }
 
 // Sleep waits for d or until the context is done, whichever comes first.
@@ -301,6 +316,15 @@ func (p Policy) Do(ctx context.Context, fn func(attempt int) error) error {
 			return &ExhaustedError{Op: p.Op, Attempts: attempt, Reason: OutcomeExhausted, Last: err}
 		}
 		d := p.Delay(attempt)
+		if ra := RetryAfterOf(err); ra > d {
+			// An overloaded server's suggested retry-after is a floor under
+			// our own backoff: respecting it lets the server cool instead of
+			// amplifying the storm.
+			d = ra
+			if m != nil {
+				m.floors.WithLabelValues(p.Op).Inc()
+			}
+		}
 		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
 			finish(OutcomeBudget)
 			return &ExhaustedError{Op: p.Op, Attempts: attempt, Reason: OutcomeBudget, Last: err}

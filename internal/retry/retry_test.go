@@ -198,3 +198,47 @@ func TestExhaustedErrorMessage(t *testing.T) {
 		t.Fatalf("message = %q", err.Error())
 	}
 }
+
+// retryAfterErr is a transient failure carrying a server-suggested
+// retry-after, like the admission layer's typed overload rejection.
+type retryAfterErr struct{ after time.Duration }
+
+func (e *retryAfterErr) Error() string             { return "overloaded" }
+func (e *retryAfterErr) RetryAfter() time.Duration { return e.after }
+
+func TestDoHonorsRetryAfterFloor(t *testing.T) {
+	var slept []time.Duration
+	reg := obs.NewRegistry()
+	p := Policy{
+		Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		Jitter: 0, Op: "test.floor", Registry: reg, sleep: noSleep(&slept),
+	}
+	hint := 250 * time.Millisecond
+	err := p.Do(context.Background(), func(int) error { return &retryAfterErr{after: hint} })
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if len(slept) != 2 {
+		t.Fatalf("sleeps = %v, want 2", slept)
+	}
+	for _, d := range slept {
+		if d < hint {
+			t.Fatalf("backoff %v below the server-suggested floor %v", d, hint)
+		}
+	}
+	if got := reg.CounterVec(MetricsPrefix+"_retry_after_floors_total", "", "op").
+		WithLabelValues("test.floor").Value(); got != 2 {
+		t.Fatalf("floors counter = %d, want 2", got)
+	}
+}
+
+func TestRetryAfterOfUnwrapsChains(t *testing.T) {
+	base := &retryAfterErr{after: time.Second}
+	wrapped := fmt.Errorf("rpc: call gdmp.stage: %w", base)
+	if got := RetryAfterOf(wrapped); got != time.Second {
+		t.Fatalf("RetryAfterOf(wrapped) = %v, want 1s", got)
+	}
+	if got := RetryAfterOf(errors.New("plain")); got != 0 {
+		t.Fatalf("RetryAfterOf(plain) = %v, want 0", got)
+	}
+}

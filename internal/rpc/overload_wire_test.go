@@ -1,0 +1,316 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gdmp/internal/admission"
+	"gdmp/internal/gsi"
+	"gdmp/internal/obs"
+)
+
+// --- wire generations ----------------------------------------------------
+
+func TestWireMetadataReachesHandler(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("meta")
+	gotDeadline := make(chan time.Duration, 1)
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("meta", func(ctx context.Context, _ *gsi.Peer, args *Decoder, resp *Encoder) error {
+			if d, ok := ctx.Deadline(); ok {
+				gotDeadline <- time.Until(d)
+			} else {
+				gotDeadline <- 0
+			}
+			return nil
+		})
+	})
+	cl := dialAs(t, addr, "alice")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := cl.CallContext(WithAttempt(ctx, 2), "meta", nil); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	budget := <-gotDeadline
+	if budget <= 0 || budget > 3*time.Second {
+		t.Fatalf("handler deadline budget = %v, want (0, 3s]", budget)
+	}
+}
+
+func TestLegacyClientAgainstNewServer(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("meta")
+	gotDeadline := make(chan bool, 1)
+	addr := startServer(t, acl, func(s *Server) {
+		s.Handle("meta", func(ctx context.Context, _ *gsi.Peer, args *Decoder, resp *Encoder) error {
+			_, ok := ctx.Deadline()
+			gotDeadline <- ok
+			resp.String("ok")
+			return nil
+		})
+	})
+	cred, err := ca(t).Issue("legacy", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()},
+		WithTimeout(5*time.Second), WithLegacyWire())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	// Even with a context deadline, a generation-0 frame carries none.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	d, err := cl.CallContext(ctx, "meta", nil)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if got := d.String(); got != "ok" {
+		t.Fatalf("reply = %q", got)
+	}
+	if <-gotDeadline {
+		t.Fatal("legacy frame must not propagate a deadline")
+	}
+}
+
+// startLegacyServer emulates a pre-generation build: strict generation-0
+// request decoding (any trailing bytes kill the connection) and no
+// rpc.caps handler — the probe gets an ordinary "unknown method" error.
+func startLegacyServer(t *testing.T) string {
+	t.Helper()
+	cred, err := ca(t).Issue("gdmp/legacy-server", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []*gsi.Certificate{ca(t).Certificate()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := gsi.Handshake(conn, cred, roots, false); err != nil {
+					return
+				}
+				for {
+					frame, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					d := NewDecoder(frame)
+					method := d.String()
+					payload := d.Bytes32()
+					if err := d.Finish(); err != nil {
+						return // generation-0 decode is strict
+					}
+					var out Encoder
+					switch method {
+					case "echo":
+						pd := NewDecoder(payload)
+						out.Uint8(statusOK)
+						out.String(pd.String())
+					default:
+						out.Uint8(statusError)
+						out.String(fmt.Sprintf("unknown method %q", method))
+					}
+					if err := WriteFrame(conn, out.Bytes()); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestNewClientAgainstLegacyServer(t *testing.T) {
+	addr := startLegacyServer(t)
+	cred, err := ca(t).Issue("modern", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()}, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	// The probe must downgrade gracefully and the connection stay usable
+	// across multiple calls — even with a deadline on the context, which a
+	// generation-0 frame cannot carry.
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		var args Encoder
+		args.String(fmt.Sprintf("ping-%d", i))
+		d, err := cl.CallContext(WithAttempt(ctx, i), "echo", &args)
+		cancel()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := d.String(); got != fmt.Sprintf("ping-%d", i) {
+			t.Fatalf("call %d reply = %q", i, got)
+		}
+	}
+	if cl.wiregen != wiregenLegacy {
+		t.Fatalf("wiregen = %d, want %d (legacy)", cl.wiregen, wiregenLegacy)
+	}
+}
+
+// --- admission at dispatch -----------------------------------------------
+
+func TestDispatchOverloadTypedError(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("slow")
+	reg := obs.NewRegistry()
+	ctrl := admission.New(admission.Config{
+		ControlSlots: 1, ControlQueue: 1,
+		RetryAfterMin: 25 * time.Millisecond,
+		Registry:      reg,
+	})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	addr := startServer(t, acl, func(s *Server) {
+		s.SetMetrics(reg)
+		s.SetAdmission(ctrl, nil)
+		s.Handle("slow", func(ctx context.Context, _ *gsi.Peer, args *Decoder, resp *Encoder) error {
+			started <- struct{}{}
+			<-release
+			return nil
+		})
+	})
+	defer close(release)
+
+	// First call occupies the slot; a second queues; a third must be shed
+	// with the typed overloaded status carrying a retry-after.
+	go dialAs(t, addr, "a").Call("slow", nil)
+	<-started
+	go dialAs(t, addr, "b").Call("slow", nil)
+	waitUntil(t, func() bool { return ctrl.Queued(admission.Control) == 1 })
+
+	_, err := dialAs(t, addr, "c").Call("slow", nil)
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var ov *admission.Overloaded
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %#v, want *admission.Overloaded", err)
+	}
+	if ov.After < 25*time.Millisecond {
+		t.Fatalf("retry-after = %v, want >= 25ms", ov.After)
+	}
+	if ov.Reason != "queue_full" {
+		t.Fatalf("reason = %q, want queue_full", ov.Reason)
+	}
+}
+
+// --- accept-loop robustness ----------------------------------------------
+
+type tempNetErr struct{}
+
+func (tempNetErr) Error() string   { return "accept: too many open files" }
+func (tempNetErr) Timeout() bool   { return false }
+func (tempNetErr) Temporary() bool { return true }
+
+type flakyListener struct {
+	net.Listener
+	fails atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.fails.Add(-1) >= 0 {
+		return nil, tempNetErr{}
+	}
+	return l.Listener.Accept()
+}
+
+func TestAcceptBackoffOnTemporaryErrors(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("ping")
+	serverCred, err := ca(t).Issue("gdmp/flaky-server", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := NewServer(serverCred, []*gsi.Certificate{ca(t).Certificate()}, acl)
+	srv.SetMetrics(reg)
+	srv.Handle("ping", func(context.Context, *gsi.Peer, *Decoder, *Encoder) error { return nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln}
+	fl.fails.Store(3)
+	go srv.Serve(fl)
+	t.Cleanup(func() { srv.Close() })
+
+	// The loop must survive the transient failures and still serve.
+	cl := dialAs(t, ln.Addr().String(), "alice")
+	if _, err := cl.Call("ping", nil); err != nil {
+		t.Fatalf("call after accept errors: %v", err)
+	}
+	if got := reg.Counter("gdmp_rpc_accept_errors_total", "").Value(); got != 3 {
+		t.Fatalf("accept errors counter = %d, want 3", got)
+	}
+}
+
+func TestMaxConnsRefusesDialFlood(t *testing.T) {
+	acl := gsi.NewACL()
+	acl.AllowAll("ping")
+	reg := obs.NewRegistry()
+	var addr string
+	addr = startServer(t, acl, func(s *Server) {
+		s.SetMetrics(reg)
+		s.MaxConns = 1
+		s.Handle("ping", func(context.Context, *gsi.Peer, *Decoder, *Encoder) error { return nil })
+	})
+	cl := dialAs(t, addr, "alice")
+	if _, err := cl.Call("ping", nil); err != nil {
+		t.Fatalf("first conn: %v", err)
+	}
+	// The second connection is accepted and immediately closed before the
+	// handshake, so the dial (which includes the handshake) fails.
+	cred, err := ca(t).Issue("bob", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()}, WithTimeout(2*time.Second)); err == nil {
+		t.Fatal("second dial succeeded past the connection cap")
+	}
+	if got := reg.Counter(ServerMetricsPrefix+"_conns_rejected_total", "").Value(); got < 1 {
+		t.Fatalf("conns rejected counter = %d, want >= 1", got)
+	}
+	// Releasing the first connection frees the slot.
+	cl.Close()
+	waitUntil(t, func() bool {
+		c, err := Dial(addr, cred, []*gsi.Certificate{ca(t).Certificate()}, WithTimeout(2*time.Second))
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		_, err = c.Call("ping", nil)
+		return err == nil
+	})
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"gdmp/internal/admission"
 	"gdmp/internal/gsi"
 	"gdmp/internal/obs"
 )
@@ -25,6 +27,8 @@ type serverMetrics struct {
 	inFlight       *obs.Gauge
 	authFails      *obs.Counter
 	handshakeFails *obs.Counter
+	acceptErrs     *obs.Counter
+	connsRejected  *obs.Counter
 }
 
 func newRPCServerMetrics(r *obs.Registry) *serverMetrics {
@@ -39,14 +43,45 @@ func newRPCServerMetrics(r *obs.Registry) *serverMetrics {
 			"Requests rejected by the ACL check."),
 		handshakeFails: r.Counter(ServerMetricsPrefix+"_handshake_failures_total",
 			"Connections dropped during the GSI handshake."),
+		acceptErrs: r.Counter("gdmp_rpc_accept_errors_total",
+			"Temporary accept errors retried with backoff."),
+		connsRejected: r.Counter(ServerMetricsPrefix+"_conns_rejected_total",
+			"Connections refused by the concurrent-connection cap."),
 	}
 }
 
 // status codes carried in response frames.
 const (
-	statusOK    = uint8(0)
-	statusError = uint8(1)
+	statusOK         = uint8(0)
+	statusError      = uint8(1)
+	statusOverloaded = uint8(2) // admission rejection: reason + retry-after
 )
+
+// MethodCaps is the wire-capability probe. A generation-aware client
+// issues it once per connection before its first metadata-bearing call;
+// the server answers it before handler lookup and ACL checks, so every
+// server of this generation supports it with no registration. A
+// pre-generation server answers "unknown method" as an ordinary error
+// frame and the connection stays usable, which tells the client to stay
+// on generation-0 frames.
+const MethodCaps = "rpc.caps"
+
+// WireGeneration is the newest request-frame generation this build
+// speaks. Generation 1 appends a length-prefixed metadata envelope
+// (deadline budget + retry attempt) after the request payload; the
+// envelope itself is strict-append so future fields ride inside it.
+const WireGeneration = 1
+
+// CallMeta is the per-call metadata carried by generation-1 request
+// frames.
+type CallMeta struct {
+	// Deadline is the caller's remaining deadline budget at send time
+	// (a duration, not an instant, so clock skew between sites cannot
+	// corrupt it); zero means no deadline.
+	Deadline time.Duration
+	// Attempt is the caller's retry attempt number (0 = first try).
+	Attempt uint32
+}
 
 // RemoteError is an error reported by a server-side handler and transported
 // back to the caller.
@@ -85,6 +120,14 @@ type Server struct {
 	logger   *log.Logger
 	met      *serverMetrics
 	TimeoutD time.Duration // per-request read/write deadline; 0 disables
+
+	// MaxConns caps concurrent connections independent of admission, so a
+	// dial flood cannot exhaust file descriptors before admission sees a
+	// request (0 = unlimited). Set before Serve.
+	MaxConns int
+
+	admit    *admission.Controller
+	classify func(method string) admission.Class
 
 	baseCtx    context.Context // canceled by Close; parent of handler contexts
 	baseCancel context.CancelFunc
@@ -138,6 +181,14 @@ func (s *Server) Handle(method string, h Handler) {
 // Identity returns the server's own identity.
 func (s *Server) Identity() gsi.Identity { return s.cred.Identity() }
 
+// SetAdmission installs an admission controller consulted before every
+// dispatch; classify maps method names onto admission classes (nil maps
+// everything to Control). Call before Serve.
+func (s *Server) SetAdmission(ctrl *admission.Controller, classify func(method string) admission.Class) {
+	s.admit = ctrl
+	s.classify = classify
+}
+
 // Serve listens on ln until Close is called.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
@@ -147,6 +198,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.lnMu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -156,9 +208,30 @@ func (s *Server) Serve(ln net.Listener) error {
 			if closed {
 				return nil
 			}
+			// Temporary accept failures (EMFILE under a dial flood, ECONNABORTED)
+			// must not spin the loop hot: back off with jitter, doubling up to
+			// a ceiling, and keep serving.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				s.met.acceptErrs.Inc()
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.lnMu.Lock()
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.lnMu.Unlock()
+			s.met.connsRejected.Inc()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.lnMu.Unlock()
 		s.wg.Add(1)
@@ -217,6 +290,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
+	// capable flips once the peer has issued the capability probe, proving
+	// it decodes generation-1 responses (the typed overloaded status).
+	// Pre-generation peers keep receiving plain error frames.
+	capable := false
 	for {
 		if s.TimeoutD > 0 {
 			conn.SetDeadline(time.Now().Add(s.TimeoutD))
@@ -230,18 +307,43 @@ func (s *Server) serveConn(conn net.Conn) {
 		d := NewDecoder(frame)
 		method := d.String()
 		payload := d.Bytes32()
+		var meta CallMeta
+		if d.Remaining() > 0 {
+			// Generation-1 strict-append block: a length-prefixed metadata
+			// envelope. The envelope is decoded by known prefix; fields a
+			// future generation appends inside it are ignored.
+			md := NewDecoder(d.Bytes32())
+			if ver := md.Uint8(); ver >= 1 {
+				meta.Deadline = time.Duration(md.Uint64()) * time.Microsecond
+				meta.Attempt = md.Uint32()
+			}
+			if md.Err() != nil {
+				s.logger.Printf("rpc: corrupt call metadata from %s: %v", peer.Base, md.Err())
+				return
+			}
+		}
 		if err := d.Finish(); err != nil {
 			s.logger.Printf("rpc: corrupt request from %s: %v", peer.Base, err)
 			return
 		}
-		resp := s.dispatch(s.baseCtx, peer, method, payload)
+		var resp []byte
+		if method == MethodCaps {
+			capable = true
+			var out Encoder
+			out.Uint8(statusOK)
+			out.Uint32(WireGeneration)
+			resp = out.Bytes()
+			s.met.requests.WithLabelValues(method, "ok").Inc()
+		} else {
+			resp = s.dispatch(s.baseCtx, peer, method, payload, meta, capable)
+		}
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(ctx context.Context, peer *gsi.Peer, method string, payload []byte) []byte {
+func (s *Server) dispatch(ctx context.Context, peer *gsi.Peer, method string, payload []byte, meta CallMeta, capable bool) []byte {
 	s.met.inFlight.Inc()
 	defer s.met.inFlight.Dec()
 	defer s.met.latency.WithLabelValues(method).Time()()
@@ -252,6 +354,25 @@ func (s *Server) dispatch(ctx context.Context, peer *gsi.Peer, method string, pa
 		out.Reset()
 		out.Uint8(statusError)
 		out.String(fmt.Sprintf(format, args...))
+		return out.Bytes()
+	}
+	// overload reports an admission rejection. Peers that proved they speak
+	// generation 1 get the typed frame (class, reason, retry-after);
+	// everyone else gets a plain error frame, so old clients keep working.
+	overload := func(err error) []byte {
+		s.met.requests.WithLabelValues(method, "overloaded").Inc()
+		var ov *admission.Overloaded
+		if capable && errors.As(err, &ov) {
+			out.Reset()
+			out.Uint8(statusOverloaded)
+			out.String(ov.Class)
+			out.String(ov.Reason)
+			out.Uint64(uint64(ov.After / time.Microsecond))
+			return out.Bytes()
+		}
+		out.Reset()
+		out.Uint8(statusError)
+		out.String(err.Error())
 		return out.Bytes()
 	}
 
@@ -268,9 +389,38 @@ func (s *Server) dispatch(ctx context.Context, peer *gsi.Peer, method string, pa
 		}
 	}
 
+	// The wire carries the remaining budget as a duration; anchor it to
+	// this server's clock at receipt so cross-site clock skew is harmless.
+	var absDeadline time.Time
+	if meta.Deadline > 0 {
+		absDeadline = time.Now().Add(meta.Deadline)
+	}
+	if s.admit != nil {
+		class := admission.Control
+		if s.classify != nil {
+			class = s.classify(method)
+		}
+		release, err := s.admit.Admit(ctx, class, admission.Request{Deadline: absDeadline, Attempt: meta.Attempt})
+		if err != nil {
+			return overload(err)
+		}
+		defer release()
+	}
+	hctx := ctx
+	if !absDeadline.IsZero() {
+		// Shed, never execute, a request that went dead while queued: the
+		// caller has already given up on it.
+		if !time.Now().Before(absDeadline) {
+			return overload(&admission.Overloaded{Class: "control", Reason: "expired", After: time.Millisecond})
+		}
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithDeadline(ctx, absDeadline)
+		defer cancel()
+	}
+
 	out.Uint8(statusOK)
 	args := NewDecoder(payload)
-	if err := h(ctx, peer, args, &out); err != nil {
+	if err := h(hctx, peer, args, &out); err != nil {
 		return fail("error", "%v", err)
 	}
 	s.met.requests.WithLabelValues(method, "ok").Inc()

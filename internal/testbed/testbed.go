@@ -8,12 +8,14 @@ package testbed
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
 	"time"
 
+	"gdmp/internal/admission"
 	"gdmp/internal/core"
 	"gdmp/internal/faults"
 	"gdmp/internal/gsi"
@@ -158,6 +160,21 @@ type SiteOptions struct {
 	// HedgeDeadline sets the cold-start stall deadline for hedged pulls
 	// (0 = the core default, negative disables hedging).
 	HedgeDeadline time.Duration
+
+	// Admission tunes the site's overload-protection controller; zero
+	// fields take the admission package defaults.
+	Admission admission.Config
+
+	// RPCMaxConns caps concurrent GDMP server connections (0 = unlimited).
+	RPCMaxConns int
+
+	// MaxQueuedPulls caps the pull scheduler's queue depth with
+	// priority-aware rejection at the cap (0 = unbounded).
+	MaxQueuedPulls int
+
+	// StageWriter wraps the staging-file writer of every replica pull
+	// (fault injection: disk-full emulation).
+	StageWriter func(io.WriterAt) io.WriterAt
 }
 
 // NewGrid creates the trust domain and the central replica catalog.
@@ -250,6 +267,10 @@ func (g *Grid) AddSite(name string, opts SiteOptions) (*core.Site, error) {
 		DigestFPRate:           opts.DigestFPRate,
 		Health:                 opts.Health,
 		HedgeDeadline:          opts.HedgeDeadline,
+		Admission:              opts.Admission,
+		RPCMaxConns:            opts.RPCMaxConns,
+		MaxQueuedPulls:         opts.MaxQueuedPulls,
+		StageWriter:            opts.StageWriter,
 	}
 	if opts.Durable {
 		cfg.StateDir = filepath.Join(siteDir, "state")

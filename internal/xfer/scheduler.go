@@ -39,6 +39,11 @@ import (
 // scheduler is draining for shutdown.
 var ErrDraining = errors.New("xfer: scheduler draining")
 
+// ErrQueueFull is returned by tickets rejected because the queue reached
+// Config.MaxQueue: either the new submission (when nothing queued is lower
+// priority) or a displaced lowest-priority queued job.
+var ErrQueueFull = errors.New("xfer: queue full")
+
 // MetricsPrefix prefixes every scheduler metric.
 const MetricsPrefix = "gdmp_xfer"
 
@@ -54,6 +59,12 @@ type Config struct {
 	// PerSource caps jobs transferring from one source at a time,
 	// enforced via AcquireSource (0 = unlimited).
 	PerSource int
+
+	// MaxQueue caps jobs admitted but not yet running (0 = unbounded).
+	// At the cap, admission is priority-aware: a higher-priority arrival
+	// displaces the lowest-priority queued job (which fails with
+	// ErrQueueFull); otherwise the arrival itself is rejected.
+	MaxQueue int
 
 	// Registry receives the gdmp_xfer_* metrics (obs.Default when nil).
 	Registry *obs.Registry
@@ -287,6 +298,27 @@ func (s *Scheduler) Submit(key string, priority int, fn Job) *Ticket {
 	if s.draining {
 		s.finishLocked(t, ErrDraining, outcomeRejected)
 		return t
+	}
+	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		// Depth cap with priority-aware rejection: a backlog this deep is
+		// an overload signal, so shed the least valuable work — the
+		// lowest-priority (and among equals, newest) queued job if the
+		// arrival outranks it, otherwise the arrival itself.
+		vi := -1
+		for i, q := range s.queue {
+			if vi < 0 || q.priority < s.queue[vi].priority ||
+				(q.priority == s.queue[vi].priority && q.seq > s.queue[vi].seq) {
+				vi = i
+			}
+		}
+		if vi >= 0 && s.queue[vi].priority < priority {
+			victim := s.queue[vi]
+			heap.Remove(&s.queue, vi)
+			s.finishLocked(victim, ErrQueueFull, outcomeRejected)
+		} else {
+			s.finishLocked(t, ErrQueueFull, outcomeRejected)
+			return t
+		}
 	}
 	s.inflight[key] = t
 	heap.Push(&s.queue, t)

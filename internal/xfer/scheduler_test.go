@@ -428,3 +428,58 @@ func TestAbandonedJobCompletionDoesNotEvictSuccessor(t *testing.T) {
 		t.Fatalf("successor ran %d times, want 1", got)
 	}
 }
+
+// TestMaxQueuePriorityAwareRejection checks the depth cap: at the cap a
+// low-priority arrival is rejected outright, while a high-priority arrival
+// displaces the lowest-priority queued job instead.
+func TestMaxQueuePriorityAwareRejection(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueue: 2, Registry: obs.NewRegistry()})
+	defer s.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context) error { <-release; return nil }
+	noop := func(ctx context.Context) error { return nil }
+
+	running := s.Submit("running", 0, block)
+	waitQueueDrainTo(t, s, 0) // the worker picked it up
+
+	low := s.Submit("low", -1, noop)
+	mid := s.Submit("mid", 0, noop)
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("queue depth = %d, want 2", got)
+	}
+
+	// Same priority as the queued minimum: the arrival is refused.
+	rejected := s.Submit("equal", -1, noop)
+	if err := rejected.Wait(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("equal-priority arrival err = %v, want ErrQueueFull", err)
+	}
+
+	// Higher priority: the lowest-priority queued job is displaced.
+	high := s.Submit("high", 5, noop)
+	if err := low.Wait(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("displaced job err = %v, want ErrQueueFull", err)
+	}
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("queue depth after displacement = %d, want 2", got)
+	}
+
+	release <- struct{}{} // finish the running job; the queue drains
+	for name, tk := range map[string]*Ticket{"running": running, "mid": mid, "high": high} {
+		if err := tk.Wait(context.Background()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func waitQueueDrainTo(t *testing.T, s *Scheduler, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() > depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue stuck at %d, want <= %d", s.QueueDepth(), depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
